@@ -1,0 +1,167 @@
+(* Regenerates every table and figure of the paper's evaluation on the
+   simulated substrate, then runs bechamel micro-benchmarks of the core
+   data structures. `dune exec bench/main.exe` prints everything; pass
+   `quick` to shrink the sweeps (CI-sized run). *)
+
+module Config = Sempe_pipeline.Config
+module Tablefmt = Sempe_util.Tablefmt
+
+let quick = Array.exists (fun a -> a = "quick") Sys.argv
+
+let section title body =
+  Printf.printf "==== %s ====\n%s\n\n%!" title body
+
+let table2 () =
+  let rows = List.map (fun (k, v) -> [ k; v ]) (Config.rows Config.default) in
+  section "Table II - baseline microarchitecture model"
+    (Tablefmt.render ~header:[ "parameter"; "value" ] rows)
+
+let table1 () =
+  let iters = if quick then 1 else 2 in
+  let rows = Sempe_experiments.Table1.measure ~width:10 ~iters () in
+  section "Table I" (Sempe_experiments.Table1.render rows)
+
+let fig8_9 () =
+  let sizes =
+    if quick then
+      [ { Sempe_workloads.Djpeg.label = "256k"; blocks = 4 };
+        { Sempe_workloads.Djpeg.label = "512k"; blocks = 8 } ]
+    else Sempe_workloads.Djpeg.sizes
+  in
+  let cells = Sempe_experiments.Djpeg_exp.collect ~sizes () in
+  section "Figure 8" (Sempe_experiments.Djpeg_exp.render_fig8 cells);
+  section "Figure 9" (Sempe_experiments.Djpeg_exp.render_fig9 cells)
+
+let fig10 () =
+  let widths =
+    if quick then [ 1; 2; 4 ] else List.init 10 (fun k -> k + 1)
+  in
+  let iters = if quick then 1 else 3 in
+  let series = Sempe_experiments.Fig10.sweep ~widths ~iters () in
+  section "Figure 10a" (Sempe_experiments.Fig10.render_a series);
+  (* the paper's figure as a cross-kernel summary: average slowdown per W *)
+  let avg f w =
+    let vals =
+      List.map
+        (fun (s : Sempe_experiments.Fig10.series) ->
+          let p = List.find (fun (p : Sempe_experiments.Fig10.point) -> p.width = w) s.points in
+          f p)
+        series
+    in
+    List.fold_left ( +. ) 0.0 vals /. float_of_int (List.length vals)
+  in
+  let pts f = List.map (fun w -> (float_of_int w, avg f w)) widths in
+  let ratio num den (p : Sempe_experiments.Fig10.point) =
+    float_of_int (num p) /. float_of_int (den p)
+  in
+  section "Figure 10a (cross-kernel average)"
+    (Sempe_util.Tablefmt.chart ~title:"average slowdown vs baseline"
+       ~xlabel:"W"
+       ~series:
+         [
+           ("SeMPE", pts (ratio (fun p -> p.Sempe_experiments.Fig10.sempe_cycles)
+                            (fun p -> p.Sempe_experiments.Fig10.baseline_cycles)));
+           ("CTE", pts (ratio (fun p -> p.Sempe_experiments.Fig10.cte_cycles)
+                          (fun p -> p.Sempe_experiments.Fig10.baseline_cycles)));
+         ]
+       ~log_y:true ());
+  section "Figure 10b" (Sempe_experiments.Fig10.render_b series)
+
+let security () =
+  let results = Sempe_experiments.Security_exp.measure () in
+  section "Security matrix (sections III / IV-G)"
+    (Sempe_experiments.Security_exp.render results)
+
+let ablations () =
+  section "Ablations (sections IV-E / IV-F)" (Sempe_experiments.Ablation.render ())
+
+(* ---- bechamel micro-benchmarks of the core structures ---- *)
+
+let micro () =
+  let open Bechamel in
+  let open Toolkit in
+  let jbtable =
+    let t = Sempe_core.Jbtable.create () in
+    Test.make ~name:"jbtable push/eosjmp x2" (Staged.stage @@ fun () ->
+        ignore (Sempe_core.Jbtable.push t);
+        Sempe_core.Jbtable.commit_sjmp t ~dest:1 ~outcome:true;
+        ignore (Sempe_core.Jbtable.on_eosjmp t);
+        ignore (Sempe_core.Jbtable.on_eosjmp t))
+  in
+  let snapshot =
+    let s = Sempe_core.Snapshot.create () in
+    let regs = Array.make Sempe_isa.Reg.count 7 in
+    Test.make ~name:"snapshot push/nt/finish" (Staged.stage @@ fun () ->
+        Sempe_core.Snapshot.push s ~regs ~outcome:true;
+        Sempe_core.Snapshot.note_write s 10;
+        ignore (Sempe_core.Snapshot.end_nt_path s ~regs);
+        Sempe_core.Snapshot.note_write s 11;
+        ignore (Sempe_core.Snapshot.finish s ~regs))
+  in
+  let cache =
+    let c =
+      Sempe_mem.Cache.create
+        { Sempe_mem.Cache.name = "bench"; size_bytes = 32 * 1024; line_bytes = 64; ways = 2 }
+    in
+    let addr = ref 0 in
+    Test.make ~name:"dl1 access" (Staged.stage @@ fun () ->
+        addr := (!addr + 4096 + 64) land 0xfffff;
+        ignore (Sempe_mem.Cache.access c ~addr:!addr ~write:false))
+  in
+  let tage =
+    let p = Sempe_bpred.Tage.create () in
+    let pc = ref 0 in
+    Test.make ~name:"tage predict+update" (Staged.stage @@ fun () ->
+        pc := (!pc + 97) land 0xffff;
+        let taken = !pc land 3 <> 0 in
+        ignore (p.Sempe_bpred.Predictor.predict ~pc:!pc);
+        p.Sempe_bpred.Predictor.update ~pc:!pc ~taken)
+  in
+  let simulate =
+    let spec =
+      { Sempe_workloads.Microbench.kernel = Sempe_workloads.Kernels.fibonacci;
+        width = 1; iters = 1 }
+    in
+    let src = Sempe_workloads.Microbench.program ~ct:false spec in
+    let built = Sempe_workloads.Harness.build Sempe_core.Scheme.Sempe src in
+    let secrets = Sempe_workloads.Microbench.secrets_for_leaf ~width:1 ~leaf:1 in
+    Test.make ~name:"simulate fib W=1 (SeMPE)" (Staged.stage @@ fun () ->
+        ignore (Sempe_workloads.Harness.run ~globals:secrets built))
+  in
+  let grouped =
+    Test.make_grouped ~name:"core" ~fmt:"%s/%s"
+      [ jbtable; snapshot; cache; tage; simulate ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~stabilize:true ~quota:(Time.second 0.25) ()
+  in
+  let raw = Benchmark.all cfg instances grouped in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name est ->
+      let ns =
+        match Analyze.OLS.estimates est with
+        | Some (x :: _) -> Printf.sprintf "%.1f" x
+        | Some [] | None -> "-"
+      in
+      rows := [ name; ns ] :: !rows)
+    results;
+  section "Component micro-benchmarks (bechamel, monotonic clock)"
+    (Tablefmt.render ~header:[ "operation"; "ns/run" ]
+       (List.sort compare !rows))
+
+let () =
+  Printf.printf "SeMPE reproduction benchmark harness%s\n\n%!"
+    (if quick then " (quick mode)" else "");
+  table2 ();
+  table1 ();
+  fig8_9 ();
+  fig10 ();
+  security ();
+  ablations ();
+  micro ()

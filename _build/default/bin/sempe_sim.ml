@@ -1,0 +1,291 @@
+(* sempe-sim: command-line front end to the SeMPE simulator.
+
+   Subcommands: config, microbench, djpeg, rsa, leakage, report, disasm. *)
+
+open Cmdliner
+module Scheme = Sempe_core.Scheme
+module Run = Sempe_core.Run
+module Timing = Sempe_pipeline.Timing
+module Config = Sempe_pipeline.Config
+module Harness = Sempe_workloads.Harness
+module MB = Sempe_workloads.Microbench
+module Kernels = Sempe_workloads.Kernels
+module Djpeg = Sempe_workloads.Djpeg
+module Rsa = Sempe_workloads.Rsa
+module Tablefmt = Sempe_util.Tablefmt
+
+let scheme_conv =
+  let parse s =
+    match Scheme.of_string s with
+    | Some v -> Ok v
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown scheme %S (expected one of: %s)" s
+              (String.concat ", " (List.map Scheme.name Scheme.all))))
+  in
+  Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt (Scheme.name s))
+
+let scheme_arg =
+  Arg.(
+    value
+    & opt scheme_conv Scheme.Sempe
+    & info [ "scheme"; "s" ] ~docv:"SCHEME"
+        ~doc:"Protection scheme: baseline, sempe, sempe-on-legacy, cte, raccoon or mto.")
+
+let print_report (r : Timing.report) =
+  Tablefmt.print ~header:[ "metric"; "value" ]
+    [
+      [ "instructions"; string_of_int r.Timing.instructions ];
+      [ "cycles"; string_of_int r.Timing.cycles ];
+      [ "CPI"; Tablefmt.fixed 3 r.Timing.cpi ];
+      [ "time @2GHz"; Printf.sprintf "%.1f us" (Run.seconds Config.default r.Timing.cycles *. 1e6) ];
+      [ "cond. branches"; string_of_int r.Timing.cond_branches ];
+      [ "mispredicts"; string_of_int r.Timing.mispredicts ];
+      [ "secure branches (sJMP)"; string_of_int r.Timing.secure_branches ];
+      [ "pipeline drains"; string_of_int r.Timing.drains ];
+      [ "SPM transfer cycles"; string_of_int r.Timing.spm_cycles ];
+      [ "loads / stores";
+        Printf.sprintf "%d / %d" r.Timing.loads r.Timing.stores ];
+      [ "IL1 miss rate"; Tablefmt.percent r.Timing.il1_miss_rate ];
+      [ "DL1 miss rate"; Tablefmt.percent r.Timing.dl1_miss_rate ];
+      [ "L2 miss rate"; Tablefmt.percent r.Timing.l2_miss_rate ];
+    ]
+
+(* ---- config ---- *)
+
+let config_cmd =
+  let run () =
+    Tablefmt.print ~header:[ "parameter"; "value" ]
+      (List.map (fun (k, v) -> [ k; v ]) (Config.rows Config.default))
+  in
+  Cmd.v (Cmd.info "config" ~doc:"Print the Table II machine model.")
+    Term.(const run $ const ())
+
+(* ---- microbench ---- *)
+
+let kernel_conv =
+  let parse s =
+    match Kernels.by_name s with
+    | Some k -> Ok k
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown kernel %S (expected: %s)" s
+              (String.concat ", "
+                 (List.map (fun k -> k.Kernels.name) Kernels.all))))
+  in
+  Arg.conv (parse, fun fmt k -> Format.pp_print_string fmt k.Kernels.name)
+
+let microbench_cmd =
+  let run scheme kernel width iters leaf =
+    let ct =
+      match scheme with
+      | Scheme.Cte | Scheme.Raccoon | Scheme.Mto -> true
+      | Scheme.Baseline | Scheme.Sempe | Scheme.Sempe_on_legacy -> false
+    in
+    let spec = { MB.kernel; width; iters } in
+    let src = MB.program ~ct spec in
+    let secrets = MB.secrets_for_leaf ~width ~leaf in
+    let built = Harness.build scheme src in
+    let outcome = Harness.run ~globals:secrets built in
+    Printf.printf "microbenchmark %s, W=%d, iters=%d, scheme=%s, true leaf=%d\n"
+      kernel.Kernels.name width iters (Scheme.name scheme) leaf;
+    Printf.printf "checksum = %d\n\n" (Harness.return_value outcome);
+    print_report outcome.Run.timing;
+    let base =
+      Harness.run ~globals:secrets
+        (Harness.build Scheme.Baseline (MB.program ~ct:false spec))
+    in
+    Printf.printf "\nslowdown vs baseline: %s\n"
+      (Tablefmt.times (Run.overhead ~baseline:base outcome))
+  in
+  let kernel =
+    Arg.(
+      value & opt kernel_conv Kernels.fibonacci
+      & info [ "kernel"; "k" ] ~docv:"KERNEL" ~doc:"Workload kernel.")
+  in
+  let width =
+    Arg.(value & opt int 4 & info [ "width"; "w" ] ~docv:"W" ~doc:"Nesting width W.")
+  in
+  let iters =
+    Arg.(value & opt int 3 & info [ "iters"; "i" ] ~docv:"N" ~doc:"Iterations.")
+  in
+  let leaf =
+    Arg.(value & opt int 1 & info [ "leaf" ] ~docv:"N" ~doc:"True leaf (1..W+1).")
+  in
+  Cmd.v
+    (Cmd.info "microbench" ~doc:"Run the Figure 7 nested-chain microbenchmark.")
+    Term.(const run $ scheme_arg $ kernel $ width $ iters $ leaf)
+
+(* ---- djpeg ---- *)
+
+let djpeg_cmd =
+  let run scheme fmt_name blocks seed =
+    let fmt =
+      match String.uppercase_ascii fmt_name with
+      | "PPM" -> Djpeg.Ppm
+      | "GIF" -> Djpeg.Gif
+      | "BMP" -> Djpeg.Bmp
+      | other -> failwith (Printf.sprintf "unknown format %S" other)
+    in
+    let built = Harness.build scheme (Djpeg.program fmt) in
+    let globals, arrays = Djpeg.inputs fmt ~seed ~blocks in
+    let outcome = Harness.run ~globals ~arrays built in
+    Printf.printf "djpeg -> %s, %d blocks, scheme=%s, image seed=%d\n"
+      (Djpeg.format_name fmt) blocks (Scheme.name scheme) seed;
+    Printf.printf "checksum = %d\n\n" (Harness.return_value outcome);
+    print_report outcome.Run.timing
+  in
+  let fmt =
+    Arg.(value & opt string "PPM" & info [ "format"; "f" ] ~docv:"FMT" ~doc:"PPM, GIF or BMP.")
+  in
+  let blocks =
+    Arg.(value & opt int 8 & info [ "blocks"; "b" ] ~docv:"N" ~doc:"8x8 blocks to decode.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Secret image seed.")
+  in
+  Cmd.v (Cmd.info "djpeg" ~doc:"Run the synthetic djpeg decoder.")
+    Term.(const run $ scheme_arg $ fmt $ blocks $ seed)
+
+(* ---- rsa ---- *)
+
+let rsa_cmd =
+  let run scheme key =
+    let built = Harness.build scheme Rsa.program in
+    let globals, arrays = Rsa.inputs ~key ~base:1234 ~modulus:99991 in
+    let outcome = Harness.run ~globals ~arrays built in
+    Printf.printf "modexp (Figure 1), key=0x%04x, scheme=%s\n" key
+      (Scheme.name scheme);
+    Printf.printf "result = %d (expected %d)\n\n"
+      (Harness.return_value outcome)
+      (Rsa.reference ~key ~base:1234 ~modulus:99991);
+    print_report outcome.Run.timing
+  in
+  let key =
+    Arg.(value & opt int 0x1234 & info [ "key" ] ~docv:"KEY" ~doc:"Secret exponent.")
+  in
+  Cmd.v (Cmd.info "rsa" ~doc:"Run RSA modular exponentiation (Figure 1).")
+    Term.(const run $ scheme_arg $ key)
+
+(* ---- leakage ---- *)
+
+let leakage_cmd =
+  let run () =
+    print_string
+      (Sempe_experiments.Security_exp.render (Sempe_experiments.Security_exp.measure ()));
+    print_newline ()
+  in
+  Cmd.v
+    (Cmd.info "leakage"
+       ~doc:"Leakage matrix: which attacker channels distinguish RSA keys under each scheme.")
+    Term.(const run $ const ())
+
+(* ---- report ---- *)
+
+let report_cmd =
+  let run name csv =
+    match name with
+    | "table1" ->
+      print_endline (Sempe_experiments.Table1.render (Sempe_experiments.Table1.measure ()))
+    | "fig8" | "fig9" ->
+      let cells = Sempe_experiments.Djpeg_exp.collect () in
+      if csv then print_string (Sempe_experiments.Djpeg_exp.csv cells)
+      else if name = "fig8" then
+        print_endline (Sempe_experiments.Djpeg_exp.render_fig8 cells)
+      else print_endline (Sempe_experiments.Djpeg_exp.render_fig9 cells)
+    | "fig10" ->
+      let series = Sempe_experiments.Fig10.sweep () in
+      if csv then print_string (Sempe_experiments.Fig10.csv series)
+      else begin
+        print_endline (Sempe_experiments.Fig10.render_a series);
+        print_endline (Sempe_experiments.Fig10.render_b series)
+      end
+    | "ablation" -> print_endline (Sempe_experiments.Ablation.render ())
+    | other ->
+      Printf.eprintf "unknown experiment %S (table1, fig8, fig9, fig10, ablation)\n" other;
+      exit 1
+  in
+  let exp_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT")
+  in
+  let csv_arg =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit machine-readable CSV instead of tables.")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Regenerate one paper table/figure (table1, fig8, fig9, fig10, ablation).")
+    Term.(const run $ exp_arg $ csv_arg)
+
+(* ---- asm-run: execute an assembly file ---- *)
+
+let asm_run_cmd =
+  let run scheme path =
+    let ic = open_in path in
+    let len = in_channel_length ic in
+    let src = really_input_string ic len in
+    close_in ic;
+    let prog = Sempe_isa.Asm.parse src in
+    let support = Scheme.support scheme in
+    let timing = Timing.create () in
+    let config =
+      { Sempe_core.Exec.default_config with
+        Sempe_core.Exec.support; mem_words = 1 lsl 16 }
+    in
+    let res = Sempe_core.Exec.run ~config ~sink:(Timing.feed timing) prog in
+    Printf.printf "%s: %d instructions, rv = %d, max nesting %d\n\n" path
+      res.Sempe_core.Exec.dyn_instrs
+      res.Sempe_core.Exec.regs.(Sempe_isa.Reg.rv)
+      res.Sempe_core.Exec.max_nesting;
+    print_report (Timing.report timing)
+  in
+  let path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.s")
+  in
+  Cmd.v
+    (Cmd.info "asm-run" ~doc:"Assemble and simulate a .s file (see lib/isa/asm.mli for syntax).")
+    Term.(const run $ scheme_arg $ path)
+
+(* ---- disasm ---- *)
+
+let disasm_cmd =
+  let run scheme which =
+    let src =
+      match which with
+      | "rsa" -> Rsa.program
+      | "djpeg" -> Djpeg.program Djpeg.Ppm
+      | other -> (
+        match Kernels.by_name other with
+        | Some kernel ->
+          MB.program
+            ~ct:
+              (match scheme with
+               | Scheme.Cte | Scheme.Raccoon | Scheme.Mto -> true
+               | Scheme.Baseline | Scheme.Sempe | Scheme.Sempe_on_legacy -> false)
+            { MB.kernel; width = 1; iters = 1 }
+        | None -> failwith (Printf.sprintf "unknown workload %S" other))
+    in
+    let built = Harness.build scheme src in
+    Format.printf "%a@." Sempe_isa.Program.pp built.Harness.prog
+  in
+  let which =
+    Arg.(value & pos 0 string "rsa" & info [] ~docv:"WORKLOAD"
+           ~doc:"rsa, djpeg, or a kernel name.")
+  in
+  Cmd.v
+    (Cmd.info "disasm" ~doc:"Compile a workload under a scheme and print the assembly.")
+    Term.(const run $ scheme_arg $ which)
+
+let () =
+  let info =
+    Cmd.info "sempe-sim" ~version:"1.0"
+      ~doc:"Cycle-level simulator for the SeMPE secure multi-path execution architecture."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            config_cmd; microbench_cmd; djpeg_cmd; rsa_cmd; leakage_cmd;
+            report_cmd; disasm_cmd; asm_run_cmd;
+          ]))

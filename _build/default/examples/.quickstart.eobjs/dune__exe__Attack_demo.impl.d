@@ -1,0 +1,1 @@
+examples/attack_demo.ml: Array List Printf Sempe_core Sempe_lang Sempe_mem Sempe_security Sempe_workloads String

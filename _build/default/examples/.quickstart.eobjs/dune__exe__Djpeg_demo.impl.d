@@ -1,0 +1,1 @@
+examples/djpeg_demo.ml: List Printf Sempe_core Sempe_security Sempe_util Sempe_workloads String

@@ -1,0 +1,1 @@
+examples/djpeg_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Printf Sempe_core Sempe_lang Sempe_security Sempe_workloads

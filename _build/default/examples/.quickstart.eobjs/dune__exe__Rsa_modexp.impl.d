@@ -1,0 +1,1 @@
+examples/rsa_modexp.ml: List Printf Sempe_core Sempe_security Sempe_workloads

@@ -1,0 +1,1 @@
+examples/rsa_modexp.mli:

@@ -1,0 +1,69 @@
+(* Figure 1 end-to-end: the RSA square-and-multiply routine whose timing
+   leaks the key on a normal machine, sealed by SeMPE.
+
+   Run with: dune exec examples/rsa_modexp.exe *)
+
+module Harness = Sempe_workloads.Harness
+module Rsa = Sempe_workloads.Rsa
+module Scheme = Sempe_core.Scheme
+module Run = Sempe_core.Run
+module Attacker = Sempe_security.Attacker
+
+let cycles scheme ~key =
+  let built = Harness.build scheme Rsa.program in
+  let globals, arrays = Rsa.inputs ~key ~base:1234 ~modulus:99991 in
+  Run.cycles (Harness.run ~globals ~arrays built)
+
+let () =
+  print_endline "=== RSA modular exponentiation (paper Figure 1) ===\n";
+  print_endline "cycles per key (note the baseline ordering by Hamming weight):";
+  let keys = [ 0x0000; 0x0001; 0x00ff; 0x0fff; 0xffff ] in
+  Printf.printf "%-8s %12s %12s\n" "key" "baseline" "SeMPE";
+  List.iter
+    (fun key ->
+      Printf.printf "0x%04x   %12d %12d\n" key
+        (cycles Scheme.Baseline ~key)
+        (cycles Scheme.Sempe ~key))
+    keys;
+  let sample = [ 0x0000; 0x0101; 0x1111; 0x5555; 0x7777; 0xffff; 0x00ff ] in
+  let corr scheme =
+    Attacker.timing_key_correlation
+      ~run:(fun ~key -> cycles scheme ~key)
+      ~keys:sample
+  in
+  Printf.printf "\nHamming-weight/time correlation: baseline %.3f, SeMPE %.3f\n"
+    (corr Scheme.Baseline) (corr Scheme.Sempe);
+  print_endline "\nbit-by-bit recovery (does flipping the bit change the time?):";
+  let recovered scheme =
+    List.filter
+      (fun bit ->
+        Attacker.recover_bit
+          ~run:(fun ~key -> cycles scheme ~key)
+          ~base_key:0x1234 ~bit)
+      (List.init Rsa.key_bits (fun b -> b))
+  in
+  Printf.printf "  baseline: %d of %d key bits observable\n"
+    (List.length (recovered Scheme.Baseline))
+    Rsa.key_bits;
+  Printf.printf "  SeMPE:    %d of %d key bits observable\n"
+    (List.length (recovered Scheme.Sempe))
+    Rsa.key_bits;
+
+  (* The manual alternative the paper's introduction describes: rewrite the
+     routine as a Montgomery ladder (selects instead of branches). *)
+  let ladder_cycles ~key =
+    let built = Harness.build Scheme.Baseline Rsa.ct_program in
+    let globals, arrays = Rsa.inputs ~key ~base:1234 ~modulus:99991 in
+    Run.cycles (Harness.run ~globals ~arrays built)
+  in
+  Printf.printf
+    "\nprotection cost for key 0xa5a5 (cycles):\n\
+    \  leaky original on plain hw:        %6d\n\
+    \  original + SeMPE (zero rewrite):   %6d\n\
+    \  hand-written CT ladder, plain hw:  %6d\n"
+    (cycles Scheme.Baseline ~key:0xa5a5)
+    (cycles Scheme.Sempe ~key:0xa5a5)
+    (ladder_cycles ~key:0xa5a5);
+  print_endline
+    "SeMPE matches the rewritten routine's security with a one-line\n\
+     annotation instead of a rewrite - the paper's programming-effort claim."

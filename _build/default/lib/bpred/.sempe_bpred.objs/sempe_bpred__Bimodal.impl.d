@@ -1,0 +1,1 @@
+lib/bpred/bimodal.ml: Counters Predictor

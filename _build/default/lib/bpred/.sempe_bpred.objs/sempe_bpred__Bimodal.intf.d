@@ -1,0 +1,1 @@
+lib/bpred/bimodal.mli: Predictor

@@ -1,0 +1,1 @@
+lib/bpred/counters.ml: Array

@@ -1,0 +1,1 @@
+lib/bpred/gshare.mli: Predictor

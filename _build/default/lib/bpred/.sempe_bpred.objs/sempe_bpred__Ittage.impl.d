@@ -1,0 +1,1 @@
+lib/bpred/ittage.ml: Array Float

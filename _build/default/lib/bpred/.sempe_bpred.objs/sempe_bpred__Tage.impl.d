@@ -1,0 +1,1 @@
+lib/bpred/tage.ml: Array Bytes Char Counters Float Predictor

@@ -1,0 +1,11 @@
+let create ?(entries = 4096) () =
+  assert (entries land (entries - 1) = 0);
+  let table = Counters.create ~entries ~bits:2 in
+  let index pc = pc land (entries - 1) in
+  {
+    Predictor.name = "bimodal";
+    predict = (fun ~pc -> Counters.taken table (index pc));
+    update = (fun ~pc ~taken -> Counters.train table (index pc) taken);
+    reset = (fun () -> Counters.reset table);
+    snapshot_signature = (fun () -> Counters.signature table);
+  }

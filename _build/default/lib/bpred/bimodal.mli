@@ -1,0 +1,4 @@
+(** Bimodal predictor: a PC-indexed table of 2-bit saturating counters. *)
+
+val create : ?entries:int -> unit -> Predictor.t
+(** [entries] defaults to 4096 and must be a power of two. *)

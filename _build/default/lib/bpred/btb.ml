@@ -1,0 +1,59 @@
+type way = { mutable tag : int; mutable target : int; mutable lru : int }
+(* tag = -1 encodes an invalid way. *)
+
+type t = { sets : way array array; mutable clock : int }
+
+let create ?(entries = 2048) ?(ways = 4) () =
+  assert (entries mod ways = 0);
+  let nsets = entries / ways in
+  assert (nsets land (nsets - 1) = 0);
+  {
+    sets =
+      Array.init nsets (fun _ ->
+          Array.init ways (fun _ -> { tag = -1; target = 0; lru = 0 }));
+    clock = 0;
+  }
+
+let set_of t pc = t.sets.(pc land (Array.length t.sets - 1))
+
+let tag_of t pc = pc / Array.length t.sets
+
+let lookup t ~pc =
+  let set = set_of t pc and tag = tag_of t pc in
+  let rec scan i =
+    if i >= Array.length set then None
+    else if set.(i).tag = tag then begin
+      t.clock <- t.clock + 1;
+      set.(i).lru <- t.clock;
+      Some set.(i).target
+    end
+    else scan (i + 1)
+  in
+  scan 0
+
+let update t ~pc ~target =
+  let set = set_of t pc and tag = tag_of t pc in
+  t.clock <- t.clock + 1;
+  let rec scan i = if i >= Array.length set then None
+    else if set.(i).tag = tag then Some set.(i) else scan (i + 1)
+  in
+  let victim () =
+    Array.fold_left (fun best w -> if w.lru < best.lru then w else best) set.(0) set
+  in
+  let w = match scan 0 with Some w -> w | None -> victim () in
+  w.tag <- tag;
+  w.target <- target;
+  w.lru <- t.clock
+
+let reset t =
+  Array.iter (fun set -> Array.iter (fun w -> w.tag <- -1; w.target <- 0; w.lru <- 0) set)
+    t.sets;
+  t.clock <- 0
+
+let signature t =
+  let acc = ref 1469598103 in
+  Array.iter
+    (fun set ->
+      Array.iter (fun w -> acc := (!acc * 31) + (w.tag lxor (w.target lsl 1))) set)
+    t.sets;
+  !acc

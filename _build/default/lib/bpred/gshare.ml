@@ -1,0 +1,19 @@
+let create ?(entries = 8192) ?(history_bits = 12) () =
+  assert (entries land (entries - 1) = 0);
+  let table = Counters.create ~entries ~bits:2 in
+  let history = ref 0 in
+  let mask = (1 lsl history_bits) - 1 in
+  let index pc = (pc lxor !history) land (entries - 1) in
+  {
+    Predictor.name = "gshare";
+    predict = (fun ~pc -> Counters.taken table (index pc));
+    update =
+      (fun ~pc ~taken ->
+        Counters.train table (index pc) taken;
+        history := ((!history lsl 1) lor (if taken then 1 else 0)) land mask);
+    reset =
+      (fun () ->
+        Counters.reset table;
+        history := 0);
+    snapshot_signature = (fun () -> (Counters.signature table * 31) + !history);
+  }

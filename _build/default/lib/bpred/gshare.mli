@@ -1,0 +1,5 @@
+(** Gshare predictor: global history xor PC indexes a counter table. *)
+
+val create : ?entries:int -> ?history_bits:int -> unit -> Predictor.t
+(** [entries] defaults to 8192 (power of two); [history_bits] defaults to
+    12. *)

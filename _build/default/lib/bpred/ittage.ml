@@ -1,0 +1,173 @@
+type config = {
+  num_tables : int;
+  table_bits : int;
+  tag_bits : int;
+  min_history : int;
+  max_history : int;
+  base_bits : int;
+}
+
+let default_config =
+  {
+    num_tables = 4;
+    table_bits = 8;
+    tag_bits = 9;
+    min_history = 4;
+    max_history = 64;
+    base_bits = 9;
+  }
+
+type entry = {
+  mutable tag : int;       (* -1 = invalid *)
+  mutable target : int;
+  mutable conf : int;      (* 0..3 confidence *)
+  mutable u : int;         (* usefulness *)
+}
+
+type table = {
+  entries : entry array;
+  history_length : int;
+}
+
+type t = {
+  cfg : config;
+  base : int array;        (* last-target table; -1 = unknown *)
+  tables : table array;
+  mutable history : int;   (* folded path history *)
+  mutable tick : int;
+}
+
+let geometric_lengths cfg =
+  let n = cfg.num_tables in
+  let ratio =
+    if n = 1 then 1.0
+    else
+      (float_of_int cfg.max_history /. float_of_int cfg.min_history)
+      ** (1.0 /. float_of_int (n - 1))
+  in
+  Array.init n (fun i ->
+      max (i + 1)
+        (int_of_float
+           (Float.round (float_of_int cfg.min_history *. (ratio ** float_of_int i)))))
+
+let make cfg =
+  let lens = geometric_lengths cfg in
+  {
+    cfg;
+    base = Array.make (1 lsl cfg.base_bits) (-1);
+    tables =
+      Array.init cfg.num_tables (fun i ->
+          {
+            entries =
+              Array.init (1 lsl cfg.table_bits) (fun _ ->
+                  { tag = -1; target = 0; conf = 0; u = 0 });
+            history_length = lens.(i);
+          });
+    history = 0;
+    tick = 0;
+  }
+
+let create ?(config = default_config) () = make config
+
+(* Fold [len] bits of history with the pc into [bits] bits. *)
+let index t i pc =
+  let tb = t.tables.(i) in
+  let mask = (1 lsl t.cfg.table_bits) - 1 in
+  let h = t.history land ((1 lsl min 30 (tb.history_length * 2)) - 1) in
+  (pc lxor (h * 2654435761) lxor (pc lsr (i + 3))) land mask
+
+let tag_of t i pc =
+  let tb = t.tables.(i) in
+  let mask = (1 lsl t.cfg.tag_bits) - 1 in
+  let h = t.history land ((1 lsl min 30 (tb.history_length * 2)) - 1) in
+  (pc lxor (h * 40503) lxor (pc lsr 5)) land mask
+
+let base_index t pc = pc land ((1 lsl t.cfg.base_bits) - 1)
+
+let find_provider t pc =
+  let rec scan i =
+    if i < 0 then None
+    else
+      let idx = index t i pc in
+      let e = t.tables.(i).entries.(idx) in
+      if e.tag = tag_of t i pc then Some (i, e) else scan (i - 1)
+  in
+  scan (t.cfg.num_tables - 1)
+
+let predict t ~pc =
+  match find_provider t pc with
+  | Some (_, e) -> Some e.target
+  | None ->
+    let b = t.base.(base_index t pc) in
+    if b < 0 then None else Some b
+
+let allocate t ~above pc target =
+  let rec find i =
+    if i >= t.cfg.num_tables then None
+    else
+      let idx = index t i pc in
+      if t.tables.(i).entries.(idx).u = 0 then Some (i, idx) else find (i + 1)
+  in
+  match find above with
+  | Some (i, idx) ->
+    let e = t.tables.(i).entries.(idx) in
+    e.tag <- tag_of t i pc;
+    e.target <- target;
+    e.conf <- 0;
+    e.u <- 0
+  | None ->
+    for i = above to t.cfg.num_tables - 1 do
+      let e = t.tables.(i).entries.(index t i pc) in
+      if e.u > 0 then e.u <- e.u - 1
+    done
+
+let update t ~pc ~target =
+  (match find_provider t pc with
+   | Some (i, e) ->
+     if e.target = target then begin
+       if e.conf < 3 then e.conf <- e.conf + 1;
+       if e.u < 3 then e.u <- e.u + 1
+     end
+     else if e.conf > 0 then e.conf <- e.conf - 1
+     else begin
+       e.target <- target;
+       if e.u > 0 then e.u <- e.u - 1;
+       allocate t ~above:(i + 1) pc target
+     end
+   | None ->
+     let bi = base_index t pc in
+     if t.base.(bi) >= 0 && t.base.(bi) <> target then allocate t ~above:0 pc target;
+     t.base.(bi) <- target);
+  t.tick <- t.tick + 1;
+  if t.tick land 0xffff = 0 then
+    Array.iter
+      (fun tb -> Array.iter (fun e -> if e.u > 0 then e.u <- e.u - 1) tb.entries)
+      t.tables;
+  (* path history: fold in the target's low bits *)
+  t.history <- ((t.history lsl 3) lxor (target land 0x3f)) land 0x3fffffff
+
+let reset t =
+  Array.fill t.base 0 (Array.length t.base) (-1);
+  Array.iter
+    (fun tb ->
+      Array.iter
+        (fun e ->
+          e.tag <- -1;
+          e.target <- 0;
+          e.conf <- 0;
+          e.u <- 0)
+        tb.entries)
+    t.tables;
+  t.history <- 0;
+  t.tick <- 0
+
+let signature t =
+  let acc = ref 77777 in
+  Array.iter (fun b -> acc := (!acc * 31) + b + 2) t.base;
+  Array.iter
+    (fun tb ->
+      Array.iter
+        (fun e -> acc := (!acc * 131) lxor (e.tag + (e.target lsl 3) + e.conf))
+        tb.entries)
+    t.tables;
+  !acc lxor t.history

@@ -1,0 +1,36 @@
+(** ITTAGE indirect-target predictor (Seznec, 2011) — the 6KB component of
+    the paper's Table II.
+
+    Same skeleton as TAGE but entries carry a full target address instead
+    of a direction counter: a last-target base table backs tagged tables
+    indexed with geometrically longer global-history folds; prediction
+    comes from the longest matching component, and a mispredicted target
+    allocates an entry in a longer table. The history is fed with the
+    low bits of each resolved indirect target. *)
+
+type config = {
+  num_tables : int;    (** default 4 *)
+  table_bits : int;    (** log2 entries per table, default 8 *)
+  tag_bits : int;      (** default 9 *)
+  min_history : int;   (** default 4 *)
+  max_history : int;   (** default 64 *)
+  base_bits : int;     (** log2 entries of the last-target table, default 9 *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> unit -> t
+
+val predict : t -> pc:int -> int option
+(** Predicted target for the indirect jump at [pc]; [None] when nothing is
+    known yet (treated as a misprediction by the pipeline). *)
+
+val update : t -> pc:int -> target:int -> unit
+(** Train with the resolved target and advance the path history. *)
+
+val reset : t -> unit
+
+val signature : t -> int
+(** State hash for the security observables. *)

@@ -1,0 +1,19 @@
+type t = {
+  name : string;
+  predict : pc:int -> bool;
+  update : pc:int -> taken:bool -> unit;
+  reset : unit -> unit;
+  snapshot_signature : unit -> int;
+}
+
+let constant name dir =
+  {
+    name;
+    predict = (fun ~pc:_ -> dir);
+    update = (fun ~pc:_ ~taken:_ -> ());
+    reset = (fun () -> ());
+    snapshot_signature = (fun () -> 0);
+  }
+
+let always_taken () = constant "always-taken" true
+let always_not_taken () = constant "always-not-taken" false

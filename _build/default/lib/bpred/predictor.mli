@@ -1,0 +1,19 @@
+(** Common interface for conditional branch direction predictors.
+
+    The timing model consults the predictor for every committed conditional
+    branch that is {e not} a secure jump (sJMP bypasses prediction entirely,
+    §IV-E of the paper), then trains it with the actual outcome. *)
+
+type t = {
+  name : string;
+  predict : pc:int -> bool;        (** predicted direction for the branch at [pc] *)
+  update : pc:int -> taken:bool -> unit;  (** train with the resolved outcome *)
+  reset : unit -> unit;            (** return to initial state *)
+  snapshot_signature : unit -> int;
+  (** A hash of the internal state. The security tests use it to check
+      whether two executions left the predictor in distinguishable states
+      (the branch predictor side channel of §I). *)
+}
+
+val always_taken : unit -> t
+val always_not_taken : unit -> t

@@ -1,0 +1,22 @@
+type t = { buf : int array; mutable top : int; mutable count : int }
+
+let create ?(depth = 32) () = { buf = Array.make depth 0; top = 0; count = 0 }
+
+let push t v =
+  t.buf.(t.top) <- v;
+  t.top <- (t.top + 1) mod Array.length t.buf;
+  if t.count < Array.length t.buf then t.count <- t.count + 1
+
+let pop t =
+  if t.count = 0 then None
+  else begin
+    t.top <- (t.top - 1 + Array.length t.buf) mod Array.length t.buf;
+    t.count <- t.count - 1;
+    Some t.buf.(t.top)
+  end
+
+let reset t =
+  t.top <- 0;
+  t.count <- 0
+
+let depth_used t = t.count

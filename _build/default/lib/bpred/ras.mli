@@ -1,0 +1,14 @@
+(** Return-address stack for predicting [Ret] targets. *)
+
+type t
+
+val create : ?depth:int -> unit -> t
+(** [depth] defaults to 32. The stack wraps on overflow, as real hardware
+    does, so deep recursion causes mispredicted returns. *)
+
+val push : t -> int -> unit
+val pop : t -> int option
+(** [None] when the stack is empty. *)
+
+val reset : t -> unit
+val depth_used : t -> int

@@ -1,0 +1,1 @@
+lib/core/exec.ml: Array Instr Jbtable Program Reg Sempe_isa Sempe_mem Sempe_pipeline Snapshot

@@ -1,0 +1,1 @@
+lib/core/exec.mli: Sempe_isa Sempe_mem Sempe_pipeline

@@ -1,0 +1,1 @@
+lib/core/run.ml: Exec Sempe_pipeline Sempe_util

@@ -1,0 +1,1 @@
+lib/core/run.mli: Exec Sempe_bpred Sempe_isa Sempe_pipeline

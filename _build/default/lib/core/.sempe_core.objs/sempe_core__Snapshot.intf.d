@@ -1,0 +1,1 @@
+lib/core/snapshot.mli: Bitvec Sempe_isa Sempe_util

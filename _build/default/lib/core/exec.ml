@@ -1,0 +1,238 @@
+open Sempe_isa
+module Uop = Sempe_pipeline.Uop
+module Spm = Sempe_mem.Spm
+
+type support = Legacy | Sempe_hw
+
+type config = {
+  support : support;
+  mem_words : int;
+  max_instrs : int;
+  spm : Spm.config;
+  jbtable_entries : int;
+  forgiving_oob : bool;
+}
+
+let default_config =
+  {
+    support = Sempe_hw;
+    mem_words = 1 lsl 20;
+    max_instrs = 200_000_000;
+    spm = Spm.default_config;
+    jbtable_entries = Spm.default_config.Spm.max_snapshots;
+    forgiving_oob = true;
+  }
+
+exception Out_of_bounds of { pc : int; addr : int }
+exception Budget_exceeded of int
+
+type result = {
+  regs : int array;
+  memory : int array;
+  dyn_instrs : int;
+  dyn_sjmps : int;
+  max_nesting : int;
+  spm : Spm.t;
+}
+
+type state = {
+  cfg : config;
+  prog : Program.t;
+  regs : int array;
+  mem : int array;
+  jb : Jbtable.t;
+  snaps : Snapshot.t;
+  spm : Spm.t;
+  sink : Uop.event -> unit;
+  mutable pc : int;
+  mutable count : int;
+  mutable sjmps : int;
+  mutable max_nesting : int;
+  mutable halted : bool;
+}
+
+let write_reg st r v =
+  if r <> Reg.zero then begin
+    st.regs.(r) <- v;
+    Snapshot.note_write st.snaps r
+  end
+
+let read_reg st r = st.regs.(r)
+
+(* Resolve a word address, clamping or failing on wild accesses. Returns the
+   address actually used (for the cache model) and whether it is valid. *)
+let resolve_addr st addr =
+  if addr >= 0 && addr < st.cfg.mem_words then (addr, true)
+  else if st.cfg.forgiving_oob then
+    (((addr mod st.cfg.mem_words) + st.cfg.mem_words) mod st.cfg.mem_words, false)
+  else raise (Out_of_bounds { pc = st.pc; addr })
+
+let emit_commit st instr ~mem_addr control =
+  st.sink (Uop.Commit (Uop.of_instr ~pc:st.pc instr ~mem_addr control))
+
+let emit_plain st instr = emit_commit st instr ~mem_addr:0 Uop.Ctl_none
+
+(* Enter a SecBlock at a committed sJMP (Sempe_hw only). *)
+let enter_secblock st cond rs1 rs2 target instr =
+  let outcome = Instr.eval_cond cond (read_reg st rs1) (read_reg st rs2) in
+  ignore (Jbtable.push st.jb);
+  Jbtable.commit_sjmp st.jb ~dest:target ~outcome;
+  emit_commit st instr ~mem_addr:0
+    (Uop.Ctl_branch { taken = outcome; target; secure = true });
+  let cycles = Spm.push_full_save st.spm in
+  Snapshot.push st.snaps ~regs:st.regs ~outcome;
+  if Snapshot.depth st.snaps > st.max_nesting then
+    st.max_nesting <- Snapshot.depth st.snaps;
+  st.sink (Uop.Drain { reason = Uop.Drain_enter_secblock; spm_cycles = cycles });
+  st.sjmps <- st.sjmps + 1;
+  st.pc <- st.pc + 1
+
+(* eosJMP under Sempe_hw: consult the jbTable. Outside any secure region the
+   instruction decodes as a NOP, like on legacy hardware. *)
+let do_eosjmp st instr =
+  if Jbtable.is_empty st.jb then begin
+    emit_plain st instr;
+    st.pc <- st.pc + 1
+  end
+  else
+    match Jbtable.on_eosjmp st.jb with
+    | Jbtable.Jump_back dest ->
+      emit_commit st instr ~mem_addr:0 (Uop.Ctl_jumpback { target = dest });
+      let nt_mods = Snapshot.end_nt_path st.snaps ~regs:st.regs in
+      let c1 = Spm.save_modified st.spm ~modified:nt_mods in
+      let c2 = Spm.read_modified st.spm ~modified:nt_mods in
+      st.sink
+        (Uop.Drain { reason = Uop.Drain_after_nt_path; spm_cycles = c1 + c2 });
+      st.pc <- dest
+    | Jbtable.Release ->
+      emit_plain st instr;
+      let union = Snapshot.finish st.snaps ~regs:st.regs in
+      let cycles = Spm.restore st.spm ~modified_union:union in
+      st.sink
+        (Uop.Drain { reason = Uop.Drain_exit_secblock; spm_cycles = cycles });
+      st.pc <- st.pc + 1
+
+let step st =
+  let instr = st.prog.Program.code.(st.pc) in
+  match instr with
+  | Instr.Nop ->
+    emit_plain st instr;
+    st.pc <- st.pc + 1
+  | Instr.Alu (op, rd, rs1, rs2) ->
+    emit_plain st instr;
+    write_reg st rd (Instr.eval_alu op (read_reg st rs1) (read_reg st rs2));
+    st.pc <- st.pc + 1
+  | Instr.Alui (op, rd, rs1, imm) ->
+    emit_plain st instr;
+    write_reg st rd (Instr.eval_alu op (read_reg st rs1) imm);
+    st.pc <- st.pc + 1
+  | Instr.Li (rd, imm) ->
+    emit_plain st instr;
+    write_reg st rd imm;
+    st.pc <- st.pc + 1
+  | Instr.Ld (rd, base, off) ->
+    let addr, ok = resolve_addr st (read_reg st base + off) in
+    emit_commit st instr ~mem_addr:addr Uop.Ctl_none;
+    write_reg st rd (if ok then st.mem.(addr) else 0);
+    st.pc <- st.pc + 1
+  | Instr.St (rs, base, off) ->
+    let addr, ok = resolve_addr st (read_reg st base + off) in
+    emit_commit st instr ~mem_addr:addr Uop.Ctl_none;
+    if ok then st.mem.(addr) <- read_reg st rs;
+    st.pc <- st.pc + 1
+  | Instr.Cmov (rd, rc, rs) ->
+    emit_plain st instr;
+    if read_reg st rc <> 0 then write_reg st rd (read_reg st rs);
+    st.pc <- st.pc + 1
+  | Instr.Br { cond; rs1; rs2; target; secure } ->
+    let hw_secure = secure && st.cfg.support = Sempe_hw in
+    if hw_secure then enter_secblock st cond rs1 rs2 target instr
+    else begin
+      let taken = Instr.eval_cond cond (read_reg st rs1) (read_reg st rs2) in
+      emit_commit st instr ~mem_addr:0
+        (Uop.Ctl_branch { taken; target; secure = false });
+      st.pc <- (if taken then target else st.pc + 1)
+    end
+  | Instr.Jmp target ->
+    emit_commit st instr ~mem_addr:0 (Uop.Ctl_jump { target });
+    st.pc <- target
+  | Instr.Call target ->
+    emit_commit st instr ~mem_addr:0
+      (Uop.Ctl_call { target; return_to = st.pc + 1 });
+    write_reg st Reg.ra (st.pc + 1);
+    st.pc <- target
+  | Instr.Jr r ->
+    let target = read_reg st r in
+    if target < 0 || target >= Program.length st.prog then
+      raise (Out_of_bounds { pc = st.pc; addr = target });
+    emit_commit st instr ~mem_addr:0 (Uop.Ctl_indirect { target });
+    st.pc <- target
+  | Instr.Ret ->
+    let target = read_reg st Reg.ra in
+    if target < 0 || target >= Program.length st.prog then
+      raise (Out_of_bounds { pc = st.pc; addr = target });
+    emit_commit st instr ~mem_addr:0 (Uop.Ctl_ret { target });
+    st.pc <- target
+  | Instr.Eosjmp ->
+    if st.cfg.support = Sempe_hw then do_eosjmp st instr
+    else begin
+      emit_plain st instr;
+      st.pc <- st.pc + 1
+    end
+  | Instr.Halt ->
+    emit_plain st instr;
+    st.halted <- true
+
+type session = state
+
+let start ?(config = default_config) ?init_mem ?(sink = fun _ -> ()) prog =
+  let st =
+    {
+      cfg = config;
+      prog;
+      regs = Array.make Reg.count 0;
+      mem = Array.make config.mem_words 0;
+      jb = Jbtable.create ~entries:config.jbtable_entries ();
+      snaps = Snapshot.create ();
+      spm = Spm.create ~config:config.spm ();
+      sink;
+      pc = prog.Program.entry;
+      count = 0;
+      sjmps = 0;
+      max_nesting = 0;
+      halted = false;
+    }
+  in
+  st.regs.(Reg.sp) <- config.mem_words;
+  st.regs.(Reg.gp) <- 0;
+  (match init_mem with Some f -> f st.mem | None -> ());
+  st
+
+let step_slice st n =
+  let stop = st.count + n in
+  while (not st.halted) && st.count < stop do
+    if st.count >= st.cfg.max_instrs then raise (Budget_exceeded st.count);
+    step st;
+    st.count <- st.count + 1
+  done;
+  st.halted
+
+let halted st = st.halted
+let instructions st = st.count
+
+let finish st =
+  while not st.halted do
+    if st.count >= st.cfg.max_instrs then raise (Budget_exceeded st.count);
+    step st;
+    st.count <- st.count + 1
+  done;
+  {
+    regs = st.regs;
+    memory = st.mem;
+    dyn_instrs = st.count;
+    dyn_sjmps = st.sjmps;
+    max_nesting = st.max_nesting;
+    spm = st.spm;
+  }
+
+let run ?config ?init_mem ?sink prog = finish (start ?config ?init_mem ?sink prog)

@@ -1,0 +1,84 @@
+(** Functional (architectural) execution with SeMPE semantics.
+
+    Runs a program to [Halt], maintaining registers and memory, and streams
+    one {!Sempe_pipeline.Uop.event} per committed instruction to an optional
+    sink (normally the timing model).
+
+    Under {!Sempe_hw} support, a secure branch triggers the paper's
+    multi-path protocol: the branch outcome is recorded in the jbTable, the
+    architectural registers are snapshotted to the SPM, the not-taken path
+    executes first, the first eosJMP jumps back to the taken target, and the
+    second eosJMP merges register state according to the outcome. Memory is
+    never snapshotted — programs must privatize memory written under secure
+    branches (the ShadowMemory pass), exactly as in the paper.
+
+    Under {!Legacy} support the SecPrefix is ignored: secure branches
+    behave as ordinary predicted branches and [Eosjmp] decodes as a NOP,
+    demonstrating the ISA's backward compatibility (§IV-C). *)
+
+type support = Legacy | Sempe_hw
+
+type config = {
+  support : support;
+  mem_words : int;       (** memory size in words; the stack grows from the top *)
+  max_instrs : int;      (** dynamic instruction budget; exceeding it fails *)
+  spm : Sempe_mem.Spm.config;
+  jbtable_entries : int;
+  forgiving_oob : bool;
+  (** when [true], out-of-bounds loads return 0 and out-of-bounds stores are
+      dropped (their cache address is clamped); when [false] they fail. The
+      paper's threat model assumes wrong paths do not fault, but synthetic
+      wrong-path code may compute junk addresses. *)
+}
+
+val default_config : config
+(** [Sempe_hw], 1 MiB of words, 200M instruction budget, Table II SPM. *)
+
+exception Out_of_bounds of { pc : int; addr : int }
+exception Budget_exceeded of int
+
+type result = {
+  regs : int array;        (** architectural registers at [Halt] *)
+  memory : int array;      (** final memory image *)
+  dyn_instrs : int;        (** committed instructions *)
+  dyn_sjmps : int;         (** committed secure branches *)
+  max_nesting : int;       (** deepest secure-branch nesting reached *)
+  spm : Sempe_mem.Spm.t;   (** the SPM, for its transfer statistics *)
+}
+
+val run :
+  ?config:config
+  -> ?init_mem:(int array -> unit)
+  -> ?sink:(Sempe_pipeline.Uop.event -> unit)
+  -> Sempe_isa.Program.t
+  -> result
+(** @raise Sempe_mem.Spm.Overflow or {!Jbtable.Overflow} when secure
+    branches nest beyond the hardware budget.
+    @raise Out_of_bounds on a wild access when [forgiving_oob] is false.
+    @raise Budget_exceeded when [max_instrs] is hit. *)
+
+(** {2 Resumable execution}
+
+    The co-residence attacks interleave a victim with an attacker sharing
+    the machine: start a session, advance it a time slice at a time, and
+    let the attacker inspect the shared microarchitectural state between
+    slices. *)
+
+type session
+
+val start :
+  ?config:config
+  -> ?init_mem:(int array -> unit)
+  -> ?sink:(Sempe_pipeline.Uop.event -> unit)
+  -> Sempe_isa.Program.t
+  -> session
+
+val step_slice : session -> int -> bool
+(** [step_slice s n] executes up to [n] further instructions; returns
+    [true] once the program has halted. Raises like {!run}. *)
+
+val halted : session -> bool
+val instructions : session -> int
+
+val finish : session -> result
+(** Run to completion (if not already halted) and package the result. *)

@@ -1,0 +1,65 @@
+type entry = {
+  mutable dest : int;
+  mutable outcome : bool;
+  mutable valid : bool;
+  mutable jump_back : bool;
+}
+
+exception Overflow
+
+type t = { slots : entry array; mutable depth : int }
+
+let create ?(entries = 30) () =
+  {
+    slots =
+      Array.init entries (fun _ ->
+          { dest = 0; outcome = false; valid = false; jump_back = false });
+    depth = 0;
+  }
+
+let capacity t = Array.length t.slots
+let depth t = t.depth
+let is_empty t = t.depth = 0
+
+let top t =
+  if t.depth = 0 then invalid_arg "Jbtable.top: empty";
+  t.slots.(t.depth - 1)
+
+let can_issue_sjmp t = t.depth = 0 || (top t).valid
+
+let push t =
+  if not (can_issue_sjmp t) then
+    invalid_arg "Jbtable.push: prior sJMP entry not yet valid";
+  if t.depth >= capacity t then raise Overflow;
+  t.depth <- t.depth + 1;
+  let e = top t in
+  e.dest <- 0;
+  e.outcome <- false;
+  e.valid <- false;
+  e.jump_back <- false;
+  e
+
+let commit_sjmp t ~dest ~outcome =
+  let e = top t in
+  if e.valid then invalid_arg "Jbtable.commit_sjmp: already valid";
+  e.dest <- dest;
+  e.outcome <- outcome;
+  e.valid <- true
+
+type eosjmp_action =
+  | Jump_back of int
+  | Release
+
+let on_eosjmp t =
+  let e = top t in
+  if not e.valid then invalid_arg "Jbtable.on_eosjmp: top entry not valid";
+  if not e.jump_back then begin
+    e.jump_back <- true;
+    Jump_back e.dest
+  end
+  else begin
+    t.depth <- t.depth - 1;
+    Release
+  end
+
+let squash_newest t = if t.depth > 0 then t.depth <- t.depth - 1

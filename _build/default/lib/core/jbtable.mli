@@ -1,0 +1,57 @@
+(** The Jump-Back Table (jbTable), §IV-E and Figure 5 of the paper.
+
+    A hardware LIFO with one entry per in-flight secure branch. Each entry
+    holds the sJMP destination address, the branch outcome (T/NT), a Valid
+    bit (set when the sJMP commits and its target is known) and a Jump-Back
+    bit (set when the first eosJMP has redirected fetch to the second
+    SecBlock). The LIFO discipline is what lets nested secure branches be
+    handled without random-access lookup: the most recent entry always
+    belongs to the innermost open SecBlock. *)
+
+type entry = {
+  mutable dest : int;       (** sJMP destination address (taken target) *)
+  mutable outcome : bool;   (** T/NT bit: [true] = the branch was taken *)
+  mutable valid : bool;
+  mutable jump_back : bool;
+}
+
+exception Overflow
+(** Raised when more secure branches nest than the table has entries. *)
+
+type t
+
+val create : ?entries:int -> unit -> t
+(** [entries] defaults to 30, matching the SPM snapshot budget. *)
+
+val capacity : t -> int
+val depth : t -> int
+val is_empty : t -> bool
+
+val can_issue_sjmp : t -> bool
+(** A new sJMP may issue only when the table is empty or the most recent
+    entry has its Valid bit set (step 6 in Figure 5). *)
+
+val push : t -> entry
+(** Allocate the entry for an issuing sJMP, Valid and jump_back clear.
+    @raise Overflow at capacity.
+    @raise Invalid_argument when {!can_issue_sjmp} is false. *)
+
+val commit_sjmp : t -> dest:int -> outcome:bool -> unit
+(** The sJMP committed: record the computed destination and outcome and set
+    Valid (step 2). *)
+
+val top : t -> entry
+(** Most recent entry.  @raise Invalid_argument when empty. *)
+
+(** Result of an eosJMP commit consulting the table (steps 3-5). *)
+type eosjmp_action =
+  | Jump_back of int  (** first eosJMP: redirect nextPC to the stored dest *)
+  | Release           (** second eosJMP: the entry is popped *)
+
+val on_eosjmp : t -> eosjmp_action
+(** @raise Invalid_argument when the table is empty or the top entry is not
+    valid (an eosJMP cannot commit before its sJMP). *)
+
+val squash_newest : t -> unit
+(** Pipeline-flush recovery: delete the most recent entry (the paper walks
+    squashed sJMPs from newest to oldest). No-op when empty. *)

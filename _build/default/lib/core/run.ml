@@ -1,0 +1,40 @@
+module Timing = Sempe_pipeline.Timing
+module Config = Sempe_pipeline.Config
+
+type outcome = {
+  exec : Exec.result;
+  timing : Timing.report;
+}
+
+let simulate ?(support = Exec.Sempe_hw) ?(machine = Config.default) ?predictor
+    ?(mem_words = Exec.default_config.Exec.mem_words)
+    ?(max_instrs = Exec.default_config.Exec.max_instrs) ?init_mem ?observe prog =
+  let timing = Timing.create ~config:machine ?predictor () in
+  let sink =
+    match observe with
+    | None -> Timing.feed timing
+    | Some f ->
+      fun ev ->
+        Timing.feed timing ev;
+        f ev
+  in
+  let config =
+    {
+      Exec.support;
+      mem_words;
+      max_instrs;
+      spm = machine.Config.spm;
+      jbtable_entries = machine.Config.jbtable_entries;
+      forgiving_oob = true;
+    }
+  in
+  let exec = Exec.run ~config ?init_mem ~sink prog in
+  { exec; timing = Timing.report timing }
+
+let cycles o = o.timing.Timing.cycles
+
+let overhead ~baseline o =
+  Sempe_util.Stats.ratio ~num:(cycles o) ~den:(cycles baseline)
+
+let seconds (machine : Config.t) c =
+  float_of_int c /. (machine.Config.clock_ghz *. 1e9)

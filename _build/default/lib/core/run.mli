@@ -1,0 +1,29 @@
+(** One-call simulation harness: functional execution wired to the timing
+    model, producing the combined report every experiment consumes. *)
+
+type outcome = {
+  exec : Exec.result;
+  timing : Sempe_pipeline.Timing.report;
+}
+
+val simulate :
+  ?support:Exec.support
+  -> ?machine:Sempe_pipeline.Config.t
+  -> ?predictor:Sempe_bpred.Predictor.t
+  -> ?mem_words:int
+  -> ?max_instrs:int
+  -> ?init_mem:(int array -> unit)
+  -> ?observe:(Sempe_pipeline.Uop.event -> unit)
+  -> Sempe_isa.Program.t
+  -> outcome
+(** [simulate prog] runs [prog] to [Halt] on a fresh machine. [support]
+    defaults to [Sempe_hw]; [observe] additionally receives every event
+    (after the timing model), for the security observables. *)
+
+val cycles : outcome -> int
+
+val overhead : baseline:outcome -> outcome -> float
+(** Execution-time ratio [protected / baseline]. *)
+
+val seconds : Sempe_pipeline.Config.t -> int -> float
+(** Convert a cycle count to seconds at the configured clock. *)

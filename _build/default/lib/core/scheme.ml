@@ -1,0 +1,28 @@
+type t =
+  | Baseline
+  | Sempe
+  | Sempe_on_legacy
+  | Cte
+  | Raccoon
+  | Mto
+
+let all = [ Baseline; Sempe; Sempe_on_legacy; Cte; Raccoon; Mto ]
+
+let name = function
+  | Baseline -> "baseline"
+  | Sempe -> "sempe"
+  | Sempe_on_legacy -> "sempe-on-legacy"
+  | Cte -> "cte"
+  | Raccoon -> "raccoon"
+  | Mto -> "mto"
+
+let of_string s =
+  List.find_opt (fun t -> name t = String.lowercase_ascii s) all
+
+let support = function
+  | Sempe -> Exec.Sempe_hw
+  | Baseline | Sempe_on_legacy | Cte | Raccoon | Mto -> Exec.Legacy
+
+let is_protected = function
+  | Sempe | Cte | Raccoon | Mto -> true
+  | Baseline | Sempe_on_legacy -> false

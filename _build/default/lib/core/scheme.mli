@@ -1,0 +1,28 @@
+(** The protection schemes compared in the paper (Table I).
+
+    A scheme names a (program transformation, hardware support) pair; the
+    workload library knows how to produce the program variant for each
+    scheme and {!Run} executes it. *)
+
+type t =
+  | Baseline          (** unprotected program, plain hardware — leaks *)
+  | Sempe             (** sJMP-annotated + ShadowMemory, SeMPE hardware *)
+  | Sempe_on_legacy   (** the same annotated binary on legacy hardware:
+                          runs correctly and overhead-free, but without the
+                          security guarantee (backward compatibility, §IV-C) *)
+  | Cte               (** constant-time-expression transform (FaCT-style),
+                          plain hardware *)
+  | Raccoon           (** software dual-path execution with per-memory-op
+                          transaction overhead, plain hardware *)
+  | Mto               (** memory-trace obliviousness: path equalization and
+                          ORAM-factor memory accesses, plain hardware *)
+
+val all : t list
+val name : t -> string
+val of_string : string -> t option
+val support : t -> Exec.support
+(** Hardware support the scheme requires. *)
+
+val is_protected : t -> bool
+(** Whether the scheme claims to remove SDBCB (everything except [Baseline]
+    and [Sempe_on_legacy]). *)

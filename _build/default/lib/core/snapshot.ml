@@ -1,0 +1,93 @@
+open Sempe_util
+
+type frame = {
+  pre_state : int array;
+  nt_state : int array;
+  nt_modified : Bitvec.t;
+  t_modified : Bitvec.t;
+  outcome : bool;
+}
+
+type phase = Nt_path | T_path
+
+type live = { frame : frame; mutable phase : phase }
+
+type t = { mutable stack : live list; mutable depth : int }
+
+let create () = { stack = []; depth = 0 }
+
+let depth t = t.depth
+
+let push t ~regs ~outcome =
+  let nregs = Array.length regs in
+  let frame =
+    {
+      pre_state = Array.copy regs;
+      nt_state = Array.make nregs 0;
+      nt_modified = Bitvec.create nregs;
+      t_modified = Bitvec.create nregs;
+      outcome;
+    }
+  in
+  t.stack <- { frame; phase = Nt_path } :: t.stack;
+  t.depth <- t.depth + 1
+
+let top t =
+  match t.stack with
+  | [] -> invalid_arg "Snapshot: no open SecBlock"
+  | live :: _ -> live
+
+let current_phase t = (top t).phase
+
+let note_write t r =
+  match t.stack with
+  | [] -> ()
+  | live :: _ ->
+    let v =
+      match live.phase with
+      | Nt_path -> live.frame.nt_modified
+      | T_path -> live.frame.t_modified
+    in
+    Bitvec.set v r
+
+let end_nt_path t ~regs =
+  let live = top t in
+  if live.phase <> Nt_path then invalid_arg "Snapshot.end_nt_path: not in NT path";
+  let f = live.frame in
+  Array.blit regs 0 f.nt_state 0 (Array.length regs);
+  (* Roll the live registers back to the pre-state so the T path starts from
+     the same state the NT path did. *)
+  Bitvec.iter_set (fun r -> regs.(r) <- f.pre_state.(r)) f.nt_modified;
+  live.phase <- T_path;
+  Bitvec.popcount f.nt_modified
+
+let finish t ~regs =
+  let live = top t in
+  if live.phase <> T_path then invalid_arg "Snapshot.finish: NT path still open";
+  let f = live.frame in
+  let union = Bitvec.union f.nt_modified f.t_modified in
+  if not f.outcome then
+    (* The NT path is the true path: registers it modified take their
+       NT-state values; registers modified only by the (wrong) T path roll
+       back to the pre-state. When the outcome is taken, the current values
+       (the T path's results) are already correct — the hardware still reads
+       every modified register from the SPM and overwrites it with itself so
+       the restore cost cannot leak the outcome. *)
+    Bitvec.iter_set
+      (fun r ->
+        if Bitvec.get f.nt_modified r then regs.(r) <- f.nt_state.(r)
+        else regs.(r) <- f.pre_state.(r))
+      union;
+  (match t.stack with
+   | _ :: (parent :: _ as rest) ->
+     let pv =
+       match parent.phase with
+       | Nt_path -> parent.frame.nt_modified
+       | T_path -> parent.frame.t_modified
+     in
+     Bitvec.iter_set (fun r -> Bitvec.set pv r) union;
+     t.stack <- rest
+   | _ :: [] -> t.stack <- []
+   | [] -> assert false);
+  t.depth <- t.depth - 1;
+  Bitvec.popcount union

@@ -1,0 +1,51 @@
+(** ArchRS — architectural register snapshots (§IV-F, Figure 6).
+
+    One frame per nested SecBlock, stacked in step with the jbTable. A frame
+    holds the register state captured before entering the SecBlock, the
+    state captured after the NT path, and the two modified-bit vectors that
+    decide which values the restore phase writes back. The nesting level is
+    the frame's SPM offset. *)
+
+open Sempe_util
+
+type frame = {
+  pre_state : int array;          (** registers before entering the SecBlock *)
+  nt_state : int array;           (** registers after the NT path *)
+  nt_modified : Bitvec.t;         (** registers written during the NT path *)
+  t_modified : Bitvec.t;          (** registers written during the T path *)
+  outcome : bool;                 (** T/NT bit copied from the jbTable *)
+}
+
+(** Which path the innermost SecBlock is currently executing. *)
+type phase = Nt_path | T_path
+
+type t
+
+val create : unit -> t
+
+val depth : t -> int
+
+val push : t -> regs:int array -> outcome:bool -> unit
+(** Enter a SecBlock: capture [regs] as the pre-state. The new frame starts
+    in {!Nt_path}. *)
+
+val current_phase : t -> phase
+(** @raise Invalid_argument when no frame is open. *)
+
+val note_write : t -> Sempe_isa.Reg.t -> unit
+(** Record that the executing path wrote a register. No-op outside any
+    SecBlock. *)
+
+val end_nt_path : t -> regs:int array -> int
+(** First eosJMP: capture the NT state, restore [regs] (in place) to the
+    pre-state for registers the NT path modified, and switch to {!T_path}.
+    Returns the number of NT-modified registers (the SPM transfer size). *)
+
+val finish : t -> regs:int array -> int
+(** Second eosJMP: merge the correct values into [regs] according to the
+    frame's outcome and modified vectors, pop the frame, and propagate the
+    modified-register union into the parent frame's current vector (an
+    inner SecBlock's restore writes registers during the parent's path).
+    Returns the size of the modified union (the restore transfer reads every
+    register modified in at least one path, regardless of outcome, so the
+    restore time is secret-independent). *)

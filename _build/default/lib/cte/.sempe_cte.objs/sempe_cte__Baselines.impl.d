@@ -1,0 +1,1 @@
+lib/cte/baselines.ml: Softpath

@@ -1,0 +1,1 @@
+lib/cte/softpath.ml: List Printf Sempe_lang Sset String

@@ -1,0 +1,1 @@
+lib/cte/softpath.mli: Sempe_lang

@@ -1,0 +1,3 @@
+let cte prog = Softpath.transform Softpath.cte_config prog
+let raccoon prog = Softpath.transform Softpath.raccoon_config prog
+let mto prog = Softpath.transform Softpath.mto_config prog

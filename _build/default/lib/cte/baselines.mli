@@ -1,0 +1,13 @@
+(** The three prior-work baselines of Table I as program transforms. *)
+
+val cte : Sempe_lang.Ast.program -> Sempe_lang.Ast.program
+(** Constant-time expressions (FaCT-style, Figure 2b): arithmetic guard
+    mixing, no memory instrumentation. *)
+
+val raccoon : Sempe_lang.Ast.program -> Sempe_lang.Ast.program
+(** Raccoon: CMOV guard mixing plus transactional padding on every guarded
+    memory statement. *)
+
+val mto : Sempe_lang.Ast.program -> Sempe_lang.Ast.program
+(** Memory-trace obliviousness (GhostRider): CMOV guard mixing plus ORAM
+    stash probes on every guarded array operation. *)

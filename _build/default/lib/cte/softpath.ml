@@ -1,0 +1,299 @@
+open Sempe_lang.Ast
+
+type mix = Arith | Cmov
+
+type config = {
+  mix : mix;
+  tx_pad : int;
+  oram_probes : int;
+}
+
+let cte_config = { mix = Arith; tx_pad = 0; oram_probes = 0 }
+let raccoon_config = { mix = Cmov; tx_pad = 6; oram_probes = 0 }
+let mto_config = { mix = Cmov; tx_pad = 0; oram_probes = 7 }
+
+let oram_array = "$oram"
+let oram_size = 4096
+let tx_sink = "$txsink"
+let oram_sink = "$osink"
+
+(* Constant-time discipline: both blocks of a secret branch always execute,
+   with identical control flow and identical address streams whatever the
+   secret; only data values differ, and every write of a data value is
+   predicated so a false path is externally a no-op.
+
+   Scalars are split into two classes per function:
+
+   - {e public-by-requirement}: the backward closure of everything that
+     feeds loop conditions, loop bounds and array indices. CT code must
+     keep these secret-independent (otherwise trip counts or addresses
+     would leak); their assignments stay unpredicated under region guards
+     so every path executes in full.
+   - {e data}: everything else. Assignments and array stores mix the new
+     value with the old one under the accumulated region guard ([Arith]:
+     g*new + (1-g)*old, the paper's Figure 2b; [Cmov]: select).
+
+   Conditionals nested beneath a secret branch are flattened (their
+   conditions may be data); their arms are alternatives within one path, so
+   arm-level effects — including public-class scalars — are predicated with
+   an arm guard that never includes the secret, keeping termination and
+   addresses secret-independent. *)
+type guards = { full : string option; arm : string option }
+
+type ctx = {
+  cfg : config;
+  mutable counter : int;
+  mutable new_locals : string list;
+  mutable used_tx : bool;
+  mutable used_oram : bool;
+}
+
+let fresh ctx hint =
+  ctx.counter <- ctx.counter + 1;
+  let name = Printf.sprintf "$g%d_%s" ctx.counter hint in
+  ctx.new_locals <- name :: ctx.new_locals;
+  name
+
+let mix_value ctx ~guard ~fresh_value ~old_value =
+  match ctx.cfg.mix with
+  | Arith ->
+    Binop
+      ( Add,
+        Binop (Mul, Var guard, fresh_value),
+        Binop (Mul, Binop (Sub, Int 1, Var guard), old_value) )
+  | Cmov -> Select (Var guard, fresh_value, old_value)
+
+let rec count_indices = function
+  | Int _ | Var _ -> 0
+  | Index (_, e) -> 1 + count_indices e
+  | Unop (_, e) -> count_indices e
+  | Binop (_, a, b) -> count_indices a + count_indices b
+  | Call (_, args) -> List.fold_left (fun acc e -> acc + count_indices e) 0 args
+  | Select (c, a, b) -> count_indices c + count_indices a + count_indices b
+
+let salt_of = function
+  | Int _ -> Int 1
+  | Var x -> Var x
+  | Index (_, e) -> e
+  | Unop (_, e) -> e
+  | Binop (_, a, _) -> a
+  | Call _ -> Int 1
+  | Select (c, _, _) -> c
+
+let tx_pad_stmt ctx salt =
+  if ctx.cfg.tx_pad = 0 then []
+  else begin
+    ctx.used_tx <- true;
+    let rec chain k acc =
+      if k = 0 then acc
+      else chain (k - 1) (Binop (Bxor, acc, Binop (Add, salt, Int k)))
+    in
+    [ Assign (tx_sink, chain (ctx.cfg.tx_pad / 2) (Var tx_sink)) ]
+  end
+
+let oram_stmt ctx ~mem_ops salt =
+  if ctx.cfg.oram_probes = 0 || mem_ops = 0 then []
+  else begin
+    ctx.used_oram <- true;
+    let probe k =
+      Index
+        ( oram_array,
+          Binop (Band, Binop (Mul, salt, Int ((2 * k) + 3)), Int (oram_size - 1)) )
+    in
+    let rec sum k acc =
+      if k = 0 then acc else sum (k - 1) (Binop (Add, acc, probe k))
+    in
+    [ Assign (oram_sink, sum (ctx.cfg.oram_probes * mem_ops) (Var oram_sink)) ]
+  end
+
+let boolize cond = Binop (Ne, cond, Int 0)
+
+(* Public-by-requirement closure for one function body: variables feeding
+   loop conditions, loop bounds or array indices, closed backwards through
+   assignments. *)
+let public_closure body =
+  let rec index_reads acc = function
+    | Int _ | Var _ -> acc
+    | Index (_, ie) -> index_reads (Sset.union acc (expr_reads ie)) ie
+    | Unop (_, e) -> index_reads acc e
+    | Binop (_, a, b) -> index_reads (index_reads acc a) b
+    | Call (_, args) -> List.fold_left index_reads acc args
+    | Select (c, a, b) -> index_reads (index_reads (index_reads acc c) a) b
+  in
+  let seeds =
+    block_fold
+      (fun acc stmt ->
+        match stmt with
+        | While (cond, _) -> Sset.union acc (expr_reads cond)
+        | For (x, lo, hi, _) ->
+          Sset.add x (Sset.union acc (Sset.union (expr_reads lo) (expr_reads hi)))
+        | Assign (_, e) | Expr e | Return e -> index_reads acc e
+        | Store (a, ie, e) ->
+          ignore a;
+          index_reads (Sset.union (index_reads acc e) (expr_reads ie)) ie
+        | If { cond; _ } -> index_reads acc cond)
+      Sset.empty body
+  in
+  (* Fixpoint: anything flowing into a public var is public. *)
+  let rec close c =
+    let c' =
+      block_fold
+        (fun acc stmt ->
+          match stmt with
+          | Assign (x, e) when Sset.mem x acc -> Sset.union acc (expr_reads e)
+          | Assign _ | Store _ | If _ | While _ | For _ | Expr _ | Return _ ->
+            acc)
+        c body
+    in
+    if Sset.equal c c' then c else close c'
+  in
+  close seeds
+
+let rec guarded_block ctx ~func ~publics ~guards block =
+  List.concat_map (guarded_stmt ctx ~func ~publics ~guards) block
+
+and guarded_stmt ctx ~func ~publics ~guards stmt =
+  match stmt with
+  | Assign (x, e) ->
+    let salt = salt_of e in
+    let pads = tx_pad_stmt ctx salt @ oram_stmt ctx ~mem_ops:(count_indices e) salt in
+    let guard = if Sset.mem x publics then guards.arm else guards.full in
+    let assign =
+      match guard with
+      | Some g -> Assign (x, mix_value ctx ~guard:g ~fresh_value:e ~old_value:(Var x))
+      | None -> stmt
+    in
+    pads @ [ assign ]
+  | Store (a, ie, e) ->
+    let salt = salt_of (Index (a, ie)) in
+    let pads =
+      tx_pad_stmt ctx salt
+      @ oram_stmt ctx ~mem_ops:(1 + count_indices e + count_indices ie) salt
+    in
+    let st =
+      match guards.full with
+      | Some g ->
+        Store (a, ie, mix_value ctx ~guard:g ~fresh_value:e ~old_value:(Index (a, ie)))
+      | None -> stmt
+    in
+    pads @ [ st ]
+  | If { secret; cond; then_; else_ } ->
+    if secret then secret_if ctx ~func ~publics ~guards ~cond ~then_ ~else_
+    else internal_if ctx ~func ~publics ~guards ~cond ~then_ ~else_
+  | While (cond, body) ->
+    [ While (cond, guarded_block ctx ~func ~publics ~guards body) ]
+  | For (x, lo, hi, body) ->
+    [ For (x, lo, hi, guarded_block ctx ~func ~publics ~guards body) ]
+  | Expr e -> [ Expr e ]
+  | Return _ ->
+    invalid_arg
+      (Printf.sprintf
+         "Softpath.transform: %s: return under a secret branch cannot be made \
+          constant-time" func)
+
+(* Chain a fresh guard [parent * c] and its complement [parent * (1-c)]. *)
+and chained_guards ctx ~parent ~cond_bool =
+  let gp = fresh ctx "g" in
+  let gn = fresh ctx "g" in
+  let setup_p =
+    match parent with
+    | None -> Assign (gp, cond_bool)
+    | Some p -> Assign (gp, Binop (Mul, Var p, cond_bool))
+  in
+  let setup_n =
+    match parent with
+    | None -> Assign (gn, Binop (Sub, Int 1, Var gp))
+    | Some p -> Assign (gn, Binop (Sub, Var p, Var gp))
+  in
+  (gp, gn, [ setup_p; setup_n ])
+
+and secret_if ctx ~func ~publics ~guards ~cond ~then_ ~else_ =
+  (* Public-class scalars written by one path and read by the other cannot
+     be reconciled: both paths always run, so the second would observe the
+     first's control/address state. Genuine CT code has leaf-local control
+     state (our generators rename it per leaf). *)
+  let cross =
+    Sset.union
+      (Sset.inter (block_assigned then_) (block_reads else_))
+      (Sset.inter (block_assigned else_) (block_reads then_))
+  in
+  let bad = Sset.inter cross publics in
+  if not (Sset.is_empty bad) then
+    invalid_arg
+      (Printf.sprintf
+         "Softpath.transform: %s: control/index variable(s) %s are shared \
+          across secret branch paths; not constant-time convertible"
+         func
+         (String.concat ", " (Sset.elements bad)));
+  let cb = fresh ctx "c" in
+  let pre = Assign (cb, boolize cond) in
+  let gt, ge, setup = chained_guards ctx ~parent:guards.full ~cond_bool:(Var cb) in
+  (pre :: setup)
+  @ guarded_block ctx ~func ~publics ~guards:{ guards with full = Some gt } then_
+  @ guarded_block ctx ~func ~publics ~guards:{ guards with full = Some ge } else_
+
+and internal_if ctx ~func ~publics ~guards ~cond ~then_ ~else_ =
+  let cb = fresh ctx "c" in
+  let pre = Assign (cb, boolize cond) in
+  let ft, fe, setup_f = chained_guards ctx ~parent:guards.full ~cond_bool:(Var cb) in
+  let at, ae, setup_a = chained_guards ctx ~parent:guards.arm ~cond_bool:(Var cb) in
+  (pre :: (setup_f @ setup_a))
+  @ guarded_block ctx ~func ~publics ~guards:{ full = Some ft; arm = Some at } then_
+  @ guarded_block ctx ~func ~publics ~guards:{ full = Some fe; arm = Some ae } else_
+
+and plain_block ctx ~func ~publics block =
+  List.concat_map (plain_stmt ctx ~func ~publics) block
+
+and plain_stmt ctx ~func ~publics stmt =
+  match stmt with
+  | If { secret = true; cond; then_; else_ } ->
+    secret_if ctx ~func ~publics ~guards:{ full = None; arm = None } ~cond ~then_
+      ~else_
+  | If { secret = false; cond; then_; else_ } ->
+    [
+      If
+        {
+          secret = false;
+          cond;
+          then_ = plain_block ctx ~func ~publics then_;
+          else_ = plain_block ctx ~func ~publics else_;
+        };
+    ]
+  | While (cond, body) -> [ While (cond, plain_block ctx ~func ~publics body) ]
+  | For (x, lo, hi, body) -> [ For (x, lo, hi, plain_block ctx ~func ~publics body) ]
+  | (Assign _ | Store _ | Expr _ | Return _) as s -> [ s ]
+
+let transform cfg prog =
+  validate prog;
+  let ctx =
+    {
+      cfg;
+      counter = 0;
+      new_locals = [];
+      used_tx = false;
+      used_oram = false;
+    }
+  in
+  let funcs =
+    List.map
+      (fun f ->
+        ctx.new_locals <- [];
+        let publics = public_closure f.body in
+        let body = plain_block ctx ~func:f.fname ~publics f.body in
+        { f with body; locals = f.locals @ List.rev ctx.new_locals })
+      prog.funcs
+  in
+  let globals =
+    prog.globals
+    @ (if ctx.used_tx then [ tx_sink ] else [])
+    @ (if ctx.used_oram then [ oram_sink ] else [])
+  in
+  let arrays =
+    prog.arrays
+    @
+    if ctx.used_oram then [ { aname = oram_array; size = oram_size; scratch = true } ]
+    else []
+  in
+  let out = { prog with funcs; globals; arrays } in
+  validate out;
+  out

@@ -1,0 +1,55 @@
+(** Software elimination of secret branches by guarded straight-line
+    execution — the machinery shared by the CTE, Raccoon and MTO baselines.
+
+    A secret [If] is replaced by the concatenation of both blocks, each
+    executed under a {e guard}: a 0/1 local combining the enclosing guard
+    with (the boolization of) the branch condition. Every assignment and
+    array store under a guard becomes a no-op when the guard is 0:
+
+    - {!Arith} mixing (CTE/FaCT style, Figure 2b of the paper):
+      [x = g*e + (1-g)*x] — two multiplies and two additions per statement;
+    - {!Cmov} mixing (Raccoon style): [x = select(g, e, x)] — one
+      conditional move per statement.
+
+    Two guard tracks keep the result both correct and constant-time. The
+    {e region} track (secret conditions) predicates only writes visible
+    outside the region — live-past-region scalars, scalars one path writes
+    and the other reads, and non-scratch array stores. Path-local
+    computation (dead temporaries, scratch-array stores) runs unpredicated
+    so every path executes in full whatever the secret is; predicating it
+    would stall loop control on false paths and leak the secret through the
+    skipped iterations. The {e arm} track (conditionals nested beneath a
+    secret branch, flattened because their conditions may derive from
+    guarded state) predicates everything its arms write, since the arms are
+    alternatives within one path. Loops keep their structure — their bounds
+    must be public, which {!Sempe_lang.Secrecy} verifies. [Return] under a
+    guard is rejected.
+
+    Memory-access instrumentation models each baseline's extra cost:
+    - [tx_pad]: arithmetic per guarded assignment/store, standing in for
+      Raccoon's transactional wrapping of every load and store;
+    - [oram_probes]: extra reads of a dedicated ORAM-stash array per
+      guarded memory operation, standing in for GhostRider/MTO address
+      obfuscation. *)
+
+type mix = Arith | Cmov
+
+type config = {
+  mix : mix;
+  tx_pad : int;        (** dummy ALU ops added per guarded Assign/Store *)
+  oram_probes : int;   (** extra array reads per guarded memory operation *)
+}
+
+val cte_config : config
+(** [{ mix = Arith; tx_pad = 0; oram_probes = 0 }]. *)
+
+val raccoon_config : config
+(** [{ mix = Cmov; tx_pad = 6; oram_probes = 0 }]. *)
+
+val mto_config : config
+(** [{ mix = Cmov; tx_pad = 0; oram_probes = 7 }]. *)
+
+val transform : config -> Sempe_lang.Ast.program -> Sempe_lang.Ast.program
+(** The result contains no secret branches; it computes the same values as
+    the input (tx/oram instrumentation writes only to dedicated sinks).
+    @raise Invalid_argument on [Return] under a secret branch. *)

@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: List Printf Sempe_core Sempe_mem Sempe_pipeline Sempe_util Sempe_workloads String

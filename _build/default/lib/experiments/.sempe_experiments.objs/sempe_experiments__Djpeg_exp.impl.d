@@ -1,0 +1,1 @@
+lib/experiments/djpeg_exp.ml: Buffer List Printf Sempe_core Sempe_pipeline Sempe_util Sempe_workloads String

@@ -1,0 +1,1 @@
+lib/experiments/djpeg_exp.mli: Sempe_pipeline Sempe_workloads

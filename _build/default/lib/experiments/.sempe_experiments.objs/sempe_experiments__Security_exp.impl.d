@@ -1,0 +1,1 @@
+lib/experiments/security_exp.ml: List Sempe_core Sempe_security Sempe_util Sempe_workloads String

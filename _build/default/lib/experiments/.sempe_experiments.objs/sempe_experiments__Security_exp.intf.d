@@ -1,0 +1,1 @@
+lib/experiments/security_exp.mli: Sempe_core Sempe_security

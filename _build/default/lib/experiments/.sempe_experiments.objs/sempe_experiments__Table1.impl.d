@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: List Sempe_core Sempe_util Sempe_workloads

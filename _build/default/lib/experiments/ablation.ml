@@ -1,0 +1,122 @@
+module MB = Sempe_workloads.Microbench
+module Kernels = Sempe_workloads.Kernels
+module Harness = Sempe_workloads.Harness
+module Scheme = Sempe_core.Scheme
+module Run = Sempe_core.Run
+module Config = Sempe_pipeline.Config
+module Timing = Sempe_pipeline.Timing
+module Spm = Sempe_mem.Spm
+module Tablefmt = Sempe_util.Tablefmt
+
+let run_cycles ?machine scheme src ~width =
+  let built = Harness.build scheme src in
+  let o =
+    Harness.run ?machine ~globals:(MB.secrets_for_leaf ~width ~leaf:1) built
+  in
+  o.Run.timing
+
+let spm_throughput_sweep ?(bytes_per_cycle = [ 8; 16; 32; 64; 128; 256 ])
+    ?(width = 10) ?(iters = 2) () =
+  let spec = { MB.kernel = Kernels.fibonacci; width; iters } in
+  let src = MB.program ~ct:false spec in
+  let base = (run_cycles Scheme.Baseline src ~width).Timing.cycles in
+  List.map
+    (fun throughput ->
+      let machine =
+        {
+          Config.default with
+          Config.spm =
+            { Spm.default_config with Spm.throughput_bytes = throughput };
+        }
+      in
+      let c = (run_cycles ~machine Scheme.Sempe src ~width).Timing.cycles in
+      (throughput, float_of_int c /. float_of_int base))
+    bytes_per_cycle
+
+(* PhyRS moves the whole physical file (256 INT + 256 FP) plus its RAT
+   share at every snapshot point instead of the 48 architectural
+   registers; the per-register footprint is the same, so the transfer
+   volume scales by the register ratio. We substitute that volume into the
+   measured run: total cycles - measured SPM cycles + scaled SPM cycles. *)
+let archrs_vs_phyrs ?(width = 10) ?(iters = 2) () =
+  let spec = { MB.kernel = Kernels.fibonacci; width; iters } in
+  let src = MB.program ~ct:false spec in
+  let base = (run_cycles Scheme.Baseline src ~width).Timing.cycles in
+  let r = run_cycles Scheme.Sempe src ~width in
+  let arch = float_of_int r.Timing.cycles /. float_of_int base in
+  let phys_regs = Config.default.Config.int_regs + Config.default.Config.fp_regs in
+  let scale = float_of_int phys_regs /. float_of_int Spm.default_config.Spm.arch_regs in
+  let phyrs_cycles =
+    float_of_int r.Timing.cycles
+    -. float_of_int r.Timing.spm_cycles
+    +. (float_of_int r.Timing.spm_cycles *. scale)
+  in
+  [
+    ("ArchRS (48 regs, measured)", arch);
+    ( Printf.sprintf "PhyRS (%d regs, substituted volume)" phys_regs,
+      phyrs_cycles /. float_of_int base );
+  ]
+
+let deepest_supported ~entries =
+  (* Binary-search-free: nesting W-1 = entries succeeds, entries+1 fails. *)
+  let try_width width =
+    let spec = { MB.kernel = Kernels.fibonacci; width; iters = 1 } in
+    let src = MB.program ~ct:false spec in
+    let machine =
+      {
+        Config.default with
+        Config.jbtable_entries = entries;
+        Config.spm = { Spm.default_config with Spm.max_snapshots = entries };
+      }
+    in
+    match run_cycles ~machine Scheme.Sempe src ~width with
+    | (_ : Timing.report) -> true
+    | exception (Sempe_core.Jbtable.Overflow | Spm.Overflow) -> false
+  in
+  let rec climb w = if w <= 40 && try_width w then climb (w + 1) else w - 1 in
+  climb 1
+
+let jbtable_capacity ?(capacities = [ 2; 4; 8; 16; 30 ]) () =
+  List.map (fun entries -> (entries, deepest_supported ~entries)) capacities
+
+let drain_sensitivity ?(depths = [ 4; 8; 16; 24 ]) ?(width = 10) ?(iters = 2) () =
+  let spec = { MB.kernel = Kernels.fibonacci; width; iters } in
+  let src = MB.program ~ct:false spec in
+  List.map
+    (fun depth ->
+      let machine = { Config.default with Config.frontend_depth = depth } in
+      let base = (run_cycles ~machine Scheme.Baseline src ~width).Timing.cycles in
+      let c = (run_cycles ~machine Scheme.Sempe src ~width).Timing.cycles in
+      (depth, float_of_int c /. float_of_int base))
+    depths
+
+let render () =
+  let spm =
+    Tablefmt.render ~header:[ "SPM bytes/cycle"; "SeMPE slowdown" ]
+      (List.map
+         (fun (t, s) -> [ string_of_int t; Tablefmt.times s ])
+         (spm_throughput_sweep ()))
+  in
+  let snap =
+    Tablefmt.render ~header:[ "snapshot mechanism"; "SeMPE slowdown" ]
+      (List.map (fun (n, s) -> [ n; Tablefmt.times s ]) (archrs_vs_phyrs ()))
+  in
+  let jb =
+    Tablefmt.render ~header:[ "jbTable entries"; "deepest W completing" ]
+      (List.map
+         (fun (e, w) -> [ string_of_int e; string_of_int w ])
+         (jbtable_capacity ()))
+  in
+  let drain =
+    Tablefmt.render ~header:[ "front-end depth"; "SeMPE slowdown" ]
+      (List.map
+         (fun (d, s) -> [ string_of_int d; Tablefmt.times s ])
+         (drain_sensitivity ()))
+  in
+  String.concat "\n\n"
+    [
+      "Ablation — SPM throughput (Fibonacci chain, W=10)\n" ^ spm;
+      "Ablation — ArchRS vs PhyRS snapshot volume (section IV-F)\n" ^ snap;
+      "Ablation — jbTable capacity vs supported nesting (section IV-E)\n" ^ jb;
+      "Ablation — pipeline-drain sensitivity to front-end depth\n" ^ drain;
+    ]

@@ -1,0 +1,31 @@
+(** Ablations of the design choices called out in §IV-F and §IV-E.
+
+    - SPM throughput: how the snapshot-transfer bandwidth (Table II:
+      64 B/cycle) moves SeMPE's overhead;
+    - ArchRS vs PhyRS: the paper rejects physical-register snapshots
+      because saving the full physical file and RAT per SecBlock moves an
+      order of magnitude more state; we recompute SeMPE's cycles with the
+      PhyRS transfer volume substituted for the ArchRS one;
+    - jbTable capacity: the deepest supported nesting equals the number of
+      entries, and exceeding it raises the architectural overflow
+      exception;
+    - pipeline-drain sensitivity: the front-end refill depth scales the
+      cost of the three drains per SecBlock. *)
+
+val spm_throughput_sweep :
+  ?bytes_per_cycle:int list -> ?width:int -> ?iters:int -> unit -> (int * float) list
+(** (throughput, SeMPE slowdown over baseline) on the Fibonacci chain. *)
+
+val archrs_vs_phyrs : ?width:int -> ?iters:int -> unit -> (string * float) list
+(** Named slowdowns: measured ArchRS, and PhyRS with the snapshot volume of
+    the full physical file (512 registers + RAT share). *)
+
+val jbtable_capacity : ?capacities:int list -> unit -> (int * int) list
+(** (entries, deepest nesting that completes before {!Sempe_core.Jbtable.Overflow}). *)
+
+val drain_sensitivity :
+  ?depths:int list -> ?width:int -> ?iters:int -> unit -> (int * float) list
+(** (front-end depth, SeMPE slowdown). *)
+
+val render : unit -> string
+(** Run all ablations with defaults and format them. *)

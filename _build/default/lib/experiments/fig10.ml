@@ -1,0 +1,115 @@
+module MB = Sempe_workloads.Microbench
+module Kernels = Sempe_workloads.Kernels
+module Harness = Sempe_workloads.Harness
+module Scheme = Sempe_core.Scheme
+module Run = Sempe_core.Run
+module Tablefmt = Sempe_util.Tablefmt
+
+type point = {
+  width : int;
+  baseline_cycles : int;
+  sempe_cycles : int;
+  cte_cycles : int;
+  ideal_cycles : int;
+}
+
+type series = { kernel : string; points : point list }
+
+let cycles scheme src ~secrets = Run.cycles (Harness.run ~globals:secrets (Harness.build scheme src))
+
+let point ~kernel ~width ~iters =
+  let spec = { MB.kernel; width; iters } in
+  let plain = MB.program ~ct:false spec in
+  let ct = MB.program ~ct:true spec in
+  let leaf1 = MB.secrets_for_leaf ~width ~leaf:1 in
+  let baseline_cycles = cycles Scheme.Baseline plain ~secrets:leaf1 in
+  let sempe_cycles = cycles Scheme.Sempe plain ~secrets:leaf1 in
+  let cte_cycles = cycles Scheme.Cte ct ~secrets:leaf1 in
+  (* Ideal: the sum of the standalone times of all W+1 paths. Each leaf is
+     timed on the unprotected baseline; the chain/loop skeleton, counted
+     once in the ideal, is measured with a null kernel. *)
+  let skeleton =
+    cycles Scheme.Baseline (MB.skeleton ~width ~iters) ~secrets:leaf1
+  in
+  let path_sum =
+    List.fold_left
+      (fun acc leaf ->
+        acc
+        + cycles Scheme.Baseline plain
+            ~secrets:(MB.secrets_for_leaf ~width ~leaf))
+      0
+      (List.init (width + 1) (fun k -> k + 1))
+  in
+  let ideal_cycles = max 1 (path_sum - (width * skeleton)) in
+  { width; baseline_cycles; sempe_cycles; cte_cycles; ideal_cycles }
+
+let sweep ?(widths = List.init 10 (fun k -> k + 1)) ?(iters = 3) () =
+  List.map
+    (fun kernel ->
+      {
+        kernel = kernel.Kernels.name;
+        points = List.map (fun width -> point ~kernel ~width ~iters) widths;
+      })
+    Kernels.all
+
+let slowdown num den = float_of_int num /. float_of_int den
+
+let render_a series =
+  let blocks =
+    List.map
+      (fun s ->
+        let rows =
+          List.map
+            (fun p ->
+              [
+                string_of_int p.width;
+                Tablefmt.times (slowdown p.sempe_cycles p.baseline_cycles);
+                Tablefmt.times (slowdown p.cte_cycles p.baseline_cycles);
+                Tablefmt.times (slowdown p.cte_cycles p.sempe_cycles);
+              ])
+            s.points
+        in
+        Printf.sprintf "Figure 10a — %s (slowdown vs baseline; log axis in paper)\n%s"
+          s.kernel
+          (Tablefmt.render
+             ~header:[ "W"; "SeMPE"; "CTE (FaCT)"; "CTE/SeMPE" ]
+             rows))
+      series
+  in
+  String.concat "\n\n" blocks
+
+let render_b series =
+  let widths =
+    match series with [] -> [] | s :: _ -> List.map (fun p -> p.width) s.points
+  in
+  let row w =
+    let at s = List.find (fun p -> p.width = w) s.points in
+    let avg f =
+      List.fold_left (fun acc s -> acc +. f (at s)) 0.0 series
+      /. float_of_int (List.length series)
+    in
+    [
+      string_of_int w;
+      Tablefmt.fixed 2 (avg (fun p -> slowdown p.sempe_cycles p.ideal_cycles));
+      Tablefmt.fixed 2 (avg (fun p -> slowdown p.cte_cycles p.ideal_cycles));
+      Tablefmt.fixed 2 (avg (fun p -> slowdown p.ideal_cycles p.baseline_cycles));
+    ]
+  in
+  "Figure 10b — average slowdown normalized to ideal (sum of all paths)\n"
+  ^ Tablefmt.render
+      ~header:[ "W"; "SeMPE/ideal"; "CTE/ideal"; "ideal/baseline" ]
+      (List.map row widths)
+
+let csv series =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "kernel,width,baseline_cycles,sempe_cycles,cte_cycles,ideal_cycles\n";
+  List.iter
+    (fun s ->
+      List.iter
+        (fun p ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s,%d,%d,%d,%d,%d\n" s.kernel p.width
+               p.baseline_cycles p.sempe_cycles p.cte_cycles p.ideal_cycles))
+        s.points)
+    series;
+  Buffer.contents buf

@@ -1,0 +1,26 @@
+(** Figure 10: microbenchmark slowdowns versus nesting depth.
+
+    (a) per-kernel execution-time slowdown over the unprotected baseline,
+    SeMPE versus CTE/FaCT, for W = 1..10;
+    (b) average slowdown normalized to the ideal overhead — the sum of the
+    standalone execution times of all W+1 paths (§IV-A: any secure
+    execution must be measured against that ideal). *)
+
+type point = {
+  width : int;
+  baseline_cycles : int;
+  sempe_cycles : int;
+  cte_cycles : int;
+  ideal_cycles : int;
+}
+
+type series = { kernel : string; points : point list }
+
+val sweep : ?widths:int list -> ?iters:int -> unit -> series list
+(** Defaults: W in 1..10, 3 iterations; one series per kernel. *)
+
+val render_a : series list -> string
+val render_b : series list -> string
+
+val csv : series list -> string
+(** Machine-readable dump: kernel, width, baseline/sempe/cte/ideal cycles. *)

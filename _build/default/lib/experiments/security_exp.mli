@@ -1,0 +1,16 @@
+(** §IV-A / §IV-G: the security matrix.
+
+    Runs the RSA modular exponentiation (Figure 1) with a set of different
+    keys under every scheme and reports, per attacker channel, whether the
+    observables distinguish the keys. Also reports the timing-attack
+    correlation of {!Sempe_security.Attacker}. *)
+
+type result = {
+  scheme : Sempe_core.Scheme.t;
+  leaky : Sempe_security.Leakage.channel list;
+  timing_correlation : float;
+}
+
+val measure : ?keys:int list -> unit -> result list
+
+val render : result list -> string

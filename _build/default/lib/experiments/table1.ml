@@ -1,0 +1,91 @@
+module MB = Sempe_workloads.Microbench
+module Kernels = Sempe_workloads.Kernels
+module Harness = Sempe_workloads.Harness
+module Scheme = Sempe_core.Scheme
+module Run = Sempe_core.Run
+module Tablefmt = Sempe_util.Tablefmt
+
+type row = {
+  scheme : Scheme.t;
+  avg_overhead : float;
+  max_overhead : float;
+}
+
+let schemes = [ Scheme.Cte; Scheme.Mto; Scheme.Raccoon; Scheme.Sempe ]
+
+let measure ?(width = 10) ?(iters = 2) () =
+  let overheads scheme =
+    List.map
+      (fun kernel ->
+        let spec = { MB.kernel; width; iters } in
+        let ct =
+          match scheme with
+          | Scheme.Cte | Scheme.Raccoon | Scheme.Mto -> true
+          | Scheme.Baseline | Scheme.Sempe | Scheme.Sempe_on_legacy -> false
+        in
+        let src = MB.program ~ct spec in
+        let src_plain = if ct then MB.program ~ct:false spec else src in
+        let secrets = MB.secrets_for_leaf ~width ~leaf:1 in
+        let cycles s prog =
+          Run.cycles (Harness.run ~globals:secrets (Harness.build s prog))
+        in
+        float_of_int (cycles scheme src)
+        /. float_of_int (cycles Scheme.Baseline src_plain))
+      Kernels.all
+  in
+  List.map
+    (fun scheme ->
+      let os = overheads scheme in
+      let geo =
+        exp (List.fold_left (fun acc o -> acc +. log o) 0.0 os
+             /. float_of_int (List.length os))
+      in
+      let mx = List.fold_left max 0.0 os in
+      { scheme; avg_overhead = geo; max_overhead = mx })
+    schemes
+
+let qualitative scheme =
+  (* approach, technique, programming complexity, simple architecture,
+     backward compatible — the paper's qualitative columns. *)
+  match scheme with
+  | Scheme.Cte ->
+    ("elim. cond. branch", "SW", "High", "Yes", "Yes")
+  | Scheme.Mto -> ("equalize path", "HW/SW", "Low", "No", "No")
+  | Scheme.Raccoon -> ("execute both paths", "SW", "Low", "Yes", "No")
+  | Scheme.Sempe -> ("execute both paths", "HW/SW", "Low", "Yes", "Yes")
+  | Scheme.Baseline | Scheme.Sempe_on_legacy -> ("-", "-", "-", "-", "-")
+
+let label = function
+  | Scheme.Cte -> "CTE (FaCT)"
+  | Scheme.Mto -> "GhostRider/MTO"
+  | Scheme.Raccoon -> "Raccoon"
+  | Scheme.Sempe -> "SeMPE"
+  | Scheme.Baseline -> "Baseline"
+  | Scheme.Sempe_on_legacy -> "SeMPE-on-legacy"
+
+let render rows =
+  let table_rows =
+    List.map
+      (fun r ->
+        let approach, technique, complexity, simple, compat = qualitative r.scheme in
+        [
+          label r.scheme;
+          approach;
+          technique;
+          complexity;
+          Tablefmt.times r.avg_overhead;
+          Tablefmt.times r.max_overhead;
+          simple;
+          compat;
+        ])
+      rows
+  in
+  "Table I — approaches to eliminate SDBCB (overheads measured on this \
+   substrate, deep-nesting microbenchmarks, W=10)\n"
+  ^ Tablefmt.render
+      ~header:
+        [
+          "scheme"; "approach"; "technique"; "prog. complexity";
+          "overhead (geo-mean)"; "overhead (max)"; "simple arch"; "backward compat";
+        ]
+      table_rows

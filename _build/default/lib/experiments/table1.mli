@@ -1,0 +1,19 @@
+(** Table I: comparing the approaches that eliminate SDBCB.
+
+    The paper's table cites each prior work's reported worst-case overhead;
+    we regenerate the quantitative column by running all schemes on our
+    own substrate (deep-nesting microbenchmarks, W = 10), so the numbers
+    are directly comparable to each other, and keep the qualitative
+    columns from the paper. *)
+
+type row = {
+  scheme : Sempe_core.Scheme.t;
+  avg_overhead : float;     (** geometric mean across kernels *)
+  max_overhead : float;
+}
+
+val measure : ?width:int -> ?iters:int -> unit -> row list
+(** One row per protection scheme (baseline excluded — it is the
+    denominator). *)
+
+val render : row list -> string

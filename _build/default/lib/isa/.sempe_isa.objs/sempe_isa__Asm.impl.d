@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Array Buffer Hashtbl Instr List Printf Program Reg String

@@ -1,0 +1,220 @@
+exception Error of { line : int; message : string }
+
+let fail line fmt = Printf.ksprintf (fun message -> raise (Error { line; message })) fmt
+
+let alu_ops =
+  [
+    ("add", Instr.Add); ("sub", Instr.Sub); ("mul", Instr.Mul);
+    ("div", Instr.Div); ("rem", Instr.Rem); ("and", Instr.And);
+    ("or", Instr.Or); ("xor", Instr.Xor); ("shl", Instr.Shl);
+    ("shr", Instr.Shr); ("slt", Instr.Slt); ("sle", Instr.Sle);
+    ("seq", Instr.Seq); ("sne", Instr.Sne);
+  ]
+
+let conds =
+  [
+    ("eq", Instr.Eq); ("ne", Instr.Ne); ("lt", Instr.Lt);
+    ("ge", Instr.Ge); ("le", Instr.Le); ("gt", Instr.Gt);
+  ]
+
+let reg_aliases =
+  [ ("zero", Reg.zero); ("sp", Reg.sp); ("ra", Reg.ra); ("rv", Reg.rv); ("gp", Reg.gp) ]
+
+let parse_reg line tok =
+  match List.assoc_opt tok reg_aliases with
+  | Some r -> r
+  | None ->
+    let n = String.length tok in
+    if n >= 2 && tok.[0] = 'r' then
+      match int_of_string_opt (String.sub tok 1 (n - 1)) with
+      | Some r when Reg.is_valid r -> r
+      | Some r -> fail line "register r%d out of range" r
+      | None -> fail line "bad register %S" tok
+    else fail line "expected a register, found %S" tok
+
+let parse_int line tok =
+  match int_of_string_opt tok with
+  | Some n -> n
+  | None -> fail line "expected an integer, found %S" tok
+
+(* "8(r1)" -> (offset, base register) *)
+let parse_mem line tok =
+  match String.index_opt tok '(' with
+  | Some open_p when String.length tok > 0 && tok.[String.length tok - 1] = ')' ->
+    let off = parse_int line (String.sub tok 0 open_p) in
+    let base =
+      parse_reg line (String.sub tok (open_p + 1) (String.length tok - open_p - 2))
+    in
+    (off, base)
+  | Some _ | None -> fail line "expected OFFSET(REG), found %S" tok
+
+type target = Label of string | Absolute of int
+
+let parse_target line tok =
+  if String.length tok > 1 && tok.[0] = '@' then
+    Absolute (parse_int line (String.sub tok 1 (String.length tok - 1)))
+  else if tok = "" then fail line "missing branch target"
+  else Label tok
+
+(* An instruction with an unresolved target. *)
+type proto =
+  | Done of Instr.t
+  | Need_br of Instr.cond * Reg.t * Reg.t * target * bool
+  | Need_jmp of target
+  | Need_call of target
+
+let split_operands s =
+  String.split_on_char ',' s
+  |> List.map String.trim
+  |> List.filter (fun tok -> tok <> "")
+
+let parse_instr line mnemonic operands =
+  let reg = parse_reg line and int_ = parse_int line in
+  let three f =
+    match operands with
+    | [ a; b; c ] -> f a b c
+    | _ -> fail line "%s expects three operands" mnemonic
+  in
+  match (mnemonic, operands) with
+  | "nop", [] -> Done Instr.Nop
+  | "ret", [] -> Done Instr.Ret
+  | "eosjmp", [] -> Done Instr.Eosjmp
+  | "halt", [] -> Done Instr.Halt
+  | "li", [ rd; imm ] -> Done (Instr.Li (reg rd, int_ imm))
+  | "ld", [ rd; mem ] ->
+    let off, base = parse_mem line mem in
+    Done (Instr.Ld (reg rd, base, off))
+  | "st", [ rs; mem ] ->
+    let off, base = parse_mem line mem in
+    Done (Instr.St (reg rs, base, off))
+  | "cmov", [ rd; rc; rs ] -> Done (Instr.Cmov (reg rd, reg rc, reg rs))
+  | "mov", [ rd; rs ] -> Done (Instr.Alu (Instr.Add, reg rd, reg rs, Reg.zero))
+  | "jmp", [ t ] -> Need_jmp (parse_target line t)
+  | "jr", [ r ] -> Done (Instr.Jr (reg r))
+  | "call", [ t ] -> Need_call (parse_target line t)
+  | _ -> (
+    (* alu / alui / branches *)
+    let n = String.length mnemonic in
+    let is_imm = n > 1 && mnemonic.[n - 1] = 'i' in
+    let stem = if is_imm then String.sub mnemonic 0 (n - 1) else mnemonic in
+    match List.assoc_opt stem alu_ops with
+    | Some op ->
+      three (fun rd rs1 rs2 ->
+          if is_imm then Done (Instr.Alui (op, reg rd, reg rs1, int_ rs2))
+          else Done (Instr.Alu (op, reg rd, reg rs1, reg rs2)))
+    | None ->
+      let secure = n > 1 && mnemonic.[0] = 's' && String.length mnemonic >= 3 in
+      let bstem = if secure then String.sub mnemonic 1 (n - 1) else mnemonic in
+      if String.length bstem >= 3 && bstem.[0] = 'b' then
+        match List.assoc_opt (String.sub bstem 1 (String.length bstem - 1)) conds with
+        | Some cond ->
+          three (fun rs1 rs2 t ->
+              Need_br (cond, reg rs1, reg rs2, parse_target line t, secure))
+        | None -> fail line "unknown mnemonic %S" mnemonic
+      else fail line "unknown mnemonic %S" mnemonic)
+
+let parse src =
+  let lines = String.split_on_char '\n' src in
+  let protos = ref [] in
+  let count = ref 0 in
+  let labels = Hashtbl.create 32 in
+  let entry = ref None in
+  let data_words = ref 0 in
+  List.iteri
+    (fun lineno raw ->
+      let line = lineno + 1 in
+      let text =
+        match String.index_opt raw '#' with
+        | Some k -> String.sub raw 0 k
+        | None -> raw
+      in
+      let text = String.trim text in
+      if text <> "" then
+        if text.[0] = '.' then begin
+          match String.split_on_char ' ' text |> List.filter (( <> ) "") with
+          | [ ".data"; n ] -> data_words := parse_int line n
+          | [ ".entry"; name ] -> entry := Some name
+          | _ -> fail line "unknown directive %S" text
+        end
+        else begin
+          (* any number of "label:" prefixes, then an optional instruction *)
+          let rec strip text =
+            match String.index_opt text ':' with
+            | Some k
+              when String.for_all
+                     (fun c ->
+                       (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+                       || (c >= '0' && c <= '9') || c = '_' || c = '$')
+                     (String.sub text 0 k)
+                   && k > 0 ->
+              let name = String.sub text 0 k in
+              if Hashtbl.mem labels name then fail line "duplicate label %S" name;
+              Hashtbl.replace labels name !count;
+              strip (String.trim (String.sub text (k + 1) (String.length text - k - 1)))
+            | Some _ | None -> text
+          in
+          let text = strip text in
+          if text <> "" then begin
+            let mnemonic, rest =
+              match String.index_opt text ' ' with
+              | Some k ->
+                ( String.sub text 0 k,
+                  String.sub text k (String.length text - k) )
+              | None -> (text, "")
+            in
+            protos := (parse_instr line mnemonic (split_operands rest), line) :: !protos;
+            incr count
+          end
+        end)
+    lines;
+  let resolve line = function
+    | Absolute n -> n
+    | Label name -> (
+      match Hashtbl.find_opt labels name with
+      | Some k -> k
+      | None -> fail line "undefined label %S" name)
+  in
+  let code =
+    Array.of_list
+      (List.rev_map
+         (fun (proto, line) ->
+           match proto with
+           | Done i -> i
+           | Need_br (cond, rs1, rs2, t, secure) ->
+             Instr.Br { cond; rs1; rs2; target = resolve line t; secure }
+           | Need_jmp t -> Instr.Jmp (resolve line t)
+           | Need_call t -> Instr.Call (resolve line t))
+         !protos)
+  in
+  let entry_index =
+    match !entry with
+    | Some name -> (
+      match Hashtbl.find_opt labels name with
+      | Some k -> k
+      | None -> fail 0 "entry label %S undefined" name)
+    | None -> (
+      match Hashtbl.find_opt labels "entry" with Some k -> k | None -> 0)
+  in
+  let label_list = Hashtbl.fold (fun name k acc -> (name, k) :: acc) labels [] in
+  Program.make ~code ~entry:entry_index ~data_words:!data_words ~labels:label_list
+
+let print (p : Program.t) =
+  let buf = Buffer.create 1024 in
+  let label_at k =
+    List.filter_map (fun (name, i) -> if i = k then Some name else None)
+      p.Program.labels
+  in
+  Buffer.add_string buf (Printf.sprintf ".data %d\n" p.Program.data_words);
+  let entry_labels = label_at p.Program.entry in
+  let entry_name =
+    match entry_labels with name :: _ -> name | [] -> "$entry"
+  in
+  Buffer.add_string buf (Printf.sprintf ".entry %s\n" entry_name);
+  Array.iteri
+    (fun k instr ->
+      List.iter (fun name -> Buffer.add_string buf (name ^ ":\n")) (label_at k);
+      if k = p.Program.entry && entry_labels = [] then
+        Buffer.add_string buf "$entry:\n";
+      Buffer.add_string buf ("    " ^ Instr.to_string instr ^ "\n"))
+    p.Program.code;
+  Buffer.contents buf

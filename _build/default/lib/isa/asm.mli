@@ -1,0 +1,35 @@
+(** Textual assembler: parse assembly source into a {!Program.t}.
+
+    The syntax is what {!Instr.to_string} / {!Program.pp} print, plus
+    labels and directives, so disassembler output round-trips:
+
+    {v
+    # comments run to end of line
+    .data 16            # static data segment size in words
+    entry:
+        li r10, 5
+        addi r10, r10, 2
+        ld r11, 3(r4)
+        sble r10, r11, done   # 's' prefix = secure branch (sJMP)
+        call helper
+    done:
+        eosjmp
+        halt
+    helper:
+        ret
+    v}
+
+    Branch/jump targets may be label names or absolute [@N] indices.
+    Registers are [r0]..[r47] (aliases: [zero sp ra rv gp]). The entry
+    point is the [.entry NAME] directive, else the label [entry], else
+    instruction 0. *)
+
+exception Error of { line : int; message : string }
+
+val parse : string -> Program.t
+(** @raise Error on malformed input (with the source line).
+    @raise Invalid_argument when program validation fails. *)
+
+val print : Program.t -> string
+(** Round-trippable listing: [parse (print p)] has the same code image,
+    entry point and data size as [p]. *)

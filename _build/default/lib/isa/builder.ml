@@ -1,0 +1,77 @@
+(* Instructions are emitted with symbolic targets and resolved at assembly.
+   [proto] mirrors Instr.t but holds label names where Instr.t holds
+   indices. *)
+type proto =
+  | Direct of Instr.t
+  | P_br of Instr.cond * Reg.t * Reg.t * string * bool
+  | P_jmp of string
+  | P_call of string
+
+type t = {
+  mutable rev_code : proto list;
+  mutable len : int;
+  labels : (string, int) Hashtbl.t;
+  mutable pending : string list;  (* labels awaiting the next instruction *)
+  mutable gensym : int;
+}
+
+let create () =
+  { rev_code = []; len = 0; labels = Hashtbl.create 64; pending = []; gensym = 0 }
+
+let fresh_label b hint =
+  b.gensym <- b.gensym + 1;
+  Printf.sprintf "%s__%d" hint b.gensym
+
+let bind b name =
+  if Hashtbl.mem b.labels name then
+    invalid_arg (Printf.sprintf "Builder.bind: duplicate label %S" name);
+  Hashtbl.add b.labels name b.len;
+  b.pending <- name :: b.pending
+
+let here b = b.len
+
+let push b p =
+  b.rev_code <- p :: b.rev_code;
+  b.len <- b.len + 1;
+  b.pending <- []
+
+let nop b = push b (Direct Instr.Nop)
+let alu b op rd rs1 rs2 = push b (Direct (Instr.Alu (op, rd, rs1, rs2)))
+let alui b op rd rs1 imm = push b (Direct (Instr.Alui (op, rd, rs1, imm)))
+let li b rd imm = push b (Direct (Instr.Li (rd, imm)))
+let ld b rd base off = push b (Direct (Instr.Ld (rd, base, off)))
+let st b rs base off = push b (Direct (Instr.St (rs, base, off)))
+let cmov b rd rc rs = push b (Direct (Instr.Cmov (rd, rc, rs)))
+let mov b rd rs = push b (Direct (Instr.Alu (Instr.Add, rd, rs, Reg.zero)))
+
+let br b ?(secure = false) cond rs1 rs2 target =
+  push b (P_br (cond, rs1, rs2, target, secure))
+
+let jmp b target = push b (P_jmp target)
+let jr b r = push b (Direct (Instr.Jr r))
+let call b target = push b (P_call target)
+let ret b = push b (Direct Instr.Ret)
+let eosjmp b = push b (Direct Instr.Eosjmp)
+let halt b = push b (Direct Instr.Halt)
+
+let assemble b ~entry ~data_words =
+  (* A label bound after the last instruction would dangle; forbid it. *)
+  (match b.pending with
+   | [] -> ()
+   | name :: _ ->
+     invalid_arg (Printf.sprintf "Builder.assemble: label %S binds past the end" name));
+  let resolve name =
+    match Hashtbl.find_opt b.labels name with
+    | Some i -> i
+    | None -> invalid_arg (Printf.sprintf "Builder.assemble: unresolved label %S" name)
+  in
+  let finish = function
+    | Direct i -> i
+    | P_br (cond, rs1, rs2, target, secure) ->
+      Instr.Br { cond; rs1; rs2; target = resolve target; secure }
+    | P_jmp target -> Instr.Jmp (resolve target)
+    | P_call target -> Instr.Call (resolve target)
+  in
+  let code = Array.of_list (List.rev_map finish b.rev_code) in
+  let labels = Hashtbl.fold (fun name i acc -> (name, i) :: acc) b.labels [] in
+  Program.make ~code ~entry:(resolve entry) ~data_words ~labels

@@ -1,0 +1,46 @@
+(** Assembler-style program builder with symbolic labels.
+
+    The code generator and hand-written tests construct programs through
+    this module: emit instructions in order, bind labels, reference labels
+    forward or backward, then {!assemble} to resolve everything into a
+    {!Program.t}. *)
+
+type t
+
+val create : unit -> t
+
+val fresh_label : t -> string -> string
+(** [fresh_label b hint] returns a unique label name derived from [hint]. *)
+
+val bind : t -> string -> unit
+(** [bind b name] attaches [name] to the next emitted instruction.
+    @raise Invalid_argument if [name] is already bound. *)
+
+val here : t -> int
+(** Index the next emitted instruction will get. *)
+
+(** {2 Emitters} *)
+
+val nop : t -> unit
+val alu : t -> Instr.alu_op -> Reg.t -> Reg.t -> Reg.t -> unit
+val alui : t -> Instr.alu_op -> Reg.t -> Reg.t -> int -> unit
+val li : t -> Reg.t -> int -> unit
+val ld : t -> Reg.t -> Reg.t -> int -> unit
+val st : t -> Reg.t -> Reg.t -> int -> unit
+val cmov : t -> Reg.t -> Reg.t -> Reg.t -> unit
+val mov : t -> Reg.t -> Reg.t -> unit
+(** [mov b rd rs] emits [add rd, rs, r0]. *)
+
+val br : t -> ?secure:bool -> Instr.cond -> Reg.t -> Reg.t -> string -> unit
+(** Conditional branch to a label; [secure] defaults to [false]. *)
+
+val jmp : t -> string -> unit
+val jr : t -> Reg.t -> unit
+val call : t -> string -> unit
+val ret : t -> unit
+val eosjmp : t -> unit
+val halt : t -> unit
+
+val assemble : t -> entry:string -> data_words:int -> Program.t
+(** Resolve labels and validate.
+    @raise Invalid_argument on an unresolved label. *)

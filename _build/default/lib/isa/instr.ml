@@ -1,0 +1,131 @@
+type alu_op =
+  | Add | Sub | Mul | Div | Rem
+  | And | Or | Xor | Shl | Shr
+  | Slt | Sle | Seq | Sne
+
+type cond = Eq | Ne | Lt | Ge | Le | Gt
+
+type t =
+  | Nop
+  | Alu of alu_op * Reg.t * Reg.t * Reg.t
+  | Alui of alu_op * Reg.t * Reg.t * int
+  | Li of Reg.t * int
+  | Ld of Reg.t * Reg.t * int
+  | St of Reg.t * Reg.t * int
+  | Cmov of Reg.t * Reg.t * Reg.t
+  | Br of { cond : cond; rs1 : Reg.t; rs2 : Reg.t; target : int; secure : bool }
+  | Jmp of int
+  | Jr of Reg.t
+  | Call of int
+  | Ret
+  | Eosjmp
+  | Halt
+
+type iclass =
+  | Cls_nop
+  | Cls_int_alu
+  | Cls_int_mul
+  | Cls_int_div
+  | Cls_load
+  | Cls_store
+  | Cls_branch
+  | Cls_jump
+  | Cls_eosjmp
+  | Cls_halt
+
+let class_of = function
+  | Nop -> Cls_nop
+  | Alu (Mul, _, _, _) | Alui (Mul, _, _, _) -> Cls_int_mul
+  | Alu ((Div | Rem), _, _, _) | Alui ((Div | Rem), _, _, _) -> Cls_int_div
+  | Alu (_, _, _, _) | Alui (_, _, _, _) | Li _ | Cmov _ -> Cls_int_alu
+  | Ld _ -> Cls_load
+  | St _ -> Cls_store
+  | Br _ -> Cls_branch
+  | Jmp _ | Jr _ | Call _ | Ret -> Cls_jump
+  | Eosjmp -> Cls_eosjmp
+  | Halt -> Cls_halt
+
+let dest i =
+  let d = function r when r = Reg.zero -> None | r -> Some r in
+  match i with
+  | Alu (_, rd, _, _) | Alui (_, rd, _, _) | Li (rd, _) | Ld (rd, _, _)
+  | Cmov (rd, _, _) ->
+    d rd
+  | Call _ -> d Reg.ra
+  | Nop | St _ | Br _ | Jmp _ | Jr _ | Ret | Eosjmp | Halt -> None
+
+let sources i =
+  let srcs =
+    match i with
+    | Nop | Li _ | Jmp _ | Call _ | Eosjmp | Halt -> []
+    | Jr r -> [ r ]
+    | Alu (_, _, rs1, rs2) -> [ rs1; rs2 ]
+    | Alui (_, _, rs1, _) -> [ rs1 ]
+    | Ld (_, base, _) -> [ base ]
+    | St (rs, base, _) -> [ rs; base ]
+    | Cmov (rd, rc, rs) -> [ rd; rc; rs ]
+    | Br { rs1; rs2; _ } -> [ rs1; rs2 ]
+    | Ret -> [ Reg.ra ]
+  in
+  List.sort_uniq compare (List.filter (fun r -> r <> Reg.zero) srcs)
+
+let is_secure_branch = function Br { secure; _ } -> secure | _ -> false
+
+let eval_cond c a b =
+  match c with
+  | Eq -> a = b
+  | Ne -> a <> b
+  | Lt -> a < b
+  | Ge -> a >= b
+  | Le -> a <= b
+  | Gt -> a > b
+
+let eval_alu op a b =
+  match op with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | Div -> if b = 0 then 0 else a / b
+  | Rem -> if b = 0 then 0 else a mod b
+  | And -> a land b
+  | Or -> a lor b
+  | Xor -> a lxor b
+  | Shl -> a lsl (b land 63)
+  | Shr -> a asr (b land 63)
+  | Slt -> if a < b then 1 else 0
+  | Sle -> if a <= b then 1 else 0
+  | Seq -> if a = b then 1 else 0
+  | Sne -> if a <> b then 1 else 0
+
+let alu_name = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div" | Rem -> "rem"
+  | And -> "and" | Or -> "or" | Xor -> "xor" | Shl -> "shl" | Shr -> "shr"
+  | Slt -> "slt" | Sle -> "sle" | Seq -> "seq" | Sne -> "sne"
+
+let cond_name = function
+  | Eq -> "eq" | Ne -> "ne" | Lt -> "lt" | Ge -> "ge" | Le -> "le" | Gt -> "gt"
+
+let to_string i =
+  let r = Reg.to_string in
+  match i with
+  | Nop -> "nop"
+  | Alu (op, rd, rs1, rs2) ->
+    Printf.sprintf "%s %s, %s, %s" (alu_name op) (r rd) (r rs1) (r rs2)
+  | Alui (op, rd, rs1, imm) ->
+    Printf.sprintf "%si %s, %s, %d" (alu_name op) (r rd) (r rs1) imm
+  | Li (rd, imm) -> Printf.sprintf "li %s, %d" (r rd) imm
+  | Ld (rd, base, off) -> Printf.sprintf "ld %s, %d(%s)" (r rd) off (r base)
+  | St (rs, base, off) -> Printf.sprintf "st %s, %d(%s)" (r rs) off (r base)
+  | Cmov (rd, rc, rs) -> Printf.sprintf "cmov %s, %s, %s" (r rd) (r rc) (r rs)
+  | Br { cond; rs1; rs2; target; secure } ->
+    Printf.sprintf "%sb%s %s, %s, @%d"
+      (if secure then "s" else "")
+      (cond_name cond) (r rs1) (r rs2) target
+  | Jmp t -> Printf.sprintf "jmp @%d" t
+  | Jr reg -> Printf.sprintf "jr %s" (r reg)
+  | Call t -> Printf.sprintf "call @%d" t
+  | Ret -> "ret"
+  | Eosjmp -> "eosjmp"
+  | Halt -> "halt"
+
+let pp fmt i = Format.pp_print_string fmt (to_string i)

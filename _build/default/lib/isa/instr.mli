@@ -1,0 +1,75 @@
+(** The instruction set of the simulated machine.
+
+    A RISC-like ISA extended with the two SeMPE additions from §IV-C of the
+    paper:
+
+    - conditional branches carry a [secure] flag, standing in for the
+      SecPrefix byte (0x2e) that turns a branch into an sJMP;
+    - {!Eosjmp} marks the join point of a secure branch (encoded as
+      0x2e,0x90 in the paper, i.e. a NOP on legacy processors).
+
+    Branch and jump targets are absolute instruction indices; the
+    {!module:Builder} resolves symbolic labels to indices at assembly time. *)
+
+type alu_op =
+  | Add | Sub | Mul | Div | Rem
+  | And | Or | Xor | Shl | Shr
+  | Slt  (** set if less-than, signed *)
+  | Sle  (** set if less-or-equal, signed *)
+  | Seq  (** set if equal *)
+  | Sne  (** set if not equal *)
+
+type cond = Eq | Ne | Lt | Ge | Le | Gt
+(** Branch condition, comparing [rs1] with [rs2] (signed). *)
+
+type t =
+  | Nop
+  | Alu of alu_op * Reg.t * Reg.t * Reg.t  (** [Alu (op, rd, rs1, rs2)] *)
+  | Alui of alu_op * Reg.t * Reg.t * int   (** [Alui (op, rd, rs1, imm)] *)
+  | Li of Reg.t * int                      (** load immediate *)
+  | Ld of Reg.t * Reg.t * int              (** [Ld (rd, base, off)]: rd <- mem[base+off] *)
+  | St of Reg.t * Reg.t * int              (** [St (rs, base, off)]: mem[base+off] <- rs *)
+  | Cmov of Reg.t * Reg.t * Reg.t          (** [Cmov (rd, rc, rs)]: if rc<>0 then rd <- rs *)
+  | Br of { cond : cond; rs1 : Reg.t; rs2 : Reg.t; target : int; secure : bool }
+  | Jmp of int
+  | Jr of Reg.t                            (** indirect jump: pc <- reg *)
+  | Call of int                            (** ra <- pc+1; jump *)
+  | Ret                                    (** jump to ra *)
+  | Eosjmp                                 (** end-of-secure-jump marker; NOP on legacy *)
+  | Halt
+
+(** Instruction class, used by the timing model to pick latency and issue
+    port. *)
+type iclass =
+  | Cls_nop
+  | Cls_int_alu
+  | Cls_int_mul
+  | Cls_int_div
+  | Cls_load
+  | Cls_store
+  | Cls_branch
+  | Cls_jump
+  | Cls_eosjmp
+  | Cls_halt
+
+val class_of : t -> iclass
+
+val dest : t -> Reg.t option
+(** Architectural register written by the instruction, if any. Writes to
+    {!Reg.zero} are reported as [None]. *)
+
+val sources : t -> Reg.t list
+(** Architectural registers read by the instruction (without duplicates,
+    without {!Reg.zero}). [Cmov (rd, _, _)] reads [rd]. *)
+
+val is_secure_branch : t -> bool
+(** True for a conditional branch carrying the SecPrefix. *)
+
+val eval_cond : cond -> int -> int -> bool
+val eval_alu : alu_op -> int -> int -> int
+(** [eval_alu Div _ 0] and [eval_alu Rem _ 0] return 0 rather than trapping:
+    the paper assumes the compiler rejects secure blocks that can fault, and
+    a wrong-path divide must not kill the simulation (§III). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

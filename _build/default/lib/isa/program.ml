@@ -1,0 +1,76 @@
+type t = {
+  code : Instr.t array;
+  entry : int;
+  data_words : int;
+  labels : (string * int) list;
+}
+
+let validate code entry =
+  let n = Array.length code in
+  if entry < 0 || entry >= n then invalid_arg "Program.make: entry out of range";
+  let check_target kind t =
+    if t < 0 || t >= n then
+      invalid_arg (Printf.sprintf "Program.make: %s target %d out of range" kind t)
+  in
+  let check_reg r =
+    if not (Reg.is_valid r) then
+      invalid_arg (Printf.sprintf "Program.make: invalid register %d" r)
+  in
+  let check_instr (i : Instr.t) =
+    (match Instr.dest i with Some r -> check_reg r | None -> ());
+    List.iter check_reg (Instr.sources i);
+    match i with
+    | Instr.Br { target; _ } -> check_target "branch" target
+    | Instr.Jmp target -> check_target "jump" target
+    | Instr.Call target -> check_target "call" target
+    | Instr.Nop | Instr.Alu _ | Instr.Alui _ | Instr.Li _ | Instr.Ld _
+    | Instr.St _ | Instr.Cmov _ | Instr.Jr _ | Instr.Ret | Instr.Eosjmp
+    | Instr.Halt ->
+      ()
+  in
+  Array.iter check_instr code
+
+let make ~code ~entry ~data_words ~labels =
+  if data_words < 0 then invalid_arg "Program.make: negative data_words";
+  validate code entry;
+  { code; entry; data_words; labels }
+
+let length t = Array.length t.code
+
+let find_label t name =
+  match List.assoc_opt name t.labels with
+  | Some i -> i
+  | None -> raise Not_found
+
+let count_secure_branches t =
+  Array.fold_left
+    (fun acc i -> if Instr.is_secure_branch i then acc + 1 else acc)
+    0 t.code
+
+let max_nesting_hint t =
+  let depth = ref 0 and deepest = ref 0 in
+  Array.iter
+    (fun i ->
+      if Instr.is_secure_branch i then begin
+        incr depth;
+        if !depth > !deepest then deepest := !depth
+      end
+      else match i with
+        | Instr.Eosjmp -> if !depth > 0 then decr depth
+        | Instr.Nop | Instr.Alu _ | Instr.Alui _ | Instr.Li _ | Instr.Ld _
+        | Instr.St _ | Instr.Cmov _ | Instr.Br _ | Instr.Jmp _ | Instr.Jr _
+        | Instr.Call _ | Instr.Ret | Instr.Halt -> ())
+    t.code;
+  !deepest
+
+let pp fmt t =
+  let label_at =
+    let tbl = Hashtbl.create 16 in
+    List.iter (fun (name, i) -> Hashtbl.add tbl i name) t.labels;
+    fun i -> Hashtbl.find_all tbl i
+  in
+  Array.iteri
+    (fun i instr ->
+      List.iter (fun name -> Format.fprintf fmt "%s:@." name) (label_at i);
+      Format.fprintf fmt "  %4d  %s@." i (Instr.to_string instr))
+    t.code

@@ -1,0 +1,36 @@
+(** An assembled program: code image, entry point and static data layout.
+
+    Memory is word addressed. The static data segment occupies word
+    addresses [\[0, data_words)] and is addressed off {!Reg.gp} (which the
+    loader sets to 0); the stack grows downward from the top of memory. *)
+
+type t = private {
+  code : Instr.t array;
+  entry : int;                      (** index of the first instruction *)
+  data_words : int;                 (** size of the global data segment *)
+  labels : (string * int) list;     (** label name -> instruction index *)
+}
+
+val make :
+  code:Instr.t array -> entry:int -> data_words:int
+  -> labels:(string * int) list -> t
+(** Validates and packs a program.
+    @raise Invalid_argument if the entry point or any branch target is out of
+    range, or any register number is invalid. *)
+
+val length : t -> int
+(** Number of instructions. *)
+
+val find_label : t -> string -> int
+(** @raise Not_found when the label is absent. *)
+
+val count_secure_branches : t -> int
+(** Static number of sJMP instructions in the image. *)
+
+val max_nesting_hint : t -> int
+(** Upper bound on static sJMP nesting depth, computed by scanning for the
+    deepest excess of secure branches over [Eosjmp] join markers along the
+    layout order. Used to size the jbTable / SPM in tests. *)
+
+val pp : Format.formatter -> t -> unit
+(** Disassembly listing with labels. *)

@@ -1,0 +1,17 @@
+type t = int
+
+let count = 48
+let zero = 0
+let sp = 1
+let ra = 2
+let rv = 3
+let gp = 4
+let scratch0 = 5
+let scratch1 = 6
+let first_temp = 8
+let last_temp = count - 1
+
+let is_valid r = r >= 0 && r < count
+
+let to_string r = Printf.sprintf "r%d" r
+let pp fmt r = Format.pp_print_string fmt (to_string r)

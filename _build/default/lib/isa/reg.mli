@@ -1,0 +1,44 @@
+(** Architectural registers.
+
+    The machine has 48 architectural registers (the paper sizes ArchRS
+    snapshots for the 48 architectural registers of x86_64). Register 0 is
+    hardwired to zero, RISC style. A handful of registers have conventional
+    roles assigned by the code generator; the rest form the expression
+    evaluation window. *)
+
+type t = int
+(** A register number in [\[0, count)]. *)
+
+val count : int
+(** Number of architectural registers (48). *)
+
+val zero : t
+(** Hardwired zero register (r0). Writes to it are discarded. *)
+
+val sp : t
+(** Stack pointer (r1). *)
+
+val ra : t
+(** Return-address / link register (r2). *)
+
+val rv : t
+(** Return-value register (r3). *)
+
+val gp : t
+(** Global pointer: base of the global data segment (r4). *)
+
+val scratch0 : t
+(** First scratch register reserved for compiler-internal sequences (r5). *)
+
+val scratch1 : t
+(** Second scratch register (r6). *)
+
+val first_temp : t
+(** First register of the expression-evaluation window (r8). *)
+
+val last_temp : t
+(** Last register of the expression-evaluation window (r47). *)
+
+val is_valid : t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/lang/codegen.ml: Ast Builder Hashtbl Instr List Normalize Printf Reg Sempe_isa

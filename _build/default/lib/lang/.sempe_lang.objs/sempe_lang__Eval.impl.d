@@ -1,0 +1,1 @@
+lib/lang/eval.ml: Array Ast Hashtbl List Printf

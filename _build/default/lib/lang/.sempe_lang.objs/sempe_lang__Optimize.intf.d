@@ -1,0 +1,1 @@
+lib/lang/optimize.mli: Ast

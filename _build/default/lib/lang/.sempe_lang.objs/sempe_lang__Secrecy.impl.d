@@ -1,0 +1,1 @@
+lib/lang/secrecy.ml: Ast Format List Printf Sset String

@@ -1,0 +1,1 @@
+lib/lang/shadow.ml: Ast List Printf Sset String

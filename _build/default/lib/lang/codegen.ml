@@ -1,0 +1,262 @@
+open Ast
+open Sempe_isa
+module I = Instr
+
+type layout = {
+  scalars : (string * int) list;
+  arrays : (string * (int * int)) list;
+  data_words : int;
+}
+
+let scalar_offset layout name = List.assoc name layout.scalars
+let array_slice layout name = List.assoc name layout.arrays
+
+let make_layout prog =
+  let off = ref 0 in
+  let scalars =
+    List.map
+      (fun g ->
+        let o = !off in
+        incr off;
+        (g, o))
+      prog.globals
+  in
+  let arrays =
+    List.map
+      (fun a ->
+        let o = !off in
+        off := !off + a.size;
+        (a.aname, (o, a.size)))
+      prog.arrays
+  in
+  { scalars; arrays; data_words = !off }
+
+(* Where a scalar lives inside a function: a stack slot at sp+offset, or a
+   global at gp+offset. *)
+type location = Stack of int | Global of int
+
+type fenv = {
+  locate : string -> location;
+  exit_label : string;
+}
+
+let binop_to_alu = function
+  | Add -> Some I.Add
+  | Sub -> Some I.Sub
+  | Mul -> Some I.Mul
+  | Div -> Some I.Div
+  | Rem -> Some I.Rem
+  | Band -> Some I.And
+  | Bor -> Some I.Or
+  | Bxor -> Some I.Xor
+  | Shl -> Some I.Shl
+  | Shr -> Some I.Shr
+  | Lt -> Some I.Slt
+  | Le -> Some I.Sle
+  | Eq -> Some I.Seq
+  | Ne -> Some I.Sne
+  | Gt | Ge | Land | Lor -> None
+
+type ctx = {
+  b : Builder.t;
+  layout : layout;
+  prog : program;
+}
+
+(* Evaluate [e] into register [dst]; registers below [dst] are preserved,
+   registers at and above [dst] are clobbered. *)
+let rec eval_expr ctx fenv e ~dst =
+  if dst + 2 > Reg.last_temp then
+    invalid_arg "Codegen: expression too deep (normalization failed?)";
+  let b = ctx.b in
+  match e with
+  | Int n -> Builder.li b dst n
+  | Var x -> (
+    match fenv.locate x with
+    | Stack off -> Builder.ld b dst Reg.sp off
+    | Global off -> Builder.ld b dst Reg.gp off)
+  | Index (a, ie) ->
+    let off, _size = array_slice ctx.layout a in
+    eval_expr ctx fenv ie ~dst;
+    Builder.alu b I.Add dst dst Reg.gp;
+    Builder.ld b dst dst off
+  | Unop (Neg, e1) ->
+    eval_expr ctx fenv e1 ~dst;
+    Builder.alu b I.Sub dst Reg.zero dst
+  | Unop (Lnot, e1) ->
+    eval_expr ctx fenv e1 ~dst;
+    Builder.alui b I.Seq dst dst 0
+  | Binop (Gt, a, e2) ->
+    (* a > b  ==  b < a *)
+    eval_expr ctx fenv a ~dst;
+    eval_expr ctx fenv e2 ~dst:(dst + 1);
+    Builder.alu b I.Slt dst (dst + 1) dst
+  | Binop (Ge, a, e2) ->
+    eval_expr ctx fenv a ~dst;
+    eval_expr ctx fenv e2 ~dst:(dst + 1);
+    Builder.alu b I.Sle dst (dst + 1) dst
+  | Binop (Land, a, e2) ->
+    eval_expr ctx fenv a ~dst;
+    Builder.alui b I.Sne dst dst 0;
+    eval_expr ctx fenv e2 ~dst:(dst + 1);
+    Builder.alui b I.Sne (dst + 1) (dst + 1) 0;
+    Builder.alu b I.And dst dst (dst + 1)
+  | Binop (Lor, a, e2) ->
+    eval_expr ctx fenv a ~dst;
+    Builder.alui b I.Sne dst dst 0;
+    eval_expr ctx fenv e2 ~dst:(dst + 1);
+    Builder.alui b I.Sne (dst + 1) (dst + 1) 0;
+    Builder.alu b I.Or dst dst (dst + 1)
+  | Binop (op, a, e2) -> (
+    match binop_to_alu op with
+    | Some alu ->
+      eval_expr ctx fenv a ~dst;
+      eval_expr ctx fenv e2 ~dst:(dst + 1);
+      Builder.alu b alu dst dst (dst + 1)
+    | None -> assert false)
+  | Select (c, a, e2) ->
+    (* dst <- e2; if c then dst <- a : all three always evaluated. *)
+    eval_expr ctx fenv e2 ~dst;
+    eval_expr ctx fenv c ~dst:(dst + 1);
+    eval_expr ctx fenv a ~dst:(dst + 2);
+    Builder.cmov b dst (dst + 1) (dst + 2)
+  | Call (f, args) -> eval_call ctx fenv f args ~dst
+
+(* Normalization guarantees atomic call arguments, but evaluating through
+   the window keeps this robust for hand-written ASTs too: all arguments
+   are evaluated before sp moves, so stack-relative slots stay valid. *)
+and eval_call ctx fenv f args ~dst =
+  let b = ctx.b in
+  let nargs = List.length args in
+  if dst + nargs > Reg.last_temp then
+    invalid_arg (Printf.sprintf "Codegen: too many arguments in call to %S" f);
+  List.iteri (fun k arg -> eval_expr ctx fenv arg ~dst:(dst + k)) args;
+  if nargs > 0 then Builder.alui b I.Add Reg.sp Reg.sp (-nargs);
+  List.iteri (fun k _ -> Builder.st b (dst + k) Reg.sp k) args;
+  Builder.call b ("fn_" ^ f);
+  if nargs > 0 then Builder.alui b I.Add Reg.sp Reg.sp nargs;
+  Builder.mov b dst Reg.rv
+
+let store_scalar ctx fenv x ~src =
+  match fenv.locate x with
+  | Stack off -> Builder.st ctx.b src Reg.sp off
+  | Global off -> Builder.st ctx.b src Reg.gp off
+
+let t0 = Reg.first_temp
+
+let rec gen_block ctx fenv block = List.iter (gen_stmt ctx fenv) block
+
+and gen_stmt ctx fenv stmt =
+  let b = ctx.b in
+  match stmt with
+  | Assign (x, e) ->
+    eval_expr ctx fenv e ~dst:t0;
+    store_scalar ctx fenv x ~src:t0
+  | Store (a, ie, e) ->
+    let off, _size = array_slice ctx.layout a in
+    eval_expr ctx fenv ie ~dst:t0;
+    Builder.alu b I.Add t0 t0 Reg.gp;
+    eval_expr ctx fenv e ~dst:(t0 + 1);
+    Builder.st b (t0 + 1) t0 off
+  | Expr e -> eval_expr ctx fenv e ~dst:t0
+  | Return e ->
+    eval_expr ctx fenv e ~dst:t0;
+    Builder.mov b Reg.rv t0;
+    Builder.jmp b fenv.exit_label
+  | If { secret = false; cond; then_; else_ } ->
+    let else_l = Builder.fresh_label b "else" in
+    let end_l = Builder.fresh_label b "endif" in
+    eval_expr ctx fenv cond ~dst:t0;
+    Builder.br b I.Eq t0 Reg.zero else_l;
+    gen_block ctx fenv then_;
+    Builder.jmp b end_l;
+    Builder.bind b else_l;
+    gen_block ctx fenv else_;
+    Builder.bind b end_l;
+    Builder.nop b
+  | If { secret = true; cond; then_; else_ } ->
+    (* sJMP: taken target = then-block (the T path); fall-through =
+       else-block (the NT path, always executed first); both paths meet at
+       a single eosJMP. *)
+    let then_l = Builder.fresh_label b "sec_t" in
+    let join_l = Builder.fresh_label b "sec_join" in
+    eval_expr ctx fenv cond ~dst:t0;
+    Builder.br b ~secure:true I.Ne t0 Reg.zero then_l;
+    gen_block ctx fenv else_;
+    Builder.jmp b join_l;
+    Builder.bind b then_l;
+    gen_block ctx fenv then_;
+    Builder.bind b join_l;
+    Builder.eosjmp b
+  | While (cond, body) ->
+    let head_l = Builder.fresh_label b "while" in
+    let end_l = Builder.fresh_label b "wend" in
+    Builder.bind b head_l;
+    eval_expr ctx fenv cond ~dst:t0;
+    Builder.br b I.Eq t0 Reg.zero end_l;
+    gen_block ctx fenv body;
+    Builder.jmp b head_l;
+    Builder.bind b end_l;
+    Builder.nop b
+  | For (x, lo, hi, body) ->
+    (* Normalization lowers For to While; support direct For anyway for
+       hand-written ASTs, with the bound re-evaluated each iteration. *)
+    let head_l = Builder.fresh_label b "for" in
+    let end_l = Builder.fresh_label b "fend" in
+    eval_expr ctx fenv lo ~dst:t0;
+    store_scalar ctx fenv x ~src:t0;
+    Builder.bind b head_l;
+    eval_expr ctx fenv (Binop (Lt, Var x, hi)) ~dst:t0;
+    Builder.br b I.Eq t0 Reg.zero end_l;
+    gen_block ctx fenv body;
+    eval_expr ctx fenv (Binop (Add, Var x, Int 1)) ~dst:t0;
+    store_scalar ctx fenv x ~src:t0;
+    Builder.jmp b head_l;
+    Builder.bind b end_l;
+    Builder.nop b
+
+let gen_func ctx f =
+  let b = ctx.b in
+  let nlocals = List.length f.locals in
+  (* Frame after the prologue (sp decremented by 1 + nlocals):
+       sp+0 .. sp+nlocals-1      locals
+       sp+nlocals                saved ra
+       sp+nlocals+1 .. +nparams  arguments (pushed by the caller)      *)
+  let locate =
+    let slots = Hashtbl.create 16 in
+    List.iteri (fun k l -> Hashtbl.replace slots l (Stack k)) f.locals;
+    List.iteri (fun k p -> Hashtbl.replace slots p (Stack (nlocals + 1 + k))) f.params;
+    fun x ->
+      match Hashtbl.find_opt slots x with
+      | Some loc -> loc
+      | None -> (
+        match List.assoc_opt x ctx.layout.scalars with
+        | Some off -> Global off
+        | None -> invalid_arg (Printf.sprintf "Codegen: unbound scalar %S" x))
+  in
+  let exit_label = "fn_" ^ f.fname ^ "_exit" in
+  let fenv = { locate; exit_label } in
+  Builder.bind b ("fn_" ^ f.fname);
+  Builder.alui b I.Add Reg.sp Reg.sp (-(nlocals + 1));
+  Builder.st b Reg.ra Reg.sp nlocals;
+  (* zero-initialize locals: the language guarantees fresh locals read 0 *)
+  List.iteri (fun k _ -> Builder.st b Reg.zero Reg.sp k) f.locals;
+  gen_block ctx fenv f.body;
+  Builder.li b Reg.rv 0;
+  Builder.bind b exit_label;
+  Builder.ld b Reg.ra Reg.sp nlocals;
+  Builder.alui b I.Add Reg.sp Reg.sp (nlocals + 1);
+  Builder.ret b
+
+let compile prog =
+  validate prog;
+  let prog = Normalize.program prog in
+  validate prog;
+  let layout = make_layout prog in
+  let b = Builder.create () in
+  let ctx = { b; layout; prog } in
+  Builder.bind b "entry";
+  Builder.call b ("fn_" ^ prog.main);
+  Builder.halt b;
+  List.iter (gen_func ctx) prog.funcs;
+  (Builder.assemble b ~entry:"entry" ~data_words:layout.data_words, layout)

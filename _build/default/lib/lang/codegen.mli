@@ -1,0 +1,31 @@
+(** Code generation from the (normalized) workload language to the ISA.
+
+    Conventions:
+    - scalars and arrays declared at program level live in the static data
+      segment, addressed off {!Sempe_isa.Reg.gp};
+    - each function call pushes its arguments, then [Call]; the callee
+      saves the link register and allocates local slots — recursion works;
+    - expression evaluation walks the tree through the temporary register
+      window (normalization bounds the depth);
+    - a secret [If] compiles to a secure branch whose taken target is the
+      then-block, with the else-block on the fall-through (the not-taken
+      path, which SeMPE executes first) and a single [Eosjmp] at the join;
+    - [Select] compiles to a CMOV, never a branch. *)
+
+type layout = {
+  scalars : (string * int) list;       (** global name, word offset *)
+  arrays : (string * (int * int)) list;  (** array name, (offset, size) *)
+  data_words : int;
+}
+
+val scalar_offset : layout -> string -> int
+(** @raise Not_found *)
+
+val array_slice : layout -> string -> int * int
+(** (offset, size).  @raise Not_found *)
+
+val compile : Ast.program -> Sempe_isa.Program.t * layout
+(** Validates, normalizes and compiles. The program starts at an entry stub
+    that calls [main] and halts; [main]'s return value is left in
+    {!Sempe_isa.Reg.rv}.
+    @raise Invalid_argument on malformed input or unsupported shapes. *)

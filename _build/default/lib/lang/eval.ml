@@ -1,0 +1,165 @@
+open Ast
+
+type state = {
+  prog : program;
+  globals : (string, int ref) Hashtbl.t;
+  arrays : (string, int array) Hashtbl.t;
+  mutable steps : int;
+  mutable max_steps : int;
+}
+
+exception Step_limit
+exception Runtime_error of string
+exception Returning of int
+
+let init prog =
+  validate prog;
+  let globals = Hashtbl.create 16 in
+  List.iter (fun g -> Hashtbl.replace globals g (ref 0)) prog.globals;
+  let arrays = Hashtbl.create 16 in
+  List.iter (fun a -> Hashtbl.replace arrays a.aname (Array.make a.size 0)) prog.arrays;
+  { prog; globals; arrays; steps = 0; max_steps = 0 }
+
+let set_global st name value =
+  match Hashtbl.find_opt st.globals name with
+  | Some r -> r := value
+  | None -> raise (Runtime_error (Printf.sprintf "no global %S" name))
+
+let get_global st name =
+  match Hashtbl.find_opt st.globals name with
+  | Some r -> !r
+  | None -> raise (Runtime_error (Printf.sprintf "no global %S" name))
+
+let set_array st name values =
+  match Hashtbl.find_opt st.arrays name with
+  | Some a ->
+    if Array.length a <> Array.length values then
+      raise (Runtime_error (Printf.sprintf "array %S size mismatch" name));
+    Array.blit values 0 a 0 (Array.length a)
+  | None -> raise (Runtime_error (Printf.sprintf "no array %S" name))
+
+let get_array st name =
+  match Hashtbl.find_opt st.arrays name with
+  | Some a -> Array.copy a
+  | None -> raise (Runtime_error (Printf.sprintf "no array %S" name))
+
+let truth n = n <> 0
+let of_bool b = if b then 1 else 0
+
+let eval_binop op a b =
+  match op with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | Div -> if b = 0 then 0 else a / b
+  | Rem -> if b = 0 then 0 else a mod b
+  | Band -> a land b
+  | Bor -> a lor b
+  | Bxor -> a lxor b
+  | Shl -> a lsl (b land 63)
+  | Shr -> a asr (b land 63)
+  | Lt -> of_bool (a < b)
+  | Le -> of_bool (a <= b)
+  | Gt -> of_bool (a > b)
+  | Ge -> of_bool (a >= b)
+  | Eq -> of_bool (a = b)
+  | Ne -> of_bool (a <> b)
+  | Land -> of_bool (truth a && truth b)
+  | Lor -> of_bool (truth a || truth b)
+
+(* A call frame maps params and locals to cells; scalars resolve to the
+   frame first, then to globals. *)
+type frame = (string, int ref) Hashtbl.t
+
+let lookup st (frame : frame) x =
+  match Hashtbl.find_opt frame x with
+  | Some r -> r
+  | None -> (
+    match Hashtbl.find_opt st.globals x with
+    | Some r -> r
+    | None -> raise (Runtime_error (Printf.sprintf "unbound scalar %S" x)))
+
+let array_of st a =
+  match Hashtbl.find_opt st.arrays a with
+  | Some arr -> arr
+  | None -> raise (Runtime_error (Printf.sprintf "unbound array %S" a))
+
+let index st a i =
+  let arr = array_of st a in
+  if i < 0 || i >= Array.length arr then
+    raise (Runtime_error (Printf.sprintf "array %S index %d out of bounds" a i));
+  arr.(i)
+
+let store_idx st a i value =
+  let arr = array_of st a in
+  if i < 0 || i >= Array.length arr then
+    raise (Runtime_error (Printf.sprintf "array %S index %d out of bounds" a i));
+  arr.(i) <- value
+
+let tick st =
+  st.steps <- st.steps + 1;
+  if st.steps > st.max_steps then raise Step_limit
+
+let rec eval_expr st frame = function
+  | Int n -> n
+  | Var x -> !(lookup st frame x)
+  | Index (a, e) -> index st a (eval_expr st frame e)
+  | Unop (Neg, e) -> -eval_expr st frame e
+  | Unop (Lnot, e) -> of_bool (eval_expr st frame e = 0)
+  | Binop (op, a, b) ->
+    let va = eval_expr st frame a in
+    let vb = eval_expr st frame b in
+    eval_binop op va vb
+  | Call (f, args) ->
+    let vargs = List.map (eval_expr st frame) args in
+    call_func st f vargs
+  | Select (c, a, b) ->
+    let vc = eval_expr st frame c in
+    let va = eval_expr st frame a in
+    let vb = eval_expr st frame b in
+    if truth vc then va else vb
+
+and call_func st fname vargs =
+  let f = find_func st.prog fname in
+  let frame : frame = Hashtbl.create 16 in
+  List.iter2 (fun p a -> Hashtbl.replace frame p (ref a)) f.params vargs;
+  List.iter (fun l -> Hashtbl.replace frame l (ref 0)) f.locals;
+  try
+    exec_block st frame f.body;
+    0
+  with Returning r -> r
+
+and exec_block st frame block = List.iter (exec_stmt st frame) block
+
+and exec_stmt st frame stmt =
+  tick st;
+  match stmt with
+  | Assign (x, e) -> lookup st frame x := eval_expr st frame e
+  | Store (a, ie, e) ->
+    let i = eval_expr st frame ie in
+    store_idx st a i (eval_expr st frame e)
+  | If { cond; then_; else_; secret = _ } ->
+    if truth (eval_expr st frame cond) then exec_block st frame then_
+    else exec_block st frame else_
+  | While (cond, body) ->
+    while truth (eval_expr st frame cond) do
+      tick st;
+      exec_block st frame body
+    done
+  | For (x, lo, hi, body) ->
+    let cell = lookup st frame x in
+    let vlo = eval_expr st frame lo in
+    let vhi = eval_expr st frame hi in
+    cell := vlo;
+    while !cell < vhi do
+      tick st;
+      exec_block st frame body;
+      incr cell
+    done
+  | Expr e -> ignore (eval_expr st frame e)
+  | Return e -> raise (Returning (eval_expr st frame e))
+
+let run ?(max_steps = 50_000_000) st =
+  st.steps <- 0;
+  st.max_steps <- max_steps;
+  call_func st st.prog.main []

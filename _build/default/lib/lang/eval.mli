@@ -1,0 +1,33 @@
+(** Reference interpreter for the workload language.
+
+    Direct structural semantics, independent of the ISA and the compiler;
+    the test suite runs every workload here and through the full
+    compile-and-simulate pipeline and compares results (differential
+    testing).
+
+    Semantics notes, shared with the compiler: [Land]/[Lor] evaluate both
+    operands; division and remainder by zero yield 0; [For] bounds are
+    evaluated once on entry; [Select] evaluates all three operands. *)
+
+type state
+
+val init : Ast.program -> state
+(** Validates the program and zero-initializes globals and arrays. *)
+
+val set_global : state -> string -> int -> unit
+val get_global : state -> string -> int
+
+val set_array : state -> string -> int array -> unit
+(** Copies [values] into the declared array; lengths must match. *)
+
+val get_array : state -> string -> int array
+(** A copy of the array's current contents. *)
+
+exception Step_limit
+exception Runtime_error of string
+
+val run : ?max_steps:int -> state -> int
+(** Call [main] and return its value. [max_steps] (default 50M statements)
+    guards against non-termination.
+    @raise Runtime_error on out-of-bounds array access.
+    @raise Step_limit when the budget is exhausted. *)

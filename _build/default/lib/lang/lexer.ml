@@ -1,0 +1,132 @@
+type token =
+  | INT of int
+  | IDENT of string
+  | KW_GLOBAL | KW_ARRAY | KW_SCRATCH | KW_FUNC | KW_LOCALS
+  | KW_IF | KW_ELSE | KW_WHILE | KW_FOR | KW_RETURN | KW_SELECT
+  | AT_SECRET
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA
+  | ASSIGN
+  | PLUSPLUS
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | SHL | SHR
+  | LT | LE | GT | GE | EQ | NE
+  | ANDAND | OROR | BANG
+  | EOF
+
+exception Error of { line : int; message : string }
+
+let keyword = function
+  | "global" -> Some KW_GLOBAL
+  | "array" -> Some KW_ARRAY
+  | "scratch" -> Some KW_SCRATCH
+  | "func" -> Some KW_FUNC
+  | "locals" -> Some KW_LOCALS
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | "while" -> Some KW_WHILE
+  | "for" -> Some KW_FOR
+  | "return" -> Some KW_RETURN
+  | "select" -> Some KW_SELECT
+  | _ -> None
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '$'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 in
+  let out = ref [] in
+  let emit tok = out := (tok, !line) :: !out in
+  let rec go k =
+    if k >= n then emit EOF
+    else
+      let c = src.[k] in
+      match c with
+      | ' ' | '\t' | '\r' -> go (k + 1)
+      | '\n' ->
+        incr line;
+        go (k + 1)
+      | '/' when k + 1 < n && src.[k + 1] = '/' ->
+        let rec skip k = if k < n && src.[k] <> '\n' then skip (k + 1) else k in
+        go (skip k)
+      | '(' -> emit LPAREN; go (k + 1)
+      | ')' -> emit RPAREN; go (k + 1)
+      | '{' -> emit LBRACE; go (k + 1)
+      | '}' -> emit RBRACE; go (k + 1)
+      | '[' -> emit LBRACKET; go (k + 1)
+      | ']' -> emit RBRACKET; go (k + 1)
+      | ';' -> emit SEMI; go (k + 1)
+      | ',' -> emit COMMA; go (k + 1)
+      | '+' when k + 1 < n && src.[k + 1] = '+' -> emit PLUSPLUS; go (k + 2)
+      | '+' -> emit PLUS; go (k + 1)
+      | '-' -> emit MINUS; go (k + 1)
+      | '*' -> emit STAR; go (k + 1)
+      | '/' -> emit SLASH; go (k + 1)
+      | '%' -> emit PERCENT; go (k + 1)
+      | '^' -> emit CARET; go (k + 1)
+      | '&' when k + 1 < n && src.[k + 1] = '&' -> emit ANDAND; go (k + 2)
+      | '&' -> emit AMP; go (k + 1)
+      | '|' when k + 1 < n && src.[k + 1] = '|' -> emit OROR; go (k + 2)
+      | '|' -> emit PIPE; go (k + 1)
+      | '<' when k + 1 < n && src.[k + 1] = '<' -> emit SHL; go (k + 2)
+      | '<' when k + 1 < n && src.[k + 1] = '=' -> emit LE; go (k + 2)
+      | '<' -> emit LT; go (k + 1)
+      | '>' when k + 1 < n && src.[k + 1] = '>' -> emit SHR; go (k + 2)
+      | '>' when k + 1 < n && src.[k + 1] = '=' -> emit GE; go (k + 2)
+      | '>' -> emit GT; go (k + 1)
+      | '=' when k + 1 < n && src.[k + 1] = '=' -> emit EQ; go (k + 2)
+      | '=' -> emit ASSIGN; go (k + 1)
+      | '!' when k + 1 < n && src.[k + 1] = '=' -> emit NE; go (k + 2)
+      | '!' -> emit BANG; go (k + 1)
+      | '@' ->
+        let stop = ref (k + 1) in
+        while !stop < n && is_ident_char src.[!stop] do incr stop done;
+        let word = String.sub src (k + 1) (!stop - k - 1) in
+        if word = "secret" then begin
+          emit AT_SECRET;
+          go !stop
+        end
+        else raise (Error { line = !line; message = "unknown directive @" ^ word })
+      | c when is_digit c ->
+        let stop = ref k in
+        while !stop < n && is_digit src.[!stop] do incr stop done;
+        emit (INT (int_of_string (String.sub src k (!stop - k))));
+        go !stop
+      | c when is_ident_start c ->
+        let stop = ref k in
+        while !stop < n && is_ident_char src.[!stop] do incr stop done;
+        let word = String.sub src k (!stop - k) in
+        (match keyword word with
+         | Some kw -> emit kw
+         | None -> emit (IDENT word));
+        go !stop
+      | c ->
+        raise (Error { line = !line; message = Printf.sprintf "unexpected character %C" c })
+  in
+  go 0;
+  List.rev !out
+
+let token_name = function
+  | INT n -> string_of_int n
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | KW_GLOBAL -> "'global'" | KW_ARRAY -> "'array'" | KW_SCRATCH -> "'scratch'"
+  | KW_FUNC -> "'func'" | KW_LOCALS -> "'locals'"
+  | KW_IF -> "'if'" | KW_ELSE -> "'else'" | KW_WHILE -> "'while'"
+  | KW_FOR -> "'for'" | KW_RETURN -> "'return'" | KW_SELECT -> "'select'"
+  | AT_SECRET -> "'@secret'"
+  | LPAREN -> "'('" | RPAREN -> "')'" | LBRACE -> "'{'" | RBRACE -> "'}'"
+  | LBRACKET -> "'['" | RBRACKET -> "']'"
+  | SEMI -> "';'" | COMMA -> "','"
+  | ASSIGN -> "'='" | PLUSPLUS -> "'++'"
+  | PLUS -> "'+'" | MINUS -> "'-'" | STAR -> "'*'" | SLASH -> "'/'"
+  | PERCENT -> "'%'"
+  | AMP -> "'&'" | PIPE -> "'|'" | CARET -> "'^'" | SHL -> "'<<'" | SHR -> "'>>'"
+  | LT -> "'<'" | LE -> "'<='" | GT -> "'>'" | GE -> "'>='"
+  | EQ -> "'=='" | NE -> "'!='"
+  | ANDAND -> "'&&'" | OROR -> "'||'" | BANG -> "'!'"
+  | EOF -> "end of input"

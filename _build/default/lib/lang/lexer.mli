@@ -1,0 +1,27 @@
+(** Lexer for the workload language's concrete syntax. *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | KW_GLOBAL | KW_ARRAY | KW_SCRATCH | KW_FUNC | KW_LOCALS
+  | KW_IF | KW_ELSE | KW_WHILE | KW_FOR | KW_RETURN | KW_SELECT
+  | AT_SECRET                    (** "@secret" *)
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA
+  | ASSIGN                       (** "=" *)
+  | PLUSPLUS                     (** "++" *)
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | SHL | SHR
+  | LT | LE | GT | GE | EQ | NE
+  | ANDAND | OROR | BANG
+  | EOF
+
+exception Error of { line : int; message : string }
+
+val tokenize : string -> (token * int) list
+(** Token stream with line numbers; comments ("//" to end of line) and
+    whitespace are skipped. The stream ends with [EOF].
+    @raise Error on an unrecognized character. *)
+
+val token_name : token -> string
+(** For diagnostics. *)

@@ -1,0 +1,168 @@
+open Ast
+
+let max_depth = 12
+
+let rec depth = function
+  | Int _ | Var _ -> 1
+  | Index (_, e) | Unop (_, e) -> 1 + depth e
+  | Binop (_, a, b) -> 1 + max (depth a) (depth b)
+  | Call (_, args) -> 1 + List.fold_left (fun m e -> max m (depth e)) 0 args
+  | Select (c, a, b) -> 1 + max (depth c) (max (depth a) (depth b))
+
+type ctx = {
+  mutable counter : int;
+  mutable new_locals : string list;
+}
+
+let fresh ctx hint =
+  ctx.counter <- ctx.counter + 1;
+  let name = Printf.sprintf "$n%d_%s" ctx.counter hint in
+  ctx.new_locals <- name :: ctx.new_locals;
+  name
+
+(* Fully linearize an expression containing calls: every Call and Index is
+   evaluated left-to-right into a temporary, so hoisting the calls cannot
+   reorder a call relative to an array read. Returns the (pure, shallow)
+   residual expression; emitted statements accumulate in [out]. *)
+let rec linearize ctx out e =
+  match e with
+  | Int _ | Var _ -> e
+  | Index (a, ie) ->
+    let ie = linearize ctx out ie in
+    let t = fresh ctx "idx" in
+    out := Assign (t, Index (a, ie)) :: !out;
+    Var t
+  | Unop (op, e1) -> Unop (op, linearize ctx out e1)
+  | Binop (op, a, b) ->
+    let a = linearize ctx out a in
+    let b = linearize ctx out b in
+    Binop (op, a, b)
+  | Call (f, args) ->
+    let args =
+      List.map
+        (fun arg ->
+          match linearize ctx out arg with
+          | (Int _ | Var _) as atom -> atom
+          | other ->
+            let t = fresh ctx "arg" in
+            out := Assign (t, other) :: !out;
+            Var t)
+        args
+    in
+    let t = fresh ctx "call" in
+    out := Assign (t, Call (f, args)) :: !out;
+    Var t
+  | Select (c, a, b) ->
+    let c = linearize ctx out c in
+    let a = linearize ctx out a in
+    let b = linearize ctx out b in
+    Select (c, a, b)
+
+(* Bound the depth of a pure expression by hoisting deep subtrees. *)
+let rec shrink ctx out e =
+  let e =
+    match e with
+    | Int _ | Var _ -> e
+    | Index (a, ie) -> Index (a, shrink ctx out ie)
+    | Unop (op, e1) -> Unop (op, shrink ctx out e1)
+    | Binop (op, a, b) -> Binop (op, shrink ctx out a, shrink ctx out b)
+    | Call (f, args) -> Call (f, List.map (shrink ctx out) args)
+    | Select (c, a, b) ->
+      Select (shrink ctx out c, shrink ctx out a, shrink ctx out b)
+  in
+  if depth e > max_depth then begin
+    let t = fresh ctx "d" in
+    out := Assign (t, e) :: !out;
+    Var t
+  end
+  else e
+
+(* Normalize an expression in statement position: emitted statements land in
+   [out] (reversed); the returned expression is call-free and shallow. *)
+let norm_expr ctx out e =
+  let e = if expr_has_call e then linearize ctx out e else e in
+  shrink ctx out e
+
+let rec norm_block ctx block = List.concat_map (norm_stmt ctx) block
+
+and norm_stmt ctx stmt =
+  let out = ref [] in
+  let finish tail = List.rev_append !out tail in
+  match stmt with
+  | Assign (x, Call (f, args)) ->
+    (* Keep a direct call-assignment in place (linearizing would just add a
+       copy); normalize the arguments to atoms. *)
+    let args =
+      List.map
+        (fun arg ->
+          match norm_expr ctx out arg with
+          | (Int _ | Var _) as atom -> atom
+          | other ->
+            let t = fresh ctx "arg" in
+            out := Assign (t, other) :: !out;
+            Var t)
+        args
+    in
+    finish [ Assign (x, Call (f, args)) ]
+  | Assign (x, e) ->
+    let e = norm_expr ctx out e in
+    finish [ Assign (x, e) ]
+  | Store (a, ie, e) ->
+    let ie = norm_expr ctx out ie in
+    let e = norm_expr ctx out e in
+    finish [ Store (a, ie, e) ]
+  | Expr (Call (f, args)) ->
+    let args =
+      List.map
+        (fun arg ->
+          match norm_expr ctx out arg with
+          | (Int _ | Var _) as atom -> atom
+          | other ->
+            let t = fresh ctx "arg" in
+            out := Assign (t, other) :: !out;
+            Var t)
+        args
+    in
+    finish [ Expr (Call (f, args)) ]
+  | Expr e ->
+    let e = norm_expr ctx out e in
+    finish [ Expr e ]
+  | Return e ->
+    let e = norm_expr ctx out e in
+    finish [ Return e ]
+  | If { secret; cond; then_; else_ } ->
+    let cond = norm_expr ctx out cond in
+    finish
+      [ If { secret; cond; then_ = norm_block ctx then_; else_ = norm_block ctx else_ } ]
+  | While (cond, body) ->
+    let body = norm_block ctx body in
+    if expr_has_call cond || depth cond > max_depth then begin
+      (* Hoist the condition into a temporary recomputed per iteration. *)
+      let pre = ref [] in
+      let cond' = norm_expr ctx pre cond in
+      let t = fresh ctx "w" in
+      let recompute = List.rev_append !pre [ Assign (t, cond') ] in
+      finish (recompute @ [ While (Var t, body @ recompute) ])
+    end
+    else finish [ While (cond, body) ]
+  | For (x, lo, hi, body) ->
+    (* for x = lo .. hi-1  ==>  x = lo; $b = hi; while (x < $b) { body; x++ } *)
+    let lo = norm_expr ctx out lo in
+    let hi = norm_expr ctx out hi in
+    let bound = fresh ctx "hi" in
+    let body = norm_block ctx body in
+    finish
+      [
+        Assign (x, lo);
+        Assign (bound, hi);
+        While (Binop (Lt, Var x, Var bound), body @ [ Assign (x, Binop (Add, Var x, Int 1)) ]);
+      ]
+
+let func ctx f =
+  ctx.new_locals <- [];
+  let body = norm_block ctx f.body in
+  { f with body; locals = f.locals @ List.rev ctx.new_locals }
+
+let program prog =
+  let ctx = { counter = 0; new_locals = [] } in
+  { prog with funcs = List.map (func ctx) prog.funcs }

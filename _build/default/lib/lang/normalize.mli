@@ -1,0 +1,24 @@
+(** Lowering pass run just before code generation.
+
+    Establishes the invariants the code generator relies on:
+
+    - [For] loops are lowered to [While] loops with an explicit induction
+      assignment and a fresh local holding the (once-evaluated) bound;
+    - [Call] appears only as the entire right-hand side of an [Assign] or
+      as an [Expr] statement, with atomic ([Var]/[Int]) arguments — any
+      expression containing a call is fully linearized left-to-right into
+      fresh temporaries, preserving evaluation order of side effects;
+    - pure expressions are depth-bounded (deep subtrees are hoisted into
+      temporaries) so expression evaluation fits the register window;
+    - [While] conditions containing calls are rewritten to re-evaluate the
+      hoisted temporaries at the end of each iteration.
+
+    Fresh temporaries use a ["$n"] prefix, which cannot clash with user
+    identifiers (validated programs never contain ['$']). *)
+
+val max_depth : int
+(** Depth bound after normalization (the code generator's register window
+    comfortably exceeds it). *)
+
+val program : Ast.program -> Ast.program
+(** Normalized copy; the input is untouched. Idempotent. *)

@@ -1,0 +1,35 @@
+open Ast
+
+let rec collapse_block block = List.map collapse_stmt block
+
+and collapse_stmt = function
+  | If { secret = s_out; cond = a; then_; else_ = [] } -> (
+    match collapse_block then_ with
+    | [ If { secret = s_in; cond = b; then_ = inner; else_ = [] } ]
+      when (s_out || s_in) && not (expr_has_call b) ->
+      If
+        {
+          secret = true;
+          cond = Binop (Land, a, b);
+          then_ = inner;
+          else_ = [];
+        }
+    | then_ -> If { secret = s_out; cond = a; then_; else_ = [] })
+  | If { secret; cond; then_; else_ } ->
+    If { secret; cond; then_ = collapse_block then_; else_ = collapse_block else_ }
+  | While (cond, body) -> While (cond, collapse_block body)
+  | For (x, lo, hi, body) -> For (x, lo, hi, collapse_block body)
+  | (Assign _ | Store _ | Expr _ | Return _) as s -> s
+
+let collapse_nesting prog =
+  { prog with funcs = List.map (fun f -> { f with body = collapse_block f.body }) prog.funcs }
+
+let static_nesting prog =
+  let rec depth_block b = List.fold_left (fun acc s -> max acc (depth_stmt s)) 0 b
+  and depth_stmt = function
+    | If { secret; then_; else_; _ } ->
+      (if secret then 1 else 0) + max (depth_block then_) (depth_block else_)
+    | While (_, body) | For (_, _, _, body) -> depth_block body
+    | Assign _ | Store _ | Expr _ | Return _ -> 0
+  in
+  List.fold_left (fun acc f -> max acc (depth_block f.body)) 0 prog.funcs

@@ -1,0 +1,20 @@
+(** Source-level optimizations for secure regions.
+
+    {!collapse_nesting} implements the transformation §IV-E suggests for
+    reducing jbTable pressure: "the compiler can reduce the nesting degree
+    by collapsing multiple conditionals into a single one with larger
+    expression — if (A) { if (B) ... } can be converted into
+    if (A and B) { ... }". Because the language's [&&] evaluates both
+    operands, the inner condition must be side-effect free (no calls) for
+    the collapse to preserve semantics; other shapes are left alone.
+
+    The collapse applies when the outer conditional has an empty else and
+    its then-block consists solely of an else-less conditional, and at
+    least one of the two is secret (collapsing public pairs would only
+    churn code). The merged conditional is secret. *)
+
+val collapse_nesting : Ast.program -> Ast.program
+
+val static_nesting : Ast.program -> int
+(** Deepest static nesting of secret conditionals, the jbTable capacity a
+    program needs. *)

@@ -1,0 +1,334 @@
+open Ast
+
+exception Error of { line : int; message : string }
+
+type stream = { mutable toks : (Lexer.token * int) list }
+
+let fail_at line fmt =
+  Printf.ksprintf (fun message -> raise (Error { line; message })) fmt
+
+let peek s =
+  match s.toks with
+  | (tok, line) :: _ -> (tok, line)
+  | [] -> (Lexer.EOF, 0)
+
+let advance s =
+  match s.toks with
+  | _ :: rest -> s.toks <- rest
+  | [] -> ()
+
+let expect s tok =
+  let got, line = peek s in
+  if got = tok then advance s
+  else fail_at line "expected %s but found %s" (Lexer.token_name tok) (Lexer.token_name got)
+
+let ident s =
+  match peek s with
+  | Lexer.IDENT name, _ ->
+    advance s;
+    name
+  | tok, line -> fail_at line "expected an identifier, found %s" (Lexer.token_name tok)
+
+(* Binary operators by precedence level, loosest first. *)
+let levels : (Lexer.token * binop) list list =
+  [
+    [ (Lexer.OROR, Lor) ];
+    [ (Lexer.ANDAND, Land) ];
+    [ (Lexer.PIPE, Bor) ];
+    [ (Lexer.CARET, Bxor) ];
+    [ (Lexer.AMP, Band) ];
+    [ (Lexer.EQ, Eq); (Lexer.NE, Ne) ];
+    [ (Lexer.LT, Lt); (Lexer.LE, Le); (Lexer.GT, Gt); (Lexer.GE, Ge) ];
+    [ (Lexer.SHL, Shl); (Lexer.SHR, Shr) ];
+    [ (Lexer.PLUS, Add); (Lexer.MINUS, Sub) ];
+    [ (Lexer.STAR, Mul); (Lexer.SLASH, Div); (Lexer.PERCENT, Rem) ];
+  ]
+
+let rec parse_expr s = parse_level s levels
+
+and parse_level s = function
+  | [] -> parse_unary s
+  | ops :: tighter ->
+    let lhs = parse_level s tighter in
+    let rec loop lhs =
+      let tok, _ = peek s in
+      match List.assoc_opt tok ops with
+      | Some op ->
+        advance s;
+        let rhs = parse_level s tighter in
+        loop (Binop (op, lhs, rhs))
+      | None -> lhs
+    in
+    loop lhs
+
+and parse_unary s =
+  match peek s with
+  | Lexer.MINUS, _ ->
+    advance s;
+    (* fold a directly following literal so "-5" parses as Int (-5);
+       "-(e)" stays a negation node, preserving printer round-trips *)
+    (match peek s with
+     | Lexer.INT n, _ ->
+       advance s;
+       Int (-n)
+     | _ -> Unop (Neg, parse_unary s))
+  | Lexer.BANG, _ ->
+    advance s;
+    Unop (Lnot, parse_unary s)
+  | _ -> parse_primary s
+
+and parse_primary s =
+  match peek s with
+  | Lexer.INT n, _ ->
+    advance s;
+    Int n
+  | Lexer.LPAREN, _ ->
+    advance s;
+    let e = parse_expr s in
+    expect s Lexer.RPAREN;
+    e
+  | Lexer.KW_SELECT, _ ->
+    advance s;
+    expect s Lexer.LPAREN;
+    let c = parse_expr s in
+    expect s Lexer.COMMA;
+    let a = parse_expr s in
+    expect s Lexer.COMMA;
+    let b = parse_expr s in
+    expect s Lexer.RPAREN;
+    Select (c, a, b)
+  | Lexer.IDENT name, _ -> (
+    advance s;
+    match peek s with
+    | Lexer.LBRACKET, _ ->
+      advance s;
+      let e = parse_expr s in
+      expect s Lexer.RBRACKET;
+      Index (name, e)
+    | Lexer.LPAREN, _ ->
+      advance s;
+      let args = parse_args s in
+      Call (name, args)
+    | _ -> Var name)
+  | tok, line -> fail_at line "expected an expression, found %s" (Lexer.token_name tok)
+
+and parse_args s =
+  match peek s with
+  | Lexer.RPAREN, _ ->
+    advance s;
+    []
+  | _ ->
+    let rec loop acc =
+      let e = parse_expr s in
+      match peek s with
+      | Lexer.COMMA, _ ->
+        advance s;
+        loop (e :: acc)
+      | _ ->
+        expect s Lexer.RPAREN;
+        List.rev (e :: acc)
+    in
+    loop []
+
+let rec parse_block s =
+  expect s Lexer.LBRACE;
+  let rec loop acc =
+    match peek s with
+    | Lexer.RBRACE, _ ->
+      advance s;
+      List.rev acc
+    | _ -> loop (parse_stmt s :: acc)
+  in
+  loop []
+
+and parse_stmt s =
+  match peek s with
+  | Lexer.AT_SECRET, _ ->
+    advance s;
+    parse_if s ~secret:true
+  | Lexer.KW_IF, _ -> parse_if s ~secret:false
+  | Lexer.KW_WHILE, _ ->
+    advance s;
+    expect s Lexer.LPAREN;
+    let cond = parse_expr s in
+    expect s Lexer.RPAREN;
+    While (cond, parse_block s)
+  | Lexer.KW_FOR, line ->
+    advance s;
+    expect s Lexer.LPAREN;
+    let x = ident s in
+    expect s Lexer.ASSIGN;
+    let lo = parse_expr s in
+    expect s Lexer.SEMI;
+    let x2 = ident s in
+    expect s Lexer.LT;
+    let hi = parse_expr s in
+    expect s Lexer.SEMI;
+    let x3 = ident s in
+    expect s Lexer.PLUSPLUS;
+    expect s Lexer.RPAREN;
+    if x2 <> x || x3 <> x then
+      fail_at line "for-loop must use one induction variable (%s vs %s/%s)" x x2 x3;
+    For (x, lo, hi, parse_block s)
+  | Lexer.KW_RETURN, _ ->
+    advance s;
+    let e = parse_expr s in
+    expect s Lexer.SEMI;
+    Return e
+  | Lexer.IDENT name, _ -> (
+    advance s;
+    match peek s with
+    | Lexer.ASSIGN, _ ->
+      advance s;
+      let e = parse_expr s in
+      expect s Lexer.SEMI;
+      Assign (name, e)
+    | Lexer.LBRACKET, _ -> (
+      advance s;
+      let idx_e = parse_expr s in
+      expect s Lexer.RBRACKET;
+      match peek s with
+      | Lexer.ASSIGN, _ ->
+        advance s;
+        let e = parse_expr s in
+        expect s Lexer.SEMI;
+        Store (name, idx_e, e)
+      | _ ->
+        expect s Lexer.SEMI;
+        Expr (Index (name, idx_e)))
+    | Lexer.LPAREN, _ ->
+      advance s;
+      let args = parse_args s in
+      expect s Lexer.SEMI;
+      Expr (Call (name, args))
+    | Lexer.SEMI, _ ->
+      advance s;
+      Expr (Var name)
+    | tok, line ->
+      fail_at line "expected '=', '[' or '(' after %S, found %s" name
+        (Lexer.token_name tok))
+  | (Lexer.LPAREN | Lexer.INT _ | Lexer.KW_SELECT | Lexer.MINUS | Lexer.BANG), _ ->
+    let e = parse_expr s in
+    expect s Lexer.SEMI;
+    Expr e
+  | tok, line -> fail_at line "expected a statement, found %s" (Lexer.token_name tok)
+
+and parse_if s ~secret =
+  expect s Lexer.KW_IF;
+  expect s Lexer.LPAREN;
+  let cond = parse_expr s in
+  expect s Lexer.RPAREN;
+  let then_ = parse_block s in
+  let else_ =
+    match peek s with
+    | Lexer.KW_ELSE, _ ->
+      advance s;
+      parse_block s
+    | _ -> []
+  in
+  If { secret; cond; then_; else_ }
+
+let parse_ident_list s =
+  expect s Lexer.LPAREN;
+  match peek s with
+  | Lexer.RPAREN, _ ->
+    advance s;
+    []
+  | _ ->
+    let rec loop acc =
+      let name = ident s in
+      match peek s with
+      | Lexer.COMMA, _ ->
+        advance s;
+        loop (name :: acc)
+      | _ ->
+        expect s Lexer.RPAREN;
+        List.rev (name :: acc)
+    in
+    loop []
+
+let parse_func s =
+  expect s Lexer.KW_FUNC;
+  let fname = ident s in
+  let params = parse_ident_list s in
+  let locals =
+    match peek s with
+    | Lexer.KW_LOCALS, _ ->
+      advance s;
+      parse_ident_list s
+    | _ -> []
+  in
+  let body = parse_block s in
+  { fname; params; locals; body }
+
+let parse_program s =
+  let globals = ref [] in
+  let arrays = ref [] in
+  let secrets = ref [] in
+  let funcs = ref [] in
+  let rec loop () =
+    match peek s with
+    | Lexer.EOF, _ -> ()
+    | Lexer.KW_GLOBAL, _ ->
+      advance s;
+      let name = ident s in
+      expect s Lexer.SEMI;
+      globals := name :: !globals;
+      loop ()
+    | Lexer.KW_ARRAY, _ ->
+      advance s;
+      let aname = ident s in
+      expect s Lexer.LBRACKET;
+      let size, line =
+        match peek s with
+        | Lexer.INT n, line ->
+          advance s;
+          (n, line)
+        | tok, line -> fail_at line "expected array size, found %s" (Lexer.token_name tok)
+      in
+      if size <= 0 then fail_at line "array %s must have positive size" aname;
+      expect s Lexer.RBRACKET;
+      let scratch =
+        match peek s with
+        | Lexer.KW_SCRATCH, _ ->
+          advance s;
+          true
+        | _ -> false
+      in
+      expect s Lexer.SEMI;
+      arrays := { aname; size; scratch } :: !arrays;
+      loop ()
+    | Lexer.AT_SECRET, _ ->
+      advance s;
+      let name = ident s in
+      expect s Lexer.SEMI;
+      secrets := name :: !secrets;
+      loop ()
+    | Lexer.KW_FUNC, _ ->
+      funcs := parse_func s :: !funcs;
+      loop ()
+    | tok, line -> fail_at line "expected a declaration, found %s" (Lexer.token_name tok)
+  in
+  loop ();
+  {
+    funcs = List.rev !funcs;
+    globals = List.rev !globals;
+    arrays = List.rev !arrays;
+    secrets = List.rev !secrets;
+    main = "main";
+  }
+
+let with_stream src f =
+  try f { toks = Lexer.tokenize src }
+  with Lexer.Error { line; message } -> raise (Error { line; message })
+
+let program src =
+  let prog = with_stream src parse_program in
+  validate prog;
+  prog
+
+let expr src =
+  with_stream src (fun s ->
+      let e = parse_expr s in
+      expect s Lexer.EOF;
+      e)

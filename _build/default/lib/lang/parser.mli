@@ -1,0 +1,33 @@
+(** Recursive-descent parser for the workload language.
+
+    The grammar matches what {!Ast.pp_program} prints, so pretty-printing
+    then parsing round-trips (the property tests rely on it), and the
+    syntax is comfortable to write by hand:
+
+    {v
+    global key;
+    array buf[64] scratch;
+    @secret key;
+
+    func main() locals(x, k) {
+      x = 0;
+      for (k = 0; k < 64; k++) { buf[k] = k * 3; }
+      @secret if (key != 0) { x = buf[5]; } else { x = buf[9]; }
+      return x;
+    }
+    v}
+
+    Operator precedence, loosest to tightest:
+    [||], [&&], [|], [^], [&], [== !=], [< <= > >=], [<< >>], [+ -],
+    [* / %], unary [- !]. The entry function is the one named ["main"]. *)
+
+exception Error of { line : int; message : string }
+
+val program : string -> Ast.program
+(** Parse a whole program. Declarations ([global], [array], [@secret] on an
+    identifier) may appear in any order before/between functions.
+    @raise Error on a syntax error (with a line number).
+    @raise Invalid_argument when {!Ast.validate} rejects the result. *)
+
+val expr : string -> Ast.expr
+(** Parse a single expression (for tests and the REPL-style tools). *)

@@ -1,0 +1,268 @@
+open Ast
+
+type violation =
+  | Unmarked_branch of { func : string; cond : string }
+  | Secret_loop of { func : string; cond : string }
+  | Secret_index of { func : string; expr : string }
+  | Useless_annotation of { func : string; cond : string }
+  | Potential_exception of { func : string; expr : string }
+
+let expr_str e = Format.asprintf "%a" pp_expr e
+
+let describe = function
+  | Unmarked_branch { func; cond } ->
+    Printf.sprintf "%s: branch on secret-tainted condition %s is not marked @secret"
+      func cond
+  | Secret_loop { func; cond } ->
+    Printf.sprintf "%s: loop bound/condition %s depends on a secret" func cond
+  | Secret_index { func; expr } ->
+    Printf.sprintf
+      "%s: array index %s depends on a secret (address-pattern leak; needs ORAM)"
+      func expr
+  | Useless_annotation { func; cond } ->
+    Printf.sprintf "%s: @secret annotation on untainted condition %s" func cond
+  | Potential_exception { func; expr } ->
+    Printf.sprintf
+      "%s: %s inside a secret branch may fault on the wrong path (divisor \
+       not a nonzero constant)" func expr
+
+(* Taint state: a scalar is identified as "func/name" for locals and params,
+   "/name" for globals; arrays and function returns by name. *)
+type taint = {
+  mutable scalars : Sset.t;
+  mutable arrays : Sset.t;
+  mutable returns : Sset.t;
+  mutable changed : bool;
+}
+
+let scalar_key prog func name =
+  if List.mem name prog.globals then "/" ^ name else func ^ "/" ^ name
+
+let add_scalar t key =
+  if not (Sset.mem key t.scalars) then begin
+    t.scalars <- Sset.add key t.scalars;
+    t.changed <- true
+  end
+
+let add_array t name =
+  if not (Sset.mem name t.arrays) then begin
+    t.arrays <- Sset.add name t.arrays;
+    t.changed <- true
+  end
+
+let add_return t name =
+  if not (Sset.mem name t.returns) then begin
+    t.returns <- Sset.add name t.returns;
+    t.changed <- true
+  end
+
+let rec expr_tainted prog t func = function
+  | Int _ -> false
+  | Var x -> Sset.mem (scalar_key prog func x) t.scalars
+  | Index (a, ie) -> Sset.mem a t.arrays || expr_tainted prog t func ie
+  | Unop (_, e) -> expr_tainted prog t func e
+  | Binop (_, a, b) -> expr_tainted prog t func a || expr_tainted prog t func b
+  | Call (g, args) ->
+    (* Propagate argument taint into the callee's params as a side effect. *)
+    (try
+       let callee = find_func prog g in
+       List.iter2
+         (fun p arg ->
+           if expr_tainted prog t func arg then
+             add_scalar t (scalar_key prog g p))
+         callee.params args
+     with Not_found | Invalid_argument _ -> ());
+    Sset.mem g t.returns
+  | Select (c, a, b) ->
+    expr_tainted prog t func c || expr_tainted prog t func a
+    || expr_tainted prog t func b
+
+(* One propagation sweep over a block. [implicit] is true when control
+   reaching this block depends on a secret. *)
+let rec sweep_block prog t func ~implicit block =
+  List.iter (sweep_stmt prog t func ~implicit) block
+
+and sweep_stmt prog t func ~implicit stmt =
+  let tainted e = expr_tainted prog t func e in
+  match stmt with
+  | Assign (x, e) ->
+    if implicit || tainted e then add_scalar t (scalar_key prog func x)
+  | Store (a, ie, e) ->
+    ignore (tainted ie);
+    if implicit || tainted e then add_array t a
+  | If { cond; then_; else_; _ } ->
+    let implicit' = implicit || tainted cond in
+    sweep_block prog t func ~implicit:implicit' then_;
+    sweep_block prog t func ~implicit:implicit' else_
+  | While (cond, body) ->
+    let implicit' = implicit || tainted cond in
+    sweep_block prog t func ~implicit:implicit' body
+  | For (x, lo, hi, body) ->
+    if implicit || tainted lo || tainted hi then
+      add_scalar t (scalar_key prog func x);
+    sweep_block prog t func ~implicit body
+  | Expr e -> ignore (tainted e)
+  | Return e -> if implicit || tainted e then add_return t func
+
+let fixpoint prog =
+  let t =
+    {
+      scalars = Sset.of_list (List.map (fun s -> "/" ^ s) prog.secrets);
+      arrays = Sset.empty;
+      returns = Sset.empty;
+      changed = true;
+    }
+  in
+  while t.changed do
+    t.changed <- false;
+    List.iter (fun f -> sweep_block prog t f.fname ~implicit:false f.body) prog.funcs
+  done;
+  t
+
+let analyze prog =
+  validate prog;
+  let t = fixpoint prog in
+  let violations = ref [] in
+  let note v = violations := v :: !violations in
+  let rec scan_index func e =
+    match e with
+    | Int _ | Var _ -> ()
+    | Index (_, ie) ->
+      if expr_tainted prog t func ie then
+        note (Secret_index { func; expr = expr_str ie });
+      scan_index func ie
+    | Unop (_, e1) -> scan_index func e1
+    | Binop (_, a, b) ->
+      scan_index func a;
+      scan_index func b
+    | Call (_, args) -> List.iter (scan_index func) args
+    | Select (c, a, b) ->
+      scan_index func c;
+      scan_index func a;
+      scan_index func b
+  in
+  let rec scan_block func block = List.iter (scan_stmt func) block
+  and scan_stmt func stmt =
+    let tainted e = expr_tainted prog t func e in
+    match stmt with
+    | Assign (_, e) | Expr e | Return e -> scan_index func e
+    | Store (_, ie, e) ->
+      if tainted ie then note (Secret_index { func; expr = expr_str ie });
+      scan_index func ie;
+      scan_index func e
+    | If { secret; cond; then_; else_ } ->
+      scan_index func cond;
+      if tainted cond && not secret then
+        note (Unmarked_branch { func; cond = expr_str cond });
+      if secret && not (tainted cond) then
+        note (Useless_annotation { func; cond = expr_str cond });
+      scan_block func then_;
+      scan_block func else_
+    | While (cond, body) ->
+      scan_index func cond;
+      if tainted cond then note (Secret_loop { func; cond = expr_str cond });
+      scan_block func body
+    | For (_, lo, hi, body) ->
+      scan_index func lo;
+      scan_index func hi;
+      if tainted lo || tainted hi then
+        note
+          (Secret_loop
+             { func; cond = expr_str lo ^ " .. " ^ expr_str hi });
+      scan_block func body
+  in
+  List.iter (fun f -> scan_block f.fname f.body) prog.funcs;
+  (* divisions on the wrong path (section IV-G) *)
+  let rec div_expr func = function
+    | Int _ | Var _ -> ()
+    | Index (_, e) | Unop (_, e) -> div_expr func e
+    | Binop ((Div | Rem), a, b) ->
+      (match b with
+       | Int n when n <> 0 -> ()
+       | _ -> note (Potential_exception { func; expr = expr_str (Binop (Div, a, b)) }));
+      div_expr func a;
+      div_expr func b
+    | Binop (_, a, b) ->
+      div_expr func a;
+      div_expr func b
+    | Call (_, args) -> List.iter (div_expr func) args
+    | Select (c, a, b) ->
+      div_expr func c;
+      div_expr func a;
+      div_expr func b
+  in
+  let rec div_block func ~in_secret block = List.iter (div_stmt func ~in_secret) block
+  and div_stmt func ~in_secret = function
+    | Assign (_, e) | Expr e | Return e -> if in_secret then div_expr func e
+    | Store (_, ie, e) ->
+      if in_secret then begin
+        div_expr func ie;
+        div_expr func e
+      end
+    | If { secret; cond; then_; else_ } ->
+      if in_secret then div_expr func cond;
+      let inner = in_secret || secret in
+      div_block func ~in_secret:inner then_;
+      div_block func ~in_secret:inner else_
+    | While (cond, body) ->
+      if in_secret then div_expr func cond;
+      div_block func ~in_secret body
+    | For (_, lo, hi, body) ->
+      if in_secret then begin
+        div_expr func lo;
+        div_expr func hi
+      end;
+      div_block func ~in_secret body
+  in
+  List.iter (fun f -> div_block f.fname ~in_secret:false f.body) prog.funcs;
+  List.rev !violations
+
+let auto_annotate prog =
+  validate prog;
+  let t = fixpoint prog in
+  let loop_violations = ref [] in
+  let annotate_func f =
+    let tainted e = expr_tainted prog t f.fname e in
+    let rec block b = List.map stmt b
+    and stmt = function
+      | If { secret; cond; then_; else_ } ->
+        If
+          {
+            secret = secret || tainted cond;
+            cond;
+            then_ = block then_;
+            else_ = block else_;
+          }
+      | While (cond, body) ->
+        if tainted cond then
+          loop_violations :=
+            Secret_loop { func = f.fname; cond = expr_str cond } :: !loop_violations;
+        While (cond, block body)
+      | For (x, lo, hi, body) ->
+        if tainted lo || tainted hi then
+          loop_violations :=
+            Secret_loop { func = f.fname; cond = expr_str lo ^ " .. " ^ expr_str hi }
+            :: !loop_violations;
+        For (x, lo, hi, block body)
+      | (Assign _ | Store _ | Expr _ | Return _) as s -> s
+    in
+    { f with body = block f.body }
+  in
+  let funcs = List.map annotate_func prog.funcs in
+  (match !loop_violations with
+   | [] -> ()
+   | vs ->
+     invalid_arg
+       ("Secrecy.auto_annotate: " ^ String.concat "; " (List.map describe vs)));
+  { prog with funcs }
+
+let check prog =
+  let hard = function
+    | Unmarked_branch _ | Secret_loop _ -> true
+    | Secret_index _ | Useless_annotation _ | Potential_exception _ -> false
+  in
+  match List.filter hard (analyze prog) with
+  | [] -> ()
+  | vs ->
+    invalid_arg
+      ("Secrecy.check: " ^ String.concat "; " (List.map describe vs))

@@ -1,0 +1,47 @@
+(** Secret-taint analysis.
+
+    Verifies the programmer's [@secret] branch annotations: every
+    conditional whose condition (transitively, including implicit flows
+    through assignments under secret branches) depends on a declared secret
+    must be marked secret, secret-bounded loops are rejected (no scheme in
+    the paper can equalize a secret trip count), and secret-indexed memory
+    accesses are flagged (an address-pattern leak, which the paper defers
+    to ORAM). *)
+
+type violation =
+  | Unmarked_branch of { func : string; cond : string }
+      (** a public [If] branches on tainted data *)
+  | Secret_loop of { func : string; cond : string }
+      (** a loop condition or bound is tainted *)
+  | Secret_index of { func : string; expr : string }
+      (** a tainted array index (address leak; orthogonal protection) *)
+  | Useless_annotation of { func : string; cond : string }
+      (** an [If] marked secret whose condition is untainted — legal
+          (SeMPE still executes both paths) but wasteful *)
+  | Potential_exception of { func : string; expr : string }
+      (** a division or remainder with a non-constant divisor inside a
+          secret branch: the false path executes too, and a wrong-path
+          divide-by-zero would fault (§IV-G says the compiler must reject
+          or the user accept such blocks; this simulator defines x/0 = 0,
+          so the advisory marks where real hardware would need the
+          check) *)
+
+val describe : violation -> string
+
+val analyze : Ast.program -> violation list
+(** Whole-program flow-insensitive taint fixpoint. An empty result means
+    the annotations are consistent. *)
+
+val check : Ast.program -> unit
+(** @raise Invalid_argument listing hard violations ({!Unmarked_branch} or
+    {!Secret_loop}); {!Secret_index} and {!Useless_annotation} are
+    advisory and do not raise. *)
+
+val auto_annotate : Ast.program -> Ast.program
+(** Mark secret every conditional whose condition is tainted — the
+    automated annotation the paper argues the compiler can perform
+    ("it must incur low programming effort and preferably code
+    transformation should be automatable", §IV-B). Already-marked branches
+    are kept; the result passes the {!Unmarked_branch} check by
+    construction. Secret-bounded loops are still rejected.
+    @raise Invalid_argument on a {!Secret_loop} violation. *)

@@ -1,0 +1,302 @@
+open Ast
+
+(* Transitive (globals, arrays) written by calling [fname]. *)
+let rec func_effects prog seen fname =
+  if Sset.mem fname seen then (Sset.empty, Sset.empty)
+  else
+    let seen = Sset.add fname seen in
+    let f = find_func prog fname in
+    let local_names =
+      Sset.union (Sset.of_list f.params) (Sset.of_list f.locals)
+    in
+    let globals_written =
+      Sset.filter (fun x -> not (Sset.mem x local_names)) (block_assigned f.body)
+    in
+    let arrays_written = block_stored_arrays f.body in
+    block_fold
+      (fun (gw, aw) stmt ->
+        match stmt with
+        | Assign (_, e) | Expr e | Return e -> calls_effects prog seen (gw, aw) e
+        | Store (_, ie, e) ->
+          calls_effects prog seen (calls_effects prog seen (gw, aw) ie) e
+        | If { cond; _ } -> calls_effects prog seen (gw, aw) cond
+        | While (cond, _) -> calls_effects prog seen (gw, aw) cond
+        | For (_, lo, hi, _) ->
+          calls_effects prog seen (calls_effects prog seen (gw, aw) lo) hi)
+      (globals_written, arrays_written)
+      f.body
+
+and calls_effects prog seen acc = function
+  | Int _ | Var _ -> acc
+  | Index (_, e) | Unop (_, e) -> calls_effects prog seen acc e
+  | Binop (_, a, b) ->
+    calls_effects prog seen (calls_effects prog seen acc a) b
+  | Select (c, a, b) ->
+    calls_effects prog seen
+      (calls_effects prog seen (calls_effects prog seen acc c) a)
+      b
+  | Call (g, args) ->
+    let gw, aw = acc in
+    let gw', aw' = func_effects prog seen g in
+    List.fold_left
+      (fun acc e -> calls_effects prog seen acc e)
+      (Sset.union gw gw', Sset.union aw aw')
+      args
+
+let block_calls block =
+  block_fold
+    (fun acc stmt ->
+      let rec of_expr acc = function
+        | Int _ | Var _ -> acc
+        | Index (_, e) | Unop (_, e) -> of_expr acc e
+        | Binop (_, a, b) -> of_expr (of_expr acc a) b
+        | Select (c, a, b) -> of_expr (of_expr (of_expr acc c) a) b
+        | Call (g, args) -> List.fold_left of_expr (Sset.add g acc) args
+      in
+      match stmt with
+      | Assign (_, e) | Expr e | Return e -> of_expr acc e
+      | Store (_, ie, e) -> of_expr (of_expr acc ie) e
+      | If { cond; _ } -> of_expr acc cond
+      | While (cond, _) -> of_expr acc cond
+      | For (_, lo, hi, _) -> of_expr (of_expr acc lo) hi)
+    Sset.empty block
+  |> fun s -> s
+
+let rec block_has_return block =
+  List.exists
+    (function
+      | Return _ -> true
+      | If { then_; else_; _ } -> block_has_return then_ || block_has_return else_
+      | While (_, body) | For (_, _, _, body) -> block_has_return body
+      | Assign _ | Store _ | Expr _ -> false)
+    block
+
+type ctx = {
+  prog : program;
+  mutable counter : int;
+  mutable new_locals : string list;   (* per function *)
+  mutable new_arrays : array_decl list; (* program-wide *)
+  scratch : Sset.t;
+}
+
+let fresh ctx hint =
+  ctx.counter <- ctx.counter + 1;
+  Printf.sprintf "%s$%d" hint ctx.counter
+
+let fresh_local ctx hint =
+  let name = fresh ctx hint in
+  ctx.new_locals <- name :: ctx.new_locals;
+  name
+
+(* Statement-level reads/writes for the backward liveness pass. *)
+let stmt_uses_defs stmt =
+  match stmt with
+  | Assign (x, e) -> (expr_reads e, Sset.singleton x)
+  | Store (_, ie, e) -> (Sset.union (expr_reads ie) (expr_reads e), Sset.empty)
+  | If { cond; then_; else_; _ } ->
+    ( Sset.union (expr_reads cond)
+        (Sset.union (block_reads then_) (block_reads else_)),
+      Sset.empty (* conservative: branch writes are not definite *) )
+  | While (cond, body) ->
+    (Sset.union (expr_reads cond) (block_reads body), Sset.empty)
+  | For (x, lo, hi, body) ->
+    ( Sset.union (expr_reads lo) (Sset.union (expr_reads hi) (block_reads body)),
+      Sset.singleton x )
+  | Expr e -> (expr_reads e, Sset.empty)
+  | Return e -> (expr_reads e, Sset.empty)
+
+let check_path_calls ctx ~func block =
+  Sset.iter
+    (fun g ->
+      let gw, aw = func_effects ctx.prog Sset.empty g in
+      if not (Sset.is_empty gw) then
+        invalid_arg
+          (Printf.sprintf
+             "Shadow.privatize: %s: function %S called under a secret branch \
+              writes global(s) %s"
+             func g
+             (String.concat ", " (Sset.elements gw)));
+      let bad = Sset.filter (fun a -> not (Sset.mem a ctx.scratch)) aw in
+      if not (Sset.is_empty bad) then
+        invalid_arg
+          (Printf.sprintf
+             "Shadow.privatize: %s: function %S called under a secret branch \
+              writes non-scratch array(s) %s"
+             func g
+             (String.concat ", " (Sset.elements bad))))
+    (block_calls block)
+
+let array_size ctx name =
+  let all = ctx.prog.arrays @ ctx.new_arrays in
+  match List.find_opt (fun a -> a.aname = name) all with
+  | Some a -> a.size
+  | None -> invalid_arg ("Shadow.privatize: unknown array " ^ name)
+
+(* Transform one secret If. [live_after] are the scalars read after the If
+   (within the function, plus all globals). Returns replacement stmts. *)
+let rec transform_secret_if ctx ~func ~live_after ~secret ~cond ~then_ ~else_ =
+  (* inner regions first *)
+  let inner_live =
+    Sset.union live_after (Sset.union (block_reads then_) (block_reads else_))
+  in
+  let then_ = transform_block ctx ~func ~live_after:inner_live then_ in
+  let else_ = transform_block ctx ~func ~live_after:inner_live else_ in
+  if block_has_return then_ || block_has_return else_ then
+    invalid_arg
+      (Printf.sprintf
+         "Shadow.privatize: %s: return inside a secret branch would bypass \
+          the eosJMP" func);
+  check_path_calls ctx ~func then_;
+  check_path_calls ctx ~func else_;
+  let assigned_t = block_assigned then_ in
+  let assigned_e = block_assigned else_ in
+  let assigned = Sset.union assigned_t assigned_e in
+  let reads_t = block_reads then_ in
+  (* The else (fall-through) block is the NT path: it runs first. A scalar
+     needs privatization when a wrong-path write could escape (live after
+     the region) or when the first path's write would be seen by the second
+     path ([assigned_e] inter [reads_t]). *)
+  let needs =
+    Sset.inter assigned
+      (Sset.union live_after (Sset.inter assigned_e reads_t))
+  in
+  let cond_var = fresh_local ctx "$c" in
+  let pre = ref [ Assign (cond_var, cond) ] in
+  let post = ref [] in
+  let then_ = ref then_ and else_ = ref else_ in
+  Sset.iter
+    (fun x ->
+      let xt = fresh_local ctx (x ^ "$t") in
+      let xnt = fresh_local ctx (x ^ "$nt") in
+      pre := Assign (xnt, Var x) :: Assign (xt, Var x) :: !pre;
+      then_ := subst_scalar ~old:x ~fresh:xt !then_;
+      else_ := subst_scalar ~old:x ~fresh:xnt !else_;
+      post := Assign (x, Select (Var cond_var, Var xt, Var xnt)) :: !post)
+    needs;
+  (* Arrays stored by either path: privatize unless scratch. *)
+  let stored_arrays =
+    Sset.filter
+      (fun a -> not (Sset.mem a ctx.scratch))
+      (Sset.union (block_stored_arrays !then_) (block_stored_arrays !else_))
+  in
+  Sset.iter
+    (fun a ->
+      let size = array_size ctx a in
+      let at = fresh ctx (a ^ "$t") in
+      let ant = fresh ctx (a ^ "$nt") in
+      ctx.new_arrays <-
+        { aname = at; size; scratch = true }
+        :: { aname = ant; size; scratch = true }
+        :: ctx.new_arrays;
+      let iv = fresh_local ctx "$i" in
+      pre :=
+        For
+          ( iv,
+            Int 0,
+            Int size,
+            [
+              Store (at, Var iv, Index (a, Var iv));
+              Store (ant, Var iv, Index (a, Var iv));
+            ] )
+        :: !pre;
+      then_ := subst_array ~old:a ~fresh:at !then_;
+      else_ := subst_array ~old:a ~fresh:ant !else_;
+      post :=
+        For
+          ( iv,
+            Int 0,
+            Int size,
+            [
+              Store
+                ( a,
+                  Var iv,
+                  Select (Var cond_var, Index (at, Var iv), Index (ant, Var iv)) );
+            ] )
+        :: !post)
+    stored_arrays;
+  List.rev !pre
+  @ [ If { secret; cond = Var cond_var; then_ = !then_; else_ = !else_ } ]
+  @ List.rev !post
+
+(* Backward pass over a block, tracking liveness. *)
+and transform_block ctx ~func ~live_after block =
+  let rec go = function
+    | [] -> (live_after, [])
+    | stmt :: rest ->
+      let live_rest, rest' = go rest in
+      let stmt' =
+        match stmt with
+        | If { secret = true; cond; then_; else_ } ->
+          transform_secret_if ctx ~func ~live_after:live_rest ~secret:true ~cond
+            ~then_ ~else_
+        | If { secret = false; cond; then_; else_ } ->
+          let live_in =
+            Sset.union live_rest
+              (Sset.union (block_reads then_) (block_reads else_))
+          in
+          [
+            If
+              {
+                secret = false;
+                cond;
+                then_ = transform_block ctx ~func ~live_after:live_in then_;
+                else_ = transform_block ctx ~func ~live_after:live_in else_;
+              };
+          ]
+        | While (cond, body) ->
+          let live_in =
+            Sset.union live_rest
+              (Sset.union (expr_reads cond) (block_reads body))
+          in
+          [ While (cond, transform_block ctx ~func ~live_after:live_in body) ]
+        | For (x, lo, hi, body) ->
+          let live_in =
+            Sset.union live_rest
+              (Sset.add x (Sset.union (expr_reads hi) (block_reads body)))
+          in
+          [ For (x, lo, hi, transform_block ctx ~func ~live_after:live_in body) ]
+        | Assign _ | Store _ | Expr _ | Return _ -> [ stmt ]
+      in
+      let uses, defs = stmt_uses_defs stmt in
+      let live_before = Sset.union uses (Sset.diff live_rest defs) in
+      (live_before, stmt' @ rest')
+  in
+  let _, block' = go block in
+  block'
+
+let privatize prog =
+  validate prog;
+  let ctx =
+    {
+      prog;
+      counter = 0;
+      new_locals = [];
+      new_arrays = [];
+      scratch =
+        Sset.of_list
+          (List.filter_map
+             (fun (a : array_decl) -> if a.scratch then Some a.aname else None)
+             prog.arrays);
+    }
+  in
+  let always_live = Sset.of_list prog.globals in
+  let funcs =
+    List.map
+      (fun f ->
+        ctx.new_locals <- [];
+        let body = transform_block ctx ~func:f.fname ~live_after:always_live f.body in
+        { f with body; locals = f.locals @ List.rev ctx.new_locals })
+      prog.funcs
+  in
+  { prog with funcs; arrays = prog.arrays @ List.rev ctx.new_arrays }
+
+let strip_secret_marks prog =
+  let rec strip_block block = List.map strip_stmt block
+  and strip_stmt = function
+    | If { secret = _; cond; then_; else_ } ->
+      If { secret = false; cond; then_ = strip_block then_; else_ = strip_block else_ }
+    | While (cond, body) -> While (cond, strip_block body)
+    | For (x, lo, hi, body) -> For (x, lo, hi, strip_block body)
+    | (Assign _ | Store _ | Expr _ | Return _) as s -> s
+  in
+  { prog with funcs = List.map (fun f -> { f with body = strip_block f.body }) prog.funcs }

@@ -1,0 +1,36 @@
+(** ShadowMemory privatization (§V of the paper).
+
+    SeMPE hardware snapshots only the architectural registers; memory
+    written under a secure branch would leak wrong-path values into the
+    other path or past the join. This pass performs the privatization the
+    paper's authors applied by hand: for every secret branch,
+
+    - the condition is hoisted into a fresh local evaluated once before
+      the sJMP (also needed by the merge CMOVs);
+    - every scalar that a path assigns {e and} that is live past the region
+      (or is written by the first path and read by the second) gets
+      per-path shadow locals, initialized from the original before the
+      branch; path bodies are rewritten to the shadows;
+    - every non-scratch array a path stores into gets per-path shadow
+      arrays with copy-in loops before the branch;
+    - after the join, originals are rebuilt with [Select] (compiled to
+      CMOV, never a branch): the condition picks the taken path's values.
+
+    Scratch arrays (declared [scratch = true]) are exempt: the program
+    promises each path fully writes them before reading and that their
+    contents are dead outside the region.
+
+    Restrictions enforced (raising [Invalid_argument]):
+    - no [Return] directly inside a secret branch (it would leave the
+      secure region without executing the eosJMP);
+    - functions called under a secret branch must not write globals or
+      non-scratch arrays (their effects would escape privatization). *)
+
+val privatize : Ast.program -> Ast.program
+(** The returned program computes the same results as the input under
+    plain semantics, and computes them correctly under SeMPE both-path
+    execution. Shadow locals use a ["$"] suffix namespace. *)
+
+val strip_secret_marks : Ast.program -> Ast.program
+(** Replace every secret [If] by a public one — the unprotected baseline
+    build. *)

@@ -1,0 +1,1 @@
+lib/mem/cache.mli: Sempe_util

@@ -1,0 +1,1 @@
+lib/mem/hierarchy.ml: Cache List Prefetch Sempe_util Stats

@@ -1,0 +1,1 @@
+lib/mem/spm.ml: Sempe_util Stats

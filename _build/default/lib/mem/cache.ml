@@ -1,0 +1,119 @@
+open Sempe_util
+
+type config = {
+  name : string;
+  size_bytes : int;
+  line_bytes : int;
+  ways : int;
+}
+
+type line = { mutable tag : int; mutable lru : int }
+(* tag = -1 encodes invalid. *)
+
+type t = {
+  cfg : config;
+  sets : line array array;
+  mutable clock : int;
+  group : Stats.group;
+  c_accesses : Stats.counter;
+  c_misses : Stats.counter;
+  c_writes : Stats.counter;
+  c_prefetch_fills : Stats.counter;
+  c_evictions : Stats.counter;
+}
+
+type outcome = Hit | Miss
+
+let create cfg =
+  let lines = cfg.size_bytes / cfg.line_bytes in
+  if lines mod cfg.ways <> 0 then invalid_arg "Cache.create: lines not divisible by ways";
+  let nsets = lines / cfg.ways in
+  if nsets land (nsets - 1) <> 0 then invalid_arg "Cache.create: sets not a power of two";
+  let group = Stats.group cfg.name in
+  {
+    cfg;
+    sets = Array.init nsets (fun _ -> Array.init cfg.ways (fun _ -> { tag = -1; lru = 0 }));
+    clock = 0;
+    group;
+    c_accesses = Stats.counter group "accesses";
+    c_misses = Stats.counter group "misses";
+    c_writes = Stats.counter group "writes";
+    c_prefetch_fills = Stats.counter group "prefetch_fills";
+    c_evictions = Stats.counter group "evictions";
+  }
+
+let config t = t.cfg
+let num_sets t = Array.length t.sets
+
+let set_index t ~addr =
+  (addr / t.cfg.line_bytes) land (num_sets t - 1)
+
+let tag_of t addr = addr / t.cfg.line_bytes / num_sets t
+
+let find set tag =
+  let rec scan i =
+    if i >= Array.length set then None
+    else if set.(i).tag = tag then Some set.(i)
+    else scan (i + 1)
+  in
+  scan 0
+
+let lru_victim set =
+  Array.fold_left (fun best l -> if l.lru < best.lru then l else best) set.(0) set
+
+let install t set tag =
+  let victim = lru_victim set in
+  if victim.tag >= 0 then Stats.incr t.c_evictions;
+  victim.tag <- tag;
+  t.clock <- t.clock + 1;
+  victim.lru <- t.clock
+
+let access t ~addr ~write =
+  Stats.incr t.c_accesses;
+  if write then Stats.incr t.c_writes;
+  let set = t.sets.(set_index t ~addr) and tag = tag_of t addr in
+  match find set tag with
+  | Some line ->
+    t.clock <- t.clock + 1;
+    line.lru <- t.clock;
+    Hit
+  | None ->
+    Stats.incr t.c_misses;
+    install t set tag;
+    Miss
+
+let prefetch_fill t ~addr =
+  let set = t.sets.(set_index t ~addr) and tag = tag_of t addr in
+  match find set tag with
+  | Some _ -> false
+  | None ->
+    Stats.incr t.c_prefetch_fills;
+    install t set tag;
+    true
+
+let probe t ~addr =
+  let set = t.sets.(set_index t ~addr) and tag = tag_of t addr in
+  find set tag <> None
+
+let resident_tags t set_idx =
+  let set = t.sets.(set_idx) in
+  let lines = Array.to_list (Array.copy set) in
+  let valid = List.filter (fun l -> l.tag >= 0) lines in
+  let sorted = List.sort (fun a b -> compare b.lru a.lru) valid in
+  List.map (fun l -> l.tag) sorted
+
+let flush t =
+  Array.iter (fun set -> Array.iter (fun l -> l.tag <- -1; l.lru <- 0) set) t.sets;
+  t.clock <- 0
+
+let stats t = t.group
+
+let miss_rate t =
+  Stats.ratio ~num:(Stats.value t.c_misses) ~den:(Stats.value t.c_accesses)
+
+let signature t =
+  let acc = ref 2166136261 in
+  Array.iter
+    (fun set -> Array.iter (fun l -> acc := (!acc * 16777619) lxor (l.tag + 2)) set)
+    t.sets;
+  !acc

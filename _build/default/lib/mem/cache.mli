@@ -1,0 +1,52 @@
+(** Generic set-associative cache with true-LRU replacement.
+
+    Models presence only (which lines are resident), not data contents: the
+    functional interpreter holds the actual memory values, the cache decides
+    hit or miss for the timing model and exposes its set contents for the
+    prime+probe attacker. *)
+
+type config = {
+  name : string;
+  size_bytes : int;
+  line_bytes : int;
+  ways : int;
+}
+
+type t
+
+type outcome = Hit | Miss
+
+val create : config -> t
+
+val config : t -> config
+val num_sets : t -> int
+
+val access : t -> addr:int -> write:bool -> outcome
+(** Demand access to the byte address [addr]: updates LRU, fills on miss,
+    records statistics. *)
+
+val prefetch_fill : t -> addr:int -> bool
+(** Install the line for [addr] without counting a demand access. Returns
+    [true] if the line was newly installed (i.e. it was absent). Prefetch
+    fills are counted separately in the statistics. *)
+
+val probe : t -> addr:int -> bool
+(** Non-destructive presence check (no LRU update, no statistics). *)
+
+val set_index : t -> addr:int -> int
+val resident_tags : t -> int -> int list
+(** [resident_tags t set] lists valid tags in [set], MRU first. Used by the
+    prime+probe attacker to read out eviction patterns. *)
+
+val flush : t -> unit
+(** Invalidate all lines; statistics are kept. *)
+
+val stats : t -> Sempe_util.Stats.group
+(** Counters: [accesses], [misses], [writes], [prefetch_fills],
+    [evictions]. *)
+
+val miss_rate : t -> float
+
+val signature : t -> int
+(** Order-dependent hash of the resident tags (an attacker-visible summary
+    of cache state). *)

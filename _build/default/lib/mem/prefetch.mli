@@ -1,0 +1,33 @@
+(** Hardware prefetchers of the baseline model (Table II): a per-PC stride
+    prefetcher in front of the L1 data cache and a miss-stream prefetcher in
+    front of the L2. Each returns the list of line-aligned byte addresses to
+    prefetch for a given access. *)
+
+module Stride : sig
+  type t
+
+  val create : ?entries:int -> ?degree:int -> unit -> t
+  (** [entries] stride-table entries (default 64), [degree] lines prefetched
+      per confident access (default 1). *)
+
+  val observe : t -> pc:int -> addr:int -> int list
+  (** [observe t ~pc ~addr] trains the table on a demand access by the load
+      or store at [pc] to byte address [addr] and returns prefetch
+      candidates (empty until the stride is confident and non-zero). *)
+
+  val reset : t -> unit
+end
+
+module Stream : sig
+  type t
+
+  val create : ?streams:int -> ?degree:int -> ?line_bytes:int -> unit -> t
+  (** [streams] concurrent streams tracked (default 8), [degree] lines
+      prefetched ahead (default 2). *)
+
+  val observe_miss : t -> addr:int -> int list
+  (** Train on an L2 miss; returns next-line prefetch candidates when the
+      miss extends a detected ascending stream. *)
+
+  val reset : t -> unit
+end

@@ -1,0 +1,1 @@
+lib/pipeline/config.mli: Sempe_mem

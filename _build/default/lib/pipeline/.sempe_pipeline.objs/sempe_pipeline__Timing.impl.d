@@ -1,0 +1,1 @@
+lib/pipeline/timing.ml: Array Config Hashtbl Instr List Reg Sempe_bpred Sempe_isa Sempe_mem Sempe_util Stats Uop

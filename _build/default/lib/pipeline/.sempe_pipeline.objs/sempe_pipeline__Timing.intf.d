@@ -1,0 +1,1 @@
+lib/pipeline/timing.mli: Config Sempe_bpred Sempe_mem Uop

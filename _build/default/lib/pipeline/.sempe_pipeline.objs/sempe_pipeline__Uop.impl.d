@@ -1,0 +1,1 @@
+lib/pipeline/uop.ml: Sempe_isa

@@ -1,0 +1,1 @@
+lib/pipeline/uop.mli: Sempe_isa

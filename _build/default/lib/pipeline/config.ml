@@ -1,0 +1,86 @@
+type t = {
+  clock_ghz : float;
+  fetch_width : int;
+  decode_width : int;
+  rename_width : int;
+  issue_width : int;
+  load_issue : int;
+  retire_width : int;
+  rob_entries : int;
+  int_regs : int;
+  fp_regs : int;
+  iq_entries : int;
+  lq_entries : int;
+  sq_entries : int;
+  frontend_depth : int;
+  redirect_penalty : int;
+  btb_miss_bubble : int;
+  lat_int_alu : int;
+  lat_int_mul : int;
+  lat_int_div : int;
+  inst_bytes : int;
+  word_bytes : int;
+  hierarchy : Sempe_mem.Hierarchy.config;
+  spm : Sempe_mem.Spm.config;
+  jbtable_entries : int;
+}
+
+let default =
+  {
+    clock_ghz = 2.0;
+    fetch_width = 8;
+    decode_width = 8;
+    rename_width = 8;
+    issue_width = 8;
+    load_issue = 2;
+    retire_width = 12;
+    rob_entries = 192;
+    int_regs = 256;
+    fp_regs = 256;
+    iq_entries = 60;
+    lq_entries = 32;
+    sq_entries = 32;
+    frontend_depth = 8;
+    redirect_penalty = 2;
+    btb_miss_bubble = 2;
+    lat_int_alu = 1;
+    lat_int_mul = 3;
+    lat_int_div = 12;
+    inst_bytes = 4;
+    word_bytes = 8;
+    hierarchy = Sempe_mem.Hierarchy.default_config;
+    spm = Sempe_mem.Spm.default_config;
+    jbtable_entries = Sempe_mem.Spm.default_config.Sempe_mem.Spm.max_snapshots;
+  }
+
+let rows t =
+  let i = string_of_int in
+  let cache (c : Sempe_mem.Cache.config) =
+    Printf.sprintf "%dKB, %d-way assoc." (c.Sempe_mem.Cache.size_bytes / 1024)
+      c.Sempe_mem.Cache.ways
+  in
+  let h = t.hierarchy in
+  [
+    ("clock frequency", Printf.sprintf "%.1f GHz" t.clock_ghz);
+    ("branch predictor", "TAGE (+ BTB, RAS)");
+    ("fetch", i t.fetch_width ^ " instructions / cycle");
+    ("decode", i t.decode_width ^ " uops / cycle");
+    ("rename", i t.rename_width ^ " uops / cycle");
+    ("issue (micro-ops)", i t.issue_width ^ " uops");
+    ("load issue", i t.load_issue ^ " loads / cycle");
+    ("retire", i t.retire_width ^ " uops / cycle");
+    ("reorder buffer (ROB)", i t.rob_entries ^ " uops");
+    ("physical registers", Printf.sprintf "%d INT, %d FP" t.int_regs t.fp_regs);
+    ("issue buffers", Printf.sprintf "%d INT / %d FP uops" t.iq_entries t.iq_entries);
+    ("load/store queue", Printf.sprintf "%d+%d entries" t.lq_entries t.sq_entries);
+    ("DL1 cache", cache h.Sempe_mem.Hierarchy.dl1);
+    ("IL1 cache", cache h.Sempe_mem.Hierarchy.il1);
+    ("L2 cache", cache h.Sempe_mem.Hierarchy.l2);
+    ("prefetcher", "stride pref. (L1), stream pref. (L2)");
+    ( "SPM size",
+      Printf.sprintf "%dKB (up to %d snapshots supported)"
+        (t.spm.Sempe_mem.Spm.max_snapshots * t.spm.Sempe_mem.Spm.snapshot_bytes / 1024)
+        t.spm.Sempe_mem.Spm.max_snapshots );
+    ( "SPM throughput",
+      Printf.sprintf "%d Bytes/cycle R/W" t.spm.Sempe_mem.Spm.throughput_bytes );
+  ]

@@ -1,0 +1,41 @@
+(** Baseline microarchitecture model — Table II of the paper.
+
+    The machine is an 8-wide out-of-order core at 2 GHz configured like a
+    compact Haswell: 192-entry ROB, 60-entry integer scheduler, 32+32
+    load/store queues, TAGE direction prediction, split 2-way L1 caches and
+    a 256KB L2, stride (L1) and stream (L2) prefetchers, and a 216KB
+    scratchpad supporting 30 ArchRS snapshots. *)
+
+type t = {
+  clock_ghz : float;
+  fetch_width : int;        (** instructions fetched per cycle *)
+  decode_width : int;
+  rename_width : int;
+  issue_width : int;        (** µops issued per cycle *)
+  load_issue : int;         (** loads issued per cycle *)
+  retire_width : int;       (** µops retired per cycle *)
+  rob_entries : int;
+  int_regs : int;
+  fp_regs : int;
+  iq_entries : int;         (** integer scheduler entries *)
+  lq_entries : int;
+  sq_entries : int;
+  frontend_depth : int;     (** fetch-to-dispatch pipeline stages *)
+  redirect_penalty : int;   (** extra cycles after a resolved mispredict *)
+  btb_miss_bubble : int;    (** decode-redirect bubble on a BTB miss *)
+  lat_int_alu : int;
+  lat_int_mul : int;
+  lat_int_div : int;
+  inst_bytes : int;         (** bytes per instruction for icache addressing *)
+  word_bytes : int;         (** bytes per data word *)
+  hierarchy : Sempe_mem.Hierarchy.config;
+  spm : Sempe_mem.Spm.config;
+  jbtable_entries : int;    (** nested sJMP supported; equals SPM snapshots *)
+}
+
+val default : t
+(** Table II values. *)
+
+val rows : t -> (string * string) list
+(** Human-readable (parameter, value) rows, mirroring Table II for the
+    benchmark harness to print. *)

@@ -1,0 +1,379 @@
+open Sempe_isa
+module Hierarchy = Sempe_mem.Hierarchy
+module Predictor = Sempe_bpred.Predictor
+module Btb = Sempe_bpred.Btb
+module Ras = Sempe_bpred.Ras
+module Ittage = Sempe_bpred.Ittage
+
+(* Per-cycle resource counters, kept in a tagged ring so no per-event
+   allocation is needed. The ring must be wider than the largest plausible
+   spread between the oldest in-flight and the newest allocated cycle. *)
+module Ports = struct
+  type t = { use : int array; tag : int array; cap : int }
+
+  let size = 1 lsl 15
+  let mask = size - 1
+
+  let create cap = { use = Array.make size 0; tag = Array.make size (-1); cap }
+
+  (* Earliest cycle >= [c] with a free slot; claims it. *)
+  let alloc t c =
+    let rec go c =
+      let i = c land mask in
+      if t.tag.(i) <> c then begin
+        t.tag.(i) <- c;
+        t.use.(i) <- 1;
+        c
+      end
+      else if t.use.(i) < t.cap then begin
+        t.use.(i) <- t.use.(i) + 1;
+        c
+      end
+      else go (c + 1)
+    in
+    go c
+end
+
+type t = {
+  cfg : Config.t;
+  hier : Hierarchy.t;
+  bp : Predictor.t;
+  btb : Btb.t;
+  ras : Ras.t;
+  ittage : Ittage.t;
+  (* front end *)
+  mutable fetch_cycle : int;
+  mutable fetched_in_cycle : int;
+  mutable fetch_line : int;
+  mutable stall_until : int;
+  (* dataflow *)
+  reg_ready : int array;
+  (* capacity rings: index by occupancy counters *)
+  rob_commit : int array;
+  iq_issue : int array;
+  lq_free : int array;
+  sq_free : int array;
+  mutable n_uops : int;
+  mutable n_loads : int;
+  mutable n_stores : int;
+  issue_ports : Ports.t;
+  load_ports : Ports.t;
+  (* stores in flight: word address -> completion cycle *)
+  store_complete : (int, int) Hashtbl.t;
+  (* commit *)
+  mutable last_commit_cycle : int;
+  mutable commits_in_cycle : int;
+  mutable max_commit : int;
+  (* statistics *)
+  mutable s_instructions : int;
+  mutable s_cond_branches : int;
+  mutable s_mispredicts : int;
+  mutable s_secure_branches : int;
+  mutable s_drains : int;
+  mutable s_spm_cycles : int;
+  mutable s_loads : int;
+  mutable s_stores : int;
+}
+
+let create ?(config = Config.default) ?predictor () =
+  let bp =
+    match predictor with Some p -> p | None -> Sempe_bpred.Tage.create ()
+  in
+  {
+    cfg = config;
+    hier = Hierarchy.create ~config:config.Config.hierarchy ();
+    bp;
+    btb = Btb.create ();
+    ras = Ras.create ();
+    ittage = Ittage.create ();
+    fetch_cycle = 0;
+    fetched_in_cycle = 0;
+    fetch_line = -1;
+    stall_until = 0;
+    reg_ready = Array.make Reg.count 0;
+    rob_commit = Array.make config.Config.rob_entries 0;
+    iq_issue = Array.make config.Config.iq_entries 0;
+    lq_free = Array.make config.Config.lq_entries 0;
+    sq_free = Array.make config.Config.sq_entries 0;
+    n_uops = 0;
+    n_loads = 0;
+    n_stores = 0;
+    issue_ports = Ports.create config.Config.issue_width;
+    load_ports = Ports.create config.Config.load_issue;
+    store_complete = Hashtbl.create 1024;
+    last_commit_cycle = -1;
+    commits_in_cycle = 0;
+    max_commit = 0;
+    s_instructions = 0;
+    s_cond_branches = 0;
+    s_mispredicts = 0;
+    s_secure_branches = 0;
+    s_drains = 0;
+    s_spm_cycles = 0;
+    s_loads = 0;
+    s_stores = 0;
+  }
+
+let config t = t.cfg
+let hierarchy t = t.hier
+
+let break_fetch_group t = t.fetched_in_cycle <- t.cfg.Config.fetch_width
+
+(* Assign a fetch cycle to the µop at [pc], honoring width, stalls and the
+   instruction cache. *)
+let fetch t ~pc =
+  let cfg = t.cfg in
+  let base =
+    if t.fetched_in_cycle >= cfg.Config.fetch_width then t.fetch_cycle + 1
+    else t.fetch_cycle
+  in
+  let f = max base t.stall_until in
+  let byte_addr = pc * cfg.Config.inst_bytes in
+  let line = byte_addr / cfg.Config.hierarchy.Hierarchy.il1.Sempe_mem.Cache.line_bytes in
+  let f =
+    if line = t.fetch_line then f
+    else begin
+      t.fetch_line <- line;
+      let lat = Hierarchy.inst_fetch t.hier ~addr:byte_addr in
+      (* A hit costs no bubble beyond the pipelined front end; a miss stalls
+         fetch for the extra latency. *)
+      f + (lat - cfg.Config.hierarchy.Hierarchy.lat_l1)
+    end
+  in
+  if f > t.fetch_cycle then begin
+    t.fetch_cycle <- f;
+    t.fetched_in_cycle <- 1
+  end
+  else t.fetched_in_cycle <- t.fetched_in_cycle + 1;
+  f
+
+(* Dispatch waits for back-end capacity: the µop [n - size] positions older
+   must have freed its ROB/IQ/LQ/SQ entry. *)
+let dispatch t ~fetch_time ~is_load ~is_store =
+  let cfg = t.cfg in
+  let d = ref (fetch_time + cfg.Config.frontend_depth) in
+  let rob_size = Array.length t.rob_commit in
+  if t.n_uops >= rob_size then
+    d := max !d (t.rob_commit.(t.n_uops mod rob_size) + 1);
+  let iq_size = Array.length t.iq_issue in
+  if t.n_uops >= iq_size then d := max !d (t.iq_issue.(t.n_uops mod iq_size) + 1);
+  if is_load then begin
+    let lq_size = Array.length t.lq_free in
+    if t.n_loads >= lq_size then d := max !d (t.lq_free.(t.n_loads mod lq_size) + 1)
+  end;
+  if is_store then begin
+    let sq_size = Array.length t.sq_free in
+    if t.n_stores >= sq_size then d := max !d (t.sq_free.(t.n_stores mod sq_size) + 1)
+  end;
+  !d
+
+let fu_latency t (cls : Instr.iclass) =
+  let cfg = t.cfg in
+  match cls with
+  | Instr.Cls_int_mul -> cfg.Config.lat_int_mul
+  | Instr.Cls_int_div -> cfg.Config.lat_int_div
+  | Instr.Cls_nop | Instr.Cls_int_alu | Instr.Cls_branch | Instr.Cls_jump
+  | Instr.Cls_eosjmp | Instr.Cls_halt ->
+    cfg.Config.lat_int_alu
+  | Instr.Cls_load | Instr.Cls_store ->
+    (* memory latency added separately *)
+    0
+
+let commit t ~complete =
+  let cfg = t.cfg in
+  let c = max complete t.last_commit_cycle in
+  let c =
+    if c = t.last_commit_cycle && t.commits_in_cycle >= cfg.Config.retire_width then
+      c + 1
+    else c
+  in
+  if c = t.last_commit_cycle then t.commits_in_cycle <- t.commits_in_cycle + 1
+  else begin
+    t.last_commit_cycle <- c;
+    t.commits_in_cycle <- 1
+  end;
+  if c > t.max_commit then t.max_commit <- c;
+  c
+
+let handle_control t (u : Uop.t) ~complete =
+  let cfg = t.cfg in
+  let mispredict () =
+    t.s_mispredicts <- t.s_mispredicts + 1;
+    t.stall_until <-
+      max t.stall_until (complete + cfg.Config.redirect_penalty);
+    break_fetch_group t
+  in
+  let taken_transfer ~target =
+    (* Correctly predicted taken control flow: a BTB hit only breaks the
+       fetch group; a miss adds a decode-redirect bubble. *)
+    (match Btb.lookup t.btb ~pc:u.Uop.pc with
+     | Some cached when cached = target -> ()
+     | Some _ | None ->
+       t.stall_until <-
+         max t.stall_until (t.fetch_cycle + cfg.Config.btb_miss_bubble));
+    Btb.update t.btb ~pc:u.Uop.pc ~target;
+    break_fetch_group t
+  in
+  match u.Uop.control with
+  | Uop.Ctl_none -> ()
+  | Uop.Ctl_branch { taken; target; secure } ->
+    if secure then
+      (* sJMP: the predictor is never consulted; fetch already continued at
+         the fall-through, which is always the execution order (§IV-E). *)
+      t.s_secure_branches <- t.s_secure_branches + 1
+    else begin
+      t.s_cond_branches <- t.s_cond_branches + 1;
+      let predicted = t.bp.Predictor.predict ~pc:u.Uop.pc in
+      t.bp.Predictor.update ~pc:u.Uop.pc ~taken;
+      if predicted <> taken then mispredict ()
+      else if taken then taken_transfer ~target
+    end
+  | Uop.Ctl_jump { target } -> taken_transfer ~target
+  | Uop.Ctl_call { target; return_to } ->
+    Ras.push t.ras return_to;
+    taken_transfer ~target
+  | Uop.Ctl_ret { target } ->
+    (match Ras.pop t.ras with
+     | Some predicted when predicted = target -> break_fetch_group t
+     | Some _ | None -> mispredict ())
+  | Uop.Ctl_indirect { target } ->
+    let predicted = Ittage.predict t.ittage ~pc:u.Uop.pc in
+    Ittage.update t.ittage ~pc:u.Uop.pc ~target;
+    (match predicted with
+     | Some p when p = target -> break_fetch_group t
+     | Some _ | None -> mispredict ())
+  | Uop.Ctl_jumpback { target = _ } ->
+    (* eosJMP: nextPC comes from the jbTable at commit; the mandatory drain
+       event that follows already charges the redirect. *)
+    break_fetch_group t
+
+let feed_uop t (u : Uop.t) =
+  let cfg = t.cfg in
+  let is_load = u.Uop.cls = Instr.Cls_load in
+  let is_store = u.Uop.cls = Instr.Cls_store in
+  let f = fetch t ~pc:u.Uop.pc in
+  let d = dispatch t ~fetch_time:f ~is_load ~is_store in
+  let ready =
+    List.fold_left (fun acc r -> max acc t.reg_ready.(r)) (d + 1) u.Uop.srcs
+  in
+  let iss = Ports.alloc t.issue_ports ready in
+  let iss = if is_load then Ports.alloc t.load_ports iss else iss in
+  let byte_addr = u.Uop.mem_addr * cfg.Config.word_bytes in
+  let complete =
+    if is_load then begin
+      t.s_loads <- t.s_loads + 1;
+      let lat = Hierarchy.data_access t.hier ~pc:u.Uop.pc ~addr:byte_addr ~write:false in
+      let c = iss + lat in
+      (* Store-to-load forwarding: a younger load of a word written by an
+         in-flight store sees the value one cycle after the store data is
+         ready. *)
+      match Hashtbl.find_opt t.store_complete u.Uop.mem_addr with
+      | Some sc -> max c (sc + 1)
+      | None -> c
+    end
+    else if is_store then begin
+      t.s_stores <- t.s_stores + 1;
+      ignore (Hierarchy.data_access t.hier ~pc:u.Uop.pc ~addr:byte_addr ~write:true);
+      let c = iss + 1 in
+      Hashtbl.replace t.store_complete u.Uop.mem_addr c;
+      c
+    end
+    else iss + fu_latency t u.Uop.cls
+  in
+  (match u.Uop.dst with Some r -> t.reg_ready.(r) <- complete | None -> ());
+  let c = commit t ~complete in
+  (* Record resource release times in the capacity rings. *)
+  let rob_size = Array.length t.rob_commit in
+  t.rob_commit.(t.n_uops mod rob_size) <- c;
+  let iq_size = Array.length t.iq_issue in
+  t.iq_issue.(t.n_uops mod iq_size) <- iss;
+  if is_load then begin
+    t.lq_free.(t.n_loads mod Array.length t.lq_free) <- complete;
+    t.n_loads <- t.n_loads + 1
+  end;
+  if is_store then begin
+    t.sq_free.(t.n_stores mod Array.length t.sq_free) <- c;
+    t.n_stores <- t.n_stores + 1
+  end;
+  t.n_uops <- t.n_uops + 1;
+  t.s_instructions <- t.s_instructions + 1;
+  handle_control t u ~complete
+
+let feed_drain t ~spm_cycles =
+  t.s_drains <- t.s_drains + 1;
+  t.s_spm_cycles <- t.s_spm_cycles + spm_cycles;
+  (* No later µop may dispatch until everything older has committed and the
+     SPM transfer has finished. Front-end refill then costs the usual
+     pipeline depth on the next µop. *)
+  t.stall_until <- max t.stall_until (t.max_commit + 1 + spm_cycles);
+  break_fetch_group t
+
+let feed t = function
+  | Uop.Commit u -> feed_uop t u
+  | Uop.Drain { spm_cycles; reason = _ } -> feed_drain t ~spm_cycles
+
+type report = {
+  instructions : int;
+  cycles : int;
+  cpi : float;
+  cond_branches : int;
+  mispredicts : int;
+  secure_branches : int;
+  drains : int;
+  spm_cycles : int;
+  loads : int;
+  stores : int;
+  il1_miss_rate : float;
+  dl1_miss_rate : float;
+  l2_miss_rate : float;
+  il1_accesses : int;
+  dl1_accesses : int;
+  l2_accesses : int;
+  il1_misses : int;
+  dl1_misses : int;
+  l2_misses : int;
+  il1_sig : int;
+  dl1_sig : int;
+  l2_sig : int;
+  bpred_sig : int;
+}
+
+let report t =
+  let open Sempe_util in
+  let il1, dl1, l2 = (Hierarchy.il1 t.hier, Hierarchy.dl1 t.hier, Hierarchy.l2 t.hier) in
+  let acc c = Stats.find (Sempe_mem.Cache.stats c) "accesses" in
+  let mis c = Stats.find (Sempe_mem.Cache.stats c) "misses" in
+  let cycles = t.max_commit + 1 in
+  {
+    instructions = t.s_instructions;
+    cycles;
+    cpi = Stats.ratio ~num:cycles ~den:t.s_instructions;
+    cond_branches = t.s_cond_branches;
+    mispredicts = t.s_mispredicts;
+    secure_branches = t.s_secure_branches;
+    drains = t.s_drains;
+    spm_cycles = t.s_spm_cycles;
+    loads = t.s_loads;
+    stores = t.s_stores;
+    il1_miss_rate = Sempe_mem.Cache.miss_rate il1;
+    dl1_miss_rate = Sempe_mem.Cache.miss_rate dl1;
+    l2_miss_rate = Sempe_mem.Cache.miss_rate l2;
+    il1_accesses = acc il1;
+    dl1_accesses = acc dl1;
+    l2_accesses = acc l2;
+    il1_misses = mis il1;
+    dl1_misses = mis dl1;
+    l2_misses = mis l2;
+    il1_sig = Sempe_mem.Cache.signature il1;
+    dl1_sig = Sempe_mem.Cache.signature dl1;
+    l2_sig = Sempe_mem.Cache.signature l2;
+    bpred_sig =
+      (((t.bp.Predictor.snapshot_signature () * 31) + Btb.signature t.btb) * 31)
+      + Ittage.signature t.ittage;
+  }
+
+let predictor_signature t =
+  (((t.bp.Predictor.snapshot_signature () * 31) + Btb.signature t.btb) * 31)
+  + Ittage.signature t.ittage
+
+let cache_signature t = Hierarchy.signature t.hier

@@ -1,0 +1,73 @@
+(** Trace-driven out-of-order timing model.
+
+    The functional interpreter feeds committed µops (and SeMPE drain events)
+    in program/commit order; the model assigns each µop a fetch, dispatch,
+    issue, completion and commit cycle subject to:
+
+    - fetch width, instruction-cache latency and taken-branch fetch breaks;
+    - front-end depth, and redirect stalls after branch mispredictions
+      (direction from the configured predictor, targets from BTB/RAS);
+    - ROB / issue-queue / load-queue / store-queue capacity;
+    - operand readiness through architectural register dataflow,
+      issue-width and load-port contention, functional-unit latencies;
+    - data-cache latency for loads and stores, with store-to-load
+      forwarding and memory-dependence ordering on word addresses;
+    - in-order commit bounded by retire width;
+    - SeMPE pipeline drains: later µops dispatch only after everything
+      older has committed plus the SPM transfer cycles of the event.
+
+    Wrong-path instructions are not replayed (standard trace-driven
+    methodology); their cost is charged as redirect latency. Secure branches
+    never consult the direction predictor (§IV-E). *)
+
+type t
+
+val create :
+  ?config:Config.t
+  -> ?predictor:Sempe_bpred.Predictor.t
+  -> unit
+  -> t
+(** [predictor] defaults to a fresh TAGE with the paper's budget. *)
+
+val feed : t -> Uop.event -> unit
+(** Process the next event in commit order. *)
+
+val config : t -> Config.t
+val hierarchy : t -> Sempe_mem.Hierarchy.t
+
+(** Aggregated results of a run. *)
+type report = {
+  instructions : int;
+  cycles : int;
+  cpi : float;
+  cond_branches : int;    (** dynamic non-secure conditional branches *)
+  mispredicts : int;
+  secure_branches : int;  (** dynamic sJMPs *)
+  drains : int;
+  spm_cycles : int;
+  loads : int;
+  stores : int;
+  il1_miss_rate : float;
+  dl1_miss_rate : float;
+  l2_miss_rate : float;
+  il1_accesses : int;
+  dl1_accesses : int;
+  l2_accesses : int;
+  il1_misses : int;
+  dl1_misses : int;
+  l2_misses : int;
+  il1_sig : int;   (** content hash of the IL1 after the run *)
+  dl1_sig : int;
+  l2_sig : int;
+  bpred_sig : int; (** predictor + BTB state hash *)
+}
+
+val report : t -> report
+(** Snapshot of the statistics; call after the last {!feed}. *)
+
+val predictor_signature : t -> int
+(** Hash of branch-predictor + BTB state (the branch-predictor side
+    channel). *)
+
+val cache_signature : t -> int
+(** Hash of all cache contents (the cache side channel). *)

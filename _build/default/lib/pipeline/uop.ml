@@ -1,0 +1,36 @@
+type control =
+  | Ctl_none
+  | Ctl_branch of { taken : bool; target : int; secure : bool }
+  | Ctl_jump of { target : int }
+  | Ctl_call of { target : int; return_to : int }
+  | Ctl_ret of { target : int }
+  | Ctl_indirect of { target : int }
+  | Ctl_jumpback of { target : int }
+
+type t = {
+  pc : int;
+  cls : Sempe_isa.Instr.iclass;
+  dst : Sempe_isa.Reg.t option;
+  srcs : Sempe_isa.Reg.t list;
+  mem_addr : int;
+  control : control;
+}
+
+type drain_reason =
+  | Drain_enter_secblock
+  | Drain_after_nt_path
+  | Drain_exit_secblock
+
+type event =
+  | Commit of t
+  | Drain of { reason : drain_reason; spm_cycles : int }
+
+let of_instr ~pc instr ~mem_addr control =
+  {
+    pc;
+    cls = Sempe_isa.Instr.class_of instr;
+    dst = Sempe_isa.Instr.dest instr;
+    srcs = Sempe_isa.Instr.sources instr;
+    mem_addr;
+    control;
+  }

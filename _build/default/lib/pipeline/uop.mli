@@ -1,0 +1,43 @@
+(** Dynamic micro-operations and pipeline events.
+
+    The functional interpreter streams one {!event} per committed
+    instruction (plus drain events for the SeMPE snapshot machinery) into
+    the timing model, in commit order. *)
+
+type control =
+  | Ctl_none
+  | Ctl_branch of { taken : bool; target : int; secure : bool }
+      (** conditional branch; [target] is the taken destination *)
+  | Ctl_jump of { target : int }
+  | Ctl_call of { target : int; return_to : int }
+  | Ctl_ret of { target : int }
+  | Ctl_indirect of { target : int }
+      (** computed jump (Jr): target predicted by ITTAGE *)
+  | Ctl_jumpback of { target : int }
+      (** eosJMP consuming a jbTable entry: nextPC comes from hardware, not
+          from prediction *)
+
+type t = {
+  pc : int;                     (** instruction index *)
+  cls : Sempe_isa.Instr.iclass;
+  dst : Sempe_isa.Reg.t option;
+  srcs : Sempe_isa.Reg.t list;
+  mem_addr : int;               (** word address; meaningful for load/store *)
+  control : control;
+}
+
+(** Why the SeMPE front end drained the pipeline. *)
+type drain_reason =
+  | Drain_enter_secblock   (** before entering a SecBlock (save all registers) *)
+  | Drain_after_nt_path    (** at the first eosJMP (save modified, jump back) *)
+  | Drain_exit_secblock    (** at the second eosJMP (restore) *)
+
+type event =
+  | Commit of t
+  | Drain of { reason : drain_reason; spm_cycles : int }
+      (** Pipeline drain: later instructions may not dispatch until all
+          earlier ones have committed, plus [spm_cycles] of SPM transfer. *)
+
+val of_instr : pc:int -> Sempe_isa.Instr.t -> mem_addr:int -> control -> t
+(** Builds a µop from a decoded instruction; [mem_addr] is ignored for
+    non-memory instructions. *)

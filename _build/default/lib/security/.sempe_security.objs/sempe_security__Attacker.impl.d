@@ -1,0 +1,1 @@
+lib/security/attacker.ml: Array List Sempe_mem

@@ -1,0 +1,1 @@
+lib/security/attacker.mli: Sempe_mem

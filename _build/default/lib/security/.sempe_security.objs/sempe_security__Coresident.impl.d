@@ -1,0 +1,1 @@
+lib/security/coresident.ml: Array List Sempe_core Sempe_mem Sempe_pipeline

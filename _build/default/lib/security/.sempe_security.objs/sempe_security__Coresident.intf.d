@@ -1,0 +1,1 @@
+lib/security/coresident.mli: Sempe_core Sempe_isa Sempe_pipeline

@@ -1,0 +1,1 @@
+lib/security/observable.ml: Sempe_isa Sempe_pipeline

@@ -1,0 +1,1 @@
+lib/security/observable.mli: Sempe_pipeline

@@ -1,0 +1,34 @@
+let pearson xs ys =
+  let n = Array.length xs in
+  assert (n = Array.length ys && n > 0);
+  let mean a = Array.fold_left ( +. ) 0.0 a /. float_of_int n in
+  let mx = mean xs and my = mean ys in
+  let num = ref 0.0 and dx = ref 0.0 and dy = ref 0.0 in
+  for k = 0 to n - 1 do
+    let a = xs.(k) -. mx and b = ys.(k) -. my in
+    num := !num +. (a *. b);
+    dx := !dx +. (a *. a);
+    dy := !dy +. (b *. b)
+  done;
+  if !dx = 0.0 || !dy = 0.0 then 0.0 else !num /. sqrt (!dx *. !dy)
+
+let popcount k =
+  let rec go k acc = if k = 0 then acc else go (k lsr 1) (acc + (k land 1)) in
+  go k 0
+
+let timing_key_correlation ~run ~keys =
+  let keys = Array.of_list keys in
+  let weights = Array.map (fun k -> float_of_int (popcount k)) keys in
+  let times = Array.map (fun k -> float_of_int (run ~key:k)) keys in
+  pearson weights times
+
+let recover_bit ~run ~base_key ~bit =
+  let t0 = run ~key:(base_key land lnot (1 lsl bit)) in
+  let t1 = run ~key:(base_key lor (1 lsl bit)) in
+  t0 <> t1
+
+let prime_and_probe cache ~prime ~victim =
+  List.iter (fun addr -> ignore (Sempe_mem.Cache.access cache ~addr ~write:false)) prime;
+  victim ();
+  Array.of_list
+    (List.map (fun addr -> not (Sempe_mem.Cache.probe cache ~addr)) prime)

@@ -1,0 +1,26 @@
+(** Concrete attacks from the threat model, for the demos and tests.
+
+    {!timing_key_correlation} is the classic attack on Figure 1's modular
+    exponentiation: execution time grows with the Hamming weight of the
+    exponent, so correlating time with candidate weights recovers
+    information about the key. {!recover_bit} refines it to a single bit
+    by differencing. {!prime_and_probe} models the shared-cache attacker:
+    prime a cache, let the victim run, probe which sets lost lines. *)
+
+val pearson : float array -> float array -> float
+(** Pearson correlation coefficient; 0 when either side is constant. *)
+
+val timing_key_correlation : run:(key:int -> int) -> keys:int list -> float
+(** Correlation between key Hamming weight and the victim's cycle count
+    over [keys]. Near 1 on a leaky implementation; near 0 under SeMPE. *)
+
+val recover_bit : run:(key:int -> int) -> base_key:int -> bit:int -> bool
+(** [recover_bit ~run ~base_key ~bit] guesses whether flipping [bit] of
+    [base_key] changes the execution time — i.e. whether the branch at
+    that bit is observable. Returns [true] when the two timings differ. *)
+
+val prime_and_probe :
+  Sempe_mem.Cache.t -> prime:int list -> victim:(unit -> unit) -> bool array
+(** [prime_and_probe cache ~prime ~victim] installs the prime addresses,
+    runs the victim (which shares [cache]), and returns per-prime-address
+    eviction flags ([true] = the attacker's line was evicted). *)

@@ -1,0 +1,68 @@
+module Exec = Sempe_core.Exec
+module Timing = Sempe_pipeline.Timing
+module Config = Sempe_pipeline.Config
+module Cache = Sempe_mem.Cache
+module Hierarchy = Sempe_mem.Hierarchy
+
+type trace = bool array array
+
+let prime_probe_trace ?(machine = Config.default) ?(slice = 200)
+    ?(max_slices = 512) ~support ~prog ~init_mem () =
+  let timing = Timing.create ~config:machine () in
+  let il1 = Hierarchy.il1 (Timing.hierarchy timing) in
+  let nsets = Cache.num_sets il1 in
+  let ways = (Cache.config il1).Cache.ways in
+  let line_bytes = (Cache.config il1).Cache.line_bytes in
+  (* Attacker lines: one per way per set, tagged far above the victim's
+     code so they never alias with the program text. Filling every way is
+     what makes any victim fetch in the set evict one of ours. *)
+  let attacker_addr way set = ((nsets * 1024 * (way + 1)) + set) * line_bytes in
+  let prime () =
+    for way = 0 to ways - 1 do
+      for set = 0 to nsets - 1 do
+        ignore (Cache.access il1 ~addr:(attacker_addr way set) ~write:false)
+      done
+    done
+  in
+  let probe () =
+    Array.init nsets (fun set ->
+        let rec any way =
+          way < ways
+          && ((not (Cache.probe il1 ~addr:(attacker_addr way set))) || any (way + 1))
+        in
+        any 0)
+  in
+  let config =
+    { Exec.default_config with Exec.support; mem_words = 1 lsl 16 }
+  in
+  let session = Exec.start ~config ~init_mem ~sink:(Timing.feed timing) prog in
+  let slices = ref [] in
+  let n = ref 0 in
+  let halted = ref false in
+  while (not !halted) && !n < max_slices do
+    prime ();
+    halted := Exec.step_slice session slice;
+    slices := probe () :: !slices;
+    incr n
+  done;
+  (* drain the remainder so the victim finishes even if max_slices hit *)
+  ignore (Exec.finish session);
+  Array.of_list (List.rev !slices)
+
+let distance a b =
+  let slices = max (Array.length a) (Array.length b) in
+  let sets =
+    max
+      (if Array.length a > 0 then Array.length a.(0) else 0)
+      (if Array.length b > 0 then Array.length b.(0) else 0)
+  in
+  let cell (t : trace) s k =
+    if s < Array.length t && k < Array.length t.(s) then t.(s).(k) else false
+  in
+  let d = ref 0 in
+  for s = 0 to slices - 1 do
+    for k = 0 to sets - 1 do
+      if cell a s k <> cell b s k then incr d
+    done
+  done;
+  !d

@@ -1,0 +1,57 @@
+type channel =
+  | Timing
+  | Trace
+  | Address
+  | Icache
+  | Dcache
+  | L2
+  | Bpred
+  | Instruction_count
+
+let channels =
+  [ Timing; Trace; Address; Icache; Dcache; L2; Bpred; Instruction_count ]
+
+let channel_name = function
+  | Timing -> "timing"
+  | Trace -> "pc-trace"
+  | Address -> "mem-address"
+  | Icache -> "icache"
+  | Dcache -> "dcache"
+  | L2 -> "l2"
+  | Bpred -> "branch-predictor"
+  | Instruction_count -> "instruction-count"
+
+let extract ch (view : Observable.view) =
+  match ch with
+  | Timing -> view.Observable.cycles
+  | Trace -> view.Observable.pc_digest
+  | Address -> view.Observable.addr_digest
+  | Icache -> view.Observable.il1_sig
+  | Dcache -> view.Observable.dl1_sig
+  | L2 -> view.Observable.l2_sig
+  | Bpred -> view.Observable.bpred_sig
+  | Instruction_count -> view.Observable.instructions
+
+type finding = {
+  channel : channel;
+  distinct : int;
+  total : int;
+}
+
+let leaks f = f.distinct > 1
+
+let compare_views views =
+  List.map
+    (fun channel ->
+      let values = List.map (extract channel) views in
+      {
+        channel;
+        distinct = List.length (List.sort_uniq compare values);
+        total = List.length views;
+      })
+    channels
+
+let leaky_channels views =
+  List.filter_map
+    (fun f -> if leaks f then Some f.channel else None)
+    (compare_views views)

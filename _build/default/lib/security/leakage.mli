@@ -1,0 +1,32 @@
+(** Leakage detection: run the victim with different secrets, compare the
+    attacker-visible views channel by channel. *)
+
+type channel =
+  | Timing            (** end-to-end cycle count *)
+  | Trace             (** committed-PC sequence *)
+  | Address           (** memory access-pattern *)
+  | Icache            (** instruction-cache contents *)
+  | Dcache            (** data-cache contents *)
+  | L2
+  | Bpred             (** branch-predictor / BTB state *)
+  | Instruction_count
+
+val channels : channel list
+val channel_name : channel -> string
+
+val extract : channel -> Observable.view -> int
+
+type finding = {
+  channel : channel;
+  distinct : int;   (** distinct values seen across the secrets *)
+  total : int;      (** number of secrets tried *)
+}
+
+val leaks : finding -> bool
+(** A channel leaks when it distinguishes at least two secrets. *)
+
+val compare_views : Observable.view list -> finding list
+(** One finding per channel over runs with different secrets (same
+    program, same public inputs, fresh machine each run). *)
+
+val leaky_channels : Observable.view list -> channel list

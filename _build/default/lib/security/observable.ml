@@ -1,0 +1,55 @@
+module Uop = Sempe_pipeline.Uop
+module Timing = Sempe_pipeline.Timing
+
+type recorder = {
+  mutable pc_digest : int;
+  mutable addr_digest : int;
+  mutable commits : int;
+  mutable mem_ops : int;
+}
+
+let fnv acc x = (acc * 16777619) lxor (x land 0x3fffffff) lxor (x asr 30)
+
+let recorder () = { pc_digest = 2166136261; addr_digest = 2166136261; commits = 0; mem_ops = 0 }
+
+let feed r = function
+  | Uop.Commit u ->
+    r.commits <- r.commits + 1;
+    r.pc_digest <- fnv r.pc_digest u.Uop.pc;
+    (match u.Uop.cls with
+     | Sempe_isa.Instr.Cls_load | Sempe_isa.Instr.Cls_store ->
+       r.mem_ops <- r.mem_ops + 1;
+       r.addr_digest <- fnv r.addr_digest u.Uop.mem_addr
+     | Sempe_isa.Instr.Cls_nop | Sempe_isa.Instr.Cls_int_alu
+     | Sempe_isa.Instr.Cls_int_mul | Sempe_isa.Instr.Cls_int_div
+     | Sempe_isa.Instr.Cls_branch | Sempe_isa.Instr.Cls_jump
+     | Sempe_isa.Instr.Cls_eosjmp | Sempe_isa.Instr.Cls_halt -> ())
+  | Uop.Drain _ -> ()
+
+let pc_digest r = r.pc_digest
+let addr_digest r = r.addr_digest
+let commits r = r.commits
+let mem_ops r = r.mem_ops
+
+type view = {
+  cycles : int;
+  instructions : int;
+  pc_digest : int;
+  addr_digest : int;
+  il1_sig : int;
+  dl1_sig : int;
+  l2_sig : int;
+  bpred_sig : int;
+}
+
+let view (r : recorder) (report : Timing.report) =
+  {
+    cycles = report.Timing.cycles;
+    instructions = report.Timing.instructions;
+    pc_digest = r.pc_digest;
+    addr_digest = r.addr_digest;
+    il1_sig = report.Timing.il1_sig;
+    dl1_sig = report.Timing.dl1_sig;
+    l2_sig = report.Timing.l2_sig;
+    bpred_sig = report.Timing.bpred_sig;
+  }

@@ -1,0 +1,40 @@
+(** Attacker-visible observables of one execution.
+
+    The threat model (§III) grants the attacker coarse timing, shared-cache
+    state (prime+probe), branch-predictor state, and knowledge of the
+    victim's code. A {!view} condenses everything such an attacker could
+    compare across runs; the leakage detector declares a channel leaky when
+    the view component differs across secrets. Digests are order-dependent
+    FNV-style hashes, so any difference in the underlying sequence shows
+    up. *)
+
+type recorder
+(** Streams over the committed-µop events of a run. *)
+
+val recorder : unit -> recorder
+val feed : recorder -> Sempe_pipeline.Uop.event -> unit
+
+val pc_digest : recorder -> int
+(** Digest of the committed-PC sequence (execution-trace channel). *)
+
+val addr_digest : recorder -> int
+(** Digest of the load/store word-address sequence (memory access-pattern
+    channel). *)
+
+val commits : recorder -> int
+val mem_ops : recorder -> int
+
+type view = {
+  cycles : int;          (** end-to-end time (timing channel) *)
+  instructions : int;
+  pc_digest : int;
+  addr_digest : int;
+  il1_sig : int;         (** instruction-cache content (code-path probe) *)
+  dl1_sig : int;
+  l2_sig : int;
+  bpred_sig : int;       (** predictor + BTB state *)
+}
+
+val view : recorder -> Sempe_pipeline.Timing.report -> view
+(** Combine the stream digests with the machine-state signatures of the
+    finished run. *)

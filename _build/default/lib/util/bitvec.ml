@@ -1,0 +1,59 @@
+type t = { bits : Bytes.t; len : int }
+
+let create len =
+  assert (len >= 0);
+  { bits = Bytes.make ((len + 7) / 8) '\000'; len }
+
+let length t = t.len
+
+let check t i = assert (i >= 0 && i < t.len)
+
+let get t i =
+  check t i;
+  Char.code (Bytes.get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let set t i =
+  check t i;
+  let b = Char.code (Bytes.get t.bits (i lsr 3)) in
+  Bytes.set t.bits (i lsr 3) (Char.chr (b lor (1 lsl (i land 7))))
+
+let clear t i =
+  check t i;
+  let b = Char.code (Bytes.get t.bits (i lsr 3)) in
+  Bytes.set t.bits (i lsr 3) (Char.chr (b land lnot (1 lsl (i land 7)) land 0xff))
+
+let assign t i v = if v then set t i else clear t i
+
+let clear_all t = Bytes.fill t.bits 0 (Bytes.length t.bits) '\000'
+
+let set_all t =
+  for i = 0 to t.len - 1 do
+    set t i
+  done
+
+let popcount t =
+  let n = ref 0 in
+  for i = 0 to t.len - 1 do
+    if get t i then incr n
+  done;
+  !n
+
+let copy t = { bits = Bytes.copy t.bits; len = t.len }
+
+let union a b =
+  assert (a.len = b.len);
+  let r = create a.len in
+  for i = 0 to Bytes.length a.bits - 1 do
+    Bytes.set r.bits i
+      (Char.chr (Char.code (Bytes.get a.bits i) lor Char.code (Bytes.get b.bits i)))
+  done;
+  r
+
+let iter_set f t =
+  for i = 0 to t.len - 1 do
+    if get t i then f i
+  done
+
+let equal a b = a.len = b.len && Bytes.equal a.bits b.bits
+
+let to_string t = String.init t.len (fun i -> if get t i then '1' else '0')

@@ -1,0 +1,35 @@
+(** Fixed-width mutable bit vectors.
+
+    Used for the T-Modified / NT-Modified vectors of the ArchRS snapshot
+    mechanism (Figure 6 of the paper) and for cache valid bits. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an all-zero vector of [n] bits. *)
+
+val length : t -> int
+
+val get : t -> int -> bool
+val set : t -> int -> unit
+val clear : t -> int -> unit
+val assign : t -> int -> bool -> unit
+
+val clear_all : t -> unit
+val set_all : t -> unit
+
+val popcount : t -> int
+(** Number of set bits. *)
+
+val union : t -> t -> t
+(** [union a b] is a fresh vector with the bitwise or; lengths must match. *)
+
+val copy : t -> t
+
+val iter_set : (int -> unit) -> t -> unit
+(** [iter_set f t] applies [f] to the index of every set bit, ascending. *)
+
+val equal : t -> t -> bool
+
+val to_string : t -> string
+(** Little-endian string of ['0']/['1'] characters, index 0 first. *)

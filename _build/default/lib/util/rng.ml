@@ -1,0 +1,43 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let next64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t = { state = next64 t }
+
+let int t bound =
+  assert (bound > 0);
+  (* Mask to 62 bits: Int64.to_int is modulo 2^63, so bit 62 of a 63-bit
+     value would become the native sign bit. *)
+  let r = Int64.to_int (Int64.logand (next64 t) 0x3FFFFFFFFFFFFFFFL) in
+  r mod bound
+
+let int_in t lo hi =
+  assert (lo <= hi);
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (next64 t) 1L = 1L
+
+let float t =
+  let bits53 = Int64.to_int (Int64.shift_right_logical (next64 t) 11) in
+  float_of_int bits53 *. (1.0 /. 9007199254740992.0)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,40 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the simulator and the workload generators flows through
+    this module so that every experiment is reproducible bit-for-bit. The
+    generator is splitmix64, which has a 64-bit state, passes BigCrush, and is
+    trivially splittable. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator seeded with [seed]. Two
+    generators created with the same seed produce identical streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator whose future stream equals the
+    future stream of [t] at the time of the call. *)
+
+val split : t -> t
+(** [split t] draws from [t] to seed a statistically independent child
+    generator. [t] advances. *)
+
+val next64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. Requires
+    [lo <= hi]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

@@ -1,0 +1,48 @@
+(** Simulation statistics: named counters, ratios and summaries.
+
+    Every simulator component owns a [group]; the run harness collects the
+    groups into a report. Counters are plain [int] cells so the hot paths pay
+    one increment. *)
+
+type counter
+(** A monotonically increasing event count. *)
+
+type group
+(** A named collection of counters. *)
+
+val group : string -> group
+(** [group name] is a fresh, empty group. *)
+
+val group_name : group -> string
+
+val counter : group -> string -> counter
+(** [counter g name] registers a zeroed counter named [name] in [g]. Names
+    must be unique within a group. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+val reset_group : group -> unit
+
+val to_list : group -> (string * int) list
+(** Counters of a group in registration order. *)
+
+val find : group -> string -> int
+(** [find g name] is the value of the named counter.
+    @raise Not_found if absent. *)
+
+val ratio : num:int -> den:int -> float
+(** [ratio ~num ~den] is [num / den] as a float, or [0.] when [den = 0]. *)
+
+(** Streaming summary of a series of float observations. *)
+module Summary : sig
+  type t
+
+  val create : unit -> t
+  val observe : t -> float -> unit
+  val n : t -> int
+  val mean : t -> float
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+end

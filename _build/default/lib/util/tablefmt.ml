@@ -1,0 +1,52 @@
+let render ~header rows =
+  List.iter
+    (fun r ->
+      if List.length r <> List.length header then
+        invalid_arg "Tablefmt.render: row arity mismatch")
+    rows;
+  let all = header :: rows in
+  let ncols = List.length header in
+  let width c =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init ncols width in
+  let line row =
+    String.concat "  "
+      (List.mapi
+         (fun c cell ->
+           let w = List.nth widths c in
+           cell ^ String.make (w - String.length cell) ' ')
+         row)
+  in
+  let sep =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" (line header :: sep :: List.map line rows)
+
+let print ~header rows =
+  print_string (render ~header rows);
+  print_newline ()
+
+let fixed d x = Printf.sprintf "%.*f" d x
+
+let percent x = Printf.sprintf "%.1f%%" (x *. 100.0)
+
+let times x = Printf.sprintf "%.1fx" x
+
+let chart ~title ~xlabel ~series ?(log_y = false) () =
+  let xs =
+    List.sort_uniq compare
+      (List.concat_map (fun (_, pts) -> List.map fst pts) series)
+  in
+  let header = xlabel :: List.map fst series in
+  let row x =
+    let cell (_, pts) =
+      match List.assoc_opt x pts with
+      | Some y -> fixed 2 y
+      | None -> "-"
+    in
+    fixed 0 x :: List.map cell series
+  in
+  let body = render ~header (List.map row xs) in
+  let scale = if log_y then " (log-scale axis in the paper)" else "" in
+  Printf.sprintf "%s%s\n%s" title scale body

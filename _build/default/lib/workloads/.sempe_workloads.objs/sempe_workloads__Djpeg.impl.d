@@ -1,0 +1,1 @@
+lib/workloads/djpeg.ml: Array Sempe_lang Sempe_util

@@ -1,0 +1,1 @@
+lib/workloads/djpeg.mli: Sempe_lang

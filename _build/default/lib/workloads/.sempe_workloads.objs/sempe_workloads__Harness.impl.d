@@ -1,0 +1,1 @@
+lib/workloads/harness.ml: Array List Printf Sempe_core Sempe_cte Sempe_isa Sempe_lang

@@ -1,0 +1,1 @@
+lib/workloads/harness.mli: Sempe_core Sempe_isa Sempe_lang Sempe_pipeline

@@ -1,0 +1,1 @@
+lib/workloads/microbench.ml: Kernels List Printf Sempe_lang

@@ -1,0 +1,1 @@
+lib/workloads/rsa.ml: Array Sempe_lang

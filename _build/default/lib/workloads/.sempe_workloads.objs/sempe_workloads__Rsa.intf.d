@@ -1,0 +1,1 @@
+lib/workloads/rsa.mli: Sempe_lang

@@ -1,0 +1,56 @@
+(** Synthetic djpeg — the real-world workload of §V/§VI-A.
+
+    The paper evaluates libjpeg's [djpeg] converting JPEG images to PPM,
+    GIF and BMP; the side channel is that per-coefficient and per-pixel
+    conditional branches depend on the image contents (the secret). We
+    reproduce the decoder's structure rather than link libjpeg (DESIGN.md,
+    substitutions): the input "image" is an array of per-block coefficient
+    words; each 8x8 block goes through
+
+    - run-level coefficient expansion: the values flow through branch-free
+      selects, and one secret bookkeeping branch per run of eight
+      coefficients models the Huffman run/level decision points;
+    - public transform passes (butterflies plus an 8-tap smoothing pass)
+      and a branch-free clamp — the bulk of the per-block work;
+    - a format-specific back end. PPM takes a secret gamma-segment
+      decision (with a nested bright-segment branch) per pixel pair and
+      writes three channels — the largest secure-region share; GIF takes
+      one secret dithering decision per run of four pixels around a
+      branch-free palette search; BMP packs rows with public padding
+      arithmetic and no extra secret branches — the smallest share.
+
+    All secret branches assign scalars only; stores to the block buffers
+    and output array happen outside the secure regions, so ShadowMemory
+    privatization stays cheap — matching how the paper's authors annotated
+    the real code. Secure regions are a modest fraction of each block's
+    instructions, which is what keeps the paper's Figure 8 overheads well
+    under 2x; and the per-block work is size-independent, which is why
+    those overheads barely move with image size.
+
+    Input sizes are scaled down (blocks instead of megapixels; the paper
+    itself shows size-independence). The labels keep the paper's names. *)
+
+type format = Ppm | Gif | Bmp
+
+val format_name : format -> string
+val all_formats : format list
+
+type size = { label : string; blocks : int }
+
+val sizes : size list
+(** ["256k"; "512k"; "1024k"; "2048k"] with doubling block counts. *)
+
+val max_blocks : int
+
+val program : format -> Sempe_lang.Ast.program
+(** Decoder for [format]; the block count is the global ["nblocks"], so one
+    compiled image serves all sizes. The secret input lives in the
+    ["img_in"] array. *)
+
+val image : seed:int -> int array
+(** A pseudo-random secret image filling ["img_in"] (always [max_blocks]
+    worth of coefficients; runs use the first [nblocks] blocks). *)
+
+val inputs : format -> seed:int -> blocks:int -> (string * int) list * (string * int array) list
+(** (globals, arrays) initializers for {!Harness.run}: block count, the
+    image, the quantization table and the palette. *)

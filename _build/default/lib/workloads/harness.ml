@@ -1,0 +1,55 @@
+module Scheme = Sempe_core.Scheme
+module Run = Sempe_core.Run
+module Exec = Sempe_core.Exec
+module Codegen = Sempe_lang.Codegen
+module Shadow = Sempe_lang.Shadow
+
+type built = {
+  scheme : Scheme.t;
+  ast : Sempe_lang.Ast.program;
+  prog : Sempe_isa.Program.t;
+  layout : Codegen.layout;
+}
+
+let transform scheme ast =
+  match scheme with
+  | Scheme.Baseline -> Shadow.strip_secret_marks ast
+  | Scheme.Sempe | Scheme.Sempe_on_legacy -> Shadow.privatize ast
+  | Scheme.Cte -> Sempe_cte.Baselines.cte ast
+  | Scheme.Raccoon -> Sempe_cte.Baselines.raccoon ast
+  | Scheme.Mto -> Sempe_cte.Baselines.mto ast
+
+let build scheme ast =
+  let ast = transform scheme ast in
+  let prog, layout = Codegen.compile ast in
+  { scheme; ast; prog; layout }
+
+let run ?machine ?(mem_words = 1 lsl 20) ?max_instrs ?(globals = [])
+    ?(arrays = []) ?observe built =
+  let init_mem mem =
+    List.iter
+      (fun (name, value) ->
+        mem.(Codegen.scalar_offset built.layout name) <- value)
+      globals;
+    List.iter
+      (fun (name, values) ->
+        let off, size = Codegen.array_slice built.layout name in
+        if Array.length values <> size then
+          invalid_arg
+            (Printf.sprintf "Harness.run: array %S expects %d values, got %d"
+               name size (Array.length values));
+        Array.blit values 0 mem off size)
+      arrays
+  in
+  Run.simulate
+    ~support:(Scheme.support built.scheme)
+    ?machine ~mem_words ?max_instrs ~init_mem ?observe built.prog
+
+let return_value (o : Run.outcome) = o.Run.exec.Exec.regs.(Sempe_isa.Reg.rv)
+
+let read_global built (o : Run.outcome) name =
+  o.Run.exec.Exec.memory.(Codegen.scalar_offset built.layout name)
+
+let read_array built (o : Run.outcome) name =
+  let off, size = Codegen.array_slice built.layout name in
+  Array.sub o.Run.exec.Exec.memory off size

@@ -1,0 +1,35 @@
+(** Build-and-run harness: apply a scheme's program transform, compile, set
+    up memory, simulate, and read results back. *)
+
+type built = {
+  scheme : Sempe_core.Scheme.t;
+  ast : Sempe_lang.Ast.program;       (** after the scheme transform *)
+  prog : Sempe_isa.Program.t;
+  layout : Sempe_lang.Codegen.layout;
+}
+
+val transform :
+  Sempe_core.Scheme.t -> Sempe_lang.Ast.program -> Sempe_lang.Ast.program
+(** Baseline strips the secret marks; SeMPE (and SeMPE-on-legacy) applies
+    ShadowMemory privatization; CTE / Raccoon / MTO apply their softpath
+    transforms. *)
+
+val build : Sempe_core.Scheme.t -> Sempe_lang.Ast.program -> built
+
+val run :
+  ?machine:Sempe_pipeline.Config.t
+  -> ?mem_words:int
+  -> ?max_instrs:int
+  -> ?globals:(string * int) list
+  -> ?arrays:(string * int array) list
+  -> ?observe:(Sempe_pipeline.Uop.event -> unit)
+  -> built
+  -> Sempe_core.Run.outcome
+(** Simulates on a fresh machine with the scheme's hardware support.
+    [globals]/[arrays] initialize named program state (secrets, inputs). *)
+
+val return_value : Sempe_core.Run.outcome -> int
+(** [main]'s return value. *)
+
+val read_global : built -> Sempe_core.Run.outcome -> string -> int
+val read_array : built -> Sempe_core.Run.outcome -> string -> int array

@@ -1,0 +1,355 @@
+open Sempe_lang.Ast
+
+type t = {
+  name : string;
+  funcs : func list;
+  ct_funcs : func list;
+  arrays : array_decl list;
+  entry : string;
+  ct_entry : string;
+}
+
+(* Shared pseudo-random step: x' = (x * 1103515245 + 12345) mod 2^31. *)
+let lcg x = Binop (Band, (x *: i 1103515245) +: i 12345, i 0x7fffffff)
+
+let modulus = 1000003
+
+(* ---------- Fibonacci: series up to a fixed term (no internal control
+   flow, so the constant-time variant is the same code). ---------- *)
+
+let fib_terms = 64
+
+let fib_body =
+  [
+    assign "a" (v "seed" %: i 97);
+    assign "b" ((v "a" +: i 1) %: i 97);
+    for_ "k" (i 0) (i fib_terms)
+      [
+        assign "t" ((v "a" +: v "b") %: i modulus);
+        assign "a" (v "b");
+        assign "b" (v "t");
+      ];
+    ret (v "b");
+  ]
+
+let fibonacci =
+  let mk fname =
+    { fname; params = [ "seed" ]; locals = [ "a"; "b"; "t"; "k" ]; body = fib_body }
+  in
+  {
+    name = "fibonacci";
+    funcs = [ mk "fib_kernel" ];
+    ct_funcs = [ mk "fib_kernel_ct" ];
+    arrays = [];
+    entry = "fib_kernel";
+    ct_entry = "fib_kernel_ct";
+  }
+
+(* ---------- Ones: fill a vector with pseudo-random numbers, count odd
+   entries. Normal variant counts through a data-dependent branch; the
+   constant-time variant accumulates the low bit arithmetically. ---------- *)
+
+let ones_size = 64
+
+let ones_fill =
+  [
+    assign "x" (Binop (Band, v "seed", i 0x7fffffff));
+    for_ "k" (i 0) (i ones_size)
+      [ assign "x" (lcg (v "x")); store "ones_buf" (v "k") (v "x") ];
+  ]
+
+let ones_normal =
+  {
+    fname = "ones_kernel";
+    params = [ "seed" ];
+    locals = [ "x"; "k"; "c" ];
+    body =
+      ones_fill
+      @ [
+          assign "c" (i 0);
+          for_ "k" (i 0) (i ones_size)
+            [
+              if_
+                (Binop (Band, idx "ones_buf" (v "k"), i 1) <>: i 0)
+                [ assign "c" (v "c" +: i 1) ]
+                [];
+            ];
+          ret ((v "c" *: i 31) +: (v "x" %: i 1000));
+        ];
+  }
+
+let ones_ct =
+  {
+    fname = "ones_kernel_ct";
+    params = [ "seed" ];
+    locals = [ "x"; "k"; "c" ];
+    body =
+      ones_fill
+      @ [
+          assign "c" (i 0);
+          for_ "k" (i 0) (i ones_size)
+            [ assign "c" (v "c" +: Binop (Band, idx "ones_buf" (v "k"), i 1)) ];
+          ret ((v "c" *: i 31) +: (v "x" %: i 1000));
+        ];
+  }
+
+let ones =
+  {
+    name = "ones";
+    funcs = [ ones_normal ];
+    ct_funcs = [ ones_ct ];
+    arrays = [ { aname = "ones_buf"; size = ones_size; scratch = true } ];
+    entry = "ones_kernel";
+    ct_entry = "ones_kernel_ct";
+  }
+
+(* ---------- Quicksort (Hoare 1961): recursive Lomuto-partition quicksort
+   versus Batcher's odd-even merge sorting network (the classic
+   constant-time replacement: control flow depends only on the size).
+   ---------- *)
+
+let qs_size = 64 (* power of two for the network *)
+let qs_log = 6
+
+let qs_fill_stmts =
+  [
+    assign "x" (Binop (Band, v "seed", i 0x7fffffff));
+    for_ "k" (i 0) (i qs_size)
+      [ assign "x" (lcg (v "x")); store "qs_buf" (v "k") (v "x" %: i 1000) ];
+  ]
+
+let qs_checksum_stmts =
+  [
+    assign "s" (i 0);
+    for_ "k" (i 0) (i qs_size)
+      [ assign "s" (v "s" +: (idx "qs_buf" (v "k") *: (v "k" +: i 1))) ];
+    ret (v "s" %: i modulus);
+  ]
+
+let qs_sort =
+  {
+    fname = "qs_sort";
+    params = [ "lo"; "hi" ];
+    locals = [ "pv"; "ii"; "jj"; "t" ];
+    body =
+      [
+        if_ (v "lo" <: v "hi")
+          [
+            assign "pv" (idx "qs_buf" (v "hi"));
+            assign "ii" (v "lo");
+            for_ "jj" (v "lo") (v "hi")
+              [
+                if_
+                  (idx "qs_buf" (v "jj") <: v "pv")
+                  [
+                    assign "t" (idx "qs_buf" (v "ii"));
+                    store "qs_buf" (v "ii") (idx "qs_buf" (v "jj"));
+                    store "qs_buf" (v "jj") (v "t");
+                    assign "ii" (v "ii" +: i 1);
+                  ]
+                  [];
+              ];
+            assign "t" (idx "qs_buf" (v "ii"));
+            store "qs_buf" (v "ii") (idx "qs_buf" (v "hi"));
+            store "qs_buf" (v "hi") (v "t");
+            Expr (call "qs_sort" [ v "lo"; v "ii" -: i 1 ]);
+            Expr (call "qs_sort" [ v "ii" +: i 1; v "hi" ]);
+          ]
+          [];
+        ret (i 0);
+      ];
+  }
+
+let quicksort_normal =
+  {
+    fname = "quicksort_kernel";
+    params = [ "seed" ];
+    locals = [ "x"; "k"; "s" ];
+    body =
+      qs_fill_stmts
+      @ [ Expr (call "qs_sort" [ i 0; i (qs_size - 1) ]) ]
+      @ qs_checksum_stmts;
+  }
+
+(* Batcher odd-even merge sort, expressed with For loops only so that loop
+   control never depends on guarded state. p = 1<<pp runs over phases, k
+   halves from p to 1, j strides by 2k, i covers each window. *)
+let quicksort_ct =
+  {
+    fname = "quicksort_kernel_ct";
+    params = [ "seed" ];
+    locals =
+      [
+        "x"; "k"; "s"; "pp"; "p"; "kk"; "kv"; "jm"; "cnt"; "t2"; "j"; "m";
+        "iv"; "a"; "b2"; "va"; "vb"; "cless";
+      ];
+    body =
+      qs_fill_stmts
+      @ [
+          for_ "pp" (i 0) (i qs_log)
+            [
+              assign "p" (Binop (Shl, i 1, v "pp"));
+              for_ "kk" (i 0) (v "pp" +: i 1)
+                [
+                  assign "kv" (Binop (Shr, v "p", v "kk"));
+                  assign "jm" (v "kv" %: v "p");
+                  assign "cnt"
+                    (((i (qs_size - 1) -: v "kv" -: v "jm") /: (i 2 *: v "kv"))
+                    +: i 1);
+                  for_ "t2" (i 0) (v "cnt")
+                    [
+                      assign "j" (v "jm" +: (v "t2" *: i 2 *: v "kv"));
+                      assign "m"
+                        (Select
+                           ( v "kv" <: (i qs_size -: v "j" -: v "kv"),
+                             v "kv",
+                             i qs_size -: v "j" -: v "kv" ));
+                      for_ "iv" (i 0) (v "m")
+                        [
+                          assign "a" (v "iv" +: v "j");
+                          assign "b2" (v "iv" +: v "j" +: v "kv");
+                          if_
+                            ((v "a" /: (i 2 *: v "p")) =: (v "b2" /: (i 2 *: v "p")))
+                            [
+                              assign "va" (idx "qs_buf" (v "a"));
+                              assign "vb" (idx "qs_buf" (v "b2"));
+                              assign "cless" (v "va" <=: v "vb");
+                              store "qs_buf" (v "a")
+                                (Select (v "cless", v "va", v "vb"));
+                              store "qs_buf" (v "b2")
+                                (Select (v "cless", v "vb", v "va"));
+                            ]
+                            [];
+                        ];
+                    ];
+                ];
+            ];
+        ]
+      @ qs_checksum_stmts;
+  }
+
+let quicksort =
+  {
+    name = "quicksort";
+    funcs = [ qs_sort; quicksort_normal ];
+    ct_funcs = [ quicksort_ct ];
+    arrays = [ { aname = "qs_buf"; size = qs_size; scratch = true } ];
+    entry = "quicksort_kernel";
+    ct_entry = "quicksort_kernel_ct";
+  }
+
+(* ---------- N-queens (N = 4): recursive backtracking with pruning versus
+   the constant-time rewrite, an exhaustive scan of all N^N placements with
+   arithmetic validity accumulation (no data-dependent control flow).
+   ---------- *)
+
+let qn = 4
+let qn_pow = 4 * 4 * 4 * 4 (* qn^qn = 256 *)
+
+let q_safe =
+  {
+    fname = "q_safe";
+    params = [ "row"; "col" ];
+    locals = [ "r"; "c"; "d" ];
+    body =
+      [
+        for_ "r" (i 0) (v "row")
+          [
+            assign "c" (idx "q_board" (v "r"));
+            if_ (v "c" =: v "col") [ ret (i 0) ] [];
+            assign "d" (v "row" -: v "r");
+            if_ (v "c" =: (v "col" -: v "d")) [ ret (i 0) ] [];
+            if_ (v "c" =: (v "col" +: v "d")) [ ret (i 0) ] [];
+          ];
+        ret (i 1);
+      ];
+  }
+
+let q_solve =
+  {
+    fname = "q_solve";
+    params = [ "row" ];
+    locals = [ "col"; "n" ];
+    body =
+      [
+        if_ (v "row" =: i qn) [ ret (i 1) ] [];
+        assign "n" (i 0);
+        for_ "col" (i 0) (i qn)
+          [
+            if_
+              (call "q_safe" [ v "row"; v "col" ] <>: i 0)
+              [
+                store "q_board" (v "row") (v "col");
+                assign "n" (v "n" +: call "q_solve" [ v "row" +: i 1 ]);
+              ]
+              [];
+          ];
+        ret (v "n");
+      ];
+  }
+
+let queens_normal =
+  {
+    fname = "queens_kernel";
+    params = [ "seed" ];
+    locals = [];
+    body = [ ret (call "q_solve" [ i 0 ] +: (v "seed" %: i 2)) ];
+  }
+
+(* Validity of a full placement, accumulated multiplicatively over all
+   column pairs: ok *= (ci != cj) && (|ci - cj| != j - i). Placements are
+   enumerated by a branch-free odometer over the column digits (a division
+   decode would dominate the cycle count with no fidelity gain). *)
+let queens_ct =
+  let digit d = Printf.sprintf "c%d" d in
+  (* One product expression over all column pairs, so the validity test
+     evaluates in registers rather than through ten separate predicated
+     stores. *)
+  let validity =
+    let acc = ref (i 1) in
+    for a = 0 to qn - 1 do
+      for b = a + 1 to qn - 1 do
+        let ca = v (digit a) and cb = v (digit b) in
+        let diff = cb -: ca in
+        let absdiff = Select (diff <: i 0, i 0 -: diff, diff) in
+        acc := !acc *: Binop (Land, ca <>: cb, absdiff <>: i (b - a))
+      done
+    done;
+    !acc
+  in
+  let odometer =
+    assign "carry" (i 1)
+    :: List.concat
+         (List.init qn (fun d ->
+              [
+                assign (digit d) (v (digit d) +: v "carry");
+                assign "carry" (v (digit d) =: i qn);
+                assign (digit d) (Select (v "carry", i 0, v (digit d)));
+              ]))
+  in
+  {
+    fname = "queens_kernel_ct";
+    params = [ "seed" ];
+    locals = [ "code"; "n"; "carry" ] @ List.init qn digit;
+    body =
+      [
+        assign "n" (i 0);
+        for_ "code" (i 0) (i qn_pow)
+          ((assign "n" (v "n" +: validity)) :: odometer);
+        ret (v "n" +: (v "seed" %: i 2));
+      ];
+  }
+
+let queens =
+  {
+    name = "queens";
+    funcs = [ q_safe; q_solve; queens_normal ];
+    ct_funcs = [ queens_ct ];
+    arrays = [ { aname = "q_board"; size = qn; scratch = true } ];
+    entry = "queens_kernel";
+    ct_entry = "queens_kernel_ct";
+  }
+
+let all = [ fibonacci; ones; quicksort; queens ]
+
+let by_name name = List.find_opt (fun k -> k.name = name) all

@@ -1,0 +1,33 @@
+(** The microbenchmark workload kernels of §V: Fibonacci, Ones, Quicksort
+    and Eight Queens.
+
+    Each kernel is a function [k(seed) -> checksum] over public data (the
+    secret in the microbenchmarks is only the branch condition selecting
+    which kernel instance runs). Two variants exist:
+
+    - the {e normal} variant, written naturally (recursion, data-dependent
+      branches, early exits) — used by Baseline and SeMPE;
+    - the {e constant-time} variant, the shape a FaCT/CTE port must take
+      (no data-dependent control flow: selection networks, exhaustive
+      search, select-based accumulation) — used by the CTE, Raccoon and MTO
+      schemes, whose transforms flatten all residual conditionals and would
+      not terminate on loops whose induction is data-dependent.
+
+    Both variants compute the same checksum for the same seed, which the
+    test suite verifies. *)
+
+type t = {
+  name : string;
+  funcs : Sempe_lang.Ast.func list;        (** normal variant *)
+  ct_funcs : Sempe_lang.Ast.func list;     (** constant-time variant *)
+  arrays : Sempe_lang.Ast.array_decl list; (** scratch arrays (shared by both variants) *)
+  entry : string;               (** normal entry: [entry(seed)] *)
+  ct_entry : string;            (** constant-time entry *)
+}
+
+val fibonacci : t
+val ones : t
+val quicksort : t
+val queens : t
+val all : t list
+val by_name : string -> t option

@@ -1,0 +1,119 @@
+open Sempe_lang.Ast
+
+type spec = {
+  kernel : Kernels.t;
+  width : int;
+  iters : int;
+}
+
+let secret_names ~width = List.init width (fun k -> Printf.sprintf "s%d" (k + 1))
+
+let secrets_for_leaf ~width ~leaf =
+  assert (leaf >= 1 && leaf <= width + 1);
+  List.init width (fun k ->
+      (Printf.sprintf "s%d" (k + 1), if k + 1 = leaf then 1 else 0))
+
+let seed_expr d = (v "it" *: i 31) +: i (d * 7)
+
+(* Inline a self-contained single-function kernel body at a leaf, renaming
+   its scalars with a leaf-unique suffix. The body must end in exactly one
+   tail Return (the constant-time variants do). *)
+let inline_kernel (f : func) ~suffix ~seed ~result =
+  let rename x = x ^ suffix in
+  let rec split_tail acc = function
+    | [ Return e ] -> (List.rev acc, e)
+    | [] -> invalid_arg ("Microbench: kernel " ^ f.fname ^ " lacks a tail return")
+    | s :: rest ->
+      (match s with
+       | Return _ ->
+         invalid_arg ("Microbench: kernel " ^ f.fname ^ " has a non-tail return")
+       | Assign _ | Store _ | If _ | While _ | For _ | Expr _ -> ());
+      split_tail (s :: acc) rest
+  in
+  let body, ret_expr = split_tail [] f.body in
+  let body = body @ [ Assign (result, ret_expr) ] in
+  let scalars = f.params @ f.locals in
+  let body =
+    List.fold_left
+      (fun b x -> subst_scalar ~old:x ~fresh:(rename x) b)
+      body scalars
+  in
+  let seed_param =
+    match f.params with
+    | [ p ] -> rename p
+    | _ -> invalid_arg ("Microbench: kernel " ^ f.fname ^ " must take one param")
+  in
+  (Assign (seed_param, seed) :: body, List.map rename scalars)
+
+let build ~ct ~null spec =
+  let width = spec.width in
+  assert (width >= 1);
+  let extra_locals = ref [] in
+  let leaf d =
+    if null then [ assign "acc" (v "acc" +: i d) ]
+    else if ct then begin
+      let f =
+        match Kernels.(spec.kernel.ct_funcs) with
+        | [ f ] -> f
+        | _ ->
+          invalid_arg
+            ("Microbench: constant-time variant of " ^ spec.kernel.Kernels.name
+           ^ " must be a single function")
+      in
+      let result = Printf.sprintf "$r%d" d in
+      let stmts, locals =
+        inline_kernel f ~suffix:(Printf.sprintf "$L%d" d) ~seed:(seed_expr d)
+          ~result
+      in
+      extra_locals := (result :: locals) @ !extra_locals;
+      stmts @ [ assign "acc" (v "acc" +: v result) ]
+    end
+    else
+      [
+        assign "acc"
+          (v "acc" +: call spec.kernel.Kernels.entry [ seed_expr d ]);
+      ]
+  in
+  let rec chain d =
+    if d > width then leaf (width + 1)
+    else
+      [
+        if_ ~secret:true
+          (v (Printf.sprintf "s%d" d) <>: i 0)
+          (leaf d) (chain (d + 1));
+      ]
+  in
+  let body =
+    [
+      assign "acc" (i 0);
+      for_ "it" (i 0) (i spec.iters) (chain 1);
+      ret (v "acc");
+    ]
+  in
+  let main =
+    {
+      fname = "main";
+      params = [];
+      locals = [ "acc"; "it" ] @ List.rev !extra_locals;
+      body;
+    }
+  in
+  let kernel_funcs =
+    if null then []
+    else if ct then [] (* inlined *)
+    else spec.kernel.Kernels.funcs
+  in
+  let arrays = if null then [] else spec.kernel.Kernels.arrays in
+  {
+    funcs = kernel_funcs @ [ main ];
+    globals = secret_names ~width;
+    arrays;
+    secrets = secret_names ~width;
+    main = "main";
+  }
+
+let program ~ct spec = build ~ct ~null:false spec
+
+let skeleton ~width ~iters =
+  build ~ct:false ~null:true
+    { kernel = Kernels.fibonacci; width; iters }

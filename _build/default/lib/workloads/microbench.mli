@@ -1,0 +1,41 @@
+(** The Figure-7 microbenchmark: a nested chain of secret conditionals.
+
+    One iteration of the generated [main] is
+
+    {v
+    if (s1)      acc += kernel(seed1)
+    else if (s2) acc += kernel(seed2)
+    ...
+    else if (sW) acc += kernel(seedW)
+    else         acc += kernel(seedW1)
+    v}
+
+    — [width] = W secret branches, W-1 of them nested, W+1 leaf paths. The
+    unprotected baseline executes exactly one leaf per iteration; SeMPE and
+    the software schemes execute all of them.
+
+    For the software schemes ([ct = true]) the kernel bodies are inlined
+    into the leaves with leaf-unique locals — the paper's FaCT port
+    compiles the workloads inside the secret region — and the
+    constant-time kernel variant is used. *)
+
+type spec = {
+  kernel : Kernels.t;
+  width : int;   (** W: number of secret branches, >= 1 *)
+  iters : int;   (** iterations of the secure region *)
+}
+
+val program : ct:bool -> spec -> Sempe_lang.Ast.program
+(** The annotated source program (before any scheme transform). *)
+
+val skeleton : width:int -> iters:int -> Sempe_lang.Ast.program
+(** The same chain with an empty (null) kernel — used to measure the loop
+    and branch skeleton cost when computing the ideal slowdown of
+    Figure 10b. *)
+
+val secret_names : width:int -> string list
+(** [s1; ...; sW]. *)
+
+val secrets_for_leaf : width:int -> leaf:int -> (string * int) list
+(** Assignment of the secrets that steers the baseline to leaf [leaf]
+    (1-based; [width + 1] selects the final else). *)

@@ -1,0 +1,1 @@
+test/test_bpred.ml: Alcotest Bimodal Btb Counters Gshare List Predictor Printf QCheck QCheck_alcotest Ras Sempe_bpred Tage

@@ -1,0 +1,1 @@
+test/test_core_units.ml: Alcotest Array List QCheck QCheck_alcotest Sempe_core Sempe_isa

@@ -1,0 +1,1 @@
+test/test_djpeg.ml: Alcotest Float List Sempe_core Sempe_experiments Sempe_security Sempe_workloads

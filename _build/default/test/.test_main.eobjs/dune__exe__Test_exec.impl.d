@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array Builder Instr List Printf Reg Sempe_core Sempe_isa Sempe_pipeline

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Array Ast Eval Format List Parser QCheck QCheck_alcotest Sempe_core Sempe_isa Sempe_lang Sempe_workloads Test_random_progs

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Array Ast Codegen Eval List Printf Secrecy Sempe_core Sempe_isa Sempe_lang Sempe_pipeline Shadow

@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Cache Hierarchy List Prefetch Printf QCheck QCheck_alcotest Sempe_mem Sempe_util Spm

@@ -1,0 +1,1 @@
+test/test_passes.ml: Alcotest Array List Printf QCheck QCheck_alcotest Sempe_bpred Sempe_core Sempe_isa Sempe_lang Sempe_pipeline Sempe_util Sempe_workloads Test_random_progs

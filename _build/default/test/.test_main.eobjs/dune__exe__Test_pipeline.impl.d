@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Array Instr List Printf Sempe_isa Sempe_pipeline Sempe_util

@@ -1,0 +1,1 @@
+test/test_random_progs.ml: Array Format List QCheck QCheck_alcotest Sempe_core Sempe_lang Sempe_pipeline Sempe_workloads

@@ -1,0 +1,1 @@
+test/test_security.ml: Alcotest Array Float List Printf Sempe_core Sempe_lang Sempe_mem Sempe_security Sempe_workloads

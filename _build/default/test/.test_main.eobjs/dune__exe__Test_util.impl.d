@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bitvec Float Gen List QCheck QCheck_alcotest Rng Sempe_util Stats String Tablefmt

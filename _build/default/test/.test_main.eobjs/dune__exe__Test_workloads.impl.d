@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest List Printf Sempe_core Sempe_lang Sempe_workloads

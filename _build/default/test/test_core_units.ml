@@ -1,0 +1,189 @@
+(* Unit tests of the SeMPE hardware structures: jbTable protocol, ArchRS
+   snapshots, and the scheme enumeration. *)
+
+module Jbtable = Sempe_core.Jbtable
+module Snapshot = Sempe_core.Snapshot
+module Scheme = Sempe_core.Scheme
+
+let test_jbtable_protocol () =
+  let t = Jbtable.create ~entries:4 () in
+  Alcotest.(check bool) "empty can issue" true (Jbtable.can_issue_sjmp t);
+  let e = Jbtable.push t in
+  Alcotest.(check bool) "fresh entry invalid" false e.Jbtable.valid;
+  Alcotest.(check bool) "invalid top blocks issue" false (Jbtable.can_issue_sjmp t);
+  Alcotest.check_raises "push while invalid"
+    (Invalid_argument "Jbtable.push: prior sJMP entry not yet valid") (fun () ->
+      ignore (Jbtable.push t));
+  Jbtable.commit_sjmp t ~dest:42 ~outcome:true;
+  Alcotest.(check bool) "valid after commit" true e.Jbtable.valid;
+  Alcotest.(check bool) "valid top allows issue" true (Jbtable.can_issue_sjmp t);
+  (match Jbtable.on_eosjmp t with
+   | Jbtable.Jump_back d -> Alcotest.(check int) "jump-back dest" 42 d
+   | Jbtable.Release -> Alcotest.fail "expected jump-back first");
+  Alcotest.(check bool) "jb bit set" true e.Jbtable.jump_back;
+  (match Jbtable.on_eosjmp t with
+   | Jbtable.Release -> ()
+   | Jbtable.Jump_back _ -> Alcotest.fail "expected release second");
+  Alcotest.(check int) "popped" 0 (Jbtable.depth t)
+
+let test_jbtable_lifo_nesting () =
+  let t = Jbtable.create ~entries:4 () in
+  ignore (Jbtable.push t);
+  Jbtable.commit_sjmp t ~dest:10 ~outcome:false;
+  ignore (Jbtable.push t);
+  Jbtable.commit_sjmp t ~dest:20 ~outcome:true;
+  (* The inner (most recent) entry answers first. *)
+  (match Jbtable.on_eosjmp t with
+   | Jbtable.Jump_back d -> Alcotest.(check int) "inner first" 20 d
+   | Jbtable.Release -> Alcotest.fail "expected jump-back");
+  (match Jbtable.on_eosjmp t with
+   | Jbtable.Release -> ()
+   | Jbtable.Jump_back _ -> Alcotest.fail "inner releases");
+  (match Jbtable.on_eosjmp t with
+   | Jbtable.Jump_back d -> Alcotest.(check int) "outer next" 10 d
+   | Jbtable.Release -> Alcotest.fail "expected outer jump-back");
+  Alcotest.(check int) "outer still live" 1 (Jbtable.depth t)
+
+let test_jbtable_squash () =
+  let t = Jbtable.create ~entries:4 () in
+  ignore (Jbtable.push t);
+  Jbtable.commit_sjmp t ~dest:1 ~outcome:true;
+  ignore (Jbtable.push t);
+  Jbtable.squash_newest t;
+  Alcotest.(check int) "newest squashed" 1 (Jbtable.depth t);
+  Alcotest.(check bool) "valid top remains" true (Jbtable.top t).Jbtable.valid
+
+let test_jbtable_eosjmp_requires_valid () =
+  let t = Jbtable.create ~entries:2 () in
+  ignore (Jbtable.push t);
+  Alcotest.check_raises "eosjmp before sjmp commit"
+    (Invalid_argument "Jbtable.on_eosjmp: top entry not valid") (fun () ->
+      ignore (Jbtable.on_eosjmp t))
+
+let regs_with assoc =
+  let regs = Array.make Sempe_isa.Reg.count 0 in
+  List.iter (fun (r, v) -> regs.(r) <- v) assoc;
+  regs
+
+let test_snapshot_nt_true () =
+  let s = Snapshot.create () in
+  let regs = regs_with [ (10, 1); (11, 2) ] in
+  Snapshot.push s ~regs ~outcome:false;
+  (* NT path writes r10 *)
+  regs.(10) <- 100;
+  Snapshot.note_write s 10;
+  let nt_mods = Snapshot.end_nt_path s ~regs in
+  Alcotest.(check int) "one NT write" 1 nt_mods;
+  Alcotest.(check int) "rolled back for T path" 1 regs.(10);
+  (* T path writes r10 and r11 *)
+  regs.(10) <- 200;
+  regs.(11) <- 300;
+  Snapshot.note_write s 10;
+  Snapshot.note_write s 11;
+  let union = Snapshot.finish s ~regs in
+  Alcotest.(check int) "union size" 2 union;
+  (* outcome=false: NT is true. r10 takes the NT value; r11, modified only
+     by the wrong T path, rolls back to the pre-state. *)
+  Alcotest.(check int) "r10 = NT value" 100 regs.(10);
+  Alcotest.(check int) "r11 = pre value" 2 regs.(11)
+
+let test_snapshot_t_true () =
+  let s = Snapshot.create () in
+  let regs = regs_with [ (10, 1) ] in
+  Snapshot.push s ~regs ~outcome:true;
+  regs.(10) <- 100;
+  Snapshot.note_write s 10;
+  ignore (Snapshot.end_nt_path s ~regs);
+  regs.(10) <- 200;
+  Snapshot.note_write s 10;
+  ignore (Snapshot.finish s ~regs);
+  Alcotest.(check int) "T value kept" 200 regs.(10)
+
+let test_snapshot_nested_propagation () =
+  let s = Snapshot.create () in
+  let regs = regs_with [ (10, 1); (12, 5) ] in
+  Snapshot.push s ~regs ~outcome:false;
+  (* outer NT path contains an inner region that modifies r12 *)
+  Snapshot.push s ~regs ~outcome:true;
+  regs.(12) <- 50;
+  Snapshot.note_write s 12;
+  ignore (Snapshot.end_nt_path s ~regs);
+  regs.(12) <- 60;
+  Snapshot.note_write s 12;
+  ignore (Snapshot.finish s ~regs);
+  Alcotest.(check int) "inner merged (T true)" 60 regs.(12);
+  (* finish outer: r12's modification must have propagated into the outer
+     NT-modified vector, so the outer merge preserves it. *)
+  let nt_mods = Snapshot.end_nt_path s ~regs in
+  Alcotest.(check bool) "inner write visible to outer" true (nt_mods >= 1);
+  regs.(10) <- 99;
+  Snapshot.note_write s 10;
+  ignore (Snapshot.finish s ~regs);
+  Alcotest.(check int) "outer NT true keeps inner result" 60 regs.(12);
+  Alcotest.(check int) "wrong-path write undone" 1 regs.(10)
+
+let test_snapshot_phase_errors () =
+  let s = Snapshot.create () in
+  let regs = regs_with [] in
+  Alcotest.check_raises "no frame" (Invalid_argument "Snapshot: no open SecBlock")
+    (fun () -> ignore (Snapshot.current_phase s));
+  Snapshot.push s ~regs ~outcome:true;
+  Alcotest.check_raises "finish before nt"
+    (Invalid_argument "Snapshot.finish: NT path still open") (fun () ->
+      ignore (Snapshot.finish s ~regs))
+
+let test_scheme_roundtrip () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "of_string . name" true
+        (Scheme.of_string (Scheme.name s) = Some s))
+    Scheme.all;
+  Alcotest.(check bool) "unknown scheme" true (Scheme.of_string "nope" = None);
+  Alcotest.(check bool) "protected set" true
+    (List.for_all Scheme.is_protected [ Scheme.Sempe; Scheme.Cte ]
+    && not (Scheme.is_protected Scheme.Baseline))
+
+let prop_snapshot_merge_correct =
+  (* Random write patterns on both paths: after finish, every register
+     equals the value the true path would have produced alone. *)
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"snapshot merge equals true-path semantics"
+       ~count:300
+       QCheck.(
+         triple bool
+           (small_list (pair (int_range 8 47) small_int))
+           (small_list (pair (int_range 8 47) small_int)))
+       (fun (outcome, nt_writes, t_writes) ->
+         let s = Snapshot.create () in
+         let regs = Array.init Sempe_isa.Reg.count (fun k -> k * 3) in
+         let expected = Array.copy regs in
+         let true_writes = if outcome then t_writes else nt_writes in
+         List.iter (fun (r, v) -> expected.(r) <- v) true_writes;
+         Snapshot.push s ~regs ~outcome;
+         List.iter
+           (fun (r, v) ->
+             regs.(r) <- v;
+             Snapshot.note_write s r)
+           nt_writes;
+         ignore (Snapshot.end_nt_path s ~regs);
+         List.iter
+           (fun (r, v) ->
+             regs.(r) <- v;
+             Snapshot.note_write s r)
+           t_writes;
+         ignore (Snapshot.finish s ~regs);
+         regs = expected))
+
+let tests =
+  [
+    Alcotest.test_case "jbtable protocol" `Quick test_jbtable_protocol;
+    Alcotest.test_case "jbtable lifo nesting" `Quick test_jbtable_lifo_nesting;
+    Alcotest.test_case "jbtable squash" `Quick test_jbtable_squash;
+    Alcotest.test_case "jbtable eosjmp validity" `Quick test_jbtable_eosjmp_requires_valid;
+    Alcotest.test_case "snapshot nt true" `Quick test_snapshot_nt_true;
+    Alcotest.test_case "snapshot t true" `Quick test_snapshot_t_true;
+    Alcotest.test_case "snapshot nested" `Quick test_snapshot_nested_propagation;
+    Alcotest.test_case "snapshot phase errors" `Quick test_snapshot_phase_errors;
+    Alcotest.test_case "scheme roundtrip" `Quick test_scheme_roundtrip;
+    prop_snapshot_merge_correct;
+  ]

@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "sempe"
+    [
+      ("exec", Test_exec.tests);
+      ("lang", Test_lang.tests);
+      ("workloads", Test_workloads.tests);
+      ("security", Test_security.tests);
+      ("djpeg", Test_djpeg.tests);
+      ("util", Test_util.tests);
+      ("bpred", Test_bpred.tests);
+      ("mem", Test_mem.tests);
+      ("pipeline", Test_pipeline.tests);
+      ("core-units", Test_core_units.tests);
+      ("random-programs", Test_random_progs.tests);
+      ("frontend", Test_frontend.tests);
+      ("passes", Test_passes.tests);
+      ("edge-cases", Test_more.tests);
+    ]

@@ -1,0 +1,270 @@
+(* Edge cases across the stack: evaluator semantics corners, executor
+   guards, normalization properties, chart rendering, report helpers. *)
+
+open Sempe_lang
+open Ast
+module Exec = Sempe_core.Exec
+module Run = Sempe_core.Run
+
+let prog_of body ~locals =
+  {
+    funcs = [ { fname = "main"; params = []; locals; body } ];
+    globals = [ "g" ];
+    arrays = [ { aname = "a"; size = 4; scratch = false } ];
+    secrets = [];
+    main = "main";
+  }
+
+let eval ?(globals = []) prog =
+  let st = Eval.init prog in
+  List.iter (fun (n, v_) -> Eval.set_global st n v_) globals;
+  Eval.run st
+
+let test_eval_div_by_zero () =
+  (* division and remainder by zero yield 0, matching the ISA (wrong paths
+     must not trap, threat model section III) *)
+  let p = prog_of ~locals:[] [ ret ((i 7 /: i 0) +: (i 9 %: i 0)) ] in
+  Alcotest.(check int) "0" 0 (eval p)
+
+let test_eval_oob_raises () =
+  let p = prog_of ~locals:[] [ ret (idx "a" (i 99)) ] in
+  Alcotest.(check bool) "raises" true
+    (match eval p with _ -> false | exception Eval.Runtime_error _ -> true)
+
+let test_eval_step_limit () =
+  let p = prog_of ~locals:[ "x" ] [ while_ (i 1) [ assign "x" (v "x" +: i 1) ]; ret (i 0) ] in
+  let st = Eval.init p in
+  Alcotest.check_raises "limit" Eval.Step_limit (fun () ->
+      ignore (Eval.run ~max_steps:1000 st))
+
+let test_eval_nonshortcircuit () =
+  (* g is incremented by bump() even when the left operand is 0 *)
+  let p =
+    {
+      funcs =
+        [
+          {
+            fname = "bump";
+            params = [];
+            locals = [];
+            body = [ assign "g" (v "g" +: i 1); ret (i 1) ];
+          };
+          {
+            fname = "main";
+            params = [];
+            locals = [ "t" ];
+            body = [ assign "t" (i 0 &&: call "bump" []); ret (v "g") ];
+          };
+        ];
+      globals = [ "g" ];
+      arrays = [];
+      secrets = [];
+      main = "main";
+    }
+  in
+  Alcotest.(check int) "bump evaluated" 1 (eval p)
+
+let test_exec_budget () =
+  let b = Sempe_isa.Builder.create () in
+  Sempe_isa.Builder.bind b "entry";
+  Sempe_isa.Builder.jmp b "entry";
+  let prog = Sempe_isa.Builder.assemble b ~entry:"entry" ~data_words:0 in
+  let config = { Exec.default_config with Exec.max_instrs = 500; mem_words = 64 } in
+  Alcotest.check_raises "budget" (Exec.Budget_exceeded 500) (fun () ->
+      ignore (Exec.run ~config prog))
+
+let test_exec_oob_modes () =
+  (* wild load: forgiving mode returns 0, strict mode raises *)
+  let b = Sempe_isa.Builder.create () in
+  Sempe_isa.Builder.bind b "entry";
+  Sempe_isa.Builder.li b 10 999999;
+  Sempe_isa.Builder.ld b 11 10 0;
+  Sempe_isa.Builder.halt b;
+  let prog = Sempe_isa.Builder.assemble b ~entry:"entry" ~data_words:0 in
+  let forgiving = { Exec.default_config with Exec.mem_words = 64 } in
+  let res = Exec.run ~config:forgiving prog in
+  Alcotest.(check int) "forgiving load reads 0" 0 res.Exec.regs.(11);
+  let strict = { forgiving with Exec.forgiving_oob = false } in
+  Alcotest.(check bool) "strict raises" true
+    (match Exec.run ~config:strict prog with
+     | _ -> false
+     | exception Exec.Out_of_bounds _ -> true)
+
+let prop_normalize_preserves_semantics =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"normalize preserves reference semantics" ~count:80
+       Test_random_progs.arbitrary_program
+       (fun (prog, fill) ->
+         let run p =
+           let st = Eval.init p in
+           Eval.set_array st "arr" (Array.of_list fill);
+           Eval.set_global st "s0" 1;
+           Eval.run st
+         in
+         run prog = run (Normalize.program prog)))
+
+let prop_normalize_bounds_depth =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"normalize bounds expression depth" ~count:80
+       Test_random_progs.arbitrary_program
+       (fun (prog, _) ->
+         let rec depth = function
+           | Int _ | Var _ -> 1
+           | Index (_, e) | Unop (_, e) -> 1 + depth e
+           | Binop (_, x, y) -> 1 + max (depth x) (depth y)
+           | Call (_, args) -> 1 + List.fold_left (fun m e -> max m (depth e)) 0 args
+           | Select (c, x, y) -> 1 + max (depth c) (max (depth x) (depth y))
+         in
+         let max_depth = ref 0 in
+         let scan_expr e = max_depth := max !max_depth (depth e) in
+         let norm = Normalize.program prog in
+         List.iter
+           (fun f ->
+             block_fold
+               (fun () stmt ->
+                 match stmt with
+                 | Assign (_, e) | Expr e | Return e -> scan_expr e
+                 | Store (_, ie, e) ->
+                   scan_expr ie;
+                   scan_expr e
+                 | If { cond; _ } -> scan_expr cond
+                 | While (cond, _) -> scan_expr cond
+                 | For (_, lo, hi, _) ->
+                   scan_expr lo;
+                   scan_expr hi)
+               () f.body)
+           norm.funcs;
+         !max_depth <= Normalize.max_depth + 1))
+
+let test_program_nesting_hint () =
+  let spec =
+    { Sempe_workloads.Microbench.kernel = Sempe_workloads.Kernels.fibonacci;
+      width = 5; iters = 1 }
+  in
+  let built =
+    Sempe_workloads.Harness.build Sempe_core.Scheme.Sempe
+      (Sempe_workloads.Microbench.program ~ct:false spec)
+  in
+  let hint = Sempe_isa.Program.max_nesting_hint built.Sempe_workloads.Harness.prog in
+  Alcotest.(check bool)
+    (Printf.sprintf "hint %d covers runtime depth 5" hint)
+    true (hint >= 5)
+
+let test_chart_rendering () =
+  let out =
+    Sempe_util.Tablefmt.chart ~title:"demo" ~xlabel:"W"
+      ~series:[ ("a", [ (1.0, 2.0); (2.0, 4.0) ]); ("b", [ (1.0, 3.0) ]) ]
+      ~log_y:true ()
+  in
+  Alcotest.(check bool) "mentions title" true
+    (String.length out > 0 && String.sub out 0 4 = "demo");
+  Alcotest.(check bool) "missing point dashed" true
+    (String.length out > 0
+    && List.exists (fun line -> String.trim line <> "" && String.length line > 0)
+         (String.split_on_char '\n' out))
+
+let test_run_helpers () =
+  Alcotest.(check (float 1e-12)) "seconds at 2GHz" 1e-6
+    (Run.seconds Sempe_pipeline.Config.default 2000);
+  let spec =
+    { Sempe_workloads.Microbench.kernel = Sempe_workloads.Kernels.fibonacci;
+      width = 1; iters = 1 }
+  in
+  let src = Sempe_workloads.Microbench.program ~ct:false spec in
+  let secrets = Sempe_workloads.Microbench.secrets_for_leaf ~width:1 ~leaf:1 in
+  let base =
+    Sempe_workloads.Harness.run ~globals:secrets
+      (Sempe_workloads.Harness.build Sempe_core.Scheme.Baseline src)
+  in
+  Alcotest.(check (float 1e-9)) "overhead of self is 1" 1.0
+    (Run.overhead ~baseline:base base)
+
+let test_instr_strings () =
+  let module I = Sempe_isa.Instr in
+  List.iter
+    (fun (instr, expected) ->
+      Alcotest.(check string) expected expected (I.to_string instr))
+    [
+      (I.Nop, "nop");
+      (I.Alu (I.Add, 10, 11, 12), "add r10, r11, r12");
+      (I.Alui (I.Slt, 8, 9, -3), "slti r8, r9, -3");
+      (I.Li (5, 42), "li r5, 42");
+      (I.Ld (6, 1, 8), "ld r6, 8(r1)");
+      (I.St (6, 1, -8), "st r6, -8(r1)");
+      (I.Cmov (4, 5, 6), "cmov r4, r5, r6");
+      (I.Br { cond = I.Ne; rs1 = 3; rs2 = 0; target = 12; secure = true },
+       "sbne r3, r0, @12");
+      (I.Br { cond = I.Le; rs1 = 3; rs2 = 4; target = 9; secure = false },
+       "ble r3, r4, @9");
+      (I.Jmp 7, "jmp @7");
+      (I.Jr 5, "jr r5");
+      (I.Call 2, "call @2");
+      (I.Ret, "ret");
+      (I.Eosjmp, "eosjmp");
+      (I.Halt, "halt");
+    ]
+
+let test_secrecy_advisories () =
+  let p =
+    Parser.program
+      {|
+global s;
+global pub;
+@secret s;
+array a[8];
+func main() locals(x) {
+  @secret if (pub > 0) { x = 1; }     // useless annotation
+  x = a[s & 7];                        // secret index
+  @secret if (s != 0) { x = 2; }
+  return x;
+}
+|}
+  in
+  let vs = Secrecy.analyze p in
+  Alcotest.(check bool) "useless annotation flagged" true
+    (List.exists (function Secrecy.Useless_annotation _ -> true | _ -> false) vs);
+  Alcotest.(check bool) "secret index flagged" true
+    (List.exists (function Secrecy.Secret_index _ -> true | _ -> false) vs);
+  (* advisory only: check does not raise *)
+  Secrecy.check p
+
+let test_wrong_path_exception_advisory () =
+  let p =
+    Parser.program
+      {|
+global s;
+global d;
+@secret s;
+func main() locals(x) {
+  @secret if (s != 0) { x = 100 / d; }   // wrong-path divide may see d = 0
+  x = x + 100 / 4;                        // constant divisor: fine
+  return x;
+}
+|}
+  in
+  let faults =
+    List.filter
+      (function Secrecy.Potential_exception _ -> true | _ -> false)
+      (Secrecy.analyze p)
+  in
+  Alcotest.(check int) "exactly the in-region division flagged" 1
+    (List.length faults)
+
+let tests =
+  [
+    Alcotest.test_case "eval div by zero" `Quick test_eval_div_by_zero;
+    Alcotest.test_case "eval oob raises" `Quick test_eval_oob_raises;
+    Alcotest.test_case "eval step limit" `Quick test_eval_step_limit;
+    Alcotest.test_case "eval non-short-circuit" `Quick test_eval_nonshortcircuit;
+    Alcotest.test_case "exec budget" `Quick test_exec_budget;
+    Alcotest.test_case "exec oob modes" `Quick test_exec_oob_modes;
+    prop_normalize_preserves_semantics;
+    prop_normalize_bounds_depth;
+    Alcotest.test_case "program nesting hint" `Quick test_program_nesting_hint;
+    Alcotest.test_case "chart rendering" `Quick test_chart_rendering;
+    Alcotest.test_case "run helpers" `Quick test_run_helpers;
+    Alcotest.test_case "instr strings" `Quick test_instr_strings;
+    Alcotest.test_case "secrecy advisories" `Quick test_secrecy_advisories;
+    Alcotest.test_case "wrong-path exception advisory" `Quick
+      test_wrong_path_exception_advisory;
+  ]

@@ -1,0 +1,187 @@
+(* Timing-model behaviors: width limits, dependence chains, memory latency,
+   misprediction penalties, secure-branch bypass and drains. *)
+
+open Sempe_isa
+module Timing = Sempe_pipeline.Timing
+module Config = Sempe_pipeline.Config
+module Uop = Sempe_pipeline.Uop
+
+let alu ~pc ~dst ~srcs =
+  Uop.Commit
+    {
+      Uop.pc;
+      cls = Instr.Cls_int_alu;
+      dst = Some dst;
+      srcs;
+      mem_addr = 0;
+      control = Uop.Ctl_none;
+    }
+
+let load ?(srcs = []) ~pc ~dst ~addr () =
+  Uop.Commit
+    {
+      Uop.pc;
+      cls = Instr.Cls_load;
+      dst = Some dst;
+      srcs;
+      mem_addr = addr;
+      control = Uop.Ctl_none;
+    }
+
+let store ~pc ~src ~addr =
+  Uop.Commit
+    {
+      Uop.pc;
+      cls = Instr.Cls_store;
+      dst = None;
+      srcs = [ src ];
+      mem_addr = addr;
+      control = Uop.Ctl_none;
+    }
+
+let branch ~pc ~taken ~target ~secure =
+  Uop.Commit
+    {
+      Uop.pc;
+      cls = Instr.Cls_branch;
+      dst = None;
+      srcs = [];
+      mem_addr = 0;
+      control = Uop.Ctl_branch { taken; target; secure };
+    }
+
+let run events =
+  let t = Timing.create () in
+  List.iter (Timing.feed t) events;
+  Timing.report t
+
+let test_independent_throughput () =
+  (* Independent ALU ops on an 8-wide machine: marginal IPC (netting out the
+     cold-start icache miss) should approach the fetch width. *)
+  let cycles n =
+    (run (List.init n (fun k -> alu ~pc:(k land 15) ~dst:(8 + (k mod 32)) ~srcs:[])))
+      .Timing.cycles
+  in
+  let marginal = float_of_int (cycles 3000 - cycles 800) /. 2200.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "steady-state near fetch width (marginal cpi=%.3f)" marginal)
+    true (marginal < 0.2)
+
+let test_dependence_chain_serializes () =
+  (* A chain through one register runs at ~1 op/cycle. *)
+  let n = 400 in
+  let evs = List.init n (fun k -> alu ~pc:(k land 15) ~dst:8 ~srcs:[ 8 ]) in
+  let r = run evs in
+  Alcotest.(check bool)
+    (Printf.sprintf "serialized (cpi=%.2f)" r.Timing.cpi)
+    true (r.Timing.cpi > 0.9)
+
+let test_load_ports_limit () =
+  (* Independent loads to the same warm line: bounded by 2 loads/cycle. *)
+  let warm = load ~pc:0 ~dst:8 ~addr:0 () in
+  let evs = warm :: List.init 400 (fun k -> load ~pc:1 ~dst:(8 + (k mod 8)) ~addr:0 ()) in
+  let r = run evs in
+  Alcotest.(check bool)
+    (Printf.sprintf "load-port bound (cpi=%.2f)" r.Timing.cpi)
+    true (r.Timing.cpi > 0.4)
+
+let test_cache_miss_visible () =
+  (* A dependent chain of loads with huge stride (all misses) costs ~memory
+     latency each; the same chain to one line costs ~L1 latency. *)
+  (* address-dependent chain: each load waits for the previous one *)
+  let chain addr_of =
+    List.init 50 (fun k -> load ~srcs:[ 8 ] ~pc:(k land 7) ~dst:8 ~addr:(addr_of k) ())
+  in
+  (* irregular strides so the stride prefetcher cannot hide them *)
+  let slow = run (chain (fun k -> (k * k * 6151) mod 9_000_000)) in
+  let fast = run (chain (fun _ -> 0)) in
+  Alcotest.(check bool) "misses dominate" true
+    (slow.Timing.cycles > 4 * fast.Timing.cycles);
+  Alcotest.(check bool) "miss rate high" true (slow.Timing.dl1_miss_rate > 0.9)
+
+let test_store_forwarding () =
+  (* load after store to the same word completes shortly after the store,
+     not at memory latency. *)
+  let evs =
+    [ store ~pc:0 ~src:8 ~addr:77; load ~pc:1 ~dst:9 ~addr:77 () ]
+  in
+  let r = run evs in
+  Alcotest.(check bool) "short" true (r.Timing.cycles < 250)
+
+let test_mispredicts_cost () =
+  (* Random-looking alternation at one PC is learnable; a pseudo-random
+     pattern across many PCs with random outcomes mispredicts often.
+     Compare biased (all taken) vs adversarial outcomes on same structure. *)
+  let mk outcome_of =
+    List.concat
+      (List.init 300 (fun k ->
+           [
+             alu ~pc:(k land 3) ~dst:8 ~srcs:[];
+             branch ~pc:64 ~taken:(outcome_of k) ~target:70 ~secure:false;
+           ]))
+  in
+  let biased = run (mk (fun _ -> true)) in
+  let rng = Sempe_util.Rng.create 99 in
+  let noise = Array.init 300 (fun _ -> Sempe_util.Rng.bool rng) in
+  let random = run (mk (fun k -> noise.(k))) in
+  Alcotest.(check bool) "random outcomes mispredict more" true
+    (random.Timing.mispredicts > biased.Timing.mispredicts + 50);
+  Alcotest.(check bool) "mispredicts cost cycles" true
+    (random.Timing.cycles > biased.Timing.cycles)
+
+let test_secure_branch_bypasses_predictor () =
+  (* sJMPs never touch the predictor: mispredict count stays zero and the
+     predictor state stays at its reset signature. *)
+  let t = Timing.create () in
+  let sig0 = Timing.predictor_signature t in
+  for k = 0 to 99 do
+    Timing.feed t (branch ~pc:(k land 7) ~taken:(k land 1 = 0) ~target:0 ~secure:true)
+  done;
+  let r = Timing.report t in
+  Alcotest.(check int) "no mispredicts" 0 r.Timing.mispredicts;
+  Alcotest.(check int) "100 sjmps" 100 r.Timing.secure_branches;
+  Alcotest.(check int) "predictor untouched" sig0 (Timing.predictor_signature t)
+
+let test_drain_stalls () =
+  let body = List.init 50 (fun k -> alu ~pc:k ~dst:8 ~srcs:[]) in
+  let plain = run (body @ body) in
+  let drained =
+    run
+      (body
+      @ [ Uop.Drain { reason = Uop.Drain_enter_secblock; spm_cycles = 500 } ]
+      @ body)
+  in
+  Alcotest.(check bool) "drain adds at least the SPM cycles" true
+    (drained.Timing.cycles >= plain.Timing.cycles + 500);
+  Alcotest.(check int) "drain counted" 1 drained.Timing.drains;
+  Alcotest.(check int) "spm cycles counted" 500 drained.Timing.spm_cycles
+
+let test_retire_width_bound () =
+  (* Nothing retires faster than retire_width per cycle. *)
+  let n = 2400 in
+  let evs = List.init n (fun k -> alu ~pc:(k land 7) ~dst:(8 + (k mod 40)) ~srcs:[]) in
+  let r = run evs in
+  let min_cycles = n / Config.default.Config.retire_width in
+  Alcotest.(check bool) "retire bound respected" true (r.Timing.cycles >= min_cycles)
+
+let test_report_consistency () =
+  let evs = List.init 100 (fun k -> alu ~pc:k ~dst:8 ~srcs:[]) in
+  let r = run evs in
+  Alcotest.(check int) "instruction count" 100 r.Timing.instructions;
+  Alcotest.(check (float 1e-9)) "cpi consistent"
+    (float_of_int r.Timing.cycles /. 100.0)
+    r.Timing.cpi
+
+let tests =
+  [
+    Alcotest.test_case "independent throughput" `Quick test_independent_throughput;
+    Alcotest.test_case "dependence chain" `Quick test_dependence_chain_serializes;
+    Alcotest.test_case "load ports" `Quick test_load_ports_limit;
+    Alcotest.test_case "cache miss visible" `Quick test_cache_miss_visible;
+    Alcotest.test_case "store forwarding" `Quick test_store_forwarding;
+    Alcotest.test_case "mispredict cost" `Quick test_mispredicts_cost;
+    Alcotest.test_case "sjmp bypasses predictor" `Quick test_secure_branch_bypasses_predictor;
+    Alcotest.test_case "drain stalls" `Quick test_drain_stalls;
+    Alcotest.test_case "retire width bound" `Quick test_retire_width_bound;
+    Alcotest.test_case "report consistency" `Quick test_report_consistency;
+  ]

@@ -1,0 +1,194 @@
+(* End-to-end validation of the paper's security claim: under the baseline
+   the secret is visible through timing / trace / cache / predictor
+   channels; under SeMPE (and the software schemes) every attacker-visible
+   channel is silent. *)
+
+module Harness = Sempe_workloads.Harness
+module Rsa = Sempe_workloads.Rsa
+module Scheme = Sempe_core.Scheme
+module Observable = Sempe_security.Observable
+module Leakage = Sempe_security.Leakage
+module Attacker = Sempe_security.Attacker
+
+let rsa_view scheme ~key =
+  let built = Harness.build scheme Rsa.program in
+  let globals, arrays = Rsa.inputs ~key ~base:1234 ~modulus:99991 in
+  let recorder = Observable.recorder () in
+  let outcome =
+    Harness.run ~globals ~arrays ~observe:(Observable.feed recorder) built
+  in
+  let expected = Rsa.reference ~key ~base:1234 ~modulus:99991 in
+  Alcotest.(check int)
+    (Printf.sprintf "%s key=%d result" (Scheme.name scheme) key)
+    expected
+    (Harness.return_value outcome);
+  Observable.view recorder outcome.Sempe_core.Run.timing
+
+let keys = [ 0x0000; 0xffff; 0xa5a5; 0x0001; 0x8000; 0x1234 ]
+
+let views scheme = List.map (fun key -> rsa_view scheme ~key) keys
+
+let test_baseline_leaks () =
+  let leaky = Leakage.leaky_channels (views Scheme.Baseline) in
+  List.iter
+    (fun ch ->
+      Alcotest.(check bool)
+        (Leakage.channel_name ch ^ " leaks under baseline")
+        true (List.mem ch leaky))
+    [ Leakage.Timing; Leakage.Trace; Leakage.Bpred; Leakage.Instruction_count ]
+
+let test_protected_schemes_silent () =
+  List.iter
+    (fun scheme ->
+      let leaky = Leakage.leaky_channels (views scheme) in
+      Alcotest.(check (list string))
+        (Scheme.name scheme ^ " has no leaky channels")
+        []
+        (List.map Leakage.channel_name leaky))
+    [ Scheme.Sempe; Scheme.Cte; Scheme.Raccoon; Scheme.Mto ]
+
+let test_annotated_on_legacy_still_leaks () =
+  (* Backward compatibility is explicit about this: the annotated binary on
+     a legacy machine runs correctly but without the guarantee. *)
+  let leaky = Leakage.leaky_channels (views Scheme.Sempe_on_legacy) in
+  Alcotest.(check bool) "legacy run of annotated binary leaks" true
+    (leaky <> [])
+
+let test_timing_attack () =
+  let run scheme ~key =
+    (rsa_view scheme ~key).Observable.cycles
+  in
+  let sample_keys = [ 0x0000; 0x0101; 0x1111; 0x5555; 0x7777; 0xffff; 0x00ff ] in
+  let corr_base =
+    Attacker.timing_key_correlation ~run:(run Scheme.Baseline) ~keys:sample_keys
+  in
+  let corr_sempe =
+    Attacker.timing_key_correlation ~run:(run Scheme.Sempe) ~keys:sample_keys
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "baseline correlation high (%.3f)" corr_base)
+    true (corr_base > 0.9);
+  Alcotest.(check bool)
+    (Printf.sprintf "sempe correlation ~0 (%.3f)" corr_sempe)
+    true (Float.abs corr_sempe < 0.05)
+
+let test_bit_recovery () =
+  let run scheme ~key = (rsa_view scheme ~key).Observable.cycles in
+  (* On the baseline, flipping any key bit perturbs the timing; under SeMPE
+     no bit is observable. *)
+  let observable scheme =
+    List.filter
+      (fun bit -> Attacker.recover_bit ~run:(run scheme) ~base_key:0x1234 ~bit)
+      [ 0; 3; 7; 11; 15 ]
+  in
+  Alcotest.(check bool) "baseline exposes key bits" true
+    (List.length (observable Scheme.Baseline) >= 4);
+  Alcotest.(check (list int)) "sempe exposes no key bits" [] (observable Scheme.Sempe)
+
+let test_prime_and_probe_unit () =
+  (* Attacker primes one set; a victim touching a conflicting line evicts
+     the attacker's line in a 1-way cache. *)
+  let cache =
+    Sempe_mem.Cache.create
+      { Sempe_mem.Cache.name = "toy"; size_bytes = 1024; line_bytes = 64; ways = 1 }
+  in
+  let nsets = Sempe_mem.Cache.num_sets cache in
+  let prime = [ 0; 64 ] in
+  let victim () =
+    ignore (Sempe_mem.Cache.access cache ~addr:(nsets * 64) ~write:false)
+  in
+  let evicted = Attacker.prime_and_probe cache ~prime ~victim in
+  Alcotest.(check bool) "conflicting set evicted" true evicted.(0);
+  Alcotest.(check bool) "other set intact" false evicted.(1)
+
+let tests =
+  [
+    Alcotest.test_case "baseline leaks" `Quick test_baseline_leaks;
+    Alcotest.test_case "protected schemes silent" `Quick test_protected_schemes_silent;
+    Alcotest.test_case "annotated-on-legacy leaks" `Quick test_annotated_on_legacy_still_leaks;
+    Alcotest.test_case "timing attack correlation" `Quick test_timing_attack;
+    Alcotest.test_case "key bit recovery" `Quick test_bit_recovery;
+    Alcotest.test_case "prime and probe" `Quick test_prime_and_probe_unit;
+  ]
+
+(* ---- co-resident prime+probe (threat model section III) ---- *)
+
+let test_coresident_prime_probe () =
+  let trace scheme key =
+    let built = Harness.build scheme Rsa.program in
+    let globals, arrays = Rsa.inputs ~key ~base:1234 ~modulus:99991 in
+    let layout = built.Sempe_workloads.Harness.layout in
+    let init_mem mem =
+      List.iter
+        (fun (name, value) ->
+          mem.(Sempe_lang.Codegen.scalar_offset layout name) <- value)
+        globals;
+      List.iter
+        (fun (name, values) ->
+          let off, _ = Sempe_lang.Codegen.array_slice layout name in
+          Array.blit values 0 mem off (Array.length values))
+        arrays
+    in
+    Sempe_security.Coresident.prime_probe_trace
+      ~support:(Scheme.support scheme)
+      ~prog:built.Sempe_workloads.Harness.prog ~init_mem ()
+  in
+  let d scheme =
+    Sempe_security.Coresident.distance (trace scheme 0x0000) (trace scheme 0xffff)
+  in
+  let d_base = d Scheme.Baseline in
+  let d_sempe = d Scheme.Sempe in
+  Alcotest.(check bool)
+    (Printf.sprintf "baseline eviction patterns differ (distance %d)" d_base)
+    true (d_base > 0);
+  Alcotest.(check int) "sempe eviction patterns identical" 0 d_sempe
+
+let tests = tests @ [ Alcotest.test_case "coresident prime+probe" `Quick test_coresident_prime_probe ]
+
+(* ---- the manual alternative: a hand-written constant-time ladder ---- *)
+
+let ladder_view ~key =
+  let built = Harness.build Scheme.Baseline Rsa.ct_program in
+  let globals, arrays = Rsa.inputs ~key ~base:1234 ~modulus:99991 in
+  let recorder = Observable.recorder () in
+  let outcome =
+    Harness.run ~globals ~arrays ~observe:(Observable.feed recorder) built
+  in
+  let expected = Rsa.reference ~key ~base:1234 ~modulus:99991 in
+  Alcotest.(check int)
+    (Printf.sprintf "ladder key=%d result" key)
+    expected
+    (Harness.return_value outcome);
+  Observable.view recorder outcome.Sempe_core.Run.timing
+
+let test_ct_ladder_silent_on_plain_hw () =
+  let views = List.map (fun key -> ladder_view ~key) keys in
+  Alcotest.(check (list string)) "ladder has no leaky channels" []
+    (List.map Leakage.channel_name (Leakage.leaky_channels views))
+
+let test_sempe_vs_manual_ct_cost () =
+  (* The paper's pitch: SeMPE gives the protection without rewriting the
+     routine. Both protected versions must be within a small factor of
+     each other, and both slower than the leaky original. *)
+  let cycles scheme prog ~key =
+    let built = Harness.build scheme prog in
+    let globals, arrays = Rsa.inputs ~key ~base:1234 ~modulus:99991 in
+    Sempe_core.Run.cycles (Harness.run ~globals ~arrays built)
+  in
+  let naive = cycles Scheme.Baseline Rsa.program ~key:0xa5a5 in
+  let sempe = cycles Scheme.Sempe Rsa.program ~key:0xa5a5 in
+  let ladder = cycles Scheme.Baseline Rsa.ct_program ~key:0xa5a5 in
+  let ratio = float_of_int ladder /. float_of_int naive in
+  Alcotest.(check bool)
+    (Printf.sprintf "sane cost ordering (naive=%d ladder=%d sempe=%d)" naive
+       ladder sempe)
+    true
+    (sempe > naive && ratio > 0.5 && ratio < 4.0)
+
+let tests =
+  tests
+  @ [
+      Alcotest.test_case "ct ladder silent on plain hw" `Quick
+        test_ct_ladder_silent_on_plain_hw;
+      Alcotest.test_case "sempe vs manual ct cost" `Quick test_sempe_vs_manual_ct_cost;
+    ]

@@ -1,0 +1,188 @@
+(* Unit and property tests for sempe_util: RNG, bit vectors, statistics and
+   table rendering. *)
+
+open Sempe_util
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---- rng ---- *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next64 a) (Rng.next64 b)
+  done
+
+let test_rng_copy () =
+  let a = Rng.create 7 in
+  ignore (Rng.next64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues" (Rng.next64 a) (Rng.next64 b)
+
+let test_rng_split () =
+  let a = Rng.create 7 in
+  let child = Rng.split a in
+  Alcotest.(check bool) "split differs from parent" true
+    (Rng.next64 child <> Rng.next64 a)
+
+let prop_rng_int_bounds =
+  QCheck.Test.make ~name:"rng int within bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let prop_rng_int_in =
+  QCheck.Test.make ~name:"rng int_in inclusive" ~count:500
+    QCheck.(triple small_int (int_range (-50) 50) (int_range 0 100))
+    (fun (seed, lo, span) ->
+      let rng = Rng.create seed in
+      let v = Rng.int_in rng lo (lo + span) in
+      v >= lo && v <= lo + span)
+
+let prop_rng_float_unit =
+  QCheck.Test.make ~name:"rng float in [0,1)" ~count:500 QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create seed in
+      let f = Rng.float rng in
+      f >= 0.0 && f < 1.0)
+
+let prop_shuffle_permutes =
+  QCheck.Test.make ~name:"shuffle permutes" ~count:200
+    QCheck.(pair small_int (list_of_size (Gen.int_range 0 30) int))
+    (fun (seed, xs) ->
+      let a = Array.of_list xs in
+      Rng.shuffle (Rng.create seed) a;
+      List.sort compare (Array.to_list a) = List.sort compare xs)
+
+(* ---- bitvec ---- *)
+
+let prop_bitvec_set_get =
+  QCheck.Test.make ~name:"bitvec set/get" ~count:500
+    QCheck.(pair (int_range 1 200) (small_list (int_range 0 1000)))
+    (fun (len, idxs) ->
+      let t = Bitvec.create len in
+      let idxs = List.map (fun k -> k mod len) idxs in
+      List.iter (Bitvec.set t) idxs;
+      List.for_all (Bitvec.get t) idxs
+      && Bitvec.popcount t = List.length (List.sort_uniq compare idxs))
+
+let prop_bitvec_clear =
+  QCheck.Test.make ~name:"bitvec clear" ~count:300
+    QCheck.(pair (int_range 1 128) (int_range 0 10000))
+    (fun (len, k) ->
+      let t = Bitvec.create len in
+      let k = k mod len in
+      Bitvec.set t k;
+      Bitvec.clear t k;
+      (not (Bitvec.get t k)) && Bitvec.popcount t = 0)
+
+let prop_bitvec_union =
+  QCheck.Test.make ~name:"bitvec union popcount" ~count:300
+    QCheck.(triple (int_range 1 96) (small_list small_nat) (small_list small_nat))
+    (fun (len, xs, ys) ->
+      let a = Bitvec.create len and b = Bitvec.create len in
+      List.iter (fun k -> Bitvec.set a (k mod len)) xs;
+      List.iter (fun k -> Bitvec.set b (k mod len)) ys;
+      let u = Bitvec.union a b in
+      Bitvec.popcount u >= max (Bitvec.popcount a) (Bitvec.popcount b)
+      && Bitvec.popcount u <= Bitvec.popcount a + Bitvec.popcount b)
+
+let test_bitvec_iter_ascending () =
+  let t = Bitvec.create 64 in
+  List.iter (Bitvec.set t) [ 5; 1; 63; 17 ];
+  let seen = ref [] in
+  Bitvec.iter_set (fun k -> seen := k :: !seen) t;
+  Alcotest.(check (list int)) "ascending order" [ 1; 5; 17; 63 ] (List.rev !seen)
+
+let test_bitvec_string () =
+  let t = Bitvec.create 4 in
+  Bitvec.set t 0;
+  Bitvec.set t 2;
+  Alcotest.(check string) "little-endian" "1010" (Bitvec.to_string t);
+  Bitvec.set_all t;
+  Alcotest.(check string) "all set" "1111" (Bitvec.to_string t);
+  Bitvec.clear_all t;
+  Alcotest.(check string) "cleared" "0000" (Bitvec.to_string t)
+
+(* ---- stats ---- *)
+
+let test_stats_counters () =
+  let g = Stats.group "test" in
+  let c1 = Stats.counter g "a" in
+  let c2 = Stats.counter g "b" in
+  Stats.incr c1;
+  Stats.add c2 10;
+  Stats.incr c1;
+  Alcotest.(check (list (pair string int))) "values"
+    [ ("a", 2); ("b", 10) ] (Stats.to_list g);
+  Alcotest.(check int) "find" 10 (Stats.find g "b");
+  Stats.reset_group g;
+  Alcotest.(check int) "reset" 0 (Stats.value c1)
+
+let test_stats_duplicate () =
+  let g = Stats.group "dups" in
+  let _ = Stats.counter g "x" in
+  Alcotest.check_raises "duplicate name"
+    (Invalid_argument "Stats.counter: duplicate \"x\" in group \"dups\"")
+    (fun () -> ignore (Stats.counter g "x"))
+
+let test_stats_ratio () =
+  Alcotest.(check (float 1e-9)) "ratio" 0.5 (Stats.ratio ~num:1 ~den:2);
+  Alcotest.(check (float 1e-9)) "zero den" 0.0 (Stats.ratio ~num:5 ~den:0)
+
+let prop_summary_mean =
+  QCheck.Test.make ~name:"summary mean matches direct" ~count:300
+    QCheck.(list_of_size (Gen.int_range 1 50) (float_range (-1000.) 1000.))
+    (fun xs ->
+      let s = Stats.Summary.create () in
+      List.iter (Stats.Summary.observe s) xs;
+      let direct = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs) in
+      Float.abs (Stats.Summary.mean s -. direct) < 1e-6
+      && Stats.Summary.min s = List.fold_left min infinity xs
+      && Stats.Summary.max s = List.fold_left max neg_infinity xs)
+
+(* ---- tablefmt ---- *)
+
+let test_tablefmt_render () =
+  let out = Tablefmt.render ~header:[ "a"; "bb" ] [ [ "1"; "2" ]; [ "333"; "4" ] ] in
+  let lines = String.split_on_char '\n' out in
+  Alcotest.(check int) "four lines" 4 (List.length lines);
+  (match lines with
+   | _ :: sep :: _ -> Alcotest.(check bool) "separator dashes" true
+                        (String.for_all (fun c -> c = '-' || c = ' ') sep)
+   | _ -> Alcotest.fail "expected separator")
+
+let test_tablefmt_arity () =
+  Alcotest.check_raises "arity mismatch"
+    (Invalid_argument "Tablefmt.render: row arity mismatch") (fun () ->
+      ignore (Tablefmt.render ~header:[ "a" ] [ [ "1"; "2" ] ]))
+
+let test_tablefmt_formats () =
+  Alcotest.(check string) "percent" "31.4%" (Tablefmt.percent 0.314);
+  Alcotest.(check string) "times" "10.6x" (Tablefmt.times 10.63);
+  Alcotest.(check string) "fixed" "2.50" (Tablefmt.fixed 2 2.5)
+
+let tests =
+  [
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng copy" `Quick test_rng_copy;
+    Alcotest.test_case "rng split" `Quick test_rng_split;
+    qtest prop_rng_int_bounds;
+    qtest prop_rng_int_in;
+    qtest prop_rng_float_unit;
+    qtest prop_shuffle_permutes;
+    qtest prop_bitvec_set_get;
+    qtest prop_bitvec_clear;
+    qtest prop_bitvec_union;
+    Alcotest.test_case "bitvec iter ascending" `Quick test_bitvec_iter_ascending;
+    Alcotest.test_case "bitvec to_string" `Quick test_bitvec_string;
+    Alcotest.test_case "stats counters" `Quick test_stats_counters;
+    Alcotest.test_case "stats duplicate" `Quick test_stats_duplicate;
+    Alcotest.test_case "stats ratio" `Quick test_stats_ratio;
+    qtest prop_summary_mean;
+    Alcotest.test_case "tablefmt render" `Quick test_tablefmt_render;
+    Alcotest.test_case "tablefmt arity" `Quick test_tablefmt_arity;
+    Alcotest.test_case "tablefmt formats" `Quick test_tablefmt_formats;
+  ]

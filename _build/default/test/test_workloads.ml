@@ -1,0 +1,136 @@
+(* Workload-level validation: the constant-time kernel variants compute the
+   same checksums as the natural ones, and the microbenchmark returns the
+   same value under every scheme for every secret assignment. *)
+
+open Sempe_lang.Ast
+module Kernels = Sempe_workloads.Kernels
+module Microbench = Sempe_workloads.Microbench
+module Harness = Sempe_workloads.Harness
+module Scheme = Sempe_core.Scheme
+module Eval = Sempe_lang.Eval
+
+(* Evaluate one kernel variant through the reference interpreter. *)
+let eval_kernel ~ct (k : Kernels.t) seed =
+  let entry = if ct then k.Kernels.ct_entry else k.Kernels.entry in
+  let funcs = if ct then k.Kernels.ct_funcs else k.Kernels.funcs in
+  let prog =
+    {
+      funcs =
+        funcs
+        @ [
+            {
+              fname = "main";
+              params = [];
+              locals = [];
+              body = [ ret (call entry [ i seed ]) ];
+            };
+          ];
+      globals = [];
+      arrays = k.Kernels.arrays;
+      secrets = [];
+      main = "main";
+    }
+  in
+  Eval.run (Eval.init prog)
+
+let test_ct_variants_agree () =
+  List.iter
+    (fun k ->
+      List.iter
+        (fun seed ->
+          Alcotest.(check int)
+            (Printf.sprintf "%s seed=%d" k.Kernels.name seed)
+            (eval_kernel ~ct:false k seed)
+            (eval_kernel ~ct:true k seed))
+        [ 1; 7; 12345; 999983 ])
+    Kernels.all
+
+let test_queens_count () =
+  (* 4-queens has 2 solutions; seed=2 adds 0. *)
+  Alcotest.(check int) "queens solutions" 2 (eval_kernel ~ct:false Kernels.queens 2)
+
+(* All schemes must return the same checksum, for several leaves. *)
+let test_schemes_agree () =
+  List.iter
+    (fun kernel ->
+      let spec = { Microbench.kernel; width = 2; iters = 2 } in
+      let src_plain = Microbench.program ~ct:false spec in
+      let src_ct = Microbench.program ~ct:true spec in
+      let reference leaf =
+        let st = Eval.init (Sempe_lang.Shadow.strip_secret_marks src_plain) in
+        List.iter
+          (fun (name, value) -> Eval.set_global st name value)
+          (Microbench.secrets_for_leaf ~width:2 ~leaf);
+        Eval.run st
+      in
+      List.iter
+        (fun leaf ->
+          let secrets = Microbench.secrets_for_leaf ~width:2 ~leaf in
+          let expected = reference leaf in
+          List.iter
+            (fun scheme ->
+              let src =
+                match scheme with
+                | Scheme.Cte | Scheme.Raccoon | Scheme.Mto -> src_ct
+                | Scheme.Baseline | Scheme.Sempe | Scheme.Sempe_on_legacy ->
+                  src_plain
+              in
+              let built = Harness.build scheme src in
+              let outcome = Harness.run ~globals:secrets built in
+              Alcotest.(check int)
+                (Printf.sprintf "%s/%s leaf=%d" kernel.Kernels.name
+                   (Scheme.name scheme) leaf)
+                expected
+                (Harness.return_value outcome))
+            Scheme.all)
+        [ 1; 2; 3 ])
+    [ Kernels.fibonacci; Kernels.ones; Kernels.quicksort; Kernels.queens ]
+
+(* The protected schemes must execute a secret-independent instruction
+   count; the baseline generally must not. *)
+let test_dynamic_counts () =
+  let spec = { Microbench.kernel = Kernels.ones; width = 3; iters = 1 } in
+  let counts scheme src =
+    let built = Harness.build scheme src in
+    List.map
+      (fun leaf ->
+        let o =
+          Harness.run ~globals:(Microbench.secrets_for_leaf ~width:3 ~leaf) built
+        in
+        o.Sempe_core.Run.exec.Sempe_core.Exec.dyn_instrs)
+      [ 1; 2; 3; 4 ]
+  in
+  let src_plain = Microbench.program ~ct:false spec in
+  let src_ct = Microbench.program ~ct:true spec in
+  let uniform = function
+    | [] -> true
+    | x :: rest -> List.for_all (( = ) x) rest
+  in
+  Alcotest.(check bool) "sempe uniform" true (uniform (counts Scheme.Sempe src_plain));
+  Alcotest.(check bool) "cte uniform" true (uniform (counts Scheme.Cte src_ct));
+  Alcotest.(check bool) "raccoon uniform" true (uniform (counts Scheme.Raccoon src_ct));
+  Alcotest.(check bool) "mto uniform" true (uniform (counts Scheme.Mto src_ct))
+
+let test_secrecy_clean () =
+  let spec = { Microbench.kernel = Kernels.quicksort; width = 3; iters = 1 } in
+  let src = Microbench.program ~ct:false spec in
+  let hard =
+    List.filter
+      (function
+        | Sempe_lang.Secrecy.Unmarked_branch _ | Sempe_lang.Secrecy.Secret_loop _ ->
+          true
+        | Sempe_lang.Secrecy.Secret_index _
+        | Sempe_lang.Secrecy.Useless_annotation _
+        | Sempe_lang.Secrecy.Potential_exception _ -> false)
+      (Sempe_lang.Secrecy.analyze src)
+  in
+  Alcotest.(check int) "no hard violations" 0 (List.length hard)
+
+let tests =
+  [
+    Alcotest.test_case "ct variants agree" `Quick test_ct_variants_agree;
+    Alcotest.test_case "queens count" `Quick test_queens_count;
+    Alcotest.test_case "schemes agree" `Slow test_schemes_agree;
+    Alcotest.test_case "dynamic counts uniform" `Quick test_dynamic_counts;
+    Alcotest.test_case "microbench secrecy clean" `Quick test_secrecy_clean;
+  ]

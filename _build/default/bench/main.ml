@@ -1,12 +1,29 @@
 (* Regenerates every table and figure of the paper's evaluation on the
    simulated substrate, then runs bechamel micro-benchmarks of the core
    data structures. `dune exec bench/main.exe` prints everything; pass
-   `quick` to shrink the sweeps (CI-sized run). *)
+   `quick` to shrink the sweeps (CI-sized run) and `-j N` to fan the
+   simulation grids out to N worker domains (default: one per core;
+   `-j 1` is the plain sequential path). The rendered sections are
+   byte-identical at any -j. *)
 
 module Config = Sempe_pipeline.Config
 module Tablefmt = Sempe_util.Tablefmt
+module Batch = Sempe_experiments.Batch
 
 let quick = Array.exists (fun a -> a = "quick") Sys.argv
+
+let jobs =
+  let rec scan i =
+    if i >= Array.length Sys.argv then None
+    else
+      let a = Sys.argv.(i) in
+      if (a = "-j" || a = "--jobs") && i + 1 < Array.length Sys.argv then
+        int_of_string_opt Sys.argv.(i + 1)
+      else if String.length a > 2 && String.sub a 0 2 = "-j" then
+        int_of_string_opt (String.sub a 2 (String.length a - 2))
+      else scan (i + 1)
+  in
+  match scan 1 with Some n -> n | None -> Batch.default_jobs ()
 
 let section title body =
   Printf.printf "==== %s ====\n%s\n\n%!" title body
@@ -39,21 +56,12 @@ let fig10 () =
   let iters = if quick then 1 else 3 in
   let series = Sempe_experiments.Fig10.sweep ~widths ~iters () in
   section "Figure 10a" (Sempe_experiments.Fig10.render_a series);
-  (* the paper's figure as a cross-kernel summary: average slowdown per W *)
-  let avg f w =
-    let vals =
-      List.map
-        (fun (s : Sempe_experiments.Fig10.series) ->
-          let p = List.find (fun (p : Sempe_experiments.Fig10.point) -> p.width = w) s.points in
-          f p)
-        series
-    in
-    List.fold_left ( +. ) 0.0 vals /. float_of_int (List.length vals)
-  in
-  let pts f = List.map (fun w -> (float_of_int w, avg f w)) widths in
+  (* the paper's figure as a cross-kernel summary: average slowdown per W;
+     widths a series did not sample are averaged over the present points *)
   let ratio num den (p : Sempe_experiments.Fig10.point) =
     float_of_int (num p) /. float_of_int (den p)
   in
+  let pts f = Sempe_experiments.Fig10.cross_kernel_average ~f series in
   section "Figure 10a (cross-kernel average)"
     (Sempe_util.Tablefmt.chart ~title:"average slowdown vs baseline"
        ~xlabel:"W"
@@ -156,6 +164,11 @@ let micro () =
        (List.sort compare !rows))
 
 let () =
+  Batch.set_jobs jobs;
+  (* stderr, so section output stays byte-identical across -j values *)
+  if Batch.jobs () > 1 then
+    Printf.eprintf "[bench] fanning sweeps out to %d worker domains\n%!"
+      (Batch.jobs ());
   Printf.printf "SeMPE reproduction benchmark harness%s\n\n%!"
     (if quick then " (quick mode)" else "");
   table2 ();

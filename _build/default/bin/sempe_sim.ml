@@ -33,6 +33,21 @@ let scheme_arg =
     & info [ "scheme"; "s" ] ~docv:"SCHEME"
         ~doc:"Protection scheme: baseline, sempe, sempe-on-legacy, cte, raccoon or mto.")
 
+(* Parallel fan-out of the experiment grids (report / leakage). The
+   rendered output is byte-identical at any -j. *)
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the simulation sweeps. 0 (the default) \
+           means one per core; 1 forces the sequential path.")
+
+let set_jobs j =
+  Sempe_experiments.Batch.set_jobs
+    (if j <= 0 then Sempe_experiments.Batch.default_jobs () else j)
+
 let print_report (r : Timing.report) =
   Tablefmt.print ~header:[ "metric"; "value" ]
     [
@@ -172,7 +187,8 @@ let rsa_cmd =
 (* ---- leakage ---- *)
 
 let leakage_cmd =
-  let run () =
+  let run jobs =
+    set_jobs jobs;
     print_string
       (Sempe_experiments.Security_exp.render (Sempe_experiments.Security_exp.measure ()));
     print_newline ()
@@ -180,12 +196,13 @@ let leakage_cmd =
   Cmd.v
     (Cmd.info "leakage"
        ~doc:"Leakage matrix: which attacker channels distinguish RSA keys under each scheme.")
-    Term.(const run $ const ())
+    Term.(const run $ jobs_arg)
 
 (* ---- report ---- *)
 
 let report_cmd =
-  let run name csv =
+  let run name csv jobs =
+    set_jobs jobs;
     match name with
     | "table1" ->
       print_endline (Sempe_experiments.Table1.render (Sempe_experiments.Table1.measure ()))
@@ -216,7 +233,7 @@ let report_cmd =
   Cmd.v
     (Cmd.info "report"
        ~doc:"Regenerate one paper table/figure (table1, fig8, fig9, fig10, ablation).")
-    Term.(const run $ exp_arg $ csv_arg)
+    Term.(const run $ exp_arg $ csv_arg $ jobs_arg)
 
 (* ---- asm-run: execute an assembly file ---- *)
 

@@ -1,1 +1,1 @@
-lib/experiments/ablation.ml: List Printf Sempe_core Sempe_mem Sempe_pipeline Sempe_util Sempe_workloads String
+lib/experiments/ablation.ml: Batch List Printf Sempe_core Sempe_mem Sempe_pipeline Sempe_util Sempe_workloads String

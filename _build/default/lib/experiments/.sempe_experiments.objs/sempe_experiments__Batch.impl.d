@@ -1,0 +1,1 @@
+lib/experiments/batch.ml: Atomic List Sempe_util

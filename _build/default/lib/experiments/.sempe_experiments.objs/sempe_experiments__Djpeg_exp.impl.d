@@ -1,1 +1,1 @@
-lib/experiments/djpeg_exp.ml: Buffer List Printf Sempe_core Sempe_pipeline Sempe_util Sempe_workloads String
+lib/experiments/djpeg_exp.ml: Batch Buffer List Printf Sempe_core Sempe_pipeline Sempe_util Sempe_workloads String

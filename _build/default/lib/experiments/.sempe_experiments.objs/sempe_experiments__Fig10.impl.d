@@ -1,1 +1,1 @@
-lib/experiments/fig10.ml: Buffer List Printf Sempe_core Sempe_util Sempe_workloads String
+lib/experiments/fig10.ml: Batch Buffer List Option Printf Sempe_core Sempe_util Sempe_workloads String

@@ -1,1 +1,1 @@
-lib/experiments/security_exp.ml: List Sempe_core Sempe_security Sempe_util Sempe_workloads String
+lib/experiments/security_exp.ml: Batch List Sempe_core Sempe_security Sempe_util Sempe_workloads String

@@ -1,1 +1,1 @@
-lib/experiments/table1.ml: List Sempe_core Sempe_util Sempe_workloads
+lib/experiments/table1.ml: Batch List Sempe_core Sempe_util Sempe_workloads

@@ -20,7 +20,7 @@ let spm_throughput_sweep ?(bytes_per_cycle = [ 8; 16; 32; 64; 128; 256 ])
   let spec = { MB.kernel = Kernels.fibonacci; width; iters } in
   let src = MB.program ~ct:false spec in
   let base = (run_cycles Scheme.Baseline src ~width).Timing.cycles in
-  List.map
+  Batch.map
     (fun throughput ->
       let machine =
         {
@@ -77,12 +77,12 @@ let deepest_supported ~entries =
   climb 1
 
 let jbtable_capacity ?(capacities = [ 2; 4; 8; 16; 30 ]) () =
-  List.map (fun entries -> (entries, deepest_supported ~entries)) capacities
+  Batch.map (fun entries -> (entries, deepest_supported ~entries)) capacities
 
 let drain_sensitivity ?(depths = [ 4; 8; 16; 24 ]) ?(width = 10) ?(iters = 2) () =
   let spec = { MB.kernel = Kernels.fibonacci; width; iters } in
   let src = MB.program ~ct:false spec in
-  List.map
+  Batch.map
     (fun depth ->
       let machine = { Config.default with Config.frontend_depth = depth } in
       let base = (run_cycles ~machine Scheme.Baseline src ~width).Timing.cycles in

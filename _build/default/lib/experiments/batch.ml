@@ -1,0 +1,35 @@
+module Pool = Sempe_util.Pool
+
+let jobs_setting = Atomic.make 1
+
+let set_jobs n = Atomic.set jobs_setting (max 1 (min Pool.max_workers n))
+let jobs () = Atomic.get jobs_setting
+let default_jobs = Pool.default_workers
+
+let map ?j f xs =
+  let j = match j with Some j -> max 1 j | None -> jobs () in
+  let j = min j (List.length xs) in
+  if j <= 1 then List.map f xs else Pool.run ~workers:j f xs
+
+let split_n n xs =
+  let rec go k acc = function
+    | rest when k = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: rest -> go (k - 1) (x :: acc) rest
+  in
+  go n [] xs
+
+let map_product ?j f outer inner =
+  let cells =
+    List.concat_map (fun o -> List.map (fun i -> (o, i)) inner) outer
+  in
+  let results = map ?j (fun (o, i) -> f o i) cells in
+  let per_outer = List.length inner in
+  let rec regroup os rs =
+    match os with
+    | [] -> []
+    | o :: os ->
+      let mine, rest = split_n per_outer rs in
+      (o, mine) :: regroup os rest
+  in
+  regroup outer results

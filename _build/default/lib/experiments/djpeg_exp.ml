@@ -12,26 +12,32 @@ type cell = {
   sempe : Timing.report;
 }
 
+(* The programs are compiled once per format (cheap, and shared read-only
+   by the jobs); each (format, size) cell is one independent simulation
+   job fanned out through Batch. *)
 let collect ?(sizes = Djpeg.sizes) ?(seed = 42) () =
-  List.concat_map
-    (fun format ->
-      let src = Djpeg.program format in
-      let base_built = Harness.build Scheme.Baseline src in
-      let sempe_built = Harness.build Scheme.Sempe src in
-      List.map
-        (fun (size : Djpeg.size) ->
-          let globals, arrays =
-            Djpeg.inputs format ~seed ~blocks:size.Djpeg.blocks
-          in
-          let run built =
-            let o = Harness.run ~globals ~arrays built in
-            o.Run.timing
-          in
-          let base = run base_built in
-          let sempe = run sempe_built in
-          { format; size; base; sempe })
-        sizes)
-    Djpeg.all_formats
+  let cells =
+    List.concat_map
+      (fun format ->
+        let src = Djpeg.program format in
+        let base_built = Harness.build Scheme.Baseline src in
+        let sempe_built = Harness.build Scheme.Sempe src in
+        List.map (fun size -> (format, base_built, sempe_built, size)) sizes)
+      Djpeg.all_formats
+  in
+  Batch.map
+    (fun (format, base_built, sempe_built, (size : Djpeg.size)) ->
+      let globals, arrays =
+        Djpeg.inputs format ~seed ~blocks:size.Djpeg.blocks
+      in
+      let run built =
+        let o = Harness.run ~globals ~arrays built in
+        o.Run.timing
+      in
+      let base = run base_built in
+      let sempe = run sempe_built in
+      { format; size; base; sempe })
+    cells
 
 let overhead cell =
   (float_of_int cell.sempe.Timing.cycles /. float_of_int cell.base.Timing.cycles)

@@ -43,16 +43,41 @@ let point ~kernel ~width ~iters =
   let ideal_cycles = max 1 (path_sum - (width * skeleton)) in
   { width; baseline_cycles; sempe_cycles; cte_cycles; ideal_cycles }
 
+(* One job per (kernel, width) cell; every job owns its machines, so the
+   grid fans out to the Batch worker pool and reassembles in order. *)
 let sweep ?(widths = List.init 10 (fun k -> k + 1)) ?(iters = 3) () =
-  List.map
-    (fun kernel ->
-      {
-        kernel = kernel.Kernels.name;
-        points = List.map (fun width -> point ~kernel ~width ~iters) widths;
-      })
-    Kernels.all
+  Batch.map_product
+    (fun kernel width -> point ~kernel ~width ~iters)
+    Kernels.all widths
+  |> List.map (fun (kernel, points) ->
+         { kernel = kernel.Kernels.name; points })
 
 let slowdown num den = float_of_int num /. float_of_int den
+
+(* Cross-kernel average of [f] per width. A series may be missing a
+   sampled width (a kernel that cannot nest that deep): average over the
+   series that have the point and drop widths nobody sampled, instead of
+   raising Not_found on the first gap. *)
+let cross_kernel_average ~f series =
+  let widths =
+    List.sort_uniq compare
+      (List.concat_map (fun s -> List.map (fun p -> p.width) s.points) series)
+  in
+  List.filter_map
+    (fun w ->
+      let vals =
+        List.filter_map
+          (fun s ->
+            Option.map f (List.find_opt (fun p -> p.width = w) s.points))
+          series
+      in
+      match vals with
+      | [] -> None
+      | _ ->
+        Some
+          ( float_of_int w,
+            List.fold_left ( +. ) 0.0 vals /. float_of_int (List.length vals) ))
+    widths
 
 let render_a series =
   let blocks =

@@ -22,5 +22,10 @@ val sweep : ?widths:int list -> ?iters:int -> unit -> series list
 val render_a : series list -> string
 val render_b : series list -> string
 
+val cross_kernel_average : f:(point -> float) -> series list -> (float * float) list
+(** [(width, average of f over the series that sampled width)] for every
+    width at least one series sampled, ascending. Series missing a width
+    are skipped rather than raising. *)
+
 val csv : series list -> string
 (** Machine-readable dump: kernel, width, baseline/sempe/cte/ideal cycles. *)

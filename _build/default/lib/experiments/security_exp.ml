@@ -23,8 +23,10 @@ let view scheme ~key =
   in
   Observable.view recorder outcome.Sempe_core.Run.timing
 
+(* One job per scheme (each job sweeps all keys); the schemes' runs are
+   independent, so they fan out through Batch. *)
 let measure ?(keys = default_keys) () =
-  List.map
+  Batch.map
     (fun scheme ->
       let views = List.map (fun key -> view scheme ~key) keys in
       let leaky = Leakage.leaky_channels views in

@@ -13,36 +13,33 @@ type row = {
 
 let schemes = [ Scheme.Cte; Scheme.Mto; Scheme.Raccoon; Scheme.Sempe ]
 
+(* One job per (scheme, kernel) cell — each simulates the protected and
+   baseline variants on fresh machines — fanned out through Batch. *)
 let measure ?(width = 10) ?(iters = 2) () =
-  let overheads scheme =
-    List.map
-      (fun kernel ->
-        let spec = { MB.kernel; width; iters } in
-        let ct =
-          match scheme with
-          | Scheme.Cte | Scheme.Raccoon | Scheme.Mto -> true
-          | Scheme.Baseline | Scheme.Sempe | Scheme.Sempe_on_legacy -> false
-        in
-        let src = MB.program ~ct spec in
-        let src_plain = if ct then MB.program ~ct:false spec else src in
-        let secrets = MB.secrets_for_leaf ~width ~leaf:1 in
-        let cycles s prog =
-          Run.cycles (Harness.run ~globals:secrets (Harness.build s prog))
-        in
-        float_of_int (cycles scheme src)
-        /. float_of_int (cycles Scheme.Baseline src_plain))
-      Kernels.all
+  let overhead scheme kernel =
+    let spec = { MB.kernel; width; iters } in
+    let ct =
+      match scheme with
+      | Scheme.Cte | Scheme.Raccoon | Scheme.Mto -> true
+      | Scheme.Baseline | Scheme.Sempe | Scheme.Sempe_on_legacy -> false
+    in
+    let src = MB.program ~ct spec in
+    let src_plain = if ct then MB.program ~ct:false spec else src in
+    let secrets = MB.secrets_for_leaf ~width ~leaf:1 in
+    let cycles s prog =
+      Run.cycles (Harness.run ~globals:secrets (Harness.build s prog))
+    in
+    float_of_int (cycles scheme src)
+    /. float_of_int (cycles Scheme.Baseline src_plain)
   in
-  List.map
-    (fun scheme ->
-      let os = overheads scheme in
-      let geo =
-        exp (List.fold_left (fun acc o -> acc +. log o) 0.0 os
-             /. float_of_int (List.length os))
-      in
-      let mx = List.fold_left max 0.0 os in
-      { scheme; avg_overhead = geo; max_overhead = mx })
-    schemes
+  Batch.map_product overhead schemes Kernels.all
+  |> List.map (fun (scheme, os) ->
+         let geo =
+           exp (List.fold_left (fun acc o -> acc +. log o) 0.0 os
+                /. float_of_int (List.length os))
+         in
+         let mx = List.fold_left max 0.0 os in
+         { scheme; avg_overhead = geo; max_overhead = mx })
 
 let qualitative scheme =
   (* approach, technique, programming complexity, simple architecture,

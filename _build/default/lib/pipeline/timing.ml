@@ -58,8 +58,13 @@ type t = {
   mutable n_stores : int;
   issue_ports : Ports.t;
   load_ports : Ports.t;
-  (* stores in flight: word address -> completion cycle *)
+  (* stores in flight: word address -> completion cycle. Pruned (see
+     [prune_stores]) so the table tracks recent stores only instead of one
+     entry per word address ever written. *)
   store_complete : (int, int) Hashtbl.t;
+  store_window : int;
+  store_table_cap : int;
+  mutable store_next_prune : int;
   (* commit *)
   mutable last_commit_cycle : int;
   mutable commits_in_cycle : int;
@@ -75,7 +80,8 @@ type t = {
   mutable s_stores : int;
 }
 
-let create ?(config = Config.default) ?predictor () =
+let create ?(config = Config.default) ?predictor
+    ?(store_window = Ports.size) ?(store_table_cap = 4096) () =
   let bp =
     match predictor with Some p -> p | None -> Sempe_bpred.Tage.create ()
   in
@@ -101,6 +107,9 @@ let create ?(config = Config.default) ?predictor () =
     issue_ports = Ports.create config.Config.issue_width;
     load_ports = Ports.create config.Config.load_issue;
     store_complete = Hashtbl.create 1024;
+    store_window = max 1 store_window;
+    store_table_cap = max 1 store_table_cap;
+    store_next_prune = max 1 store_table_cap;
     last_commit_cycle = -1;
     commits_in_cycle = 0;
     max_commit = 0;
@@ -116,6 +125,24 @@ let create ?(config = Config.default) ?predictor () =
 
 let config t = t.cfg
 let hierarchy t = t.hier
+let store_entries t = Hashtbl.length t.store_complete
+
+(* Forget stores whose completion is further behind the commit frontier
+   than any later load could reach back (same spread bound as the Ports
+   ring): they can never win the [max completion (sc + 1)] forwarding race
+   again, so dropping them cannot change any timing. Without this the
+   table keeps one entry per word address ever stored for the whole run. *)
+let prune_stores t =
+  if Hashtbl.length t.store_complete >= t.store_next_prune then begin
+    let horizon = t.max_commit - t.store_window in
+    Hashtbl.filter_map_inplace
+      (fun _addr sc -> if sc < horizon then None else Some sc)
+      t.store_complete;
+    (* Amortize: if everything was recent and survived, don't re-sweep
+       until the table has grown substantially past this point. *)
+    t.store_next_prune <-
+      max t.store_table_cap (2 * Hashtbl.length t.store_complete)
+  end
 
 let break_fetch_group t = t.fetched_in_cycle <- t.cfg.Config.fetch_width
 
@@ -225,7 +252,13 @@ let handle_control t (u : Uop.t) ~complete =
       t.s_cond_branches <- t.s_cond_branches + 1;
       let predicted = t.bp.Predictor.predict ~pc:u.Uop.pc in
       t.bp.Predictor.update ~pc:u.Uop.pc ~taken;
-      if predicted <> taken then mispredict ()
+      if predicted <> taken then begin
+        (* The resolved branch installs its target even on a mispredict:
+           otherwise a taken branch first seen mispredicted keeps paying
+           the BTB-miss bubble on every later correct prediction. *)
+        if taken then Btb.update t.btb ~pc:u.Uop.pc ~target;
+        mispredict ()
+      end
       else if taken then taken_transfer ~target
     end
   | Uop.Ctl_jump { target } -> taken_transfer ~target
@@ -276,6 +309,7 @@ let feed_uop t (u : Uop.t) =
       ignore (Hierarchy.data_access t.hier ~pc:u.Uop.pc ~addr:byte_addr ~write:true);
       let c = iss + 1 in
       Hashtbl.replace t.store_complete u.Uop.mem_addr c;
+      prune_stores t;
       c
     end
     else iss + fu_latency t u.Uop.cls

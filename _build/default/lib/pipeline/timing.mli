@@ -25,15 +25,27 @@ type t
 val create :
   ?config:Config.t
   -> ?predictor:Sempe_bpred.Predictor.t
+  -> ?store_window:int
+  -> ?store_table_cap:int
   -> unit
   -> t
-(** [predictor] defaults to a fresh TAGE with the paper's budget. *)
+(** [predictor] defaults to a fresh TAGE with the paper's budget.
+
+    [store_window] / [store_table_cap] bound the in-flight store table
+    used for store-to-load forwarding: once it holds more than
+    [store_table_cap] entries, stores whose completion cycle is more than
+    [store_window] cycles behind the commit frontier are dropped (they can
+    no longer affect any later load, so timing is unchanged). The defaults
+    are generous; override only in tests. *)
 
 val feed : t -> Uop.event -> unit
 (** Process the next event in commit order. *)
 
 val config : t -> Config.t
 val hierarchy : t -> Sempe_mem.Hierarchy.t
+
+val store_entries : t -> int
+(** Current size of the in-flight store table (for memory-bound tests). *)
 
 (** Aggregated results of a run. *)
 type report = {

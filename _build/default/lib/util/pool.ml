@@ -1,0 +1,112 @@
+(* Fixed-size domain pool with ordered result collection and exception
+   propagation. Workers pull erased [unit -> unit] thunks off a shared
+   queue; [map] packs each job's result (or exception + backtrace) into a
+   per-batch array slot, so results come back in job order no matter which
+   worker finished first. *)
+
+let max_workers = 64
+
+let default_workers () = min max_workers (Domain.recommended_domain_count ())
+
+type t = {
+  size : int;
+  m : Mutex.t;
+  work_available : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let rec worker t =
+  Mutex.lock t.m;
+  while Queue.is_empty t.queue && not t.stop do
+    Condition.wait t.work_available t.m
+  done;
+  if Queue.is_empty t.queue then Mutex.unlock t.m (* stop, queue drained *)
+  else begin
+    let job = Queue.pop t.queue in
+    Mutex.unlock t.m;
+    job ();
+    worker t
+  end
+
+let create ?workers () =
+  let requested = match workers with Some w -> w | None -> default_workers () in
+  let size = max 1 (min max_workers requested) in
+  let t =
+    {
+      size;
+      m = Mutex.create ();
+      work_available = Condition.create ();
+      queue = Queue.create ();
+      stop = false;
+      domains = [];
+    }
+  in
+  (* size 1 is the sequential fallback: no domains at all. *)
+  if size > 1 then
+    t.domains <- List.init size (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let size t = t.size
+
+let map_parallel t f xs =
+  let jobs = Array.of_list xs in
+  let n = Array.length jobs in
+  let results = Array.make n None in
+  let remaining = ref n in
+  let batch_done = Condition.create () in
+  let job i () =
+    let r =
+      try Ok (f jobs.(i))
+      with e -> Error (e, Printexc.get_raw_backtrace ())
+    in
+    Mutex.lock t.m;
+    results.(i) <- Some r;
+    decr remaining;
+    if !remaining = 0 then Condition.broadcast batch_done;
+    Mutex.unlock t.m
+  in
+  Mutex.lock t.m;
+  if t.stop then begin
+    Mutex.unlock t.m;
+    invalid_arg "Pool.map: pool is shut down"
+  end;
+  for i = 0 to n - 1 do
+    Queue.add (job i) t.queue
+  done;
+  Condition.broadcast t.work_available;
+  while !remaining > 0 do
+    Condition.wait batch_done t.m
+  done;
+  Mutex.unlock t.m;
+  (* Propagate the failure of the lowest-indexed failing job. *)
+  Array.iter
+    (function
+      | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+      | Some (Ok _) | None -> ())
+    results;
+  List.init n (fun i ->
+      match results.(i) with Some (Ok v) -> v | Some (Error _) | None -> assert false)
+
+let map t f xs =
+  if t.stop then invalid_arg "Pool.map: pool is shut down";
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | xs -> if t.size <= 1 then List.map f xs else map_parallel t f xs
+
+let shutdown t =
+  Mutex.lock t.m;
+  if t.stop then Mutex.unlock t.m
+  else begin
+    t.stop <- true;
+    Condition.broadcast t.work_available;
+    Mutex.unlock t.m;
+    List.iter Domain.join t.domains;
+    t.domains <- []
+  end
+
+let run ?workers f xs =
+  let t = create ?workers () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> map t f xs)

@@ -1,0 +1,45 @@
+(** Fixed-size worker pool over OCaml 5 domains.
+
+    The pool owns [size] worker domains that block on a condition variable
+    until jobs arrive. {!map} fans a list of independent jobs out to the
+    workers and returns the results {e in job order}, regardless of the
+    order in which workers finish; if any job raises, the exception of the
+    lowest-indexed failing job is re-raised in the caller (with its
+    backtrace) after all jobs of the batch have settled.
+
+    A pool of size 1 spawns no domains: {!map} degenerates to [List.map]
+    in the calling domain, so [-j 1] runs exercise exactly the sequential
+    path.
+
+    Jobs must not call {!map} on the pool that runs them — with every
+    worker busy, a nested batch would deadlock. Spawn a separate pool (or
+    run the inner level sequentially) instead. *)
+
+type t
+
+val default_workers : unit -> int
+(** [Domain.recommended_domain_count ()], capped at {!max_workers}. *)
+
+val max_workers : int
+(** Upper bound on pool size (the runtime supports ~128 domains total). *)
+
+val create : ?workers:int -> unit -> t
+(** [create ~workers ()] spawns [workers] worker domains (clamped to
+    [1 .. max_workers]; default {!default_workers}). *)
+
+val size : t -> int
+(** Number of workers the pool was created with (1 means sequential). *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map t f xs] runs [f] on every element of [xs] on the pool's workers
+    and returns the results in the order of [xs]. Concurrent [map] calls
+    on the same pool from different domains are safe; their jobs share the
+    workers. *)
+
+val shutdown : t -> unit
+(** Drains queued jobs, then joins all worker domains. Idempotent; [map]
+    after [shutdown] raises [Invalid_argument]. *)
+
+val run : ?workers:int -> ('a -> 'b) -> 'a list -> 'b list
+(** One-shot convenience: [create], {!map}, {!shutdown} (also on
+    exception). *)

@@ -51,6 +51,8 @@ module Summary = struct
   let stddev t =
     if t.n < 2 then 0.0 else sqrt (t.m2 /. float_of_int (t.n - 1))
 
-  let min t = t.min
-  let max t = t.max
+  (* Like [mean], the extrema of an empty summary are 0 rather than the
+     (+/-) infinity sentinels the update step uses internally. *)
+  let min t = if t.n = 0 then 0.0 else t.min
+  let max t = if t.n = 0 then 0.0 else t.max
 end

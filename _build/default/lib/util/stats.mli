@@ -41,8 +41,15 @@ module Summary : sig
   val create : unit -> t
   val observe : t -> float -> unit
   val n : t -> int
+
   val mean : t -> float
+  (** [0.] when nothing has been observed. *)
+
   val stddev : t -> float
+
   val min : t -> float
+  (** [0.] when nothing has been observed (consistent with {!mean}). *)
+
   val max : t -> float
+  (** [0.] when nothing has been observed (consistent with {!mean}). *)
 end

@@ -1,0 +1,1 @@
+test/test_determinism.ml: Alcotest Fun Sempe_experiments

@@ -1,1 +1,1 @@
-test/test_pipeline.ml: Alcotest Array Instr List Printf Sempe_isa Sempe_pipeline Sempe_util
+test/test_pipeline.ml: Alcotest Array Instr List Printf Sempe_bpred Sempe_isa Sempe_pipeline Sempe_util

@@ -1,0 +1,77 @@
+(* The parallel sweep engine must be invisible in the results: a sweep
+   fanned out to 4 worker domains renders byte-identical tables to the
+   sequential run, because every job owns its machines and the engine
+   returns results in job order. *)
+
+module Batch = Sempe_experiments.Batch
+module Fig10 = Sempe_experiments.Fig10
+module Table1 = Sempe_experiments.Table1
+
+let with_jobs n f =
+  Batch.set_jobs n;
+  Fun.protect ~finally:(fun () -> Batch.set_jobs 1) f
+
+let test_fig10_j1_vs_j4 () =
+  let sweep () = Fig10.sweep ~widths:[ 1; 2 ] ~iters:1 () in
+  let seq = with_jobs 1 sweep in
+  let par = with_jobs 4 sweep in
+  Alcotest.(check string) "render_a byte-identical"
+    (Fig10.render_a seq) (Fig10.render_a par);
+  Alcotest.(check string) "render_b byte-identical"
+    (Fig10.render_b seq) (Fig10.render_b par);
+  Alcotest.(check string) "csv byte-identical" (Fig10.csv seq) (Fig10.csv par)
+
+let test_table1_j1_vs_j4 () =
+  let measure () = Table1.measure ~width:2 ~iters:1 () in
+  let seq = with_jobs 1 measure in
+  let par = with_jobs 4 measure in
+  Alcotest.(check string) "render byte-identical"
+    (Table1.render seq) (Table1.render par)
+
+let test_map_product_grouping () =
+  (* The grid helper regroups the flat job results per outer element. *)
+  let got =
+    Batch.map_product ~j:3 (fun o i -> (o * 10) + i) [ 1; 2; 3 ] [ 4; 5 ]
+  in
+  Alcotest.(check (list (pair int (list int)))) "grouped in order"
+    [ (1, [ 14; 15 ]); (2, [ 24; 25 ]); (3, [ 34; 35 ]) ]
+    got
+
+let test_fig10_cross_kernel_average_missing_width () =
+  (* Regression: a series missing a sampled width used to make the
+     cross-kernel average in bench/main.ml raise Not_found. *)
+  let p width baseline sempe =
+    {
+      Fig10.width;
+      baseline_cycles = baseline;
+      sempe_cycles = sempe;
+      cte_cycles = 4 * baseline;
+      ideal_cycles = baseline;
+    }
+  in
+  let series =
+    [
+      { Fig10.kernel = "full"; points = [ p 1 100 200; p 2 100 300; p 4 100 500 ] };
+      { Fig10.kernel = "shallow"; points = [ p 1 100 400; p 2 100 500 ] };
+    ]
+  in
+  let f (pt : Fig10.point) =
+    float_of_int pt.Fig10.sempe_cycles /. float_of_int pt.Fig10.baseline_cycles
+  in
+  let avg = Fig10.cross_kernel_average ~f series in
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+    "missing widths averaged over present series only"
+    [ (1.0, 3.0); (2.0, 4.0); (4.0, 5.0) ]
+    avg;
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+    "no series at all" []
+    (Fig10.cross_kernel_average ~f [])
+
+let tests =
+  [
+    Alcotest.test_case "fig10 sweep -j1 = -j4" `Quick test_fig10_j1_vs_j4;
+    Alcotest.test_case "table1 measure -j1 = -j4" `Quick test_table1_j1_vs_j4;
+    Alcotest.test_case "map_product grouping" `Quick test_map_product_grouping;
+    Alcotest.test_case "fig10 average skips missing widths" `Quick
+      test_fig10_cross_kernel_average_missing_width;
+  ]

@@ -7,6 +7,8 @@ let () =
       ("security", Test_security.tests);
       ("djpeg", Test_djpeg.tests);
       ("util", Test_util.tests);
+      ("pool", Test_pool.tests);
+      ("determinism", Test_determinism.tests);
       ("bpred", Test_bpred.tests);
       ("mem", Test_mem.tests);
       ("pipeline", Test_pipeline.tests);

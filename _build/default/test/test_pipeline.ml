@@ -156,6 +156,101 @@ let test_drain_stalls () =
   Alcotest.(check int) "drain counted" 1 drained.Timing.drains;
   Alcotest.(check int) "spm cycles counted" 500 drained.Timing.spm_cycles
 
+(* A direction predictor scripted per dynamic branch, so tests can force
+   exactly one mispredict. *)
+let scripted_predictor predict_nth =
+  let calls = ref 0 in
+  {
+    Sempe_bpred.Predictor.name = "scripted";
+    predict =
+      (fun ~pc:_ ->
+        let c = !calls in
+        incr calls;
+        predict_nth c);
+    update = (fun ~pc:_ ~taken:_ -> ());
+    reset = (fun () -> calls := 0);
+    snapshot_signature = (fun () -> 0);
+  }
+
+let test_btb_installed_on_mispredicted_taken () =
+  (* Regression: a taken branch must install its BTB target when it
+     resolves even if its direction mispredicted; otherwise the branch
+     still pays the btb_miss_bubble at its next correctly-predicted taken
+     occurrence (and a branch only ever resolved taken under mispredicts
+     never gets a target at all). *)
+  let t = Timing.create ~predictor:(scripted_predictor (fun _ -> false)) () in
+  let sig0 = Timing.predictor_signature t in
+  (* predictor says not-taken, branch is taken: a pure mispredict *)
+  Timing.feed t (branch ~pc:64 ~taken:true ~target:70 ~secure:false);
+  let r = Timing.report t in
+  Alcotest.(check int) "mispredicted" 1 r.Timing.mispredicts;
+  Alcotest.(check bool) "resolved taken branch installed its BTB target" true
+    (Timing.predictor_signature t <> sig0);
+  (* Behavioral side: with the target installed at resolution, a run whose
+     first occurrence mispredicted costs only the one redirect over the
+     always-correct run, not an extra bubble per branch. *)
+  let branches = 40 in
+  let run predict_nth =
+    let t = Timing.create ~predictor:(scripted_predictor predict_nth) () in
+    for k = 0 to branches - 1 do
+      Timing.feed t (alu ~pc:(k land 3) ~dst:8 ~srcs:[]);
+      Timing.feed t (branch ~pc:64 ~taken:true ~target:70 ~secure:false)
+    done;
+    (Timing.report t).Timing.cycles
+  in
+  let all_correct = run (fun _ -> true) in
+  let first_wrong = run (fun n -> n > 0) in
+  let slack =
+    (* one redirect from resolution plus refilling the drained front end *)
+    Config.default.Config.redirect_penalty
+    + Config.default.Config.frontend_depth
+    + Config.default.Config.btb_miss_bubble
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "no per-branch bubble after the mispredict (%d vs %d)"
+       first_wrong all_correct)
+    true
+    (first_wrong <= all_correct + slack)
+
+let test_store_table_bounded () =
+  (* Regression: the in-flight store table kept one entry per word address
+     ever stored; with pruning it stays bounded on long store-heavy
+     traces. *)
+  let t = Timing.create ~store_window:256 ~store_table_cap:64 () in
+  let n = 20_000 in
+  for k = 0 to n - 1 do
+    Timing.feed t (store ~pc:(k land 7) ~src:8 ~addr:k)
+  done;
+  let entries = Timing.store_entries t in
+  Alcotest.(check bool)
+    (Printf.sprintf "store table pruned (%d entries after %d stores)" entries n)
+    true
+    (entries < 5_000)
+
+let test_store_prune_preserves_timing () =
+  (* Pruning only forgets stores no later load can forward from, so an
+     aggressively pruned model reports exactly the same cycles. *)
+  let trace =
+    List.concat
+      (List.init 4_000 (fun k ->
+           [
+             store ~pc:(k land 7) ~src:8 ~addr:(k land 1023);
+             load ~pc:((k + 1) land 7) ~dst:9 ~addr:((k - 3) land 1023) ();
+             alu ~pc:((k + 2) land 7) ~dst:8 ~srcs:[ 9 ];
+           ]))
+  in
+  let run ?store_window ?store_table_cap () =
+    let t = Timing.create ?store_window ?store_table_cap () in
+    List.iter (Timing.feed t) trace;
+    Timing.report t
+  in
+  let default = run () in
+  let pruned = run ~store_window:512 ~store_table_cap:32 () in
+  Alcotest.(check int) "cycles unchanged by pruning" default.Timing.cycles
+    pruned.Timing.cycles;
+  Alcotest.(check int) "instructions unchanged" default.Timing.instructions
+    pruned.Timing.instructions
+
 let test_retire_width_bound () =
   (* Nothing retires faster than retire_width per cycle. *)
   let n = 2400 in
@@ -182,6 +277,11 @@ let tests =
     Alcotest.test_case "mispredict cost" `Quick test_mispredicts_cost;
     Alcotest.test_case "sjmp bypasses predictor" `Quick test_secure_branch_bypasses_predictor;
     Alcotest.test_case "drain stalls" `Quick test_drain_stalls;
+    Alcotest.test_case "btb install on mispredicted taken" `Quick
+      test_btb_installed_on_mispredicted_taken;
+    Alcotest.test_case "store table bounded" `Quick test_store_table_bounded;
+    Alcotest.test_case "store prune preserves timing" `Quick
+      test_store_prune_preserves_timing;
     Alcotest.test_case "retire width bound" `Quick test_retire_width_bound;
     Alcotest.test_case "report consistency" `Quick test_report_consistency;
   ]

@@ -1,0 +1,73 @@
+(* Unit tests for the domain worker pool: result ordering, exception
+   propagation, the size-1 sequential fallback, and batches larger than
+   the pool. *)
+
+module Pool = Sempe_util.Pool
+
+exception Boom of int
+
+let test_ordering () =
+  let xs = List.init 100 (fun k -> k) in
+  let expected = List.map (fun k -> k * k) xs in
+  let got = Pool.run ~workers:4 (fun k -> k * k) xs in
+  Alcotest.(check (list int)) "squares in job order" expected got
+
+let test_more_jobs_than_workers () =
+  (* 250 jobs on 3 workers: everything completes, order preserved. *)
+  let xs = List.init 250 (fun k -> k) in
+  let got = Pool.run ~workers:3 (fun k -> 2 * k + 1) xs in
+  Alcotest.(check (list int)) "all jobs ran, in order"
+    (List.map (fun k -> (2 * k) + 1) xs)
+    got
+
+let test_pool_size_one () =
+  let t = Pool.create ~workers:1 () in
+  Alcotest.(check int) "size" 1 (Pool.size t);
+  let got = Pool.map t (fun k -> k + 10) [ 1; 2; 3 ] in
+  Alcotest.(check (list int)) "sequential fallback" [ 11; 12; 13 ] got;
+  Pool.shutdown t
+
+let test_exception_propagation () =
+  (* The lowest-indexed failing job's exception surfaces in the caller. *)
+  let job k = if k = 7 then raise (Boom k) else if k = 11 then raise Exit else k in
+  Alcotest.check_raises "first failing job wins" (Boom 7) (fun () ->
+      ignore (Pool.run ~workers:4 job (List.init 20 (fun k -> k))))
+
+let test_exception_sequential () =
+  Alcotest.check_raises "size-1 pool propagates too" (Boom 3) (fun () ->
+      ignore (Pool.run ~workers:1 (fun k -> if k = 3 then raise (Boom k) else k)
+                [ 1; 2; 3 ]))
+
+let test_pool_reuse () =
+  let t = Pool.create ~workers:2 () in
+  let a = Pool.map t (fun k -> k + 1) [ 1; 2; 3 ] in
+  let b = Pool.map t string_of_int [ 4; 5 ] in
+  Pool.shutdown t;
+  Alcotest.(check (list int)) "first batch" [ 2; 3; 4 ] a;
+  Alcotest.(check (list string)) "second batch" [ "4"; "5" ] b
+
+let test_shutdown_rejects () =
+  let t = Pool.create ~workers:2 () in
+  Pool.shutdown t;
+  Pool.shutdown t (* idempotent *);
+  Alcotest.check_raises "map after shutdown"
+    (Invalid_argument "Pool.map: pool is shut down") (fun () ->
+      ignore (Pool.map t (fun k -> k) [ 1; 2 ]))
+
+let test_empty_and_singleton () =
+  let t = Pool.create ~workers:3 () in
+  Alcotest.(check (list int)) "empty" [] (Pool.map t (fun k -> k) []);
+  Alcotest.(check (list int)) "singleton" [ 9 ] (Pool.map t (fun k -> k * 9) [ 1 ]);
+  Pool.shutdown t
+
+let tests =
+  [
+    Alcotest.test_case "result ordering" `Quick test_ordering;
+    Alcotest.test_case "more jobs than workers" `Quick test_more_jobs_than_workers;
+    Alcotest.test_case "pool size 1" `Quick test_pool_size_one;
+    Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
+    Alcotest.test_case "exception (sequential)" `Quick test_exception_sequential;
+    Alcotest.test_case "pool reuse" `Quick test_pool_reuse;
+    Alcotest.test_case "shutdown" `Quick test_shutdown_rejects;
+    Alcotest.test_case "empty and singleton batches" `Quick test_empty_and_singleton;
+  ]

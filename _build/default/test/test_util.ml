@@ -143,6 +143,20 @@ let prop_summary_mean =
       && Stats.Summary.min s = List.fold_left min infinity xs
       && Stats.Summary.max s = List.fold_left max neg_infinity xs)
 
+let test_summary_empty () =
+  (* Regression: min/max of an empty summary used to leak the infinity
+     sentinels while mean guarded with 0. All four are 0 at n = 0. *)
+  let s = Stats.Summary.create () in
+  Alcotest.(check int) "n" 0 (Stats.Summary.n s);
+  Alcotest.(check (float 0.0)) "mean" 0.0 (Stats.Summary.mean s);
+  Alcotest.(check (float 0.0)) "stddev" 0.0 (Stats.Summary.stddev s);
+  Alcotest.(check (float 0.0)) "min" 0.0 (Stats.Summary.min s);
+  Alcotest.(check (float 0.0)) "max" 0.0 (Stats.Summary.max s);
+  (* and the first observation still seeds the extrema correctly *)
+  Stats.Summary.observe s (-2.5);
+  Alcotest.(check (float 0.0)) "min after first" (-2.5) (Stats.Summary.min s);
+  Alcotest.(check (float 0.0)) "max after first" (-2.5) (Stats.Summary.max s)
+
 (* ---- tablefmt ---- *)
 
 let test_tablefmt_render () =
@@ -182,6 +196,7 @@ let tests =
     Alcotest.test_case "stats duplicate" `Quick test_stats_duplicate;
     Alcotest.test_case "stats ratio" `Quick test_stats_ratio;
     qtest prop_summary_mean;
+    Alcotest.test_case "summary empty" `Quick test_summary_empty;
     Alcotest.test_case "tablefmt render" `Quick test_tablefmt_render;
     Alcotest.test_case "tablefmt arity" `Quick test_tablefmt_arity;
     Alcotest.test_case "tablefmt formats" `Quick test_tablefmt_formats;

@@ -81,7 +81,8 @@ let security () =
     (Sempe_experiments.Security_exp.render results)
 
 let ablations () =
-  section "Ablations (sections IV-E / IV-F)" (Sempe_experiments.Ablation.render ())
+  let m = Sempe_experiments.Ablation.measure () in
+  section "Ablations (sections IV-E / IV-F)" (Sempe_experiments.Ablation.render m)
 
 (* ---- bechamel micro-benchmarks of the core structures ---- *)
 
@@ -177,4 +178,15 @@ let () =
   fig10 ();
   security ();
   ablations ();
+  (* stderr again: job-timing telemetry must not perturb the -j diff *)
+  (if Batch.jobs () > 1 then
+     match Batch.telemetry () with
+     | None -> ()
+     | Some t ->
+       Printf.eprintf
+         "[bench] %d simulation jobs, %.2fs wall, %.1f jobs/s; per-job \
+          mean %.3fs, p50 %.3fs, p95 %.3fs, max %.3fs\n\
+          %!"
+         t.Batch.jobs_run t.Batch.wall_s t.Batch.throughput t.Batch.mean_s
+         t.Batch.p50_s t.Batch.p95_s t.Batch.max_s);
   micro ()

@@ -1,6 +1,7 @@
 (* sempe-sim: command-line front end to the SeMPE simulator.
 
-   Subcommands: config, microbench, djpeg, rsa, leakage, report, disasm. *)
+   Subcommands: config, microbench, djpeg, rsa, leakage, report, profile,
+   trace, asm-run, disasm. *)
 
 open Cmdliner
 module Scheme = Sempe_core.Scheme
@@ -13,6 +14,10 @@ module Kernels = Sempe_workloads.Kernels
 module Djpeg = Sempe_workloads.Djpeg
 module Rsa = Sempe_workloads.Rsa
 module Tablefmt = Sempe_util.Tablefmt
+module Json = Sempe_obs.Json
+module Report = Sempe_obs.Report
+module Profile = Sempe_obs.Profile
+module Sink = Sempe_obs.Sink
 
 let scheme_conv =
   let parse s =
@@ -48,6 +53,38 @@ let set_jobs j =
   Sempe_experiments.Batch.set_jobs
     (if j <= 0 then Sempe_experiments.Batch.default_jobs () else j)
 
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Emit a machine-readable JSON document on stdout.")
+
+let progress_arg =
+  Arg.(
+    value & flag
+    & info [ "progress" ]
+        ~doc:
+          "Write sweep progress and per-job timing telemetry to stderr \
+           (stdout output is unaffected).")
+
+let print_sweep_telemetry () =
+  match Sempe_experiments.Batch.telemetry () with
+  | None -> ()
+  | Some t ->
+    Printf.eprintf
+      "[sweep] %d jobs, %.2fs wall, %.1f jobs/s; per-job mean %.3fs, p50 \
+       %.3fs, p95 %.3fs, max %.3fs\n\
+       %!"
+      t.Sempe_experiments.Batch.jobs_run t.Sempe_experiments.Batch.wall_s
+      t.Sempe_experiments.Batch.throughput t.Sempe_experiments.Batch.mean_s
+      t.Sempe_experiments.Batch.p50_s t.Sempe_experiments.Batch.p95_s
+      t.Sempe_experiments.Batch.max_s
+
+let with_progress progress f =
+  Sempe_experiments.Batch.set_progress progress;
+  let r = f () in
+  if progress then print_sweep_telemetry ();
+  r
+
 let print_report (r : Timing.report) =
   Tablefmt.print ~header:[ "metric"; "value" ]
     [
@@ -66,6 +103,8 @@ let print_report (r : Timing.report) =
       [ "DL1 miss rate"; Tablefmt.percent r.Timing.dl1_miss_rate ];
       [ "L2 miss rate"; Tablefmt.percent r.Timing.l2_miss_rate ];
     ]
+
+let print_json j = print_endline (Json.to_string j)
 
 (* ---- config ---- *)
 
@@ -92,28 +131,43 @@ let kernel_conv =
   in
   Arg.conv (parse, fun fmt k -> Format.pp_print_string fmt k.Kernels.name)
 
+let ct_of_scheme = function
+  | Scheme.Cte | Scheme.Raccoon | Scheme.Mto -> true
+  | Scheme.Baseline | Scheme.Sempe | Scheme.Sempe_on_legacy -> false
+
 let microbench_cmd =
-  let run scheme kernel width iters leaf =
-    let ct =
-      match scheme with
-      | Scheme.Cte | Scheme.Raccoon | Scheme.Mto -> true
-      | Scheme.Baseline | Scheme.Sempe | Scheme.Sempe_on_legacy -> false
-    in
+  let run scheme kernel width iters leaf json =
     let spec = { MB.kernel; width; iters } in
-    let src = MB.program ~ct spec in
+    let src = MB.program ~ct:(ct_of_scheme scheme) spec in
     let secrets = MB.secrets_for_leaf ~width ~leaf in
     let built = Harness.build scheme src in
     let outcome = Harness.run ~globals:secrets built in
-    Printf.printf "microbenchmark %s, W=%d, iters=%d, scheme=%s, true leaf=%d\n"
-      kernel.Kernels.name width iters (Scheme.name scheme) leaf;
-    Printf.printf "checksum = %d\n\n" (Harness.return_value outcome);
-    print_report outcome.Run.timing;
     let base =
       Harness.run ~globals:secrets
         (Harness.build Scheme.Baseline (MB.program ~ct:false spec))
     in
-    Printf.printf "\nslowdown vs baseline: %s\n"
-      (Tablefmt.times (Run.overhead ~baseline:base outcome))
+    let slowdown = Run.overhead ~baseline:base outcome in
+    if json then
+      print_json
+        (Json.Obj
+           [
+             ("workload", Json.Str "microbench");
+             ("kernel", Json.Str kernel.Kernels.name);
+             ("width", Json.Int width);
+             ("iters", Json.Int iters);
+             ("leaf", Json.Int leaf);
+             ("scheme", Json.Str (Scheme.name scheme));
+             ("checksum", Json.Int (Harness.return_value outcome));
+             ("slowdown_vs_baseline", Json.Float slowdown);
+             ("report", Report.to_json outcome.Run.timing);
+           ])
+    else begin
+      Printf.printf "microbenchmark %s, W=%d, iters=%d, scheme=%s, true leaf=%d\n"
+        kernel.Kernels.name width iters (Scheme.name scheme) leaf;
+      Printf.printf "checksum = %d\n\n" (Harness.return_value outcome);
+      print_report outcome.Run.timing;
+      Printf.printf "\nslowdown vs baseline: %s\n" (Tablefmt.times slowdown)
+    end
   in
   let kernel =
     Arg.(
@@ -131,26 +185,40 @@ let microbench_cmd =
   in
   Cmd.v
     (Cmd.info "microbench" ~doc:"Run the Figure 7 nested-chain microbenchmark.")
-    Term.(const run $ scheme_arg $ kernel $ width $ iters $ leaf)
+    Term.(const run $ scheme_arg $ kernel $ width $ iters $ leaf $ json_arg)
 
 (* ---- djpeg ---- *)
 
+let djpeg_format = function
+  | "PPM" -> Djpeg.Ppm
+  | "GIF" -> Djpeg.Gif
+  | "BMP" -> Djpeg.Bmp
+  | other -> failwith (Printf.sprintf "unknown format %S" other)
+
 let djpeg_cmd =
-  let run scheme fmt_name blocks seed =
-    let fmt =
-      match String.uppercase_ascii fmt_name with
-      | "PPM" -> Djpeg.Ppm
-      | "GIF" -> Djpeg.Gif
-      | "BMP" -> Djpeg.Bmp
-      | other -> failwith (Printf.sprintf "unknown format %S" other)
-    in
+  let run scheme fmt_name blocks seed json =
+    let fmt = djpeg_format (String.uppercase_ascii fmt_name) in
     let built = Harness.build scheme (Djpeg.program fmt) in
     let globals, arrays = Djpeg.inputs fmt ~seed ~blocks in
     let outcome = Harness.run ~globals ~arrays built in
-    Printf.printf "djpeg -> %s, %d blocks, scheme=%s, image seed=%d\n"
-      (Djpeg.format_name fmt) blocks (Scheme.name scheme) seed;
-    Printf.printf "checksum = %d\n\n" (Harness.return_value outcome);
-    print_report outcome.Run.timing
+    if json then
+      print_json
+        (Json.Obj
+           [
+             ("workload", Json.Str "djpeg");
+             ("format", Json.Str (Djpeg.format_name fmt));
+             ("blocks", Json.Int blocks);
+             ("seed", Json.Int seed);
+             ("scheme", Json.Str (Scheme.name scheme));
+             ("checksum", Json.Int (Harness.return_value outcome));
+             ("report", Report.to_json outcome.Run.timing);
+           ])
+    else begin
+      Printf.printf "djpeg -> %s, %d blocks, scheme=%s, image seed=%d\n"
+        (Djpeg.format_name fmt) blocks (Scheme.name scheme) seed;
+      Printf.printf "checksum = %d\n\n" (Harness.return_value outcome);
+      print_report outcome.Run.timing
+    end
   in
   let fmt =
     Arg.(value & opt string "PPM" & info [ "format"; "f" ] ~docv:"FMT" ~doc:"PPM, GIF or BMP.")
@@ -162,67 +230,251 @@ let djpeg_cmd =
     Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Secret image seed.")
   in
   Cmd.v (Cmd.info "djpeg" ~doc:"Run the synthetic djpeg decoder.")
-    Term.(const run $ scheme_arg $ fmt $ blocks $ seed)
+    Term.(const run $ scheme_arg $ fmt $ blocks $ seed $ json_arg)
 
 (* ---- rsa ---- *)
 
 let rsa_cmd =
-  let run scheme key =
+  let run scheme key json =
     let built = Harness.build scheme Rsa.program in
     let globals, arrays = Rsa.inputs ~key ~base:1234 ~modulus:99991 in
     let outcome = Harness.run ~globals ~arrays built in
-    Printf.printf "modexp (Figure 1), key=0x%04x, scheme=%s\n" key
-      (Scheme.name scheme);
-    Printf.printf "result = %d (expected %d)\n\n"
-      (Harness.return_value outcome)
-      (Rsa.reference ~key ~base:1234 ~modulus:99991);
-    print_report outcome.Run.timing
+    let expected = Rsa.reference ~key ~base:1234 ~modulus:99991 in
+    if json then
+      print_json
+        (Json.Obj
+           [
+             ("workload", Json.Str "rsa");
+             ("key", Json.Int key);
+             ("scheme", Json.Str (Scheme.name scheme));
+             ("result", Json.Int (Harness.return_value outcome));
+             ("expected", Json.Int expected);
+             ("report", Report.to_json outcome.Run.timing);
+           ])
+    else begin
+      Printf.printf "modexp (Figure 1), key=0x%04x, scheme=%s\n" key
+        (Scheme.name scheme);
+      Printf.printf "result = %d (expected %d)\n\n"
+        (Harness.return_value outcome) expected;
+      print_report outcome.Run.timing
+    end
   in
   let key =
     Arg.(value & opt int 0x1234 & info [ "key" ] ~docv:"KEY" ~doc:"Secret exponent.")
   in
   Cmd.v (Cmd.info "rsa" ~doc:"Run RSA modular exponentiation (Figure 1).")
-    Term.(const run $ scheme_arg $ key)
+    Term.(const run $ scheme_arg $ key $ json_arg)
+
+(* ---- profile / trace: shared workload selector ---- *)
+
+(* [rsa], [djpeg], or a microbenchmark kernel name; each returns the
+   source program, its initial state, and a one-line description. *)
+let workload scheme which ~width ~iters ~leaf ~blocks ~seed ~key =
+  match String.lowercase_ascii which with
+  | "rsa" ->
+    let globals, arrays = Rsa.inputs ~key ~base:1234 ~modulus:99991 in
+    (Rsa.program, globals, arrays, Printf.sprintf "rsa key=0x%04x" key)
+  | "djpeg" ->
+    let fmt = Djpeg.Ppm in
+    let globals, arrays = Djpeg.inputs fmt ~seed ~blocks in
+    ( Djpeg.program fmt,
+      globals,
+      arrays,
+      Printf.sprintf "djpeg PPM blocks=%d seed=%d" blocks seed )
+  | other -> (
+    match Kernels.by_name other with
+    | Some kernel ->
+      let spec = { MB.kernel; width; iters } in
+      ( MB.program ~ct:(ct_of_scheme scheme) spec,
+        MB.secrets_for_leaf ~width ~leaf,
+        [],
+        Printf.sprintf "%s W=%d iters=%d leaf=%d" kernel.Kernels.name width
+          iters leaf )
+    | None ->
+      Printf.eprintf "unknown workload %S (rsa, djpeg, or a kernel: %s)\n"
+        other
+        (String.concat ", " (List.map (fun k -> k.Kernels.name) Kernels.all));
+      exit 1)
+
+let workload_arg =
+  Arg.(
+    value & pos 0 string "rsa"
+    & info [] ~docv:"WORKLOAD" ~doc:"rsa, djpeg, or a microbenchmark kernel name.")
+
+let width_arg =
+  Arg.(value & opt int 4 & info [ "width"; "w" ] ~docv:"W" ~doc:"Nesting width W (kernels).")
+
+let iters_arg =
+  Arg.(value & opt int 3 & info [ "iters"; "i" ] ~docv:"N" ~doc:"Iterations (kernels).")
+
+let leaf_arg =
+  Arg.(value & opt int 1 & info [ "leaf" ] ~docv:"N" ~doc:"True leaf (kernels).")
+
+let blocks_arg =
+  Arg.(value & opt int 8 & info [ "blocks"; "b" ] ~docv:"N" ~doc:"8x8 blocks (djpeg).")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Image seed (djpeg).")
+
+let key_arg =
+  Arg.(value & opt int 0x1234 & info [ "key" ] ~docv:"KEY" ~doc:"Secret exponent (rsa).")
+
+(* ---- profile ---- *)
+
+let profile_cmd =
+  let run scheme which width iters leaf blocks seed key top json =
+    let src, globals, arrays, desc =
+      workload scheme which ~width ~iters ~leaf ~blocks ~seed ~key
+    in
+    let built = Harness.build scheme src in
+    let profile = Profile.create () in
+    let sink = Sink.of_probe (Profile.probe profile) in
+    let outcome = Harness.run ~globals ~arrays ~sink built in
+    sink.Sink.close ();
+    let report = outcome.Run.timing in
+    if json then
+      print_json
+        (Json.Obj
+           [
+             ("workload", Json.Str desc);
+             ("scheme", Json.Str (Scheme.name scheme));
+             ("report", Report.to_json report);
+             ("profile", Profile.to_json ~n:top profile);
+           ])
+    else begin
+      Printf.printf "profile: %s, scheme=%s\n\n" desc (Scheme.name scheme);
+      print_report report;
+      print_newline ();
+      print_string (Report.render_stall_stack report);
+      print_newline ();
+      let code = built.Harness.prog.Sempe_isa.Program.code in
+      let resolve pc =
+        if pc >= 0 && pc < Array.length code then
+          Sempe_isa.Instr.to_string code.(pc)
+        else "?"
+      in
+      print_string (Profile.render ~n:top ~resolve profile)
+    end
+  in
+  let top =
+    Arg.(
+      value & opt int 10
+      & info [ "top"; "n" ] ~docv:"N" ~doc:"Rows per profile table.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run a workload with the per-PC profiler attached: CPI stall \
+          stack, top mispredicting branches, top DL1-missing loads, and \
+          per-sJMP drain costs.")
+    Term.(
+      const run $ scheme_arg $ workload_arg $ width_arg $ iters_arg
+      $ leaf_arg $ blocks_arg $ seed_arg $ key_arg $ top $ json_arg)
+
+(* ---- trace ---- *)
+
+let trace_cmd =
+  let run scheme which width iters leaf blocks seed key out jsonl =
+    let src, globals, arrays, desc =
+      workload scheme which ~width ~iters ~leaf ~blocks ~seed ~key
+    in
+    let built = Harness.build scheme src in
+    let oc = open_out out in
+    let sink = if jsonl then Sink.jsonl oc else Sink.perfetto oc in
+    let outcome =
+      Fun.protect
+        ~finally:(fun () ->
+          sink.Sink.close ();
+          close_out oc)
+        (fun () -> Harness.run ~globals ~arrays ~sink built)
+    in
+    let r = outcome.Run.timing in
+    Printf.printf "trace: %s, scheme=%s\n" desc (Scheme.name scheme);
+    Printf.printf "wrote %s (%d instructions, %d cycles)\n" out
+      r.Timing.instructions r.Timing.cycles;
+    if not jsonl then
+      print_endline
+        "open it at https://ui.perfetto.dev (or chrome://tracing): one \
+         track per pipeline stage, one slice per instruction"
+  in
+  let out =
+    Arg.(
+      value & opt string "sempe-trace.json"
+      & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  let jsonl =
+    Arg.(
+      value & flag
+      & info [ "jsonl" ]
+          ~doc:
+            "Emit flat JSON-lines event records instead of the Chrome \
+             trace-event format.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a workload with the per-instruction pipeline tracer attached \
+          and write a Perfetto-loadable trace (fetch, dispatch, issue, \
+          complete, commit spans).")
+    Term.(
+      const run $ scheme_arg $ workload_arg $ width_arg $ iters_arg
+      $ leaf_arg $ blocks_arg $ seed_arg $ key_arg $ out $ jsonl)
 
 (* ---- leakage ---- *)
 
 let leakage_cmd =
-  let run jobs =
+  let run jobs json progress =
     set_jobs jobs;
-    print_string
-      (Sempe_experiments.Security_exp.render (Sempe_experiments.Security_exp.measure ()));
-    print_newline ()
+    let results =
+      with_progress progress (fun () ->
+          Sempe_experiments.Security_exp.measure ())
+    in
+    if json then print_json (Sempe_experiments.Security_exp.to_json results)
+    else begin
+      print_string (Sempe_experiments.Security_exp.render results);
+      print_newline ()
+    end
   in
   Cmd.v
     (Cmd.info "leakage"
        ~doc:"Leakage matrix: which attacker channels distinguish RSA keys under each scheme.")
-    Term.(const run $ jobs_arg)
+    Term.(const run $ jobs_arg $ json_arg $ progress_arg)
 
 (* ---- report ---- *)
 
 let report_cmd =
-  let run name csv jobs =
+  let run name csv json jobs progress =
     set_jobs jobs;
-    match name with
-    | "table1" ->
-      print_endline (Sempe_experiments.Table1.render (Sempe_experiments.Table1.measure ()))
-    | "fig8" | "fig9" ->
-      let cells = Sempe_experiments.Djpeg_exp.collect () in
-      if csv then print_string (Sempe_experiments.Djpeg_exp.csv cells)
-      else if name = "fig8" then
-        print_endline (Sempe_experiments.Djpeg_exp.render_fig8 cells)
-      else print_endline (Sempe_experiments.Djpeg_exp.render_fig9 cells)
-    | "fig10" ->
-      let series = Sempe_experiments.Fig10.sweep () in
-      if csv then print_string (Sempe_experiments.Fig10.csv series)
-      else begin
-        print_endline (Sempe_experiments.Fig10.render_a series);
-        print_endline (Sempe_experiments.Fig10.render_b series)
-      end
-    | "ablation" -> print_endline (Sempe_experiments.Ablation.render ())
-    | other ->
-      Printf.eprintf "unknown experiment %S (table1, fig8, fig9, fig10, ablation)\n" other;
-      exit 1
+    with_progress progress (fun () ->
+        match name with
+        | "table1" ->
+          let rows = Sempe_experiments.Table1.measure () in
+          if json then print_json (Sempe_experiments.Table1.to_json rows)
+          else print_endline (Sempe_experiments.Table1.render rows)
+        | "fig8" | "fig9" ->
+          let cells = Sempe_experiments.Djpeg_exp.collect () in
+          if json then print_json (Sempe_experiments.Djpeg_exp.to_json cells)
+          else if csv then print_string (Sempe_experiments.Djpeg_exp.csv cells)
+          else if name = "fig8" then
+            print_endline (Sempe_experiments.Djpeg_exp.render_fig8 cells)
+          else print_endline (Sempe_experiments.Djpeg_exp.render_fig9 cells)
+        | "fig10" ->
+          let series = Sempe_experiments.Fig10.sweep () in
+          if json then print_json (Sempe_experiments.Fig10.to_json series)
+          else if csv then print_string (Sempe_experiments.Fig10.csv series)
+          else begin
+            print_endline (Sempe_experiments.Fig10.render_a series);
+            print_endline (Sempe_experiments.Fig10.render_b series)
+          end
+        | "ablation" ->
+          let m = Sempe_experiments.Ablation.measure () in
+          if json then print_json (Sempe_experiments.Ablation.to_json m)
+          else print_endline (Sempe_experiments.Ablation.render m)
+        | other ->
+          Printf.eprintf
+            "unknown experiment %S (table1, fig8, fig9, fig10, ablation)\n"
+            other;
+          exit 1)
   in
   let exp_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT")
@@ -233,12 +485,12 @@ let report_cmd =
   Cmd.v
     (Cmd.info "report"
        ~doc:"Regenerate one paper table/figure (table1, fig8, fig9, fig10, ablation).")
-    Term.(const run $ exp_arg $ csv_arg $ jobs_arg)
+    Term.(const run $ exp_arg $ csv_arg $ json_arg $ jobs_arg $ progress_arg)
 
 (* ---- asm-run: execute an assembly file ---- *)
 
 let asm_run_cmd =
-  let run scheme path =
+  let run scheme path json =
     let ic = open_in path in
     let len = in_channel_length ic in
     let src = really_input_string ic len in
@@ -251,18 +503,32 @@ let asm_run_cmd =
         Sempe_core.Exec.support; mem_words = 1 lsl 16 }
     in
     let res = Sempe_core.Exec.run ~config ~sink:(Timing.feed timing) prog in
-    Printf.printf "%s: %d instructions, rv = %d, max nesting %d\n\n" path
-      res.Sempe_core.Exec.dyn_instrs
-      res.Sempe_core.Exec.regs.(Sempe_isa.Reg.rv)
-      res.Sempe_core.Exec.max_nesting;
-    print_report (Timing.report timing)
+    if json then
+      print_json
+        (Json.Obj
+           [
+             ("workload", Json.Str "asm-run");
+             ("path", Json.Str path);
+             ("scheme", Json.Str (Scheme.name scheme));
+             ("instructions", Json.Int res.Sempe_core.Exec.dyn_instrs);
+             ("rv", Json.Int res.Sempe_core.Exec.regs.(Sempe_isa.Reg.rv));
+             ("max_nesting", Json.Int res.Sempe_core.Exec.max_nesting);
+             ("report", Report.to_json (Timing.report timing));
+           ])
+    else begin
+      Printf.printf "%s: %d instructions, rv = %d, max nesting %d\n\n" path
+        res.Sempe_core.Exec.dyn_instrs
+        res.Sempe_core.Exec.regs.(Sempe_isa.Reg.rv)
+        res.Sempe_core.Exec.max_nesting;
+      print_report (Timing.report timing)
+    end
   in
   let path =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.s")
   in
   Cmd.v
     (Cmd.info "asm-run" ~doc:"Assemble and simulate a .s file (see lib/isa/asm.mli for syntax).")
-    Term.(const run $ scheme_arg $ path)
+    Term.(const run $ scheme_arg $ path $ json_arg)
 
 (* ---- disasm ---- *)
 
@@ -275,12 +541,7 @@ let disasm_cmd =
       | other -> (
         match Kernels.by_name other with
         | Some kernel ->
-          MB.program
-            ~ct:
-              (match scheme with
-               | Scheme.Cte | Scheme.Raccoon | Scheme.Mto -> true
-               | Scheme.Baseline | Scheme.Sempe | Scheme.Sempe_on_legacy -> false)
-            { MB.kernel; width = 1; iters = 1 }
+          MB.program ~ct:(ct_of_scheme scheme) { MB.kernel; width = 1; iters = 1 }
         | None -> failwith (Printf.sprintf "unknown workload %S" other))
     in
     let built = Harness.build scheme src in
@@ -304,5 +565,5 @@ let () =
        (Cmd.group info
           [
             config_cmd; microbench_cmd; djpeg_cmd; rsa_cmd; leakage_cmd;
-            report_cmd; disasm_cmd; asm_run_cmd;
+            report_cmd; profile_cmd; trace_cmd; disasm_cmd; asm_run_cmd;
           ]))

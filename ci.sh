@@ -1,0 +1,24 @@
+#!/bin/sh
+# CI entry point: type-check, build, run the test suites, then verify that
+# the evaluation harness renders byte-identical stdout at -j 1 and -j 2.
+# `dune build @ci` runs the same checks as a single dune invocation.
+set -eu
+cd "$(dirname "$0")"
+
+echo "== dune build @check"
+dune build @check
+echo "== dune build"
+dune build
+echo "== dune runtest"
+dune runtest
+echo "== determinism sweep: bench quick, -j 1 vs -j 2"
+out=$(mktemp -d)
+trap 'rm -rf "$out"' EXIT
+# the trailing bechamel micro-benchmark section measures wall time and is
+# legitimately nondeterministic; the sweep compares everything before it
+./_build/default/bench/main.exe quick -j 1 \
+  | sed -n '/Component micro-benchmarks/q;p' > "$out/j1.txt"
+./_build/default/bench/main.exe quick -j 2 \
+  | sed -n '/Component micro-benchmarks/q;p' > "$out/j2.txt"
+diff -u "$out/j1.txt" "$out/j2.txt"
+echo "CI OK"

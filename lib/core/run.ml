@@ -8,9 +8,11 @@ type outcome = {
 
 let simulate ?(support = Exec.Sempe_hw) ?(machine = Config.default) ?predictor
     ?(mem_words = Exec.default_config.Exec.mem_words)
-    ?(max_instrs = Exec.default_config.Exec.max_instrs) ?init_mem ?observe prog =
-  let timing = Timing.create ~config:machine ?predictor () in
-  let sink =
+    ?(max_instrs = Exec.default_config.Exec.max_instrs) ?init_mem ?observe
+    ?sink prog =
+  let probe = Option.map (fun s -> s.Sempe_obs.Sink.probe) sink in
+  let timing = Timing.create ~config:machine ?predictor ?probe () in
+  let feed =
     match observe with
     | None -> Timing.feed timing
     | Some f ->
@@ -28,7 +30,7 @@ let simulate ?(support = Exec.Sempe_hw) ?(machine = Config.default) ?predictor
       forgiving_oob = true;
     }
   in
-  let exec = Exec.run ~config ?init_mem ~sink prog in
+  let exec = Exec.run ~config ?init_mem ~sink:feed prog in
   { exec; timing = Timing.report timing }
 
 let cycles o = o.timing.Timing.cycles

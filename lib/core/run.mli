@@ -14,11 +14,19 @@ val simulate :
   -> ?max_instrs:int
   -> ?init_mem:(int array -> unit)
   -> ?observe:(Sempe_pipeline.Uop.event -> unit)
+  -> ?sink:Sempe_obs.Sink.t
   -> Sempe_isa.Program.t
   -> outcome
 (** [simulate prog] runs [prog] to [Halt] on a fresh machine. [support]
     defaults to [Sempe_hw]; [observe] additionally receives every event
-    (after the timing model), for the security observables. *)
+    (after the timing model), for the security observables.
+
+    [sink] attaches an observability sink ({!Sempe_obs.Sink}) as the
+    timing model's probe for this run: per-µop pipeline spans, stall
+    attribution and drain events flow to it. Sinks are passive — with or
+    without one (and in particular with {!Sempe_obs.Sink.null}) the
+    returned reports are identical. The caller owns the sink and must
+    call its [close] itself (simulate does not). *)
 
 val cycles : outcome -> int
 

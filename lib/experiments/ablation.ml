@@ -7,6 +7,7 @@ module Config = Sempe_pipeline.Config
 module Timing = Sempe_pipeline.Timing
 module Spm = Sempe_mem.Spm
 module Tablefmt = Sempe_util.Tablefmt
+module Json = Sempe_obs.Json
 
 let run_cycles ?machine scheme src ~width =
   let built = Harness.build scheme src in
@@ -90,28 +91,40 @@ let drain_sensitivity ?(depths = [ 4; 8; 16; 24 ]) ?(width = 10) ?(iters = 2) ()
       (depth, float_of_int c /. float_of_int base))
     depths
 
-let render () =
+type measurements = {
+  spm : (int * float) list;
+  snapshot : (string * float) list;
+  jbtable : (int * int) list;
+  drain : (int * float) list;
+}
+
+let measure () =
+  let spm = spm_throughput_sweep () in
+  let snapshot = archrs_vs_phyrs () in
+  let jbtable = jbtable_capacity () in
+  let drain = drain_sensitivity () in
+  { spm; snapshot; jbtable; drain }
+
+let render m =
   let spm =
     Tablefmt.render ~header:[ "SPM bytes/cycle"; "SeMPE slowdown" ]
-      (List.map
-         (fun (t, s) -> [ string_of_int t; Tablefmt.times s ])
-         (spm_throughput_sweep ()))
+      (List.map (fun (t, s) -> [ string_of_int t; Tablefmt.times s ]) m.spm)
   in
   let snap =
     Tablefmt.render ~header:[ "snapshot mechanism"; "SeMPE slowdown" ]
-      (List.map (fun (n, s) -> [ n; Tablefmt.times s ]) (archrs_vs_phyrs ()))
+      (List.map (fun (n, s) -> [ n; Tablefmt.times s ]) m.snapshot)
   in
   let jb =
     Tablefmt.render ~header:[ "jbTable entries"; "deepest W completing" ]
       (List.map
          (fun (e, w) -> [ string_of_int e; string_of_int w ])
-         (jbtable_capacity ()))
+         m.jbtable)
   in
   let drain =
     Tablefmt.render ~header:[ "front-end depth"; "SeMPE slowdown" ]
       (List.map
          (fun (d, s) -> [ string_of_int d; Tablefmt.times s ])
-         (drain_sensitivity ()))
+         m.drain)
   in
   String.concat "\n\n"
     [
@@ -119,4 +132,35 @@ let render () =
       "Ablation — ArchRS vs PhyRS snapshot volume (section IV-F)\n" ^ snap;
       "Ablation — jbTable capacity vs supported nesting (section IV-E)\n" ^ jb;
       "Ablation — pipeline-drain sensitivity to front-end depth\n" ^ drain;
+    ]
+
+let to_json m =
+  Json.Obj
+    [
+      ( "spm_throughput",
+        Json.List
+          (List.map
+             (fun (t, s) ->
+               Json.Obj
+                 [ ("bytes_per_cycle", Json.Int t); ("slowdown", Json.Float s) ])
+             m.spm) );
+      ( "snapshot_mechanism",
+        Json.List
+          (List.map
+             (fun (n, s) ->
+               Json.Obj [ ("mechanism", Json.Str n); ("slowdown", Json.Float s) ])
+             m.snapshot) );
+      ( "jbtable_capacity",
+        Json.List
+          (List.map
+             (fun (e, w) ->
+               Json.Obj [ ("entries", Json.Int e); ("deepest_width", Json.Int w) ])
+             m.jbtable) );
+      ( "drain_sensitivity",
+        Json.List
+          (List.map
+             (fun (d, s) ->
+               Json.Obj
+                 [ ("frontend_depth", Json.Int d); ("slowdown", Json.Float s) ])
+             m.drain) );
     ]

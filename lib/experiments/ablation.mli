@@ -27,5 +27,18 @@ val drain_sensitivity :
   ?depths:int list -> ?width:int -> ?iters:int -> unit -> (int * float) list
 (** (front-end depth, SeMPE slowdown). *)
 
-val render : unit -> string
-(** Run all ablations with defaults and format them. *)
+type measurements = {
+  spm : (int * float) list;
+  snapshot : (string * float) list;
+  jbtable : (int * int) list;
+  drain : (int * float) list;
+}
+
+val measure : unit -> measurements
+(** Run all four ablations with their defaults. *)
+
+val render : measurements -> string
+(** Format the measurements as the four text tables. *)
+
+val to_json : measurements -> Sempe_obs.Json.t
+(** The measurements as one object with a list per ablation. *)

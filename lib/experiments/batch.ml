@@ -1,4 +1,5 @@
 module Pool = Sempe_util.Pool
+module Stats = Sempe_util.Stats
 
 let jobs_setting = Atomic.make 1
 
@@ -6,10 +7,82 @@ let set_jobs n = Atomic.set jobs_setting (max 1 (min Pool.max_workers n))
 let jobs () = Atomic.get jobs_setting
 let default_jobs = Pool.default_workers
 
+(* ---- telemetry ---------------------------------------------------------- *)
+
+type telemetry = {
+  jobs_run : int;
+  wall_s : float;
+  mean_s : float;
+  p50_s : float;
+  p95_s : float;
+  max_s : float;
+  throughput : float;
+}
+
+(* All mutable telemetry state lives behind [tm]. [tm] is a leaf lock: it is
+   taken from inside the pool's [on_done] callback (which itself runs under
+   the pool lock), so nothing here may call back into the pool. *)
+let tm = Mutex.create ()
+let job_seconds = ref (Stats.Summary.create ())
+let wall_seconds = ref 0.0
+let progress_enabled = ref false
+
+let with_tm f =
+  Mutex.lock tm;
+  Fun.protect ~finally:(fun () -> Mutex.unlock tm) f
+
+let set_progress on = with_tm (fun () -> progress_enabled := on)
+
+let reset_telemetry () =
+  with_tm (fun () ->
+      job_seconds := Stats.Summary.create ();
+      wall_seconds := 0.0)
+
+let telemetry () =
+  with_tm (fun () ->
+      let s = !job_seconds in
+      let n = Stats.Summary.count s in
+      if n = 0 then None
+      else
+        let wall = !wall_seconds in
+        Some
+          {
+            jobs_run = n;
+            wall_s = wall;
+            mean_s = Stats.Summary.mean s;
+            p50_s = Stats.Summary.percentile 0.50 s;
+            p95_s = Stats.Summary.percentile 0.95 s;
+            max_s = Stats.Summary.max s;
+            throughput = (if wall > 0.0 then float_of_int n /. wall else 0.0);
+          })
+
+(* ---- fan-out ------------------------------------------------------------ *)
+
 let map ?j f xs =
   let j = match j with Some j -> max 1 j | None -> jobs () in
   let j = min j (List.length xs) in
-  if j <= 1 then List.map f xs else Pool.run ~workers:j f xs
+  let n = List.length xs in
+  let completed = ref 0 in
+  let on_done _i secs =
+    Mutex.lock tm;
+    Stats.Summary.observe !job_seconds secs;
+    incr completed;
+    if !progress_enabled then begin
+      Printf.eprintf "\r[sweep] %d/%d" !completed n;
+      flush stderr
+    end;
+    Mutex.unlock tm
+  in
+  let t0 = Pool.now_s () in
+  let results = Pool.run ~workers:(max 1 j) ~on_done f xs in
+  let wall = Pool.now_s () -. t0 in
+  with_tm (fun () ->
+      wall_seconds := !wall_seconds +. wall;
+      if !progress_enabled && n > 0 then begin
+        Printf.eprintf "\r[sweep] %d/%d done in %.2fs\n" !completed n wall;
+        flush stderr
+      end);
+  results
 
 let split_n n xs =
   let rec go k acc = function

@@ -24,6 +24,31 @@ val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] capped at the pool limit — what
     the binaries pass to {!set_jobs} when [-j] is not given. *)
 
+type telemetry = {
+  jobs_run : int;     (** jobs completed since the last {!reset_telemetry} *)
+  wall_s : float;     (** summed wall-clock time of the {!map} batches *)
+  mean_s : float;     (** mean per-job wall-clock seconds *)
+  p50_s : float;      (** median per-job seconds (nearest rank) *)
+  p95_s : float;      (** 95th-percentile per-job seconds (nearest rank) *)
+  max_s : float;      (** slowest single job *)
+  throughput : float; (** [jobs_run / wall_s]; [0.] if no wall time *)
+}
+
+val telemetry : unit -> telemetry option
+(** Aggregate per-job timing across every {!map} batch since startup (or
+    the last {!reset_telemetry}); [None] before any job has completed.
+    Collection is always on — the cost is one [gettimeofday] pair per
+    job, negligible next to a simulation. *)
+
+val reset_telemetry : unit -> unit
+(** Zero the accumulated job timings and wall clock. *)
+
+val set_progress : bool -> unit
+(** When enabled, every {!map} batch writes a [\r[sweep] k/n] progress
+    line to [stderr] as jobs complete, and a final
+    [\[sweep\] n/n done in Xs] line at batch end. Off by default;
+    [stdout] (tables, figures, reports) is never touched. *)
+
 val map : ?j:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map f xs] runs [f] over [xs], fanning out to [?j] workers (default:
     the {!set_jobs} setting, further capped at [List.length xs]) and

@@ -4,6 +4,8 @@ module Scheme = Sempe_core.Scheme
 module Run = Sempe_core.Run
 module Timing = Sempe_pipeline.Timing
 module Tablefmt = Sempe_util.Tablefmt
+module Json = Sempe_obs.Json
+module Report = Sempe_obs.Report
 
 type cell = {
   format : Djpeg.format;
@@ -107,3 +109,17 @@ let csv cells =
            c.base.Timing.l2_miss_rate c.sempe.Timing.l2_miss_rate))
     cells;
   Buffer.contents buf
+
+let to_json cells =
+  Json.List
+    (List.map
+       (fun c ->
+         Json.Obj
+           [
+             ("format", Json.Str (Djpeg.format_name c.format));
+             ("size", Json.Str c.size.Djpeg.label);
+             ("overhead", Json.Float (overhead c));
+             ("baseline", Report.to_json c.base);
+             ("sempe", Report.to_json c.sempe);
+           ])
+       cells)

@@ -21,3 +21,7 @@ val render_fig9 : cell list -> string
 
 val csv : cell list -> string
 (** Machine-readable dump: format, size, cycles and miss rates per machine. *)
+
+val to_json : cell list -> Sempe_obs.Json.t
+(** One object per cell; the full timing reports of both machines are
+    embedded via {!Sempe_obs.Report.to_json}. *)

@@ -4,6 +4,7 @@ module Harness = Sempe_workloads.Harness
 module Scheme = Sempe_core.Scheme
 module Run = Sempe_core.Run
 module Tablefmt = Sempe_util.Tablefmt
+module Json = Sempe_obs.Json
 
 type point = {
   width : int;
@@ -138,3 +139,30 @@ let csv series =
         s.points)
     series;
   Buffer.contents buf
+
+let to_json series =
+  Json.List
+    (List.map
+       (fun s ->
+         Json.Obj
+           [
+             ("kernel", Json.Str s.kernel);
+             ( "points",
+               Json.List
+                 (List.map
+                    (fun p ->
+                      Json.Obj
+                        [
+                          ("width", Json.Int p.width);
+                          ("baseline_cycles", Json.Int p.baseline_cycles);
+                          ("sempe_cycles", Json.Int p.sempe_cycles);
+                          ("cte_cycles", Json.Int p.cte_cycles);
+                          ("ideal_cycles", Json.Int p.ideal_cycles);
+                          ( "sempe_slowdown",
+                            Json.Float (slowdown p.sempe_cycles p.baseline_cycles) );
+                          ( "cte_slowdown",
+                            Json.Float (slowdown p.cte_cycles p.baseline_cycles) );
+                        ])
+                    s.points) );
+           ])
+       series)

@@ -29,3 +29,7 @@ val cross_kernel_average : f:(point -> float) -> series list -> (float * float) 
 
 val csv : series list -> string
 (** Machine-readable dump: kernel, width, baseline/sempe/cte/ideal cycles. *)
+
+val to_json : series list -> Sempe_obs.Json.t
+(** One object per series with its per-width points (cycles and derived
+    slowdowns). *)

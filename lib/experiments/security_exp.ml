@@ -5,6 +5,7 @@ module Observable = Sempe_security.Observable
 module Leakage = Sempe_security.Leakage
 module Attacker = Sempe_security.Attacker
 module Tablefmt = Sempe_util.Tablefmt
+module Json = Sempe_obs.Json
 
 type result = {
   scheme : Scheme.t;
@@ -51,3 +52,19 @@ let render results =
    observables distinguish the secrets, and the Hamming-weight/time \
    correlation of the timing attack\n"
   ^ Tablefmt.render ~header:[ "scheme"; "leaky channels"; "timing corr." ] rows
+
+let to_json results =
+  Json.List
+    (List.map
+       (fun r ->
+         Json.Obj
+           [
+             ("scheme", Json.Str (Scheme.name r.scheme));
+             ( "leaky_channels",
+               Json.List
+                 (List.map
+                    (fun ch -> Json.Str (Leakage.channel_name ch))
+                    r.leaky) );
+             ("timing_correlation", Json.Float r.timing_correlation);
+           ])
+       results)

@@ -14,3 +14,6 @@ type result = {
 val measure : ?keys:int list -> unit -> result list
 
 val render : result list -> string
+
+val to_json : result list -> Sempe_obs.Json.t
+(** One object per scheme: leaky channel names and timing correlation. *)

@@ -4,6 +4,7 @@ module Harness = Sempe_workloads.Harness
 module Scheme = Sempe_core.Scheme
 module Run = Sempe_core.Run
 module Tablefmt = Sempe_util.Tablefmt
+module Json = Sempe_obs.Json
 
 type row = {
   scheme : Scheme.t;
@@ -86,3 +87,16 @@ let render rows =
           "overhead (geo-mean)"; "overhead (max)"; "simple arch"; "backward compat";
         ]
       table_rows
+
+let to_json rows =
+  Json.List
+    (List.map
+       (fun r ->
+         Json.Obj
+           [
+             ("scheme", Json.Str (Scheme.name r.scheme));
+             ("label", Json.Str (label r.scheme));
+             ("avg_overhead", Json.Float r.avg_overhead);
+             ("max_overhead", Json.Float r.max_overhead);
+           ])
+       rows)

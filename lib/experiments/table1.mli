@@ -17,3 +17,6 @@ val measure : ?width:int -> ?iters:int -> unit -> row list
     denominator). *)
 
 val render : row list -> string
+
+val to_json : row list -> Sempe_obs.Json.t
+(** One object per row: scheme, label, geo-mean and max overheads. *)

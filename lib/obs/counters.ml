@@ -1,0 +1,66 @@
+(* Bounded per-key counter registry: the Space-Saving top-N sketch
+   (Metwally et al.). While distinct keys fit under the capacity the
+   counts are exact; past it, a new key evicts the current minimum and
+   inherits its count (+ the new weight), which over-estimates the
+   newcomer by at most the evicted minimum — the classic guarantee that
+   every true heavy hitter stays in the table. Eviction picks the
+   smallest key among minima so the sketch is deterministic. *)
+
+type t = {
+  capacity : int;
+  tbl : (int, int ref) Hashtbl.t;
+  mutable total : int;
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Counters.create: capacity must be >= 1";
+  { capacity; tbl = Hashtbl.create (2 * capacity); total = 0; evictions = 0 }
+
+let add t ~key w =
+  if w < 0 then invalid_arg "Counters.add: negative weight";
+  t.total <- t.total + w;
+  match Hashtbl.find_opt t.tbl key with
+  | Some r -> r := !r + w
+  | None ->
+    if Hashtbl.length t.tbl < t.capacity then Hashtbl.replace t.tbl key (ref w)
+    else begin
+      let victim = ref None in
+      Hashtbl.iter
+        (fun k r ->
+          match !victim with
+          | None -> victim := Some (k, !r)
+          | Some (vk, vc) ->
+            if !r < vc || (!r = vc && k < vk) then victim := Some (k, !r))
+        t.tbl;
+      match !victim with
+      | None -> assert false (* capacity >= 1 *)
+      | Some (vk, vc) ->
+        Hashtbl.remove t.tbl vk;
+        t.evictions <- t.evictions + 1;
+        Hashtbl.replace t.tbl key (ref (vc + w))
+    end
+
+let incr t ~key = add t ~key 1
+
+let count t ~key =
+  match Hashtbl.find_opt t.tbl key with Some r -> !r | None -> 0
+
+let top ?n t =
+  let entries = Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.tbl [] in
+  let sorted =
+    List.sort
+      (fun (k1, c1) (k2, c2) ->
+        if c1 <> c2 then compare c2 c1 else compare k1 k2)
+      entries
+  in
+  match n with
+  | None -> sorted
+  | Some n ->
+    List.filteri (fun i _ -> i < n) sorted
+
+let cardinality t = Hashtbl.length t.tbl
+let capacity t = t.capacity
+let total t = t.total
+let evictions t = t.evictions
+let exact t = t.evictions = 0

@@ -1,0 +1,42 @@
+(** Bounded per-key counter registry (Space-Saving top-N sketch).
+
+    The per-PC profiles need "top branches by mispredicts"-style rankings
+    without letting a long trace grow an unbounded table. This registry
+    holds at most [capacity] keys: while distinct keys fit, the counts are
+    exact; past that, adding a fresh key evicts the key with the smallest
+    count and the newcomer inherits that count plus its weight (the
+    Space-Saving over-estimate, bounded by the evicted minimum). True
+    heavy hitters are never pushed out. Eviction ties break on the
+    smallest key, so the sketch is deterministic. *)
+
+type t
+
+val create : capacity:int -> t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val add : t -> key:int -> int -> unit
+(** [add t ~key w] adds weight [w >= 0] to [key]'s counter. *)
+
+val incr : t -> key:int -> unit
+(** [add t ~key 1]. *)
+
+val count : t -> key:int -> int
+(** Current (possibly over-estimated) count of [key]; 0 if not tracked. *)
+
+val top : ?n:int -> t -> (int * int) list
+(** Tracked [(key, count)] pairs, count-descending (ties: key ascending),
+    optionally truncated to the first [n]. *)
+
+val cardinality : t -> int
+(** Number of keys currently tracked ([<= capacity]). *)
+
+val capacity : t -> int
+
+val total : t -> int
+(** Exact sum of all weights ever added — independent of evictions, so an
+    aggregate cross-check against the run report stays exact. *)
+
+val evictions : t -> int
+
+val exact : t -> bool
+(** True while no eviction has happened (all counts exact). *)

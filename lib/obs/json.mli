@@ -1,0 +1,27 @@
+(** Minimal JSON document type and compact emitter.
+
+    Everything machine-readable in this repository — [--json] report
+    output, the JSON-lines event sink, the Chrome trace-event / Perfetto
+    trace — is built from these values, so there is exactly one escaping
+    and number-formatting path. No external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** non-finite values are emitted as [null] *)
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering, valid JSON. *)
+
+val add : Buffer.t -> t -> unit
+(** Append the compact rendering to a buffer. *)
+
+val output : out_channel -> t -> unit
+
+val member : string -> t -> t option
+(** [member k (Obj kvs)] is the value bound to [k], if any; [None] on
+    non-objects. Convenience for structural checks in tests. *)

@@ -1,0 +1,133 @@
+module Probe = Sempe_pipeline.Probe
+module Uop = Sempe_pipeline.Uop
+module Tablefmt = Sempe_util.Tablefmt
+
+type t = {
+  branch_mispredicts : Counters.t;
+  branch_executions : Counters.t;
+  load_misses : Counters.t;
+  sjmp_drains : Counters.t;
+  sjmp_spm_cycles : Counters.t;
+  mutable sjmp_stack : int list;
+  mutable uops : int;
+  mutable drains : int;
+}
+
+let default_capacity = 256
+
+let create ?(capacity = default_capacity) () =
+  {
+    branch_mispredicts = Counters.create ~capacity;
+    branch_executions = Counters.create ~capacity;
+    load_misses = Counters.create ~capacity;
+    sjmp_drains = Counters.create ~capacity;
+    sjmp_spm_cycles = Counters.create ~capacity;
+    sjmp_stack = [];
+    uops = 0;
+    drains = 0;
+  }
+
+(* The engine runs secure regions LIFO (jbTable order), so a stack of live
+   sJMP pcs attributes each drain to the innermost open region: the enter
+   and after-NT-path drains belong to the top, the exit drain pops. A
+   drain with no open region (cannot happen with the current engine) is
+   filed under pc -1 rather than lost, keeping totals exact. *)
+let on_drain t (ev : Probe.drain_event) =
+  t.drains <- t.drains + 1;
+  let pc, pop =
+    match (ev.Probe.reason, t.sjmp_stack) with
+    | Uop.Drain_exit_secblock, pc :: rest -> (pc, Some rest)
+    | (Uop.Drain_enter_secblock | Uop.Drain_after_nt_path), pc :: _ ->
+      (pc, None)
+    | _, [] -> (-1, None)
+  in
+  (match pop with Some rest -> t.sjmp_stack <- rest | None -> ());
+  Counters.incr t.sjmp_drains ~key:pc;
+  Counters.add t.sjmp_spm_cycles ~key:pc ev.Probe.spm_cycles
+
+let on_uop t (ev : Probe.uop_event) =
+  t.uops <- t.uops + 1;
+  let u = ev.Probe.uop in
+  (match u.Uop.control with
+   | Uop.Ctl_branch { secure = true; _ } ->
+     t.sjmp_stack <- u.Uop.pc :: t.sjmp_stack
+   | Uop.Ctl_branch { secure = false; _ } ->
+     Counters.incr t.branch_executions ~key:u.Uop.pc
+   | _ -> ());
+  if ev.Probe.mispredicted then Counters.incr t.branch_mispredicts ~key:u.Uop.pc;
+  if ev.Probe.dcache_miss then Counters.incr t.load_misses ~key:u.Uop.pc
+
+let probe t = { Probe.on_uop = on_uop t; on_drain = on_drain t }
+
+let pc_label ?resolve pc =
+  if pc < 0 then "<none>"
+  else
+    match resolve with
+    | None -> string_of_int pc
+    | Some f -> Printf.sprintf "%d: %s" pc (f pc)
+
+let table ?resolve ~title ~value_header ?(extra = fun _ _ -> []) ?extra_header
+    entries =
+  let header =
+    [ "pc"; value_header ] @ Option.value ~default:[] extra_header
+  in
+  let rows =
+    List.map
+      (fun (pc, v) -> [ pc_label ?resolve pc; string_of_int v ] @ extra pc v)
+      entries
+  in
+  title ^ "\n"
+  ^ (if rows = [] then "(none)\n" else Tablefmt.render ~header rows)
+
+let render ?(n = 10) ?resolve t =
+  let mispredict_extra pc _ =
+    let execs = Counters.count t.branch_executions ~key:pc in
+    let misses = Counters.count t.branch_mispredicts ~key:pc in
+    [
+      (if execs = 0 then "-"
+       else Tablefmt.percent (Sempe_util.Stats.ratio ~num:misses ~den:execs));
+    ]
+  in
+  let drain_extra pc _ =
+    [ string_of_int (Counters.count t.sjmp_drains ~key:pc) ]
+  in
+  String.concat "\n"
+    [
+      table ?resolve ~title:"Top branches by mispredicts"
+        ~value_header:"mispredicts" ~extra:mispredict_extra
+        ~extra_header:[ "miss rate" ]
+        (Counters.top ~n t.branch_mispredicts);
+      table ?resolve ~title:"Top loads by DL1 misses" ~value_header:"misses"
+        (Counters.top ~n t.load_misses);
+      table ?resolve ~title:"Top sJMPs by SPM transfer cycles"
+        ~value_header:"spm cycles" ~extra:drain_extra
+        ~extra_header:[ "drains" ]
+        (Counters.top ~n t.sjmp_spm_cycles);
+    ]
+
+let counters_json ?n c =
+  Json.List
+    (List.map
+       (fun (pc, v) -> Json.Obj [ ("pc", Json.Int pc); ("count", Json.Int v) ])
+       (Counters.top ?n c))
+
+let to_json ?n t =
+  Json.Obj
+    [
+      ("uops", Json.Int t.uops);
+      ("drains", Json.Int t.drains);
+      ("branch_mispredicts", counters_json ?n t.branch_mispredicts);
+      ("load_dcache_misses", counters_json ?n t.load_misses);
+      ("sjmp_spm_cycles", counters_json ?n t.sjmp_spm_cycles);
+      ( "exact",
+        Json.Bool
+          (Counters.exact t.branch_mispredicts
+          && Counters.exact t.load_misses
+          && Counters.exact t.sjmp_spm_cycles) );
+    ]
+
+let branch_mispredicts t = t.branch_mispredicts
+let load_misses t = t.load_misses
+let sjmp_spm_cycles t = t.sjmp_spm_cycles
+let uops t = t.uops
+let drains t = t.drains

@@ -1,0 +1,39 @@
+(** Per-PC profile built from timing-model probe events.
+
+    Tracks, in bounded {!Counters} registries:
+    - mispredicts per control-flow pc (and executions per conditional
+      branch pc, for the miss-rate column);
+    - DL1-missing loads per load pc;
+    - drains and SPM transfer cycles per sJMP pc (each drain is attributed
+      to the innermost open secure region, tracked LIFO like the
+      jbTable).
+
+    Attach with {!probe} (e.g. [Run.simulate ~sink:(Sink.of_probe
+    (Profile.probe p))]) and render or export after the run. *)
+
+type t
+
+val default_capacity : int
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] bounds each per-PC registry (default
+    {!default_capacity}). *)
+
+val probe : t -> Sempe_pipeline.Probe.t
+(** A probe that records into [t]. *)
+
+val render : ?n:int -> ?resolve:(int -> string) -> t -> string
+(** Top-[n] tables (default 10). [resolve] maps a pc to its disassembled
+    instruction for the pc column. *)
+
+val to_json : ?n:int -> t -> Json.t
+
+val branch_mispredicts : t -> Counters.t
+val load_misses : t -> Counters.t
+val sjmp_spm_cycles : t -> Counters.t
+
+val uops : t -> int
+(** µop events seen. *)
+
+val drains : t -> int
+(** Drain events seen. *)

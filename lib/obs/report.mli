@@ -1,0 +1,17 @@
+(** Machine-readable and stall-stack views of a {!Sempe_pipeline.Timing}
+    run report. *)
+
+val stall_stack_alist :
+  Sempe_pipeline.Timing.report -> (Sempe_pipeline.Stall.bucket * int) list
+(** The report's stall stack as [(bucket, cycles)], in {!Stall.all}
+    order. The cycle counts sum to [report.cycles]. *)
+
+val render_stall_stack : Sempe_pipeline.Timing.report -> string
+(** Text table of the stall stack with per-bucket shares (zero buckets
+    other than [base] are omitted). *)
+
+val stall_stack_json : Sempe_pipeline.Timing.report -> Json.t
+
+val to_json : Sempe_pipeline.Timing.report -> Json.t
+(** Every counter of the report (cache signature hashes excluded) plus the
+    stall stack, as one flat JSON object. *)

@@ -1,0 +1,66 @@
+module Probe = Sempe_pipeline.Probe
+
+type t = {
+  probe : Probe.t;
+  close : unit -> unit;
+}
+
+let null = { probe = Probe.null; close = ignore }
+
+let of_probe probe = { probe; close = ignore }
+
+let tee a b =
+  {
+    probe =
+      {
+        Probe.on_uop =
+          (fun ev ->
+            a.probe.Probe.on_uop ev;
+            b.probe.Probe.on_uop ev);
+        on_drain =
+          (fun ev ->
+            a.probe.Probe.on_drain ev;
+            b.probe.Probe.on_drain ev);
+      };
+    close =
+      (fun () ->
+        a.close ();
+        b.close ());
+  }
+
+let jsonl oc =
+  let line j =
+    Json.output oc j;
+    output_char oc '\n'
+  in
+  {
+    probe =
+      {
+        Probe.on_uop = (fun ev -> line (Trace.jsonl_of_uop ev));
+        on_drain = (fun ev -> line (Trace.jsonl_of_drain ev));
+      };
+    close = (fun () -> flush oc);
+  }
+
+let perfetto oc =
+  (* Stream events as they arrive; [close] terminates the JSON object, so
+     the file is valid only after close. *)
+  let first = ref true in
+  let emit j =
+    if !first then first := false else output_char oc ',';
+    output_char oc '\n';
+    Json.output oc j
+  in
+  output_string oc "{\"traceEvents\":[";
+  List.iter emit Trace.metadata_events;
+  {
+    probe =
+      {
+        Probe.on_uop = (fun ev -> List.iter emit (Trace.events_of_uop ev));
+        on_drain = (fun ev -> List.iter emit (Trace.events_of_drain ev));
+      };
+    close =
+      (fun () ->
+        output_string oc "\n],\"displayTimeUnit\":\"ns\"}\n";
+        flush oc);
+  }

@@ -1,0 +1,135 @@
+module Probe = Sempe_pipeline.Probe
+module Uop = Sempe_pipeline.Uop
+module Stall = Sempe_pipeline.Stall
+module Instr = Sempe_isa.Instr
+
+let class_name = function
+  | Instr.Cls_nop -> "nop"
+  | Instr.Cls_int_alu -> "alu"
+  | Instr.Cls_int_mul -> "mul"
+  | Instr.Cls_int_div -> "div"
+  | Instr.Cls_load -> "load"
+  | Instr.Cls_store -> "store"
+  | Instr.Cls_branch -> "branch"
+  | Instr.Cls_jump -> "jump"
+  | Instr.Cls_eosjmp -> "eosjmp"
+  | Instr.Cls_halt -> "halt"
+
+let drain_reason_name = function
+  | Uop.Drain_enter_secblock -> "drain:enter-secblock"
+  | Uop.Drain_after_nt_path -> "drain:after-nt-path"
+  | Uop.Drain_exit_secblock -> "drain:exit-secblock"
+
+(* Track (pid, tid) layout of the Chrome trace: one synthetic thread per
+   pipeline stage, plus one for SeMPE drains. *)
+let pid = 0
+let tid_frontend = 1
+let tid_dispatch = 2
+let tid_execute = 3
+let tid_commit = 4
+let tid_drain = 5
+
+let metadata_events =
+  let thread tid name =
+    Json.Obj
+      [
+        ("name", Json.Str "thread_name");
+        ("ph", Json.Str "M");
+        ("pid", Json.Int pid);
+        ("tid", Json.Int tid);
+        ("args", Json.Obj [ ("name", Json.Str name) ]);
+      ]
+  in
+  [
+    Json.Obj
+      [
+        ("name", Json.Str "process_name");
+        ("ph", Json.Str "M");
+        ("pid", Json.Int pid);
+        ("tid", Json.Int 0);
+        ("args", Json.Obj [ ("name", Json.Str "sempe-sim") ]);
+      ];
+    thread tid_frontend "fetch->dispatch";
+    thread tid_dispatch "dispatch->issue";
+    thread tid_execute "issue->complete";
+    thread tid_commit "complete->commit";
+    thread tid_drain "SeMPE drains";
+  ]
+
+let slice ~name ~tid ~ts ~dur ~args =
+  Json.Obj
+    [
+      ("name", Json.Str name);
+      ("ph", Json.Str "X");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int tid);
+      ("ts", Json.Int ts);
+      ("dur", Json.Int (max 0 dur));
+      ("args", Json.Obj args);
+    ]
+
+let events_of_uop (ev : Probe.uop_event) =
+  let u = ev.Probe.uop in
+  let name = Printf.sprintf "%s@%d" (class_name u.Uop.cls) u.Uop.pc in
+  let args =
+    [
+      ("pc", Json.Int u.Uop.pc);
+      ("bucket", Json.Str (Stall.name ev.Probe.bucket));
+      ("attributed", Json.Int ev.Probe.attributed);
+      ("mispredicted", Json.Bool ev.Probe.mispredicted);
+      ("dcache_miss", Json.Bool ev.Probe.dcache_miss);
+    ]
+  in
+  [
+    slice ~name ~tid:tid_frontend ~ts:ev.Probe.fetch
+      ~dur:(ev.Probe.dispatch - ev.Probe.fetch)
+      ~args:[ ("pc", Json.Int u.Uop.pc) ];
+    slice ~name ~tid:tid_dispatch ~ts:ev.Probe.dispatch
+      ~dur:(ev.Probe.issue - ev.Probe.dispatch)
+      ~args:[ ("pc", Json.Int u.Uop.pc) ];
+    slice ~name ~tid:tid_execute ~ts:ev.Probe.issue
+      ~dur:(ev.Probe.complete - ev.Probe.issue)
+      ~args;
+    slice ~name ~tid:tid_commit ~ts:ev.Probe.complete
+      ~dur:(ev.Probe.commit - ev.Probe.complete)
+      ~args:[ ("pc", Json.Int u.Uop.pc) ];
+  ]
+
+let events_of_drain (ev : Probe.drain_event) =
+  [
+    slice
+      ~name:(drain_reason_name ev.Probe.reason)
+      ~tid:tid_drain ~ts:ev.Probe.start
+      ~dur:(ev.Probe.resume - ev.Probe.start)
+      ~args:[ ("spm_cycles", Json.Int ev.Probe.spm_cycles) ];
+  ]
+
+(* Flat one-object-per-event records for the JSON-lines sink. *)
+
+let jsonl_of_uop (ev : Probe.uop_event) =
+  let u = ev.Probe.uop in
+  Json.Obj
+    [
+      ("type", Json.Str "uop");
+      ("pc", Json.Int u.Uop.pc);
+      ("cls", Json.Str (class_name u.Uop.cls));
+      ("fetch", Json.Int ev.Probe.fetch);
+      ("dispatch", Json.Int ev.Probe.dispatch);
+      ("issue", Json.Int ev.Probe.issue);
+      ("complete", Json.Int ev.Probe.complete);
+      ("commit", Json.Int ev.Probe.commit);
+      ("bucket", Json.Str (Stall.name ev.Probe.bucket));
+      ("attributed", Json.Int ev.Probe.attributed);
+      ("mispredicted", Json.Bool ev.Probe.mispredicted);
+      ("dcache_miss", Json.Bool ev.Probe.dcache_miss);
+    ]
+
+let jsonl_of_drain (ev : Probe.drain_event) =
+  Json.Obj
+    [
+      ("type", Json.Str "drain");
+      ("reason", Json.Str (drain_reason_name ev.Probe.reason));
+      ("spm_cycles", Json.Int ev.Probe.spm_cycles);
+      ("start", Json.Int ev.Probe.start);
+      ("resume", Json.Int ev.Probe.resume);
+    ]

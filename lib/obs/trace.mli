@@ -1,0 +1,29 @@
+(** Chrome trace-event (Perfetto) and JSON-lines event builders.
+
+    Pure: every function maps a probe event to {!Json.t} values, so the
+    trace schema can be checked structurally in tests without touching the
+    filesystem. {!Sink.perfetto} and {!Sink.jsonl} stream these to a
+    channel.
+
+    The Perfetto layout puts one synthetic thread per pipeline stage
+    (fetch→dispatch, dispatch→issue, issue→complete, complete→commit) and
+    one for SeMPE drains, all in process 0; [ts]/[dur] are cycle numbers.
+    The resulting file (a JSON object with a ["traceEvents"] array) opens
+    directly in {{:https://ui.perfetto.dev}ui.perfetto.dev}. *)
+
+val class_name : Sempe_isa.Instr.iclass -> string
+val drain_reason_name : Sempe_pipeline.Uop.drain_reason -> string
+
+val metadata_events : Json.t list
+(** Process/thread-name metadata events; emit once, before any slice. *)
+
+val events_of_uop : Sempe_pipeline.Probe.uop_event -> Json.t list
+(** Four ["ph":"X"] slices, one per pipeline stage of the µop. *)
+
+val events_of_drain : Sempe_pipeline.Probe.drain_event -> Json.t list
+(** One slice on the drain track spanning stall begin to resume. *)
+
+val jsonl_of_uop : Sempe_pipeline.Probe.uop_event -> Json.t
+(** Flat one-line record for the JSON-lines sink. *)
+
+val jsonl_of_drain : Sempe_pipeline.Probe.drain_event -> Json.t

@@ -1,0 +1,26 @@
+type uop_event = {
+  uop : Uop.t;
+  fetch : int;
+  dispatch : int;
+  issue : int;
+  complete : int;
+  commit : int;
+  bucket : Stall.bucket;
+  attributed : int;
+  mispredicted : bool;
+  dcache_miss : bool;
+}
+
+type drain_event = {
+  reason : Uop.drain_reason;
+  spm_cycles : int;
+  start : int;
+  resume : int;
+}
+
+type t = {
+  on_uop : uop_event -> unit;
+  on_drain : drain_event -> unit;
+}
+
+let null = { on_uop = ignore; on_drain = ignore }

@@ -1,0 +1,36 @@
+(** CPI stall-stack buckets.
+
+    Every commit-slot cycle of a run is attributed to exactly one bucket
+    (see {!Timing.report}): when the commit frontier advances past a µop,
+    the advance is charged to the most specific constraint that bound that
+    µop's timeline — walking the critical path backwards from commit
+    through completion, issue, operand readiness, dispatch and fetch. The
+    buckets therefore sum exactly to the total cycle count, which is the
+    invariant the test suite asserts on every workload. *)
+
+type bucket =
+  | Base           (** ideal-machine work: dataflow, FU latency, commit BW *)
+  | Icache         (** instruction-cache miss stalls at fetch *)
+  | Redirect       (** mispredict / BTB-miss redirect bubbles *)
+  | Rob_full       (** dispatch blocked on a full ROB *)
+  | Iq_full        (** dispatch blocked on a full issue queue *)
+  | Lq_full        (** dispatch blocked on a full load queue *)
+  | Sq_full        (** dispatch blocked on a full store queue *)
+  | Dcache         (** load misses beyond the pipelined DL1 latency *)
+  | Fu_contention  (** issue-port / load-port contention *)
+  | Drain          (** SeMPE pipeline drains + SPM transfer cycles *)
+
+val all : bucket list
+(** Every bucket, in {!index} order. *)
+
+val count : int
+
+val index : bucket -> int
+(** Dense index in [0 .. count-1]; {!Timing.report}[.stall_stack] is
+    indexed by it. *)
+
+val name : bucket -> string
+(** Short stable identifier, e.g. ["rob-full"] (used in JSON output). *)
+
+val describe : bucket -> string
+(** One-line human description for the profile tables. *)

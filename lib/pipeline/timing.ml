@@ -58,6 +58,14 @@ type t = {
   mutable n_stores : int;
   issue_ports : Ports.t;
   load_ports : Ports.t;
+  (* observability: optional probe plus stall-stack accounting. The probe
+     is passive and the stall counters are pure bookkeeping: neither ever
+     feeds back into a cycle assignment. *)
+  probe : Probe.t option;
+  stalls : int array;
+  mutable stall_reason : Stall.bucket;
+  mutable c_fetch_cause : Stall.bucket;
+  mutable c_dispatch_cause : Stall.bucket;
   (* stores in flight: word address -> completion cycle. Pruned (see
      [prune_stores]) so the table tracks recent stores only instead of one
      entry per word address ever written. *)
@@ -81,7 +89,7 @@ type t = {
 }
 
 let create ?(config = Config.default) ?predictor
-    ?(store_window = Ports.size) ?(store_table_cap = 4096) () =
+    ?(store_window = Ports.size) ?(store_table_cap = 4096) ?probe () =
   let bp =
     match predictor with Some p -> p | None -> Sempe_bpred.Tage.create ()
   in
@@ -106,6 +114,11 @@ let create ?(config = Config.default) ?predictor
     n_stores = 0;
     issue_ports = Ports.create config.Config.issue_width;
     load_ports = Ports.create config.Config.load_issue;
+    probe;
+    stalls = Array.make Stall.count 0;
+    stall_reason = Stall.Base;
+    c_fetch_cause = Stall.Base;
+    c_dispatch_cause = Stall.Base;
     store_complete = Hashtbl.create 1024;
     store_window = max 1 store_window;
     store_table_cap = max 1 store_table_cap;
@@ -146,6 +159,14 @@ let prune_stores t =
 
 let break_fetch_group t = t.fetched_in_cycle <- t.cfg.Config.fetch_width
 
+(* All front-end stalls funnel through here so the stall stack knows *why*
+   fetch was held back (redirect vs. SeMPE drain). *)
+let raise_stall t cycle reason =
+  if cycle > t.stall_until then begin
+    t.stall_until <- cycle;
+    t.stall_reason <- reason
+  end
+
 (* Assign a fetch cycle to the µop at [pc], honoring width, stalls and the
    instruction cache. *)
 let fetch t ~pc =
@@ -155,6 +176,7 @@ let fetch t ~pc =
     else t.fetch_cycle
   in
   let f = max base t.stall_until in
+  t.c_fetch_cause <- (if t.stall_until > base then t.stall_reason else Stall.Base);
   let byte_addr = pc * cfg.Config.inst_bytes in
   let line = byte_addr / cfg.Config.hierarchy.Hierarchy.il1.Sempe_mem.Cache.line_bytes in
   let f =
@@ -164,7 +186,9 @@ let fetch t ~pc =
       let lat = Hierarchy.inst_fetch t.hier ~addr:byte_addr in
       (* A hit costs no bubble beyond the pipelined front end; a miss stalls
          fetch for the extra latency. *)
-      f + (lat - cfg.Config.hierarchy.Hierarchy.lat_l1)
+      let extra = lat - cfg.Config.hierarchy.Hierarchy.lat_l1 in
+      if extra > 0 then t.c_fetch_cause <- Stall.Icache;
+      f + extra
     end
   in
   if f > t.fetch_cycle then begin
@@ -179,18 +203,28 @@ let fetch t ~pc =
 let dispatch t ~fetch_time ~is_load ~is_store =
   let cfg = t.cfg in
   let d = ref (fetch_time + cfg.Config.frontend_depth) in
+  t.c_dispatch_cause <- Stall.Base;
+  let bump v bucket =
+    if v > !d then begin
+      d := v;
+      t.c_dispatch_cause <- bucket
+    end
+  in
   let rob_size = Array.length t.rob_commit in
   if t.n_uops >= rob_size then
-    d := max !d (t.rob_commit.(t.n_uops mod rob_size) + 1);
+    bump (t.rob_commit.(t.n_uops mod rob_size) + 1) Stall.Rob_full;
   let iq_size = Array.length t.iq_issue in
-  if t.n_uops >= iq_size then d := max !d (t.iq_issue.(t.n_uops mod iq_size) + 1);
+  if t.n_uops >= iq_size then
+    bump (t.iq_issue.(t.n_uops mod iq_size) + 1) Stall.Iq_full;
   if is_load then begin
     let lq_size = Array.length t.lq_free in
-    if t.n_loads >= lq_size then d := max !d (t.lq_free.(t.n_loads mod lq_size) + 1)
+    if t.n_loads >= lq_size then
+      bump (t.lq_free.(t.n_loads mod lq_size) + 1) Stall.Lq_full
   end;
   if is_store then begin
     let sq_size = Array.length t.sq_free in
-    if t.n_stores >= sq_size then d := max !d (t.sq_free.(t.n_stores mod sq_size) + 1)
+    if t.n_stores >= sq_size then
+      bump (t.sq_free.(t.n_stores mod sq_size) + 1) Stall.Sq_full
   end;
   !d
 
@@ -226,8 +260,7 @@ let handle_control t (u : Uop.t) ~complete =
   let cfg = t.cfg in
   let mispredict () =
     t.s_mispredicts <- t.s_mispredicts + 1;
-    t.stall_until <-
-      max t.stall_until (complete + cfg.Config.redirect_penalty);
+    raise_stall t (complete + cfg.Config.redirect_penalty) Stall.Redirect;
     break_fetch_group t
   in
   let taken_transfer ~target =
@@ -236,8 +269,8 @@ let handle_control t (u : Uop.t) ~complete =
     (match Btb.lookup t.btb ~pc:u.Uop.pc with
      | Some cached when cached = target -> ()
      | Some _ | None ->
-       t.stall_until <-
-         max t.stall_until (t.fetch_cycle + cfg.Config.btb_miss_bubble));
+       raise_stall t (t.fetch_cycle + cfg.Config.btb_miss_bubble)
+         Stall.Redirect);
     Btb.update t.btb ~pc:u.Uop.pc ~target;
     break_fetch_group t
   in
@@ -292,10 +325,12 @@ let feed_uop t (u : Uop.t) =
   let iss = Ports.alloc t.issue_ports ready in
   let iss = if is_load then Ports.alloc t.load_ports iss else iss in
   let byte_addr = u.Uop.mem_addr * cfg.Config.word_bytes in
+  let dcache_extra = ref 0 in
   let complete =
     if is_load then begin
       t.s_loads <- t.s_loads + 1;
       let lat = Hierarchy.data_access t.hier ~pc:u.Uop.pc ~addr:byte_addr ~write:false in
+      dcache_extra := lat - cfg.Config.hierarchy.Hierarchy.lat_l1;
       let c = iss + lat in
       (* Store-to-load forwarding: a younger load of a word written by an
          in-flight store sees the value one cycle after the store data is
@@ -315,6 +350,7 @@ let feed_uop t (u : Uop.t) =
     else iss + fu_latency t u.Uop.cls
   in
   (match u.Uop.dst with Some r -> t.reg_ready.(r) <- complete | None -> ());
+  let old_max = t.max_commit in
   let c = commit t ~complete in
   (* Record resource release times in the capacity rings. *)
   let rob_size = Array.length t.rob_commit in
@@ -331,20 +367,59 @@ let feed_uop t (u : Uop.t) =
   end;
   t.n_uops <- t.n_uops + 1;
   t.s_instructions <- t.s_instructions + 1;
-  handle_control t u ~complete
+  (* Stall-stack attribution: the cycles this µop advanced the commit
+     frontier by are charged to the most specific constraint that bound
+     its timeline, walking the critical path backwards from commit. The
+     per-bucket sums (plus the base cycle 0) equal the total cycle count
+     by construction. *)
+  let delta = c - old_max in
+  let bucket =
+    if c > complete then Stall.Base (* retire bandwidth / in-order commit *)
+    else if is_load && !dcache_extra > 0 then Stall.Dcache
+    else if iss > ready then Stall.Fu_contention
+    else if ready > d + 1 then Stall.Base (* operand dataflow *)
+    else if d > f + cfg.Config.frontend_depth then t.c_dispatch_cause
+    else t.c_fetch_cause
+  in
+  if delta > 0 then
+    t.stalls.(Stall.index bucket) <- t.stalls.(Stall.index bucket) + delta;
+  let mispredicts_before = t.s_mispredicts in
+  handle_control t u ~complete;
+  match t.probe with
+  | None -> ()
+  | Some p ->
+    p.Probe.on_uop
+      {
+        Probe.uop = u;
+        fetch = f;
+        dispatch = d;
+        issue = iss;
+        complete;
+        commit = c;
+        bucket;
+        attributed = delta;
+        mispredicted = t.s_mispredicts > mispredicts_before;
+        dcache_miss = is_load && !dcache_extra > 0;
+      }
 
-let feed_drain t ~spm_cycles =
+let feed_drain t ~reason ~spm_cycles =
   t.s_drains <- t.s_drains + 1;
   t.s_spm_cycles <- t.s_spm_cycles + spm_cycles;
   (* No later µop may dispatch until everything older has committed and the
      SPM transfer has finished. Front-end refill then costs the usual
      pipeline depth on the next µop. *)
-  t.stall_until <- max t.stall_until (t.max_commit + 1 + spm_cycles);
-  break_fetch_group t
+  let start = t.max_commit in
+  raise_stall t (t.max_commit + 1 + spm_cycles) Stall.Drain;
+  break_fetch_group t;
+  match t.probe with
+  | None -> ()
+  | Some p ->
+    p.Probe.on_drain
+      { Probe.reason; spm_cycles; start; resume = t.stall_until }
 
 let feed t = function
   | Uop.Commit u -> feed_uop t u
-  | Uop.Drain { spm_cycles; reason = _ } -> feed_drain t ~spm_cycles
+  | Uop.Drain { spm_cycles; reason } -> feed_drain t ~reason ~spm_cycles
 
 type report = {
   instructions : int;
@@ -370,6 +445,7 @@ type report = {
   dl1_sig : int;
   l2_sig : int;
   bpred_sig : int;
+  stall_stack : int array;
 }
 
 let report t =
@@ -404,6 +480,14 @@ let report t =
     bpred_sig =
       (((t.bp.Predictor.snapshot_signature () * 31) + Btb.signature t.btb) * 31)
       + Ittage.signature t.ittage;
+    stall_stack =
+      (* Cycle 0 (and any unattributed remainder) goes to the base bucket,
+         so the stack sums to [cycles] exactly. *)
+      (let st = Array.copy t.stalls in
+       let attributed = Array.fold_left ( + ) 0 st in
+       st.(Stall.index Stall.Base) <-
+         st.(Stall.index Stall.Base) + (cycles - attributed);
+       st);
   }
 
 let predictor_signature t =

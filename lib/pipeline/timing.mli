@@ -27,6 +27,7 @@ val create :
   -> ?predictor:Sempe_bpred.Predictor.t
   -> ?store_window:int
   -> ?store_table_cap:int
+  -> ?probe:Probe.t
   -> unit
   -> t
 (** [predictor] defaults to a fresh TAGE with the paper's budget.
@@ -36,7 +37,12 @@ val create :
     [store_table_cap] entries, stores whose completion cycle is more than
     [store_window] cycles behind the commit frontier are dropped (they can
     no longer affect any later load, so timing is unchanged). The defaults
-    are generous; override only in tests. *)
+    are generous; override only in tests.
+
+    [probe] receives one {!Probe.uop_event} per committed µop and one
+    {!Probe.drain_event} per drain. It is passive: attaching a probe
+    cannot change any cycle assignment, and without one no event is
+    allocated. *)
 
 val feed : t -> Uop.event -> unit
 (** Process the next event in commit order. *)
@@ -72,6 +78,10 @@ type report = {
   dl1_sig : int;
   l2_sig : int;
   bpred_sig : int; (** predictor + BTB state hash *)
+  stall_stack : int array;
+      (** CPI stall stack, indexed by {!Stall.index}: every cycle of the
+          run attributed to exactly one {!Stall.bucket}. The entries sum
+          to [cycles] (asserted by the test suite). *)
 }
 
 val report : t -> report

@@ -8,6 +8,8 @@ let max_workers = 64
 
 let default_workers () = min max_workers (Domain.recommended_domain_count ())
 
+let now_s () = Unix.gettimeofday ()
+
 type t = {
   size : int;
   m : Mutex.t;
@@ -50,21 +52,29 @@ let create ?workers () =
 
 let size t = t.size
 
-let map_parallel t f xs =
+let map_parallel ?on_done t f xs =
   let jobs = Array.of_list xs in
   let n = Array.length jobs in
   let results = Array.make n None in
   let remaining = ref n in
   let batch_done = Condition.create () in
   let job i () =
+    let t0 = now_s () in
     let r =
       try Ok (f jobs.(i))
       with e -> Error (e, Printexc.get_raw_backtrace ())
     in
+    let elapsed = now_s () -. t0 in
     Mutex.lock t.m;
     results.(i) <- Some r;
     decr remaining;
     if !remaining = 0 then Condition.broadcast batch_done;
+    (* The callback runs under the pool mutex so observers need no locking
+       of their own; keep it cheap. Failed jobs are not reported — their
+       exception is about to tear the batch down anyway. *)
+    (match (on_done, r) with
+    | Some cb, Ok _ -> ( try cb i elapsed with _ -> ())
+    | _ -> ());
     Mutex.unlock t.m
   in
   Mutex.lock t.m;
@@ -89,12 +99,26 @@ let map_parallel t f xs =
   List.init n (fun i ->
       match results.(i) with Some (Ok v) -> v | Some (Error _) | None -> assert false)
 
-let map t f xs =
+let map_seq ?on_done f xs =
+  match on_done with
+  | None -> List.map f xs
+  | Some cb ->
+    List.mapi
+      (fun i x ->
+        let t0 = now_s () in
+        let r = f x in
+        (try cb i (now_s () -. t0) with _ -> ());
+        r)
+      xs
+
+let map ?on_done t f xs =
   if t.stop then invalid_arg "Pool.map: pool is shut down";
   match xs with
   | [] -> []
-  | [ x ] -> [ f x ]
-  | xs -> if t.size <= 1 then List.map f xs else map_parallel t f xs
+  | [ _ ] -> map_seq ?on_done f xs
+  | xs ->
+    if t.size <= 1 then map_seq ?on_done f xs
+    else map_parallel ?on_done t f xs
 
 let shutdown t =
   Mutex.lock t.m;
@@ -107,6 +131,6 @@ let shutdown t =
     t.domains <- []
   end
 
-let run ?workers f xs =
+let run ?workers ?on_done f xs =
   let t = create ?workers () in
-  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> map t f xs)
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> map ?on_done t f xs)

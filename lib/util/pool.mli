@@ -23,6 +23,10 @@ val default_workers : unit -> int
 val max_workers : int
 (** Upper bound on pool size (the runtime supports ~128 domains total). *)
 
+val now_s : unit -> float
+(** Wall-clock seconds (epoch-based); the clock the pool's own job timing
+    uses, exposed so callers can measure batch wall time consistently. *)
+
 val create : ?workers:int -> unit -> t
 (** [create ~workers ()] spawns [workers] worker domains (clamped to
     [1 .. max_workers]; default {!default_workers}). *)
@@ -30,16 +34,25 @@ val create : ?workers:int -> unit -> t
 val size : t -> int
 (** Number of workers the pool was created with (1 means sequential). *)
 
-val map : t -> ('a -> 'b) -> 'a list -> 'b list
+val map : ?on_done:(int -> float -> unit) -> t -> ('a -> 'b) -> 'a list -> 'b list
 (** [map t f xs] runs [f] on every element of [xs] on the pool's workers
     and returns the results in the order of [xs]. Concurrent [map] calls
     on the same pool from different domains are safe; their jobs share the
-    workers. *)
+    workers.
+
+    [on_done i seconds] is invoked once per successfully completed job
+    with its index in [xs] and its wall-clock duration — in completion
+    order, not index order. Invocations are serialized (under the pool's
+    lock on the parallel path), so the callback may mutate shared state
+    without further synchronization; keep it cheap and non-raising
+    (exceptions it raises are swallowed). Jobs that raise are not
+    reported. *)
 
 val shutdown : t -> unit
 (** Drains queued jobs, then joins all worker domains. Idempotent; [map]
     after [shutdown] raises [Invalid_argument]. *)
 
-val run : ?workers:int -> ('a -> 'b) -> 'a list -> 'b list
+val run :
+  ?workers:int -> ?on_done:(int -> float -> unit) -> ('a -> 'b) -> 'a list -> 'b list
 (** One-shot convenience: [create], {!map}, {!shutdown} (also on
     exception). *)

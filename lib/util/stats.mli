@@ -42,8 +42,18 @@ module Summary : sig
   val observe : t -> float -> unit
   val n : t -> int
 
+  val count : t -> int
+  (** Number of observations (alias of {!n}). *)
+
   val mean : t -> float
   (** [0.] when nothing has been observed. *)
+
+  val percentile : float -> t -> float
+  (** [percentile p t] is the nearest-rank [p]-th percentile of the
+      observations, with [p] a fraction in [\[0, 1\]] (clamped): the
+      sample at rank [ceil (p * n)] of the ascending order, so
+      [percentile 0. t] and [percentile 1. t] are the exact min and max.
+      [0.] when nothing has been observed (consistent with {!mean}). *)
 
   val stddev : t -> float
 

@@ -25,7 +25,7 @@ let build scheme ast =
   { scheme; ast; prog; layout }
 
 let run ?machine ?(mem_words = 1 lsl 20) ?max_instrs ?(globals = [])
-    ?(arrays = []) ?observe built =
+    ?(arrays = []) ?observe ?sink built =
   let init_mem mem =
     List.iter
       (fun (name, value) ->
@@ -43,7 +43,7 @@ let run ?machine ?(mem_words = 1 lsl 20) ?max_instrs ?(globals = [])
   in
   Run.simulate
     ~support:(Scheme.support built.scheme)
-    ?machine ~mem_words ?max_instrs ~init_mem ?observe built.prog
+    ?machine ~mem_words ?max_instrs ~init_mem ?observe ?sink built.prog
 
 let return_value (o : Run.outcome) = o.Run.exec.Exec.regs.(Sempe_isa.Reg.rv)
 

@@ -23,10 +23,12 @@ val run :
   -> ?globals:(string * int) list
   -> ?arrays:(string * int array) list
   -> ?observe:(Sempe_pipeline.Uop.event -> unit)
+  -> ?sink:Sempe_obs.Sink.t
   -> built
   -> Sempe_core.Run.outcome
 (** Simulates on a fresh machine with the scheme's hardware support.
-    [globals]/[arrays] initialize named program state (secrets, inputs). *)
+    [globals]/[arrays] initialize named program state (secrets, inputs).
+    [sink] attaches an observability sink (see {!Sempe_core.Run.simulate}). *)
 
 val return_value : Sempe_core.Run.outcome -> int
 (** [main]'s return value. *)

@@ -1,11 +1,17 @@
-(* The parallel sweep engine must be invisible in the results: a sweep
-   fanned out to 4 worker domains renders byte-identical tables to the
-   sequential run, because every job owns its machines and the engine
-   returns results in job order. *)
+(* The parallel sweep engine and the observability layer must both be
+   invisible in the results: a sweep fanned out to 4 worker domains
+   renders byte-identical tables to the sequential run (every job owns
+   its machines and the engine returns results in job order), and a run
+   with a sink attached reports the same cycles as one without. *)
 
 module Batch = Sempe_experiments.Batch
 module Fig10 = Sempe_experiments.Fig10
 module Table1 = Sempe_experiments.Table1
+module Scheme = Sempe_core.Scheme
+module Harness = Sempe_workloads.Harness
+module Rsa = Sempe_workloads.Rsa
+module Sink = Sempe_obs.Sink
+module Profile = Sempe_obs.Profile
 
 let with_jobs n f =
   Batch.set_jobs n;
@@ -67,9 +73,26 @@ let test_fig10_cross_kernel_average_missing_width () =
     "no series at all" []
     (Fig10.cross_kernel_average ~f [])
 
+let test_sink_invisible () =
+  (* Instrumentation is passive: no sink, the null sink and a live
+     profiling sink must all produce the identical timing report. *)
+  let report sink =
+    let built = Harness.build Scheme.Sempe Rsa.program in
+    let globals, arrays = Rsa.inputs ~key:0xa5a5 ~base:1234 ~modulus:99991 in
+    (Harness.run ~globals ~arrays ?sink built).Sempe_core.Run.timing
+  in
+  let plain = report None in
+  Alcotest.(check bool) "null sink identical" true (plain = report (Some Sink.null));
+  let profiled =
+    report (Some (Sink.of_probe (Profile.probe (Profile.create ()))))
+  in
+  Alcotest.(check bool) "profiling sink identical" true (plain = profiled)
+
 let tests =
   [
     Alcotest.test_case "fig10 sweep -j1 = -j4" `Quick test_fig10_j1_vs_j4;
+    Alcotest.test_case "sink attachment invisible in report" `Quick
+      test_sink_invisible;
     Alcotest.test_case "table1 measure -j1 = -j4" `Quick test_table1_j1_vs_j4;
     Alcotest.test_case "map_product grouping" `Quick test_map_product_grouping;
     Alcotest.test_case "fig10 average skips missing widths" `Quick

@@ -157,6 +157,43 @@ let test_summary_empty () =
   Alcotest.(check (float 0.0)) "min after first" (-2.5) (Stats.Summary.min s);
   Alcotest.(check (float 0.0)) "max after first" (-2.5) (Stats.Summary.max s)
 
+let test_summary_percentile () =
+  let s = Stats.Summary.create () in
+  Alcotest.(check (float 0.0)) "empty" 0.0 (Stats.Summary.percentile 0.5 s);
+  Stats.Summary.observe s 7.0;
+  Alcotest.(check int) "count" 1 (Stats.Summary.count s);
+  (* a single sample is every percentile *)
+  Alcotest.(check (float 0.0)) "single p0" 7.0 (Stats.Summary.percentile 0.0 s);
+  Alcotest.(check (float 0.0)) "single p50" 7.0 (Stats.Summary.percentile 0.5 s);
+  Alcotest.(check (float 0.0)) "single p100" 7.0 (Stats.Summary.percentile 1.0 s);
+  (* out-of-range p clamps rather than raising *)
+  Alcotest.(check (float 0.0)) "clamp low" 7.0 (Stats.Summary.percentile (-1.0) s);
+  Alcotest.(check (float 0.0)) "clamp high" 7.0 (Stats.Summary.percentile 2.0 s)
+
+let test_summary_percentile_ties () =
+  let s = Stats.Summary.create () in
+  (* observation order must not matter, and ties collapse to the value *)
+  List.iter (Stats.Summary.observe s) [ 3.0; 1.0; 3.0; 2.0; 3.0 ];
+  Alcotest.(check (float 0.0)) "p0 is min" 1.0 (Stats.Summary.percentile 0.0 s);
+  Alcotest.(check (float 0.0)) "p20 rank 1" 1.0 (Stats.Summary.percentile 0.2 s);
+  Alcotest.(check (float 0.0)) "p40 rank 2" 2.0 (Stats.Summary.percentile 0.4 s);
+  Alcotest.(check (float 0.0)) "p50 rank 3" 3.0 (Stats.Summary.percentile 0.5 s);
+  Alcotest.(check (float 0.0)) "p100 is max" 3.0 (Stats.Summary.percentile 1.0 s);
+  (* interleave a query with more observations: cache must invalidate *)
+  Stats.Summary.observe s 0.0;
+  Alcotest.(check (float 0.0)) "p0 after growth" 0.0
+    (Stats.Summary.percentile 0.0 s)
+
+let prop_summary_percentile_sorted =
+  QCheck.Test.make ~name:"percentile 1.0 = max, 0.0 = min" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 40) (float_bound_exclusive 1000.0))
+    (fun xs ->
+      let s = Stats.Summary.create () in
+      List.iter (Stats.Summary.observe s) xs;
+      Stats.Summary.percentile 0.0 s = List.fold_left min infinity xs
+      && Stats.Summary.percentile 1.0 s = List.fold_left max neg_infinity xs
+      && Stats.Summary.count s = List.length xs)
+
 (* ---- tablefmt ---- *)
 
 let test_tablefmt_render () =
@@ -197,6 +234,9 @@ let tests =
     Alcotest.test_case "stats ratio" `Quick test_stats_ratio;
     qtest prop_summary_mean;
     Alcotest.test_case "summary empty" `Quick test_summary_empty;
+    Alcotest.test_case "summary percentile" `Quick test_summary_percentile;
+    Alcotest.test_case "summary percentile ties" `Quick test_summary_percentile_ties;
+    qtest prop_summary_percentile_sorted;
     Alcotest.test_case "tablefmt render" `Quick test_tablefmt_render;
     Alcotest.test_case "tablefmt arity" `Quick test_tablefmt_arity;
     Alcotest.test_case "tablefmt formats" `Quick test_tablefmt_formats;

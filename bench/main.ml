@@ -1,10 +1,13 @@
 (* Regenerates every table and figure of the paper's evaluation on the
    simulated substrate, then runs bechamel micro-benchmarks of the core
-   data structures. `dune exec bench/main.exe` prints everything; pass
-   `quick` to shrink the sweeps (CI-sized run) and `-j N` to fan the
-   simulation grids out to N worker domains (default: one per core;
-   `-j 1` is the plain sequential path). The rendered sections are
-   byte-identical at any -j. *)
+   data structures and a full-vs-sampled simulation-rate benchmark.
+   `dune exec bench/main.exe` prints everything; pass `quick` to shrink
+   the sweeps (CI-sized run) and `-j N` to fan the simulation grids out
+   to N worker domains (default: one per core; `-j 1` is the plain
+   sequential path). The rendered sections up to the micro-benchmarks are
+   byte-identical at any -j (the perf sections report wall-clock times,
+   so they print after the determinism cut). `--bench-json FILE` writes
+   the perf records as machine-readable JSON. *)
 
 module Config = Sempe_pipeline.Config
 module Tablefmt = Sempe_util.Tablefmt
@@ -24,6 +27,14 @@ let jobs =
       else scan (i + 1)
   in
   match scan 1 with Some n -> n | None -> Batch.default_jobs ()
+
+let bench_json =
+  let rec scan i =
+    if i + 1 >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = "--bench-json" then Some Sys.argv.(i + 1)
+    else scan (i + 1)
+  in
+  scan 1
 
 let section title body =
   Printf.printf "==== %s ====\n%s\n\n%!" title body
@@ -164,6 +175,155 @@ let micro () =
     (Tablefmt.render ~header:[ "operation"; "ns/run" ]
        (List.sort compare !rows))
 
+(* ---- simulation-rate benchmark: full vs sampled ---- *)
+
+module Harness = Sempe_workloads.Harness
+module Sampling = Sempe_sampling.Sampling
+module Pool = Sempe_util.Pool
+module Json = Sempe_obs.Json
+
+type perf_record = {
+  p_workload : string;
+  p_mode : string;  (* "full" | "sampled" *)
+  p_instructions : int;
+  p_cycles : int;
+  p_wall_s : float;
+  p_speedup : float;  (* vs the full run of the same workload; 1.0 for full *)
+}
+
+let minstr_per_s r =
+  if r.p_wall_s > 0. then float_of_int r.p_instructions /. r.p_wall_s /. 1e6
+  else 0.
+
+let perf_record_json r =
+  Json.Obj
+    [
+      ("workload", Json.Str r.p_workload);
+      ("mode", Json.Str r.p_mode);
+      ("instructions", Json.Int r.p_instructions);
+      ("cycles", Json.Int r.p_cycles);
+      ("wall_s", Json.Float r.p_wall_s);
+      ("minstr_per_s", Json.Float (minstr_per_s r));
+      ("speedup", Json.Float r.p_speedup);
+    ]
+
+(* Simulation rate of the detailed model vs the sampled estimator on the
+   same workloads, plus the CI smoke of the sampler itself: 25% coverage
+   at -j 2 must land inside its own error band, and 100% coverage must
+   equal the full run exactly. Wall-clock numbers are nondeterministic,
+   so this section prints after the determinism cut (the micro section's
+   header) and never perturbs the -j sweep diff. *)
+let perf () =
+  let sample_cfg coverage =
+    { Sampling.default_config with Sampling.coverage }
+  in
+  let workloads =
+    let fib =
+      let spec =
+        { Sempe_workloads.Microbench.kernel = Sempe_workloads.Kernels.fibonacci;
+          width = 4; iters = (if quick then 30 else 100) }
+      in
+      ( "microbench-fibonacci",
+        Harness.build Sempe_core.Scheme.Sempe
+          (Sempe_workloads.Microbench.program ~ct:false spec),
+        Sempe_workloads.Microbench.secrets_for_leaf ~width:4 ~leaf:1,
+        [] )
+    in
+    let djpeg =
+      let fmt = Sempe_workloads.Djpeg.Ppm in
+      let blocks = if quick then 8 else 64 in
+      let globals, arrays = Sempe_workloads.Djpeg.inputs fmt ~seed:42 ~blocks in
+      ( Printf.sprintf "djpeg-ppm-%db" blocks,
+        Harness.build Sempe_core.Scheme.Sempe
+          (Sempe_workloads.Djpeg.program fmt),
+        globals,
+        arrays )
+    in
+    [ fib; djpeg ]
+  in
+  let records = ref [] in
+  let smoke_failures = ref [] in
+  List.iter
+    (fun (name, built, globals, arrays) ->
+      let t0 = Pool.now_s () in
+      let outcome = Harness.run ~globals ~arrays built in
+      let full_s = Pool.now_s () -. t0 in
+      let report = outcome.Sempe_core.Run.timing in
+      let full_cycles = report.Sempe_pipeline.Timing.cycles in
+      records :=
+        {
+          p_workload = name;
+          p_mode = "full";
+          p_instructions = report.Sempe_pipeline.Timing.instructions;
+          p_cycles = full_cycles;
+          p_wall_s = full_s;
+          p_speedup = 1.0;
+        }
+        :: !records;
+      let t1 = Pool.now_s () in
+      let est =
+        Harness.sample ~globals ~arrays ~config:(sample_cfg 0.25) ~workers:2
+          built
+      in
+      let sampled_s = Pool.now_s () -. t1 in
+      records :=
+        {
+          p_workload = name;
+          p_mode = "sampled";
+          p_instructions = est.Sampling.instructions;
+          p_cycles = est.Sampling.cycles_estimate;
+          p_wall_s = sampled_s;
+          p_speedup = (if sampled_s > 0. then full_s /. sampled_s else 0.);
+        }
+        :: !records;
+      if not (Sampling.contains est ~cycles:full_cycles) then
+        smoke_failures :=
+          Printf.sprintf
+            "%s: full cycles %d outside the sampled band [%d, %d]" name
+            full_cycles est.Sampling.cycles_low est.Sampling.cycles_high
+          :: !smoke_failures;
+      let exact =
+        Harness.sample ~globals ~arrays ~config:(sample_cfg 1.0) built
+      in
+      if exact.Sampling.cycles_estimate <> full_cycles then
+        smoke_failures :=
+          Printf.sprintf
+            "%s: 100%% coverage gave %d cycles, full run gave %d" name
+            exact.Sampling.cycles_estimate full_cycles
+          :: !smoke_failures)
+    workloads;
+  let records = List.rev !records in
+  section "Simulation rate (full vs sampled, 25% coverage)"
+    (Tablefmt.render
+       ~header:
+         [ "workload"; "mode"; "instrs"; "cycles"; "wall s"; "Minstr/s";
+           "speedup" ]
+       (List.map
+          (fun r ->
+            [
+              r.p_workload; r.p_mode; string_of_int r.p_instructions;
+              string_of_int r.p_cycles;
+              Printf.sprintf "%.3f" r.p_wall_s;
+              Printf.sprintf "%.2f" (minstr_per_s r);
+              Tablefmt.times r.p_speedup;
+            ])
+          records));
+  (match bench_json with
+   | None -> ()
+   | Some file ->
+     let oc = open_out file in
+     output_string oc
+       (Json.to_string (Json.List (List.map perf_record_json records)));
+     output_char oc '\n';
+     close_out oc;
+     Printf.eprintf "[bench] wrote %d perf records to %s\n%!"
+       (List.length records) file);
+  match !smoke_failures with
+  | [] -> ()
+  | fs ->
+    List.iter (Printf.eprintf "[bench] sampling smoke FAILED: %s\n%!") fs;
+    exit 1
+
 let () =
   Batch.set_jobs jobs;
   (* stderr, so section output stays byte-identical across -j values *)
@@ -189,4 +349,5 @@ let () =
           %!"
          t.Batch.jobs_run t.Batch.wall_s t.Batch.throughput t.Batch.mean_s
          t.Batch.p50_s t.Batch.p95_s t.Batch.max_s);
-  micro ()
+  micro ();
+  perf ()

@@ -1,7 +1,7 @@
 (* sempe-sim: command-line front end to the SeMPE simulator.
 
-   Subcommands: config, microbench, djpeg, rsa, leakage, report, profile,
-   trace, asm-run, disasm. *)
+   Subcommands: config, microbench, djpeg, rsa, sample, leakage, report,
+   profile, trace, asm-run, disasm. *)
 
 open Cmdliner
 module Scheme = Sempe_core.Scheme
@@ -18,6 +18,8 @@ module Json = Sempe_obs.Json
 module Report = Sempe_obs.Report
 module Profile = Sempe_obs.Profile
 module Sink = Sempe_obs.Sink
+module Sampling = Sempe_sampling.Sampling
+module Pool = Sempe_util.Pool
 
 let scheme_conv =
   let parse s =
@@ -106,6 +108,67 @@ let print_report (r : Timing.report) =
 
 let print_json j = print_endline (Json.to_string j)
 
+(* ---- sampled-simulation options shared by the workload commands ---- *)
+
+let strict_oob_arg =
+  Arg.(
+    value & flag
+    & info [ "strict-oob" ]
+        ~doc:
+          "Trap on out-of-bounds data addresses instead of wrapping them \
+           into memory (the forgiving default).")
+
+let sample_flag =
+  Arg.(
+    value & flag
+    & info [ "sample" ]
+        ~doc:
+          "Estimate cycles by sampled simulation (checkpointed intervals \
+           under functional warming) instead of simulating every \
+           instruction in detail.")
+
+let coverage_arg =
+  Arg.(
+    value & opt float Sampling.default_config.Sampling.coverage
+    & info [ "coverage" ] ~docv:"FRAC"
+        ~doc:"Fraction of intervals measured in detail, in (0, 1].")
+
+let interval_arg =
+  Arg.(
+    value & opt int Sampling.default_config.Sampling.interval
+    & info [ "interval" ] ~docv:"N" ~doc:"Instructions per sampling interval.")
+
+let warmup_arg =
+  Arg.(
+    value & opt int Sampling.default_config.Sampling.warmup
+    & info [ "warmup" ] ~docv:"N"
+        ~doc:"Detailed warmup instructions before each measured interval.")
+
+let sample_config ~interval ~coverage ~warmup =
+  { Sampling.default_config with Sampling.interval; coverage; warmup }
+
+let print_estimate (e : Sampling.estimate) =
+  Tablefmt.print ~header:[ "metric"; "value" ]
+    [
+      [ "instructions"; string_of_int e.Sampling.instructions ];
+      [ "cycles (estimate)"; string_of_int e.Sampling.cycles_estimate ];
+      [ "90% band";
+        Printf.sprintf "[%d, %d]" e.Sampling.cycles_low e.Sampling.cycles_high ];
+      [ "CPI"; Tablefmt.fixed 3 e.Sampling.cpi ];
+      [ "intervals measured";
+        Printf.sprintf "%d / %d" e.Sampling.intervals_measured
+          e.Sampling.intervals_total ];
+      [ "instructions measured";
+        Printf.sprintf "%d (%.1f%%)" e.Sampling.measured_instructions
+          (100.
+          *. float_of_int e.Sampling.measured_instructions
+          /. float_of_int (max 1 e.Sampling.instructions)) ];
+      [ "exact"; (if e.Sampling.exact then "yes (full coverage)" else "no") ];
+      [ "checkpoint volume";
+        Printf.sprintf "%.1f KiB"
+          (float_of_int e.Sampling.checkpoint_bytes /. 1024.) ];
+    ]
+
 (* ---- config ---- *)
 
 let config_cmd =
@@ -136,37 +199,58 @@ let ct_of_scheme = function
   | Scheme.Baseline | Scheme.Sempe | Scheme.Sempe_on_legacy -> false
 
 let microbench_cmd =
-  let run scheme kernel width iters leaf json =
+  let run scheme kernel width iters leaf strict sample interval coverage warmup
+      json =
     let spec = { MB.kernel; width; iters } in
     let src = MB.program ~ct:(ct_of_scheme scheme) spec in
     let secrets = MB.secrets_for_leaf ~width ~leaf in
     let built = Harness.build scheme src in
-    let outcome = Harness.run ~globals:secrets built in
-    let base =
-      Harness.run ~globals:secrets
-        (Harness.build Scheme.Baseline (MB.program ~ct:false spec))
+    let forgiving_oob = not strict in
+    let tags =
+      [
+        ("workload", Json.Str "microbench");
+        ("kernel", Json.Str kernel.Kernels.name);
+        ("width", Json.Int width);
+        ("iters", Json.Int iters);
+        ("leaf", Json.Int leaf);
+        ("scheme", Json.Str (Scheme.name scheme));
+      ]
     in
-    let slowdown = Run.overhead ~baseline:base outcome in
-    if json then
-      print_json
-        (Json.Obj
-           [
-             ("workload", Json.Str "microbench");
-             ("kernel", Json.Str kernel.Kernels.name);
-             ("width", Json.Int width);
-             ("iters", Json.Int iters);
-             ("leaf", Json.Int leaf);
-             ("scheme", Json.Str (Scheme.name scheme));
-             ("checksum", Json.Int (Harness.return_value outcome));
-             ("slowdown_vs_baseline", Json.Float slowdown);
-             ("report", Report.to_json outcome.Run.timing);
-           ])
+    if sample then begin
+      let config = sample_config ~interval ~coverage ~warmup in
+      let est = Harness.sample ~forgiving_oob ~globals:secrets ~config built in
+      if json then
+        print_json (Json.Obj (tags @ [ ("sampling", Sampling.to_json est) ]))
+      else begin
+        Printf.printf
+          "microbenchmark %s, W=%d, iters=%d, scheme=%s, true leaf=%d (sampled)\n\n"
+          kernel.Kernels.name width iters (Scheme.name scheme) leaf;
+        print_estimate est
+      end
+    end
     else begin
-      Printf.printf "microbenchmark %s, W=%d, iters=%d, scheme=%s, true leaf=%d\n"
-        kernel.Kernels.name width iters (Scheme.name scheme) leaf;
-      Printf.printf "checksum = %d\n\n" (Harness.return_value outcome);
-      print_report outcome.Run.timing;
-      Printf.printf "\nslowdown vs baseline: %s\n" (Tablefmt.times slowdown)
+      let outcome = Harness.run ~forgiving_oob ~globals:secrets built in
+      let base =
+        Harness.run ~forgiving_oob ~globals:secrets
+          (Harness.build Scheme.Baseline (MB.program ~ct:false spec))
+      in
+      let slowdown = Run.overhead ~baseline:base outcome in
+      if json then
+        print_json
+          (Json.Obj
+             (tags
+             @ [
+                 ("checksum", Json.Int (Harness.return_value outcome));
+                 ("slowdown_vs_baseline", Json.Float slowdown);
+                 ("report", Report.to_json outcome.Run.timing);
+               ]))
+      else begin
+        Printf.printf "microbenchmark %s, W=%d, iters=%d, scheme=%s, true leaf=%d\n"
+          kernel.Kernels.name width iters (Scheme.name scheme) leaf;
+        Printf.printf "checksum = %d\n\n" (Harness.return_value outcome);
+        print_report outcome.Run.timing;
+        Printf.printf "\nslowdown vs baseline: %s\n" (Tablefmt.times slowdown)
+      end
     end
   in
   let kernel =
@@ -185,7 +269,9 @@ let microbench_cmd =
   in
   Cmd.v
     (Cmd.info "microbench" ~doc:"Run the Figure 7 nested-chain microbenchmark.")
-    Term.(const run $ scheme_arg $ kernel $ width $ iters $ leaf $ json_arg)
+    Term.(
+      const run $ scheme_arg $ kernel $ width $ iters $ leaf $ strict_oob_arg
+      $ sample_flag $ interval_arg $ coverage_arg $ warmup_arg $ json_arg)
 
 (* ---- djpeg ---- *)
 
@@ -196,28 +282,50 @@ let djpeg_format = function
   | other -> failwith (Printf.sprintf "unknown format %S" other)
 
 let djpeg_cmd =
-  let run scheme fmt_name blocks seed json =
+  let run scheme fmt_name blocks seed strict sample interval coverage warmup
+      json =
     let fmt = djpeg_format (String.uppercase_ascii fmt_name) in
     let built = Harness.build scheme (Djpeg.program fmt) in
     let globals, arrays = Djpeg.inputs fmt ~seed ~blocks in
-    let outcome = Harness.run ~globals ~arrays built in
-    if json then
-      print_json
-        (Json.Obj
-           [
-             ("workload", Json.Str "djpeg");
-             ("format", Json.Str (Djpeg.format_name fmt));
-             ("blocks", Json.Int blocks);
-             ("seed", Json.Int seed);
-             ("scheme", Json.Str (Scheme.name scheme));
-             ("checksum", Json.Int (Harness.return_value outcome));
-             ("report", Report.to_json outcome.Run.timing);
-           ])
+    let forgiving_oob = not strict in
+    let tags =
+      [
+        ("workload", Json.Str "djpeg");
+        ("format", Json.Str (Djpeg.format_name fmt));
+        ("blocks", Json.Int blocks);
+        ("seed", Json.Int seed);
+        ("scheme", Json.Str (Scheme.name scheme));
+      ]
+    in
+    if sample then begin
+      let config = sample_config ~interval ~coverage ~warmup in
+      let est =
+        Harness.sample ~forgiving_oob ~globals ~arrays ~config built
+      in
+      if json then
+        print_json (Json.Obj (tags @ [ ("sampling", Sampling.to_json est) ]))
+      else begin
+        Printf.printf "djpeg -> %s, %d blocks, scheme=%s, image seed=%d (sampled)\n\n"
+          (Djpeg.format_name fmt) blocks (Scheme.name scheme) seed;
+        print_estimate est
+      end
+    end
     else begin
-      Printf.printf "djpeg -> %s, %d blocks, scheme=%s, image seed=%d\n"
-        (Djpeg.format_name fmt) blocks (Scheme.name scheme) seed;
-      Printf.printf "checksum = %d\n\n" (Harness.return_value outcome);
-      print_report outcome.Run.timing
+      let outcome = Harness.run ~forgiving_oob ~globals ~arrays built in
+      if json then
+        print_json
+          (Json.Obj
+             (tags
+             @ [
+                 ("checksum", Json.Int (Harness.return_value outcome));
+                 ("report", Report.to_json outcome.Run.timing);
+               ]))
+      else begin
+        Printf.printf "djpeg -> %s, %d blocks, scheme=%s, image seed=%d\n"
+          (Djpeg.format_name fmt) blocks (Scheme.name scheme) seed;
+        Printf.printf "checksum = %d\n\n" (Harness.return_value outcome);
+        print_report outcome.Run.timing
+      end
     end
   in
   let fmt =
@@ -230,40 +338,65 @@ let djpeg_cmd =
     Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Secret image seed.")
   in
   Cmd.v (Cmd.info "djpeg" ~doc:"Run the synthetic djpeg decoder.")
-    Term.(const run $ scheme_arg $ fmt $ blocks $ seed $ json_arg)
+    Term.(
+      const run $ scheme_arg $ fmt $ blocks $ seed $ strict_oob_arg
+      $ sample_flag $ interval_arg $ coverage_arg $ warmup_arg $ json_arg)
 
 (* ---- rsa ---- *)
 
 let rsa_cmd =
-  let run scheme key json =
+  let run scheme key strict sample interval coverage warmup json =
     let built = Harness.build scheme Rsa.program in
     let globals, arrays = Rsa.inputs ~key ~base:1234 ~modulus:99991 in
-    let outcome = Harness.run ~globals ~arrays built in
-    let expected = Rsa.reference ~key ~base:1234 ~modulus:99991 in
-    if json then
-      print_json
-        (Json.Obj
-           [
-             ("workload", Json.Str "rsa");
-             ("key", Json.Int key);
-             ("scheme", Json.Str (Scheme.name scheme));
-             ("result", Json.Int (Harness.return_value outcome));
-             ("expected", Json.Int expected);
-             ("report", Report.to_json outcome.Run.timing);
-           ])
+    let forgiving_oob = not strict in
+    let tags =
+      [
+        ("workload", Json.Str "rsa");
+        ("key", Json.Int key);
+        ("scheme", Json.Str (Scheme.name scheme));
+      ]
+    in
+    if sample then begin
+      let config = sample_config ~interval ~coverage ~warmup in
+      let est =
+        Harness.sample ~forgiving_oob ~globals ~arrays ~config built
+      in
+      if json then
+        print_json (Json.Obj (tags @ [ ("sampling", Sampling.to_json est) ]))
+      else begin
+        Printf.printf "modexp (Figure 1), key=0x%04x, scheme=%s (sampled)\n\n"
+          key (Scheme.name scheme);
+        print_estimate est
+      end
+    end
     else begin
-      Printf.printf "modexp (Figure 1), key=0x%04x, scheme=%s\n" key
-        (Scheme.name scheme);
-      Printf.printf "result = %d (expected %d)\n\n"
-        (Harness.return_value outcome) expected;
-      print_report outcome.Run.timing
+      let outcome = Harness.run ~forgiving_oob ~globals ~arrays built in
+      let expected = Rsa.reference ~key ~base:1234 ~modulus:99991 in
+      if json then
+        print_json
+          (Json.Obj
+             (tags
+             @ [
+                 ("result", Json.Int (Harness.return_value outcome));
+                 ("expected", Json.Int expected);
+                 ("report", Report.to_json outcome.Run.timing);
+               ]))
+      else begin
+        Printf.printf "modexp (Figure 1), key=0x%04x, scheme=%s\n" key
+          (Scheme.name scheme);
+        Printf.printf "result = %d (expected %d)\n\n"
+          (Harness.return_value outcome) expected;
+        print_report outcome.Run.timing
+      end
     end
   in
   let key =
     Arg.(value & opt int 0x1234 & info [ "key" ] ~docv:"KEY" ~doc:"Secret exponent.")
   in
   Cmd.v (Cmd.info "rsa" ~doc:"Run RSA modular exponentiation (Figure 1).")
-    Term.(const run $ scheme_arg $ key $ json_arg)
+    Term.(
+      const run $ scheme_arg $ key $ strict_oob_arg $ sample_flag
+      $ interval_arg $ coverage_arg $ warmup_arg $ json_arg)
 
 (* ---- profile / trace: shared workload selector ---- *)
 
@@ -318,6 +451,101 @@ let seed_arg =
 
 let key_arg =
   Arg.(value & opt int 0x1234 & info [ "key" ] ~docv:"KEY" ~doc:"Secret exponent (rsa).")
+
+(* ---- sample ---- *)
+
+let sample_cmd =
+  let run scheme which width iters leaf blocks seed key interval coverage
+      warmup jobs strict compare json =
+    let src, globals, arrays, desc =
+      workload scheme which ~width ~iters ~leaf ~blocks ~seed ~key
+    in
+    let built = Harness.build scheme src in
+    let forgiving_oob = not strict in
+    let config = sample_config ~interval ~coverage ~warmup in
+    let workers = if jobs <= 0 then None else Some jobs in
+    (* --compare-full: also run the ordinary detailed simulation so the
+       estimate's error and the wall-clock speedup can be read off
+       directly (this is the acceptance check for the sampler). The
+       reference runs first: the first simulation in a process pays the
+       GC-heap growth for both, and the reference is the baseline the
+       sampled time is judged against. *)
+    let reference =
+      if not compare then None
+      else begin
+        let t1 = Pool.now_s () in
+        let outcome = Harness.run ~forgiving_oob ~globals ~arrays built in
+        Some (Run.cycles outcome, Pool.now_s () -. t1)
+      end
+    in
+    let t0 = Pool.now_s () in
+    let est =
+      Harness.sample ~forgiving_oob ~globals ~arrays ~config ?workers built
+    in
+    let sampled_s = Pool.now_s () -. t0 in
+    if json then
+      print_json
+        (Json.Obj
+           ([
+              ("workload", Json.Str desc);
+              ("scheme", Json.Str (Scheme.name scheme));
+              ("sampled_s", Json.Float sampled_s);
+              ("sampling", Sampling.to_json est);
+            ]
+           @
+           match reference with
+           | None -> []
+           | Some (full, full_s) ->
+             [
+               ("full_cycles", Json.Int full);
+               ("full_s", Json.Float full_s);
+               ("error", Json.Float (Sampling.relative_error est ~cycles:full));
+               ("in_bound", Json.Bool (Sampling.contains est ~cycles:full));
+               ("speedup",
+                Json.Float (if sampled_s > 0. then full_s /. sampled_s else 0.));
+             ]))
+    else begin
+      Printf.printf "sampled simulation: %s, scheme=%s\n" desc
+        (Scheme.name scheme);
+      Printf.printf
+        "interval=%d instrs, coverage=%s, warmup=%d instrs (%.2fs wall)\n\n"
+        interval
+        (Tablefmt.percent coverage)
+        warmup sampled_s;
+      print_estimate est;
+      match reference with
+      | None -> ()
+      | Some (full, full_s) ->
+        Printf.printf
+          "\nfull run: %d cycles in %.2fs -> error %s (%s the 90%% band), \
+           speedup %s\n"
+          full full_s
+          (Tablefmt.percent (Sampling.relative_error est ~cycles:full))
+          (if Sampling.contains est ~cycles:full then "inside" else "OUTSIDE")
+          (Tablefmt.times (if sampled_s > 0. then full_s /. sampled_s else 0.))
+    end
+  in
+  let compare_arg =
+    Arg.(
+      value & flag
+      & info [ "compare-full" ]
+          ~doc:
+            "Also run the full detailed simulation and report the \
+             estimate's relative error and the wall-clock speedup.")
+  in
+  Cmd.v
+    (Cmd.info "sample"
+       ~doc:
+         "Estimate a workload's cycle count by sampled simulation: one \
+          functional pass warms caches and predictors and saves \
+          checkpoints; a subset of intervals is then measured under the \
+          detailed timing model (in parallel with -j) and extrapolated \
+          with a confidence band. Performance only: leakage/security \
+          analyses need full runs.")
+    Term.(
+      const run $ scheme_arg $ workload_arg $ width_arg $ iters_arg $ leaf_arg
+      $ blocks_arg $ seed_arg $ key_arg $ interval_arg $ coverage_arg
+      $ warmup_arg $ jobs_arg $ strict_oob_arg $ compare_arg $ json_arg)
 
 (* ---- profile ---- *)
 
@@ -470,9 +698,16 @@ let report_cmd =
           let m = Sempe_experiments.Ablation.measure () in
           if json then print_json (Sempe_experiments.Ablation.to_json m)
           else print_endline (Sempe_experiments.Ablation.render m)
+        | "sampling" ->
+          let cells = Sempe_experiments.Sampling_exp.collect () in
+          if json then print_json (Sempe_experiments.Sampling_exp.to_json cells)
+          else if csv then
+            print_string (Sempe_experiments.Sampling_exp.csv cells)
+          else print_endline (Sempe_experiments.Sampling_exp.render cells)
         | other ->
           Printf.eprintf
-            "unknown experiment %S (table1, fig8, fig9, fig10, ablation)\n"
+            "unknown experiment %S (table1, fig8, fig9, fig10, ablation, \
+             sampling)\n"
             other;
           exit 1)
   in
@@ -484,7 +719,9 @@ let report_cmd =
   in
   Cmd.v
     (Cmd.info "report"
-       ~doc:"Regenerate one paper table/figure (table1, fig8, fig9, fig10, ablation).")
+       ~doc:
+         "Regenerate one paper table/figure (table1, fig8, fig9, fig10, \
+          ablation) or the sampled-simulation validation grid (sampling).")
     Term.(const run $ exp_arg $ csv_arg $ json_arg $ jobs_arg $ progress_arg)
 
 (* ---- asm-run: execute an assembly file ---- *)
@@ -564,6 +801,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            config_cmd; microbench_cmd; djpeg_cmd; rsa_cmd; leakage_cmd;
-            report_cmd; profile_cmd; trace_cmd; disasm_cmd; asm_run_cmd;
+            config_cmd; microbench_cmd; djpeg_cmd; rsa_cmd; sample_cmd;
+            leakage_cmd; report_cmd; profile_cmd; trace_cmd; disasm_cmd;
+            asm_run_cmd;
           ]))

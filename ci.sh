@@ -21,4 +21,8 @@ trap 'rm -rf "$out"' EXIT
 ./_build/default/bench/main.exe quick -j 2 \
   | sed -n '/Component micro-benchmarks/q;p' > "$out/j2.txt"
 diff -u "$out/j1.txt" "$out/j2.txt"
+echo "== sampling smoke: fibonacci, 25% coverage, -j 2"
+./_build/default/bin/sempe_sim.exe sample fibonacci --iters 50 \
+  --coverage 0.25 -j 2 --compare-full --json \
+  | grep -q '"in_bound":true'
 echo "CI OK"

@@ -202,8 +202,7 @@ let age_usefulness t =
       (fun tb -> Array.iter (fun e -> if e.u > 0 then e.u <- e.u - 1) tb.entries)
       t.tables
 
-let update t pc taken =
-  let lk, pred = predict_with t pc in
+let update_with t lk pred pc taken =
   let altp = alt_pred t lk in
   (match lk.provider with
    | None ->
@@ -241,12 +240,33 @@ let signature t =
 
 let create ?(config = default_config) () =
   let t = make config in
+  (* The protocol is strictly predict-then-update per branch (both
+     execution modes go through [Warm.cond_branch]), and only [update]
+     and [reset] mutate predictor state — so the lookup [update] needs is
+     exactly the one [predict] just computed. Memoize it: the re-lookup
+     was the single most expensive part of the update path. The memo ref
+     is captured by both closures, so [Marshal.Closures] round-trips it
+     with the rest of the state. *)
+  let memo = ref None in
   {
     Predictor.name = "tage";
-    predict = (fun ~pc -> snd (predict_with t pc));
-    update = (fun ~pc ~taken -> update t pc taken);
+    predict =
+      (fun ~pc ->
+        let lk, p = predict_with t pc in
+        memo := Some (pc, lk, p);
+        p);
+    update =
+      (fun ~pc ~taken ->
+        let lk, pred =
+          match !memo with
+          | Some (mpc, mlk, mp) when mpc = pc -> (mlk, mp)
+          | Some _ | None -> predict_with t pc
+        in
+        memo := None;
+        update_with t lk pred pc taken);
     reset =
       (fun () ->
+        memo := None;
         Counters.reset t.base;
         Array.iter
           (fun tb ->

@@ -1,5 +1,6 @@
 open Sempe_isa
 module Uop = Sempe_pipeline.Uop
+module Warm = Sempe_pipeline.Warm
 module Spm = Sempe_mem.Spm
 
 type support = Legacy | Sempe_hw
@@ -44,12 +45,56 @@ type state = {
   snaps : Snapshot.t;
   spm : Spm.t;
   sink : Uop.event -> unit;
+  (* [emit] is false when no sink was supplied: the µop events would be
+     discarded anyway, so fast-forward execution skips allocating them. *)
+  emit : bool;
+  (* Fast-forward functional warming: when present, every architectural
+     step drives the shared {!Sempe_pipeline.Warm} update protocol — the
+     same calls, in the same order, that {!Sempe_pipeline.Timing} makes
+     when it consumes the committed µop stream — so caches and predictors
+     end up in the state a detailed run would have produced. *)
+  warm : Warm.t option;
   mutable pc : int;
   mutable count : int;
   mutable sjmps : int;
   mutable max_nesting : int;
   mutable halted : bool;
 }
+
+let warm_fetch st =
+  match st.warm with
+  | Some w -> ignore (Warm.fetch w ~pc:st.pc : int)
+  | None -> ()
+
+let warm_data st ~addr ~write =
+  match st.warm with
+  | Some w -> ignore (Warm.data w ~pc:st.pc ~word_addr:addr ~write : int)
+  | None -> ()
+
+let warm_cond st ~taken ~target =
+  match st.warm with
+  | Some w -> ignore (Warm.cond_branch w ~pc:st.pc ~taken ~target : Warm.cond)
+  | None -> ()
+
+let warm_jump st ~target =
+  match st.warm with
+  | Some w -> ignore (Warm.taken_transfer w ~pc:st.pc ~target : Warm.transfer)
+  | None -> ()
+
+let warm_call st ~target ~return_to =
+  match st.warm with
+  | Some w -> ignore (Warm.call w ~pc:st.pc ~target ~return_to : Warm.transfer)
+  | None -> ()
+
+let warm_ret st ~target =
+  match st.warm with
+  | Some w -> ignore (Warm.ret w ~target : Warm.target_pred)
+  | None -> ()
+
+let warm_indirect st ~target =
+  match st.warm with
+  | Some w -> ignore (Warm.indirect w ~pc:st.pc ~target : Warm.target_pred)
+  | None -> ()
 
 let write_reg st r v =
   if r <> Reg.zero then begin
@@ -68,9 +113,13 @@ let resolve_addr st addr =
   else raise (Out_of_bounds { pc = st.pc; addr })
 
 let emit_commit st instr ~mem_addr control =
-  st.sink (Uop.Commit (Uop.of_instr ~pc:st.pc instr ~mem_addr control))
+  if st.emit then
+    st.sink (Uop.Commit (Uop.of_instr ~pc:st.pc instr ~mem_addr control))
 
 let emit_plain st instr = emit_commit st instr ~mem_addr:0 Uop.Ctl_none
+
+let emit_drain st ~reason ~spm_cycles =
+  if st.emit then st.sink (Uop.Drain { reason; spm_cycles })
 
 (* Enter a SecBlock at a committed sJMP (Sempe_hw only). *)
 let enter_secblock st cond rs1 rs2 target instr =
@@ -83,7 +132,7 @@ let enter_secblock st cond rs1 rs2 target instr =
   Snapshot.push st.snaps ~regs:st.regs ~outcome;
   if Snapshot.depth st.snaps > st.max_nesting then
     st.max_nesting <- Snapshot.depth st.snaps;
-  st.sink (Uop.Drain { reason = Uop.Drain_enter_secblock; spm_cycles = cycles });
+  emit_drain st ~reason:Uop.Drain_enter_secblock ~spm_cycles:cycles;
   st.sjmps <- st.sjmps + 1;
   st.pc <- st.pc + 1
 
@@ -101,19 +150,20 @@ let do_eosjmp st instr =
       let nt_mods = Snapshot.end_nt_path st.snaps ~regs:st.regs in
       let c1 = Spm.save_modified st.spm ~modified:nt_mods in
       let c2 = Spm.read_modified st.spm ~modified:nt_mods in
-      st.sink
-        (Uop.Drain { reason = Uop.Drain_after_nt_path; spm_cycles = c1 + c2 });
+      emit_drain st ~reason:Uop.Drain_after_nt_path ~spm_cycles:(c1 + c2);
       st.pc <- dest
     | Jbtable.Release ->
       emit_plain st instr;
       let union = Snapshot.finish st.snaps ~regs:st.regs in
       let cycles = Spm.restore st.spm ~modified_union:union in
-      st.sink
-        (Uop.Drain { reason = Uop.Drain_exit_secblock; spm_cycles = cycles });
+      emit_drain st ~reason:Uop.Drain_exit_secblock ~spm_cycles:cycles;
       st.pc <- st.pc + 1
 
 let step st =
   let instr = st.prog.Program.code.(st.pc) in
+  (* Same per-instruction warming order as the timing model's µop path:
+     instruction fetch, then any data access, then control flow. *)
+  warm_fetch st;
   match instr with
   | Instr.Nop ->
     emit_plain st instr;
@@ -132,11 +182,13 @@ let step st =
     st.pc <- st.pc + 1
   | Instr.Ld (rd, base, off) ->
     let addr, ok = resolve_addr st (read_reg st base + off) in
+    warm_data st ~addr ~write:false;
     emit_commit st instr ~mem_addr:addr Uop.Ctl_none;
     write_reg st rd (if ok then st.mem.(addr) else 0);
     st.pc <- st.pc + 1
   | Instr.St (rs, base, off) ->
     let addr, ok = resolve_addr st (read_reg st base + off) in
+    warm_data st ~addr ~write:true;
     emit_commit st instr ~mem_addr:addr Uop.Ctl_none;
     if ok then st.mem.(addr) <- read_reg st rs;
     st.pc <- st.pc + 1
@@ -149,14 +201,17 @@ let step st =
     if hw_secure then enter_secblock st cond rs1 rs2 target instr
     else begin
       let taken = Instr.eval_cond cond (read_reg st rs1) (read_reg st rs2) in
+      warm_cond st ~taken ~target;
       emit_commit st instr ~mem_addr:0
         (Uop.Ctl_branch { taken; target; secure = false });
       st.pc <- (if taken then target else st.pc + 1)
     end
   | Instr.Jmp target ->
+    warm_jump st ~target;
     emit_commit st instr ~mem_addr:0 (Uop.Ctl_jump { target });
     st.pc <- target
   | Instr.Call target ->
+    warm_call st ~target ~return_to:(st.pc + 1);
     emit_commit st instr ~mem_addr:0
       (Uop.Ctl_call { target; return_to = st.pc + 1 });
     write_reg st Reg.ra (st.pc + 1);
@@ -165,12 +220,14 @@ let step st =
     let target = read_reg st r in
     if target < 0 || target >= Program.length st.prog then
       raise (Out_of_bounds { pc = st.pc; addr = target });
+    warm_indirect st ~target;
     emit_commit st instr ~mem_addr:0 (Uop.Ctl_indirect { target });
     st.pc <- target
   | Instr.Ret ->
     let target = read_reg st Reg.ra in
     if target < 0 || target >= Program.length st.prog then
       raise (Out_of_bounds { pc = st.pc; addr = target });
+    warm_ret st ~target;
     emit_commit st instr ~mem_addr:0 (Uop.Ctl_ret { target });
     st.pc <- target
   | Instr.Eosjmp ->
@@ -185,7 +242,10 @@ let step st =
 
 type session = state
 
-let start ?(config = default_config) ?init_mem ?(sink = fun _ -> ()) prog =
+let start ?(config = default_config) ?init_mem ?sink ?warm prog =
+  let emit, sink =
+    match sink with Some s -> (true, s) | None -> (false, fun _ -> ())
+  in
   let st =
     {
       cfg = config;
@@ -196,6 +256,8 @@ let start ?(config = default_config) ?init_mem ?(sink = fun _ -> ()) prog =
       snaps = Snapshot.create ();
       spm = Spm.create ~config:config.spm ();
       sink;
+      emit;
+      warm;
       pc = prog.Program.entry;
       count = 0;
       sjmps = 0;
@@ -236,3 +298,66 @@ let finish st =
   }
 
 let run ?config ?init_mem ?sink prog = finish (start ?config ?init_mem ?sink prog)
+
+(* ---- architectural snapshots ------------------------------------------- *)
+
+(* Everything a session owns except the (immutable, shared) program and the
+   sink/warm plumbing, as a plain record of plain data: registers, memory,
+   jbTable, register snapshots, SPM, and the scalar cursor. The fields
+   alias the live session's arrays — serialize (or deep-copy) the capture
+   before stepping the session further. *)
+type arch = {
+  a_cfg : config;
+  a_regs : int array;
+  a_mem : int array;
+  a_jb : Jbtable.t;
+  a_snaps : Snapshot.t;
+  a_spm : Spm.t;
+  a_pc : int;
+  a_count : int;
+  a_sjmps : int;
+  a_max_nesting : int;
+  a_halted : bool;
+}
+
+let capture st =
+  {
+    a_cfg = st.cfg;
+    a_regs = st.regs;
+    a_mem = st.mem;
+    a_jb = st.jb;
+    a_snaps = st.snaps;
+    a_spm = st.spm;
+    a_pc = st.pc;
+    a_count = st.count;
+    a_sjmps = st.sjmps;
+    a_max_nesting = st.max_nesting;
+    a_halted = st.halted;
+  }
+
+let arch_mem a = a.a_mem
+let arch_with_mem a mem = { a with a_mem = mem }
+let arch_instructions a = a.a_count
+let arch_halted a = a.a_halted
+
+let resume ?sink ?warm prog arch =
+  let emit, sink =
+    match sink with Some s -> (true, s) | None -> (false, fun _ -> ())
+  in
+  {
+    cfg = arch.a_cfg;
+    prog;
+    regs = arch.a_regs;
+    mem = arch.a_mem;
+    jb = arch.a_jb;
+    snaps = arch.a_snaps;
+    spm = arch.a_spm;
+    sink;
+    emit;
+    warm;
+    pc = arch.a_pc;
+    count = arch.a_count;
+    sjmps = arch.a_sjmps;
+    max_nesting = arch.a_max_nesting;
+    halted = arch.a_halted;
+  }

@@ -70,8 +70,21 @@ val start :
   ?config:config
   -> ?init_mem:(int array -> unit)
   -> ?sink:(Sempe_pipeline.Uop.event -> unit)
+  -> ?warm:Sempe_pipeline.Warm.t
   -> Sempe_isa.Program.t
   -> session
+(** When [sink] is omitted the session runs in fast-forward mode: no µop
+    events are allocated at all, which makes functional execution several
+    times faster than the instrumented path.
+
+    [warm], if given, is functionally warmed as the program executes: each
+    architectural step makes exactly the {!Sempe_pipeline.Warm} calls (in
+    the same order) that {!Sempe_pipeline.Timing} would make while
+    consuming this session's µop stream, so a fast-forward run leaves
+    caches and predictors in the state a detailed run would have. Supply
+    either [sink] (detailed: the timing model trains its own warm state)
+    or [warm] (fast-forward warming), not both — combining them would
+    train the same tables twice per instruction. *)
 
 val step_slice : session -> int -> bool
 (** [step_slice s n] executes up to [n] further instructions; returns
@@ -82,3 +95,40 @@ val instructions : session -> int
 
 val finish : session -> result
 (** Run to completion (if not already halted) and package the result. *)
+
+(** {2 Architectural checkpoints}
+
+    Sampled simulation snapshots a session at interval boundaries and
+    later revives each snapshot under a detailed timing model. *)
+
+type arch
+(** The complete architectural state of a session — registers, memory,
+    jbTable, register snapshots, SPM, program counter and instruction
+    count — as a plain, [Marshal]-serializable value. The program itself
+    is not included (it is immutable; pass it to {!resume}). *)
+
+val capture : session -> arch
+(** Snapshot the session's state. The capture {e aliases} the session's
+    live arrays: serialize or deep-copy it before stepping the session
+    further (this is what {!Sempe_sampling.Checkpoint} does). *)
+
+val arch_mem : arch -> int array
+val arch_with_mem : arch -> int array -> arch
+(** Memory-image surgery for checkpoint serializers: the memory is by far
+    the largest component and mostly zero, so [Sempe_sampling.Checkpoint]
+    swaps it for a sparse encoding around [Marshal]. *)
+
+val arch_instructions : arch -> int
+(** Committed-instruction count at capture time. *)
+
+val arch_halted : arch -> bool
+
+val resume :
+  ?sink:(Sempe_pipeline.Uop.event -> unit)
+  -> ?warm:Sempe_pipeline.Warm.t
+  -> Sempe_isa.Program.t
+  -> arch
+  -> session
+(** Revive a captured state as a runnable session. The session takes
+    ownership of the capture's arrays (unmarshal a fresh copy per resume).
+    [sink] / [warm] as in {!start}. *)

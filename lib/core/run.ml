@@ -6,10 +6,21 @@ type outcome = {
   timing : Timing.report;
 }
 
+let exec_config ~support ~(machine : Config.t) ~mem_words ~max_instrs
+    ~forgiving_oob =
+  {
+    Exec.support;
+    mem_words;
+    max_instrs;
+    spm = machine.Config.spm;
+    jbtable_entries = machine.Config.jbtable_entries;
+    forgiving_oob;
+  }
+
 let simulate ?(support = Exec.Sempe_hw) ?(machine = Config.default) ?predictor
     ?(mem_words = Exec.default_config.Exec.mem_words)
-    ?(max_instrs = Exec.default_config.Exec.max_instrs) ?init_mem ?observe
-    ?sink prog =
+    ?(max_instrs = Exec.default_config.Exec.max_instrs)
+    ?(forgiving_oob = true) ?init_mem ?observe ?sink prog =
   let probe = Option.map (fun s -> s.Sempe_obs.Sink.probe) sink in
   let timing = Timing.create ~config:machine ?predictor ?probe () in
   let feed =
@@ -21,17 +32,19 @@ let simulate ?(support = Exec.Sempe_hw) ?(machine = Config.default) ?predictor
         f ev
   in
   let config =
-    {
-      Exec.support;
-      mem_words;
-      max_instrs;
-      spm = machine.Config.spm;
-      jbtable_entries = machine.Config.jbtable_entries;
-      forgiving_oob = true;
-    }
+    exec_config ~support ~machine ~mem_words ~max_instrs ~forgiving_oob
   in
   let exec = Exec.run ~config ?init_mem ~sink:feed prog in
   { exec; timing = Timing.report timing }
+
+let execute ?(support = Exec.Sempe_hw) ?(machine = Config.default)
+    ?(mem_words = Exec.default_config.Exec.mem_words)
+    ?(max_instrs = Exec.default_config.Exec.max_instrs)
+    ?(forgiving_oob = true) ?init_mem ?warm prog =
+  let config =
+    exec_config ~support ~machine ~mem_words ~max_instrs ~forgiving_oob
+  in
+  Exec.finish (Exec.start ~config ?init_mem ?warm prog)
 
 let cycles o = o.timing.Timing.cycles
 

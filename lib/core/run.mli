@@ -12,6 +12,7 @@ val simulate :
   -> ?predictor:Sempe_bpred.Predictor.t
   -> ?mem_words:int
   -> ?max_instrs:int
+  -> ?forgiving_oob:bool
   -> ?init_mem:(int array -> unit)
   -> ?observe:(Sempe_pipeline.Uop.event -> unit)
   -> ?sink:Sempe_obs.Sink.t
@@ -21,12 +22,32 @@ val simulate :
     defaults to [Sempe_hw]; [observe] additionally receives every event
     (after the timing model), for the security observables.
 
+    [forgiving_oob] (default [true], the historical behavior) selects how
+    wild memory accesses behave — see {!Exec.config}. Pass [false]
+    (e.g. via [sempe-sim --strict-oob]) to make out-of-bounds accesses
+    raise {!Exec.Out_of_bounds} instead of being clamped.
+
     [sink] attaches an observability sink ({!Sempe_obs.Sink}) as the
     timing model's probe for this run: per-µop pipeline spans, stall
     attribution and drain events flow to it. Sinks are passive — with or
     without one (and in particular with {!Sempe_obs.Sink.null}) the
     returned reports are identical. The caller owns the sink and must
     call its [close] itself (simulate does not). *)
+
+val execute :
+  ?support:Exec.support
+  -> ?machine:Sempe_pipeline.Config.t
+  -> ?mem_words:int
+  -> ?max_instrs:int
+  -> ?forgiving_oob:bool
+  -> ?init_mem:(int array -> unit)
+  -> ?warm:Sempe_pipeline.Warm.t
+  -> Sempe_isa.Program.t
+  -> Exec.result
+(** Functional-only run: no timing model, no µop events. With [warm] the
+    run functionally warms caches and predictors as it goes (fast-forward
+    mode of sampled simulation); without it this is the fastest way to get
+    architectural results. Same defaults and exceptions as {!simulate}. *)
 
 val cycles : outcome -> int
 

@@ -13,6 +13,13 @@ type line = { mutable tag : int; mutable lru : int }
 type t = {
   cfg : config;
   sets : line array array;
+  (* [addr / line_bytes] and [... / num_sets] as shifts when both are
+     powers of two (they always are for the paper's machines; [-1] falls
+     back to division). Addresses are non-negative, so the results are
+     identical — this is on the per-access hot path of both execution
+     modes. *)
+  line_shift : int;
+  set_shift : int;
   mutable clock : int;
   group : Stats.group;
   c_accesses : Stats.counter;
@@ -24,6 +31,16 @@ type t = {
 
 type outcome = Hit | Miss
 
+let log2_pow2 n =
+  if n > 0 && n land (n - 1) = 0 then begin
+    let s = ref 0 in
+    while 1 lsl !s < n do
+      incr s
+    done;
+    !s
+  end
+  else -1
+
 let create cfg =
   let lines = cfg.size_bytes / cfg.line_bytes in
   if lines mod cfg.ways <> 0 then invalid_arg "Cache.create: lines not divisible by ways";
@@ -33,6 +50,8 @@ let create cfg =
   {
     cfg;
     sets = Array.init nsets (fun _ -> Array.init cfg.ways (fun _ -> { tag = -1; lru = 0 }));
+    line_shift = log2_pow2 cfg.line_bytes;
+    set_shift = log2_pow2 nsets;
     clock = 0;
     group;
     c_accesses = Stats.counter group "accesses";
@@ -45,15 +64,26 @@ let create cfg =
 let config t = t.cfg
 let num_sets t = Array.length t.sets
 
-let set_index t ~addr =
-  (addr / t.cfg.line_bytes) land (num_sets t - 1)
+let line_of t addr =
+  if t.line_shift >= 0 then addr lsr t.line_shift else addr / t.cfg.line_bytes
 
-let tag_of t addr = addr / t.cfg.line_bytes / num_sets t
+let set_index t ~addr = line_of t addr land (num_sets t - 1)
 
-let find set tag =
+let tag_of t addr =
+  let line = line_of t addr in
+  if t.set_shift >= 0 then line lsr t.set_shift else line / num_sets t
+
+(* [set_index] is masked to [num_sets - 1] and the scans below are
+   bounded by the set's length, so the unsafe accesses are in bounds by
+   construction. This is the per-access hot path of both execution
+   modes, hence also the allocation-free [mem] instead of an
+   option-returning find. *)
+let set_of t ~addr = Array.unsafe_get t.sets (set_index t ~addr)
+
+let mem set tag =
   let rec scan i =
-    if i >= Array.length set then None
-    else if set.(i).tag = tag then Some set.(i)
+    if i >= Array.length set then false
+    else if (Array.unsafe_get set i).tag = tag then true
     else scan (i + 1)
   in
   scan 0
@@ -71,29 +101,37 @@ let install t set tag =
 let access t ~addr ~write =
   Stats.incr t.c_accesses;
   if write then Stats.incr t.c_writes;
-  let set = t.sets.(set_index t ~addr) and tag = tag_of t addr in
-  match find set tag with
-  | Some line ->
-    t.clock <- t.clock + 1;
-    line.lru <- t.clock;
-    Hit
-  | None ->
-    Stats.incr t.c_misses;
-    install t set tag;
-    Miss
+  let set = set_of t ~addr and tag = tag_of t addr in
+  let n = Array.length set in
+  let rec scan i =
+    if i >= n then begin
+      Stats.incr t.c_misses;
+      install t set tag;
+      Miss
+    end
+    else
+      let line = Array.unsafe_get set i in
+      if line.tag = tag then begin
+        t.clock <- t.clock + 1;
+        line.lru <- t.clock;
+        Hit
+      end
+      else scan (i + 1)
+  in
+  scan 0
 
 let prefetch_fill t ~addr =
-  let set = t.sets.(set_index t ~addr) and tag = tag_of t addr in
-  match find set tag with
-  | Some _ -> false
-  | None ->
+  let set = set_of t ~addr and tag = tag_of t addr in
+  if mem set tag then false
+  else begin
     Stats.incr t.c_prefetch_fills;
     install t set tag;
     true
+  end
 
 let probe t ~addr =
-  let set = t.sets.(set_index t ~addr) and tag = tag_of t addr in
-  find set tag <> None
+  let set = set_of t ~addr and tag = tag_of t addr in
+  mem set tag
 
 let resident_tags t set_idx =
   let set = t.sets.(set_idx) in

@@ -62,13 +62,20 @@ let data_access t ~pc ~addr ~write =
     | Cache.Miss -> t.cfg.lat_l1 + l2_access t ~addr ~write
   in
   (* Stride prefetches fill the DL1 (and the L2 on the way, as a real
-     hierarchy would). *)
-  let candidates = Prefetch.Stride.observe t.stride ~pc ~addr in
-  List.iter
-    (fun a ->
-      if Cache.prefetch_fill t.dl1 ~addr:a then
-        ignore (Cache.prefetch_fill t.l2 ~addr:a))
-    candidates;
+     hierarchy would). This runs once per load/store in both execution
+     modes; the common cases are matched out so no closure is allocated
+     on the hot path. *)
+  (match Prefetch.Stride.observe t.stride ~pc ~addr with
+   | [] -> ()
+   | [ a ] ->
+     if Cache.prefetch_fill t.dl1 ~addr:a then
+       ignore (Cache.prefetch_fill t.l2 ~addr:a)
+   | candidates ->
+     List.iter
+       (fun a ->
+         if Cache.prefetch_fill t.dl1 ~addr:a then
+           ignore (Cache.prefetch_fill t.l2 ~addr:a))
+       candidates);
   latency
 
 let il1 t = t.il1

@@ -36,8 +36,14 @@ module Stride = struct
         e.confidence <- 0
       end;
       e.last_addr <- addr;
-      if e.confidence >= 2 && e.stride <> 0 then
-        List.init t.degree (fun i -> addr + (e.stride * (i + 1)))
+      if e.confidence >= 2 && e.stride <> 0 then begin
+        (* Built back to front without the List.init closure: this runs
+           on every confident streaming access in both execution modes. *)
+        let rec build i acc =
+          if i = 0 then acc else build (i - 1) (addr + (e.stride * i) :: acc)
+        in
+        build t.degree []
+      end
       else []
     end
 

@@ -1,9 +1,5 @@
 open Sempe_isa
 module Hierarchy = Sempe_mem.Hierarchy
-module Predictor = Sempe_bpred.Predictor
-module Btb = Sempe_bpred.Btb
-module Ras = Sempe_bpred.Ras
-module Ittage = Sempe_bpred.Ittage
 
 (* Per-cycle resource counters, kept in a tagged ring so no per-event
    allocation is needed. The ring must be wider than the largest plausible
@@ -36,15 +32,14 @@ end
 
 type t = {
   cfg : Config.t;
-  hier : Hierarchy.t;
-  bp : Predictor.t;
-  btb : Btb.t;
-  ras : Ras.t;
-  ittage : Ittage.t;
+  (* All warmable microarchitectural state (caches, predictors, BTB, RAS,
+     fetch-line tracker) lives in the Warm.t; the timing model holds only
+     cycle bookkeeping. This is what lets a sampled run revive a
+     functionally-warmed Warm.t inside a fresh timing model. *)
+  warm : Warm.t;
   (* front end *)
   mutable fetch_cycle : int;
   mutable fetched_in_cycle : int;
-  mutable fetch_line : int;
   mutable stall_until : int;
   (* dataflow *)
   reg_ready : int array;
@@ -88,21 +83,18 @@ type t = {
   mutable s_stores : int;
 }
 
-let create ?(config = Config.default) ?predictor
+let create ?(config = Config.default) ?predictor ?warm
     ?(store_window = Ports.size) ?(store_table_cap = 4096) ?probe () =
-  let bp =
-    match predictor with Some p -> p | None -> Sempe_bpred.Tage.create ()
+  let warm =
+    match warm with
+    | Some w -> w (* revived (pre-warmed) state; [predictor] is ignored *)
+    | None -> Warm.create ~machine:config ?predictor ()
   in
   {
     cfg = config;
-    hier = Hierarchy.create ~config:config.Config.hierarchy ();
-    bp;
-    btb = Btb.create ();
-    ras = Ras.create ();
-    ittage = Ittage.create ();
+    warm;
     fetch_cycle = 0;
     fetched_in_cycle = 0;
-    fetch_line = -1;
     stall_until = 0;
     reg_ready = Array.make Reg.count 0;
     rob_commit = Array.make config.Config.rob_entries 0;
@@ -137,8 +129,10 @@ let create ?(config = Config.default) ?predictor
   }
 
 let config t = t.cfg
-let hierarchy t = t.hier
+let hierarchy t = Warm.hierarchy t.warm
+let warm_state t = t.warm
 let store_entries t = Hashtbl.length t.store_complete
+let current_cycles t = t.max_commit + 1
 
 (* Forget stores whose completion is further behind the commit frontier
    than any later load could reach back (same spread bound as the Ports
@@ -177,20 +171,11 @@ let fetch t ~pc =
   in
   let f = max base t.stall_until in
   t.c_fetch_cause <- (if t.stall_until > base then t.stall_reason else Stall.Base);
-  let byte_addr = pc * cfg.Config.inst_bytes in
-  let line = byte_addr / cfg.Config.hierarchy.Hierarchy.il1.Sempe_mem.Cache.line_bytes in
-  let f =
-    if line = t.fetch_line then f
-    else begin
-      t.fetch_line <- line;
-      let lat = Hierarchy.inst_fetch t.hier ~addr:byte_addr in
-      (* A hit costs no bubble beyond the pipelined front end; a miss stalls
-         fetch for the extra latency. *)
-      let extra = lat - cfg.Config.hierarchy.Hierarchy.lat_l1 in
-      if extra > 0 then t.c_fetch_cause <- Stall.Icache;
-      f + extra
-    end
-  in
+  (* A hit costs no bubble beyond the pipelined front end; a miss stalls
+     fetch for the extra latency. *)
+  let extra = Warm.fetch t.warm ~pc in
+  if extra > 0 then t.c_fetch_cause <- Stall.Icache;
+  let f = f + extra in
   if f > t.fetch_cycle then begin
     t.fetch_cycle <- f;
     t.fetched_in_cycle <- 1
@@ -263,16 +248,13 @@ let handle_control t (u : Uop.t) ~complete =
     raise_stall t (complete + cfg.Config.redirect_penalty) Stall.Redirect;
     break_fetch_group t
   in
-  let taken_transfer ~target =
-    (* Correctly predicted taken control flow: a BTB hit only breaks the
-       fetch group; a miss adds a decode-redirect bubble. *)
-    (match Btb.lookup t.btb ~pc:u.Uop.pc with
-     | Some cached when cached = target -> ()
-     | Some _ | None ->
-       raise_stall t (t.fetch_cycle + cfg.Config.btb_miss_bubble)
-         Stall.Redirect);
-    Btb.update t.btb ~pc:u.Uop.pc ~target;
-    break_fetch_group t
+  (* Correctly predicted taken control flow: a BTB hit only breaks the
+     fetch group; a miss adds a decode-redirect bubble. *)
+  let transfer = function
+    | Warm.Btb_hit -> break_fetch_group t
+    | Warm.Btb_miss ->
+      raise_stall t (t.fetch_cycle + cfg.Config.btb_miss_bubble) Stall.Redirect;
+      break_fetch_group t
   in
   match u.Uop.control with
   | Uop.Ctl_none -> ()
@@ -283,31 +265,23 @@ let handle_control t (u : Uop.t) ~complete =
       t.s_secure_branches <- t.s_secure_branches + 1
     else begin
       t.s_cond_branches <- t.s_cond_branches + 1;
-      let predicted = t.bp.Predictor.predict ~pc:u.Uop.pc in
-      t.bp.Predictor.update ~pc:u.Uop.pc ~taken;
-      if predicted <> taken then begin
-        (* The resolved branch installs its target even on a mispredict:
-           otherwise a taken branch first seen mispredicted keeps paying
-           the BTB-miss bubble on every later correct prediction. *)
-        if taken then Btb.update t.btb ~pc:u.Uop.pc ~target;
-        mispredict ()
-      end
-      else if taken then taken_transfer ~target
+      match Warm.cond_branch t.warm ~pc:u.Uop.pc ~taken ~target with
+      | Warm.Cond_mispredict -> mispredict ()
+      | Warm.Cond_correct_taken tr -> transfer tr
+      | Warm.Cond_correct_not_taken -> ()
     end
-  | Uop.Ctl_jump { target } -> taken_transfer ~target
+  | Uop.Ctl_jump { target } ->
+    transfer (Warm.taken_transfer t.warm ~pc:u.Uop.pc ~target)
   | Uop.Ctl_call { target; return_to } ->
-    Ras.push t.ras return_to;
-    taken_transfer ~target
+    transfer (Warm.call t.warm ~pc:u.Uop.pc ~target ~return_to)
   | Uop.Ctl_ret { target } ->
-    (match Ras.pop t.ras with
-     | Some predicted when predicted = target -> break_fetch_group t
-     | Some _ | None -> mispredict ())
+    (match Warm.ret t.warm ~target with
+     | Warm.Pred_hit -> break_fetch_group t
+     | Warm.Pred_miss -> mispredict ())
   | Uop.Ctl_indirect { target } ->
-    let predicted = Ittage.predict t.ittage ~pc:u.Uop.pc in
-    Ittage.update t.ittage ~pc:u.Uop.pc ~target;
-    (match predicted with
-     | Some p when p = target -> break_fetch_group t
-     | Some _ | None -> mispredict ())
+    (match Warm.indirect t.warm ~pc:u.Uop.pc ~target with
+     | Warm.Pred_hit -> break_fetch_group t
+     | Warm.Pred_miss -> mispredict ())
   | Uop.Ctl_jumpback { target = _ } ->
     (* eosJMP: nextPC comes from the jbTable at commit; the mandatory drain
        event that follows already charges the redirect. *)
@@ -324,13 +298,14 @@ let feed_uop t (u : Uop.t) =
   in
   let iss = Ports.alloc t.issue_ports ready in
   let iss = if is_load then Ports.alloc t.load_ports iss else iss in
-  let byte_addr = u.Uop.mem_addr * cfg.Config.word_bytes in
   let dcache_extra = ref 0 in
   let complete =
     if is_load then begin
       t.s_loads <- t.s_loads + 1;
-      let lat = Hierarchy.data_access t.hier ~pc:u.Uop.pc ~addr:byte_addr ~write:false in
-      dcache_extra := lat - cfg.Config.hierarchy.Hierarchy.lat_l1;
+      let lat =
+        Warm.data t.warm ~pc:u.Uop.pc ~word_addr:u.Uop.mem_addr ~write:false
+      in
+      dcache_extra := lat - Warm.lat_l1 t.warm;
       let c = iss + lat in
       (* Store-to-load forwarding: a younger load of a word written by an
          in-flight store sees the value one cycle after the store data is
@@ -341,7 +316,8 @@ let feed_uop t (u : Uop.t) =
     end
     else if is_store then begin
       t.s_stores <- t.s_stores + 1;
-      ignore (Hierarchy.data_access t.hier ~pc:u.Uop.pc ~addr:byte_addr ~write:true);
+      ignore
+        (Warm.data t.warm ~pc:u.Uop.pc ~word_addr:u.Uop.mem_addr ~write:true);
       let c = iss + 1 in
       Hashtbl.replace t.store_complete u.Uop.mem_addr c;
       prune_stores t;
@@ -450,7 +426,8 @@ type report = {
 
 let report t =
   let open Sempe_util in
-  let il1, dl1, l2 = (Hierarchy.il1 t.hier, Hierarchy.dl1 t.hier, Hierarchy.l2 t.hier) in
+  let hier = Warm.hierarchy t.warm in
+  let il1, dl1, l2 = (Hierarchy.il1 hier, Hierarchy.dl1 hier, Hierarchy.l2 hier) in
   let acc c = Stats.find (Sempe_mem.Cache.stats c) "accesses" in
   let mis c = Stats.find (Sempe_mem.Cache.stats c) "misses" in
   let cycles = t.max_commit + 1 in
@@ -477,9 +454,7 @@ let report t =
     il1_sig = Sempe_mem.Cache.signature il1;
     dl1_sig = Sempe_mem.Cache.signature dl1;
     l2_sig = Sempe_mem.Cache.signature l2;
-    bpred_sig =
-      (((t.bp.Predictor.snapshot_signature () * 31) + Btb.signature t.btb) * 31)
-      + Ittage.signature t.ittage;
+    bpred_sig = Warm.predictor_signature t.warm;
     stall_stack =
       (* Cycle 0 (and any unattributed remainder) goes to the base bucket,
          so the stack sums to [cycles] exactly. *)
@@ -490,8 +465,5 @@ let report t =
        st);
   }
 
-let predictor_signature t =
-  (((t.bp.Predictor.snapshot_signature () * 31) + Btb.signature t.btb) * 31)
-  + Ittage.signature t.ittage
-
-let cache_signature t = Hierarchy.signature t.hier
+let predictor_signature t = Warm.predictor_signature t.warm
+let cache_signature t = Hierarchy.signature (Warm.hierarchy t.warm)

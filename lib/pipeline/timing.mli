@@ -25,12 +25,19 @@ type t
 val create :
   ?config:Config.t
   -> ?predictor:Sempe_bpred.Predictor.t
+  -> ?warm:Warm.t
   -> ?store_window:int
   -> ?store_table_cap:int
   -> ?probe:Probe.t
   -> unit
   -> t
 (** [predictor] defaults to a fresh TAGE with the paper's budget.
+
+    [warm] supplies pre-warmed microarchitectural state (caches,
+    predictors, BTB/RAS) instead of the cold default — this is how a
+    sampled run revives a checkpoint inside a fresh timing model. When
+    [warm] is given, [predictor] is ignored (the warm state carries its
+    own predictor).
 
     [store_window] / [store_table_cap] bound the in-flight store table
     used for store-to-load forwarding: once it holds more than
@@ -49,6 +56,14 @@ val feed : t -> Uop.event -> unit
 
 val config : t -> Config.t
 val hierarchy : t -> Sempe_mem.Hierarchy.t
+
+val warm_state : t -> Warm.t
+(** The warmable microarchitectural state the model reads and trains. *)
+
+val current_cycles : t -> int
+(** Cycle count of the commit frontier so far ([report.cycles] equals this
+    after the last {!feed}); usable mid-run to delimit a measured
+    interval. *)
 
 val store_entries : t -> int
 (** Current size of the in-flight store table (for memory-bound tests). *)

@@ -1,0 +1,127 @@
+module Hierarchy = Sempe_mem.Hierarchy
+module Predictor = Sempe_bpred.Predictor
+module Btb = Sempe_bpred.Btb
+module Ras = Sempe_bpred.Ras
+module Ittage = Sempe_bpred.Ittage
+
+type t = {
+  hier : Hierarchy.t;
+  bp : Predictor.t;
+  btb : Btb.t;
+  ras : Ras.t;
+  ittage : Ittage.t;
+  inst_bytes : int;
+  word_bytes : int;
+  il1_line_bytes : int;
+  (* log2 of [il1_line_bytes] when it is a power of two (it always is for
+     the paper's machines), [-1] to fall back to division: the fetch-line
+     computation runs once per instruction in both execution modes. *)
+  il1_line_shift : int;
+  lat_l1 : int;
+  mutable fetch_line : int;
+}
+
+let log2_pow2 n =
+  if n > 0 && n land (n - 1) = 0 then begin
+    let s = ref 0 in
+    while 1 lsl !s < n do
+      incr s
+    done;
+    !s
+  end
+  else -1
+
+let create ?(machine = Config.default) ?predictor () =
+  let bp =
+    match predictor with Some p -> p | None -> Sempe_bpred.Tage.create ()
+  in
+  let hcfg = machine.Config.hierarchy in
+  {
+    hier = Hierarchy.create ~config:hcfg ();
+    bp;
+    btb = Btb.create ();
+    ras = Ras.create ();
+    ittage = Ittage.create ();
+    inst_bytes = machine.Config.inst_bytes;
+    word_bytes = machine.Config.word_bytes;
+    il1_line_bytes = hcfg.Hierarchy.il1.Sempe_mem.Cache.line_bytes;
+    il1_line_shift = log2_pow2 hcfg.Hierarchy.il1.Sempe_mem.Cache.line_bytes;
+    lat_l1 = hcfg.Hierarchy.lat_l1;
+    fetch_line = -1;
+  }
+
+let hierarchy t = t.hier
+let predictor t = t.bp
+let btb t = t.btb
+let ras t = t.ras
+let ittage t = t.ittage
+let lat_l1 t = t.lat_l1
+
+let fetch t ~pc =
+  let byte_addr = pc * t.inst_bytes in
+  let line =
+    if t.il1_line_shift >= 0 then byte_addr lsr t.il1_line_shift
+    else byte_addr / t.il1_line_bytes
+  in
+  if line = t.fetch_line then 0
+  else begin
+    t.fetch_line <- line;
+    let lat = Hierarchy.inst_fetch t.hier ~addr:byte_addr in
+    lat - t.lat_l1
+  end
+
+let data t ~pc ~word_addr ~write =
+  Hierarchy.data_access t.hier ~pc ~addr:(word_addr * t.word_bytes) ~write
+
+type transfer = Btb_hit | Btb_miss
+
+let taken_transfer t ~pc ~target =
+  let hit =
+    match Btb.lookup t.btb ~pc with
+    | Some cached when cached = target -> Btb_hit
+    | Some _ | None -> Btb_miss
+  in
+  Btb.update t.btb ~pc ~target;
+  hit
+
+type cond =
+  | Cond_correct_not_taken
+  | Cond_correct_taken of transfer
+  | Cond_mispredict
+
+let cond_branch t ~pc ~taken ~target =
+  let predicted = t.bp.Predictor.predict ~pc in
+  t.bp.Predictor.update ~pc ~taken;
+  if predicted <> taken then begin
+    (* The resolved branch installs its target even on a mispredict:
+       otherwise a taken branch first seen mispredicted keeps paying the
+       BTB-miss bubble on every later correct prediction. *)
+    if taken then Btb.update t.btb ~pc ~target;
+    Cond_mispredict
+  end
+  else if taken then Cond_correct_taken (taken_transfer t ~pc ~target)
+  else Cond_correct_not_taken
+
+type target_pred = Pred_hit | Pred_miss
+
+let call t ~pc ~target ~return_to =
+  Ras.push t.ras return_to;
+  taken_transfer t ~pc ~target
+
+let ret t ~target =
+  match Ras.pop t.ras with
+  | Some predicted when predicted = target -> Pred_hit
+  | Some _ | None -> Pred_miss
+
+let indirect t ~pc ~target =
+  let predicted = Ittage.predict t.ittage ~pc in
+  Ittage.update t.ittage ~pc ~target;
+  match predicted with
+  | Some p when p = target -> Pred_hit
+  | Some _ | None -> Pred_miss
+
+let predictor_signature t =
+  (((t.bp.Predictor.snapshot_signature () * 31) + Btb.signature t.btb) * 31)
+  + Ittage.signature t.ittage
+
+let cache_signature t = Hierarchy.signature t.hier

@@ -1,0 +1,73 @@
+(** The warmable microarchitectural state of the machine — cache hierarchy,
+    branch direction predictor, BTB, RAS, indirect-target predictor, and
+    the fetch-line tracker that dedups instruction-cache accesses — bundled
+    as one value with the update protocol both execution modes share.
+
+    {!Timing} owns a [Warm.t] and routes every microarchitectural update
+    through it; the fast-forward mode of [Sempe_core.Exec] drives the same
+    functions directly, without any cycle accounting. Because both modes
+    call the identical code in the identical order, the state a
+    fast-forward (functional-warming) run leaves behind at instruction [n]
+    is exactly the state a full detailed run has fed to its own [Warm.t]
+    after [n] committed instructions — which is what makes
+    checkpoint-and-measure sampling sound.
+
+    A [Warm.t] contains no closures over anything but its own tables, so a
+    value (including the predictor) can be serialized with
+    [Marshal.Closures] and revived in another domain — the basis of
+    [Sempe_sampling.Checkpoint]. *)
+
+type t
+
+val create :
+  ?machine:Config.t -> ?predictor:Sempe_bpred.Predictor.t -> unit -> t
+(** Fresh (cold) state for the given machine model. [predictor] defaults
+    to a fresh TAGE. *)
+
+val hierarchy : t -> Sempe_mem.Hierarchy.t
+val predictor : t -> Sempe_bpred.Predictor.t
+val btb : t -> Sempe_bpred.Btb.t
+val ras : t -> Sempe_bpred.Ras.t
+val ittage : t -> Sempe_bpred.Ittage.t
+
+val lat_l1 : t -> int
+(** The hierarchy's L1 hit latency (the pipelined-front-end baseline
+    against which extra miss latency is measured). *)
+
+val fetch : t -> pc:int -> int
+(** Instruction fetch for the instruction at [pc]: accesses the IL1 only
+    when [pc] leaves the previously fetched cache line. Returns the extra
+    latency beyond the pipelined L1 hit (0 for a same-line fetch or an L1
+    hit). *)
+
+val data : t -> pc:int -> word_addr:int -> write:bool -> int
+(** Data access for one word; drives the DL1/L2 and both prefetchers.
+    Returns the access latency. *)
+
+type transfer = Btb_hit | Btb_miss
+
+val taken_transfer : t -> pc:int -> target:int -> transfer
+(** Correctly-anticipated taken control flow (jumps, calls, correctly
+    predicted taken branches): consult and train the BTB. [Btb_miss] means
+    the front end pays a decode-redirect bubble. *)
+
+type cond =
+  | Cond_correct_not_taken
+  | Cond_correct_taken of transfer
+  | Cond_mispredict
+
+val cond_branch : t -> pc:int -> taken:bool -> target:int -> cond
+(** A committed, non-secure conditional branch: consult and train the
+    direction predictor, and the BTB as appropriate. *)
+
+type target_pred = Pred_hit | Pred_miss
+
+val call : t -> pc:int -> target:int -> return_to:int -> transfer
+val ret : t -> target:int -> target_pred
+val indirect : t -> pc:int -> target:int -> target_pred
+
+val predictor_signature : t -> int
+(** Combined hash over direction predictor, BTB and indirect predictor
+    state — the branch-predictor side channel's observable. *)
+
+val cache_signature : t -> int

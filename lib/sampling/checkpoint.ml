@@ -1,0 +1,79 @@
+module Exec = Sempe_core.Exec
+module Warm = Sempe_pipeline.Warm
+
+(* What actually gets marshaled. The memory image — by far the largest
+   component of the architectural state (the default machine has 1M words
+   = 8 MB) — is swapped for a sparse (index, value) encoding of its
+   nonzero words before serialization; everything else (registers,
+   jbTable, register snapshots, SPM, warm microarchitectural state
+   including the predictor closures) is serialized as-is.
+
+   [Marshal.Closures] is required for the predictor inside [Warm.t]: the
+   TAGE implementation is a record of closures over its tables. Such a
+   checkpoint is valid within the producing binary (any domain), which is
+   exactly the sampled-simulation use case. *)
+type payload = {
+  arch : Exec.arch; (* with the memory image swapped for [||] *)
+  warm : Warm.t;
+  mem_words : int;
+  nz_idx : int array;
+  nz_val : int array;
+}
+
+type t = {
+  bytes : string;
+  instructions : int;
+  halted : bool;
+}
+
+let save ~arch ~warm =
+  let mem = Exec.arch_mem arch in
+  let words = Array.length mem in
+  (* Single pass over the (large, almost entirely zero) memory image into
+     amortized-doubling buffers; saves are on the critical sequential path
+     of the sampler, so the scan is kept allocation-light. *)
+  let cap = ref 256 in
+  let idx = ref (Array.make !cap 0) and vals = ref (Array.make !cap 0) in
+  let n = ref 0 in
+  for i = 0 to words - 1 do
+    let v = Array.unsafe_get mem i in
+    if v <> 0 then begin
+      if !n = !cap then begin
+        let cap' = 2 * !cap in
+        let idx' = Array.make cap' 0 and vals' = Array.make cap' 0 in
+        Array.blit !idx 0 idx' 0 !n;
+        Array.blit !vals 0 vals' 0 !n;
+        idx := idx';
+        vals := vals';
+        cap := cap'
+      end;
+      !idx.(!n) <- i;
+      !vals.(!n) <- v;
+      incr n
+    end
+  done;
+  let nz_idx = Array.sub !idx 0 !n and nz_val = Array.sub !vals 0 !n in
+  let payload =
+    {
+      arch = Exec.arch_with_mem arch [||];
+      warm;
+      mem_words = words;
+      nz_idx;
+      nz_val;
+    }
+  in
+  {
+    bytes = Marshal.to_string payload [ Marshal.Closures ];
+    instructions = Exec.arch_instructions arch;
+    halted = Exec.arch_halted arch;
+  }
+
+let restore t =
+  let payload : payload = Marshal.from_string t.bytes 0 in
+  let mem = Array.make payload.mem_words 0 in
+  Array.iteri (fun j i -> mem.(i) <- payload.nz_val.(j)) payload.nz_idx;
+  (Exec.arch_with_mem payload.arch mem, payload.warm)
+
+let instructions t = t.instructions
+let halted t = t.halted
+let size_bytes t = String.length t.bytes

@@ -1,0 +1,223 @@
+module Exec = Sempe_core.Exec
+module Timing = Sempe_pipeline.Timing
+module Config = Sempe_pipeline.Config
+module Warm = Sempe_pipeline.Warm
+module Pool = Sempe_util.Pool
+module Stats = Sempe_util.Stats
+module Json = Sempe_obs.Json
+
+type config = {
+  interval : int;
+  coverage : float;
+  warmup : int;
+  offset : int;
+}
+
+let default_config = { interval = 20_000; coverage = 0.25; warmup = 2_000; offset = 0 }
+
+type estimate = {
+  instructions : int;
+  cycles_estimate : int;
+  cycles_low : int;
+  cycles_high : int;
+  cpi : float;
+  intervals_total : int;
+  intervals_measured : int;
+  measured_instructions : int;
+  measured_cycles : int;
+  exact : bool;
+  checkpoint_bytes : int;
+  report : Timing.report option;
+}
+
+let stride_of config =
+  max 1 (int_of_float (Float.round (1. /. config.coverage)))
+
+let exec_config ~support ~(machine : Config.t) ~mem_words ~max_instrs
+    ~forgiving_oob =
+  {
+    Exec.support;
+    mem_words;
+    max_instrs;
+    spm = machine.Config.spm;
+    jbtable_entries = machine.Config.jbtable_entries;
+    forgiving_oob;
+  }
+
+let intervals_of ~interval n = (n + interval - 1) / interval
+
+(* Degenerate "sample everything" path: one ordinary full detailed run.
+   Independent per-interval measurements cannot sum to the full run's
+   cycle count exactly (pipeline state does not carry across interval
+   boundaries), so full coverage is delivered by the only construction
+   that is exact — contiguous detailed simulation. No pool is involved,
+   which also makes this path trivially identical at any [-j]. *)
+let exact ~machine ~exec_cfg ~interval ?init_mem prog =
+  let timing = Timing.create ~config:machine () in
+  let exec = Exec.run ~config:exec_cfg ?init_mem ~sink:(Timing.feed timing) prog in
+  let report = Timing.report timing in
+  let n = exec.Exec.dyn_instrs in
+  let cycles = report.Timing.cycles in
+  {
+    instructions = n;
+    cycles_estimate = cycles;
+    cycles_low = cycles;
+    cycles_high = cycles;
+    cpi = report.Timing.cpi;
+    intervals_total = intervals_of ~interval n;
+    intervals_measured = intervals_of ~interval n;
+    measured_instructions = n;
+    measured_cycles = cycles;
+    exact = true;
+    checkpoint_bytes = 0;
+    report = Some report;
+  }
+
+(* One measurement job: revive the checkpoint under a fresh detailed
+   timing model, run [skip] instructions of detailed warmup (the pipeline
+   refills and the interval does not start from an artificial drain), then
+   measure one interval as the advance of the commit frontier. A pure
+   function of the checkpoint bytes, so results are identical no matter
+   which domain runs it or in what order. *)
+let measure ~machine ~interval prog ckpt ~skip =
+  let arch, warm = Checkpoint.restore ckpt in
+  let timing = Timing.create ~config:machine ~warm () in
+  let sess = Exec.resume ~sink:(Timing.feed timing) prog arch in
+  if skip > 0 then ignore (Exec.step_slice sess skip : bool);
+  let i0 = Exec.instructions sess in
+  let c0 = Timing.current_cycles timing in
+  ignore (Exec.step_slice sess interval : bool);
+  (Exec.instructions sess - i0, Timing.current_cycles timing - c0)
+
+let estimate ?(machine = Config.default) ?(support = Exec.Sempe_hw)
+    ?(mem_words = Exec.default_config.Exec.mem_words)
+    ?(max_instrs = Exec.default_config.Exec.max_instrs)
+    ?(forgiving_oob = true) ?init_mem ?(config = default_config) ?workers
+    prog =
+  if config.interval <= 0 then
+    invalid_arg "Sampling.estimate: interval must be positive";
+  if not (config.coverage > 0. && config.coverage <= 1.) then
+    invalid_arg "Sampling.estimate: coverage must be in (0, 1]";
+  let interval = config.interval in
+  let exec_cfg =
+    exec_config ~support ~machine ~mem_words ~max_instrs ~forgiving_oob
+  in
+  let stride = stride_of config in
+  if stride = 1 then exact ~machine ~exec_cfg ~interval ?init_mem prog
+  else begin
+    let warmup = max 0 config.warmup in
+    let offset = ((config.offset mod stride) + stride) mod stride in
+    let warm = Warm.create ~machine () in
+    let sess = Exec.start ~config:exec_cfg ?init_mem ~warm prog in
+    (* The estimate is worker-count-independent, so oversubscribing cores
+       can only cost time (every busy domain lengthens the stop-the-world
+       minor-GC rendezvous): cap the pool at the host's recommended domain
+       count. *)
+    let workers =
+      match workers with
+      | None -> Pool.default_workers ()
+      | Some w -> min w (Pool.default_workers ())
+    in
+    let pool = Pool.create ~workers () in
+    let ckpt_bytes = ref 0 in
+    (* Fast-forward to each measured interval's warmup boundary, snapshot,
+       and hand the measurement to the pool while this domain keeps
+       fast-forwarding towards the next boundary: checkpointing and
+       measuring overlap instead of serializing. *)
+    let rec plan acc k =
+      let boundary = max 0 ((k * interval) - warmup) in
+      let need = boundary - Exec.instructions sess in
+      let halted =
+        if need > 0 then Exec.step_slice sess need else Exec.halted sess
+      in
+      if halted then List.rev acc
+      else begin
+        let ckpt = Checkpoint.save ~arch:(Exec.capture sess) ~warm in
+        ckpt_bytes := !ckpt_bytes + Checkpoint.size_bytes ckpt;
+        let skip = (k * interval) - boundary in
+        let p =
+          Pool.submit pool (fun () -> measure ~machine ~interval prog ckpt ~skip)
+        in
+        plan (p :: acc) (k + stride)
+      end
+    in
+    let samples, n_total =
+      Fun.protect
+        ~finally:(fun () -> Pool.shutdown pool)
+        (fun () ->
+          let promises = plan [] offset in
+          (* Finish the functional run: the total instruction count is the
+             quantity the per-interval CPI is extrapolated over. *)
+          let exec = Exec.finish sess in
+          let samples =
+            List.filter (fun (di, _) -> di > 0) (List.map Pool.await promises)
+          in
+          (samples, exec.Exec.dyn_instrs))
+    in
+    match samples with
+    | [] ->
+      (* The program ended before the first checkpoint: nothing was
+         sampled, so just measure it exactly — it is tiny by definition. *)
+      exact ~machine ~exec_cfg ~interval ?init_mem prog
+    | samples ->
+      let sum_i = List.fold_left (fun a (di, _) -> a + di) 0 samples in
+      let sum_c = List.fold_left (fun a (_, dc) -> a + dc) 0 samples in
+      (* Ratio estimator: overall CPI as total measured cycles over total
+         measured instructions (weights intervals by their true length),
+         extrapolated to the whole run. *)
+      let cpi = float_of_int sum_c /. float_of_int sum_i in
+      let extrapolate c = int_of_float (Float.round (c *. float_of_int n_total)) in
+      let cycles_estimate = extrapolate cpi in
+      (* Error bound: nearest-rank percentiles of the per-interval CPI
+         distribution, extrapolated the same way. With few samples the
+         band degenerates towards [min, max], which is the honest answer. *)
+      let summary = Stats.Summary.create () in
+      List.iter
+        (fun (di, dc) ->
+          Stats.Summary.observe summary (float_of_int dc /. float_of_int di))
+        samples;
+      let cycles_low =
+        min cycles_estimate (extrapolate (Stats.Summary.percentile 0.05 summary))
+      in
+      let cycles_high =
+        max cycles_estimate (extrapolate (Stats.Summary.percentile 0.95 summary))
+      in
+      {
+        instructions = n_total;
+        cycles_estimate;
+        cycles_low;
+        cycles_high;
+        cpi;
+        intervals_total = intervals_of ~interval n_total;
+        intervals_measured = List.length samples;
+        measured_instructions = sum_i;
+        measured_cycles = sum_c;
+        exact = false;
+        checkpoint_bytes = !ckpt_bytes;
+        report = None;
+      }
+  end
+
+let contains e ~cycles = e.cycles_low <= cycles && cycles <= e.cycles_high
+
+let relative_error e ~cycles =
+  if cycles = 0 then Float.abs (float_of_int e.cycles_estimate)
+  else
+    Float.abs (float_of_int (e.cycles_estimate - cycles))
+    /. float_of_int cycles
+
+let to_json e =
+  Json.Obj
+    [
+      ("instructions", Json.Int e.instructions);
+      ("cycles_estimate", Json.Int e.cycles_estimate);
+      ("cycles_low", Json.Int e.cycles_low);
+      ("cycles_high", Json.Int e.cycles_high);
+      ("cpi", Json.Float e.cpi);
+      ("intervals_total", Json.Int e.intervals_total);
+      ("intervals_measured", Json.Int e.intervals_measured);
+      ("measured_instructions", Json.Int e.measured_instructions);
+      ("measured_cycles", Json.Int e.measured_cycles);
+      ("exact", Json.Bool e.exact);
+      ("checkpoint_bytes", Json.Int e.checkpoint_bytes);
+    ]

@@ -41,6 +41,12 @@ type finding = {
 let leaks f = f.distinct > 1
 
 let compare_views views =
+  (* Zero or one view can never witness a leak: [distinct <= 1] for every
+     channel no matter what the machine did, so a caller whose view list
+     came up empty would silently read "no leak" out of a vacuous
+     comparison. Make that an error instead of a false negative. *)
+  if List.length views < 2 then
+    invalid_arg "Leakage.compare_views: need at least 2 views to compare";
   List.map
     (fun channel ->
       let values = List.map (extract channel) views in

@@ -27,6 +27,12 @@ val leaks : finding -> bool
 
 val compare_views : Observable.view list -> finding list
 (** One finding per channel over runs with different secrets (same
-    program, same public inputs, fresh machine each run). *)
+    program, same public inputs, fresh machine each run).
+
+    @raise Invalid_argument on fewer than two views: a single view (or
+    none) cannot witness a leak on any channel, so such a comparison
+    would always report "no leak" vacuously — treat it as a harness bug
+    rather than a security result. *)
 
 val leaky_channels : Observable.view list -> channel list
+(** @raise Invalid_argument like {!compare_views}. *)

@@ -99,6 +99,52 @@ let map_parallel ?on_done t f xs =
   List.init n (fun i ->
       match results.(i) with Some (Ok v) -> v | Some (Error _) | None -> assert false)
 
+(* ---- single-job futures ------------------------------------------------ *)
+
+(* A promise owns its own mutex/condvar pair so [await] never contends with
+   the pool lock; the pool lock is only taken to enqueue the thunk. *)
+type 'a promise = {
+  p_m : Mutex.t;
+  p_c : Condition.t;
+  mutable p_state : ('a, exn * Printexc.raw_backtrace) result option;
+}
+
+let fulfil p r =
+  Mutex.lock p.p_m;
+  p.p_state <- Some r;
+  Condition.broadcast p.p_c;
+  Mutex.unlock p.p_m
+
+let submit t f =
+  let p = { p_m = Mutex.create (); p_c = Condition.create (); p_state = None } in
+  let job () =
+    fulfil p
+      (try Ok (f ()) with e -> Error (e, Printexc.get_raw_backtrace ()))
+  in
+  if t.size <= 1 then job () (* sequential pool: run inline, eagerly *)
+  else begin
+    Mutex.lock t.m;
+    if t.stop then begin
+      Mutex.unlock t.m;
+      invalid_arg "Pool.submit: pool is shut down"
+    end;
+    Queue.add job t.queue;
+    Condition.signal t.work_available;
+    Mutex.unlock t.m
+  end;
+  p
+
+let await p =
+  Mutex.lock p.p_m;
+  while p.p_state = None do
+    Condition.wait p.p_c p.p_m
+  done;
+  Mutex.unlock p.p_m;
+  match p.p_state with
+  | Some (Ok v) -> v
+  | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+  | None -> assert false
+
 let map_seq ?on_done f xs =
   match on_done with
   | None -> List.map f xs

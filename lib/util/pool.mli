@@ -48,6 +48,25 @@ val map : ?on_done:(int -> float -> unit) -> t -> ('a -> 'b) -> 'a list -> 'b li
     (exceptions it raises are swallowed). Jobs that raise are not
     reported. *)
 
+type 'a promise
+(** The pending result of a single job handed to {!submit}. *)
+
+val submit : t -> (unit -> 'a) -> 'a promise
+(** [submit t f] enqueues [f] as a single job and returns immediately; the
+    caller keeps running (e.g. producing the next job's input) while the
+    workers execute it. On a pool of size 1 the job runs inline, to
+    completion, before [submit] returns — the sequential path executes
+    every job eagerly in submission order.
+
+    Like {!map} jobs, submitted jobs must not {!submit} to or {!map} on
+    the pool that runs them. *)
+
+val await : 'a promise -> 'a
+(** Blocks until the job has settled; returns its result or re-raises its
+    exception with the original backtrace. [await] may be called at most
+    once per promise from the submitting domain's side; repeated awaits
+    return the same settled result. *)
+
 val shutdown : t -> unit
 (** Drains queued jobs, then joins all worker domains. Idempotent; [map]
     after [shutdown] raises [Invalid_argument]. *)

@@ -24,26 +24,36 @@ let build scheme ast =
   let prog, layout = Codegen.compile ast in
   { scheme; ast; prog; layout }
 
-let run ?machine ?(mem_words = 1 lsl 20) ?max_instrs ?(globals = [])
-    ?(arrays = []) ?observe ?sink built =
-  let init_mem mem =
-    List.iter
-      (fun (name, value) ->
-        mem.(Codegen.scalar_offset built.layout name) <- value)
-      globals;
-    List.iter
-      (fun (name, values) ->
-        let off, size = Codegen.array_slice built.layout name in
-        if Array.length values <> size then
-          invalid_arg
-            (Printf.sprintf "Harness.run: array %S expects %d values, got %d"
-               name size (Array.length values));
-        Array.blit values 0 mem off size)
-      arrays
-  in
+let init_mem_of built ~globals ~arrays mem =
+  List.iter
+    (fun (name, value) ->
+      mem.(Codegen.scalar_offset built.layout name) <- value)
+    globals;
+  List.iter
+    (fun (name, values) ->
+      let off, size = Codegen.array_slice built.layout name in
+      if Array.length values <> size then
+        invalid_arg
+          (Printf.sprintf "Harness.run: array %S expects %d values, got %d"
+             name size (Array.length values));
+      Array.blit values 0 mem off size)
+    arrays
+
+let run ?machine ?(mem_words = 1 lsl 20) ?max_instrs ?forgiving_oob
+    ?(globals = []) ?(arrays = []) ?observe ?sink built =
   Run.simulate
     ~support:(Scheme.support built.scheme)
-    ?machine ~mem_words ?max_instrs ~init_mem ?observe ?sink built.prog
+    ?machine ~mem_words ?max_instrs ?forgiving_oob
+    ~init_mem:(init_mem_of built ~globals ~arrays)
+    ?observe ?sink built.prog
+
+let sample ?machine ?(mem_words = 1 lsl 20) ?max_instrs ?forgiving_oob
+    ?(globals = []) ?(arrays = []) ?config ?workers built =
+  Sempe_sampling.Sampling.estimate
+    ~support:(Scheme.support built.scheme)
+    ?machine ~mem_words ?max_instrs ?forgiving_oob
+    ~init_mem:(init_mem_of built ~globals ~arrays)
+    ?config ?workers built.prog
 
 let return_value (o : Run.outcome) = o.Run.exec.Exec.regs.(Sempe_isa.Reg.rv)
 

@@ -16,10 +16,21 @@ val transform :
 
 val build : Sempe_core.Scheme.t -> Sempe_lang.Ast.program -> built
 
+val init_mem_of :
+  built
+  -> globals:(string * int) list
+  -> arrays:(string * int array) list
+  -> int array
+  -> unit
+(** The memory initializer {!run} and {!sample} install the named
+    [globals]/[arrays] with — exposed for callers that drive
+    {!Sempe_core.Exec} sessions by hand (tests, custom samplers). *)
+
 val run :
   ?machine:Sempe_pipeline.Config.t
   -> ?mem_words:int
   -> ?max_instrs:int
+  -> ?forgiving_oob:bool
   -> ?globals:(string * int) list
   -> ?arrays:(string * int array) list
   -> ?observe:(Sempe_pipeline.Uop.event -> unit)
@@ -28,7 +39,23 @@ val run :
   -> Sempe_core.Run.outcome
 (** Simulates on a fresh machine with the scheme's hardware support.
     [globals]/[arrays] initialize named program state (secrets, inputs).
+    [forgiving_oob] as in {!Sempe_core.Run.simulate}.
     [sink] attaches an observability sink (see {!Sempe_core.Run.simulate}). *)
+
+val sample :
+  ?machine:Sempe_pipeline.Config.t
+  -> ?mem_words:int
+  -> ?max_instrs:int
+  -> ?forgiving_oob:bool
+  -> ?globals:(string * int) list
+  -> ?arrays:(string * int array) list
+  -> ?config:Sempe_sampling.Sampling.config
+  -> ?workers:int
+  -> built
+  -> Sempe_sampling.Sampling.estimate
+(** Sampled simulation of the same workload setup as {!run} — see
+    {!Sempe_sampling.Sampling.estimate}. For performance estimates only;
+    security experiments need the full runs of {!run}. *)
 
 val return_value : Sempe_core.Run.outcome -> int
 (** [main]'s return value. *)

@@ -14,6 +14,7 @@ let () =
       ("pipeline", Test_pipeline.tests);
       ("core-units", Test_core_units.tests);
       ("random-programs", Test_random_progs.tests);
+      ("sampling", Test_sampling.tests);
       ("obs", Test_obs.tests);
       ("frontend", Test_frontend.tests);
       ("passes", Test_passes.tests);

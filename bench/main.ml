@@ -7,13 +7,20 @@
    sequential path). The rendered sections up to the micro-benchmarks are
    byte-identical at any -j (the perf sections report wall-clock times,
    so they print after the determinism cut). `--bench-json FILE` writes
-   the perf records as machine-readable JSON. *)
+   the perf records as machine-readable JSON, and `gate --baseline FILE
+   [--current FILE] [--tolerance PCT]` compares two such record sets and
+   exits non-zero on a rate regression — the CI perf gate. *)
 
 module Config = Sempe_pipeline.Config
 module Tablefmt = Sempe_util.Tablefmt
 module Batch = Sempe_experiments.Batch
 
-let quick = Array.exists (fun a -> a = "quick") Sys.argv
+let gate_mode = Array.exists (fun a -> a = "gate") Sys.argv
+
+(* Gate measurements are always CI-sized: the committed baseline is
+   captured from a `quick` run, and rates must be compared like for
+   like. *)
+let quick = gate_mode || Array.exists (fun a -> a = "quick") Sys.argv
 
 let jobs =
   let rec scan i =
@@ -28,13 +35,15 @@ let jobs =
   in
   match scan 1 with Some n -> n | None -> Batch.default_jobs ()
 
-let bench_json =
+let arg_after name =
   let rec scan i =
     if i + 1 >= Array.length Sys.argv then None
-    else if Sys.argv.(i) = "--bench-json" then Some Sys.argv.(i + 1)
+    else if Sys.argv.(i) = name then Some Sys.argv.(i + 1)
     else scan (i + 1)
   in
   scan 1
+
+let bench_json = arg_after "--bench-json"
 
 let section title body =
   Printf.printf "==== %s ====\n%s\n\n%!" title body
@@ -213,9 +222,22 @@ let perf_record_json r =
    equal the full run exactly. Wall-clock numbers are nondeterministic,
    so this section prints after the determinism cut (the micro section's
    header) and never perturbs the -j sweep diff. *)
-let perf () =
+let measure_perf () =
   let sample_cfg coverage =
     { Sampling.default_config with Sampling.coverage }
+  in
+  (* Simulation is deterministic, so repeats only re-measure the wall
+     clock; best-of-3 keeps the reported rates (and the perf gate that
+     consumes them) stable against scheduler noise and cold starts. *)
+  let timed f =
+    let best = ref infinity and result = ref None in
+    for _ = 1 to 3 do
+      let t0 = Pool.now_s () in
+      let r = f () in
+      best := Float.min !best (Pool.now_s () -. t0);
+      result := Some r
+    done;
+    match !result with Some r -> (r, !best) | None -> assert false
   in
   let workloads =
     let fib =
@@ -245,9 +267,7 @@ let perf () =
   let smoke_failures = ref [] in
   List.iter
     (fun (name, built, globals, arrays) ->
-      let t0 = Pool.now_s () in
-      let outcome = Harness.run ~globals ~arrays built in
-      let full_s = Pool.now_s () -. t0 in
+      let outcome, full_s = timed (fun () -> Harness.run ~globals ~arrays built) in
       let report = outcome.Sempe_core.Run.timing in
       let full_cycles = report.Sempe_pipeline.Timing.cycles in
       records :=
@@ -260,12 +280,11 @@ let perf () =
           p_speedup = 1.0;
         }
         :: !records;
-      let t1 = Pool.now_s () in
-      let est =
-        Harness.sample ~globals ~arrays ~config:(sample_cfg 0.25) ~workers:2
-          built
+      let est, sampled_s =
+        timed (fun () ->
+            Harness.sample ~globals ~arrays ~config:(sample_cfg 0.25) ~workers:2
+              built)
       in
-      let sampled_s = Pool.now_s () -. t1 in
       records :=
         {
           p_workload = name;
@@ -292,7 +311,10 @@ let perf () =
             exact.Sampling.cycles_estimate full_cycles
           :: !smoke_failures)
     workloads;
-  let records = List.rev !records in
+  (List.rev !records, List.rev !smoke_failures)
+
+let perf () =
+  let records, smoke_failures = measure_perf () in
   section "Simulation rate (full vs sampled, 25% coverage)"
     (Tablefmt.render
        ~header:
@@ -318,13 +340,136 @@ let perf () =
      close_out oc;
      Printf.eprintf "[bench] wrote %d perf records to %s\n%!"
        (List.length records) file);
-  match !smoke_failures with
+  match smoke_failures with
   | [] -> ()
   | fs ->
     List.iter (Printf.eprintf "[bench] sampling smoke FAILED: %s\n%!") fs;
     exit 1
 
+(* ---- perf-regression gate ---- *)
+
+(* `gate --baseline FILE [--current FILE] [--tolerance PCT]`: compare
+   perf records (as written by --bench-json) and fail when any
+   simulation rate regresses past the tolerance. Without --current, a
+   fresh quick-sized measurement is taken — ci.sh passes the record file
+   its own quick run just wrote, so the gate costs nothing extra there. *)
+
+type gate_rec = { g_workload : string; g_mode : string; g_rate : float }
+
+let gate_key r = r.g_workload ^ "/" ^ r.g_mode
+
+let gate_rec_of_json file j =
+  let field k =
+    match Json.member k j with
+    | Some v -> v
+    | None ->
+      Printf.eprintf "[gate] %s: perf record is missing %S\n%!" file k;
+      exit 2
+  in
+  let str k = match field k with Json.Str s -> s | _ ->
+    Printf.eprintf "[gate] %s: perf record field %S is not a string\n%!" file k;
+    exit 2
+  in
+  let num k =
+    match field k with
+    | Json.Float f -> f
+    | Json.Int i -> float_of_int i
+    | _ ->
+      Printf.eprintf "[gate] %s: perf record field %S is not a number\n%!" file k;
+      exit 2
+  in
+  { g_workload = str "workload"; g_mode = str "mode"; g_rate = num "minstr_per_s" }
+
+let gate_recs_of_file file =
+  let text =
+    try In_channel.with_open_text file In_channel.input_all
+    with Sys_error msg -> Printf.eprintf "[gate] %s\n%!" msg; exit 2
+  in
+  match Json.of_string text with
+  | Json.List items -> List.map (gate_rec_of_json file) items
+  | _ | (exception Json.Parse_error _) ->
+    Printf.eprintf "[gate] %s: expected a JSON list of perf records\n%!" file;
+    exit 2
+
+let run_gate () =
+  let baseline_file =
+    match arg_after "--baseline" with
+    | Some f -> f
+    | None ->
+      Printf.eprintf
+        "usage: bench/main.exe gate --baseline FILE [--current FILE] \
+         [--tolerance PCT]\n%!";
+      exit 2
+  in
+  let tolerance =
+    match arg_after "--tolerance" with
+    | None -> 20.0
+    | Some s -> (
+      match float_of_string_opt s with
+      | Some t when t >= 0.0 -> t
+      | _ ->
+        Printf.eprintf "[gate] --tolerance expects a non-negative number, got %S\n%!" s;
+        exit 2)
+  in
+  let baseline = gate_recs_of_file baseline_file in
+  let current, current_src =
+    match arg_after "--current" with
+    | Some f -> (gate_recs_of_file f, f)
+    | None ->
+      let records, smokes = measure_perf () in
+      List.iter (Printf.eprintf "[gate] sampling smoke FAILED: %s\n%!") smokes;
+      if smokes <> [] then exit 1;
+      ( List.map
+          (fun r ->
+            { g_workload = r.p_workload; g_mode = r.p_mode;
+              g_rate = minstr_per_s r })
+          records,
+        "fresh quick measurement" )
+  in
+  let failed = ref false in
+  let rows =
+    List.map
+      (fun b ->
+        let pct d = Printf.sprintf "%+.1f%%" d in
+        let rate r = Printf.sprintf "%.2f" r in
+        match List.find_opt (fun c -> gate_key c = gate_key b) current with
+        | None ->
+          failed := true;
+          [ b.g_workload; b.g_mode; rate b.g_rate; "-"; "-"; "FAIL (missing)" ]
+        | Some c ->
+          let delta =
+            if b.g_rate > 0.0 then (c.g_rate -. b.g_rate) /. b.g_rate *. 100.0
+            else 0.0
+          in
+          let ok = delta >= -.tolerance in
+          if not ok then failed := true;
+          [ b.g_workload; b.g_mode; rate b.g_rate; rate c.g_rate; pct delta;
+            (if ok then "ok" else "FAIL") ])
+      baseline
+  in
+  Printf.printf "Perf gate: %s vs %s (tolerance %.1f%%)\n%s\n%!" current_src
+    baseline_file tolerance
+    (Tablefmt.render
+       ~header:
+         [ "workload"; "mode"; "baseline Minstr/s"; "current Minstr/s";
+           "delta"; "status" ]
+       rows);
+  if !failed then begin
+    Printf.eprintf
+      "[gate] FAILED: a simulation rate regressed more than %.1f%% below \
+       %s (or a record went missing); refresh the baseline with\n\
+      \  dune exec bench/main.exe -- quick --bench-json bench/baseline.json\n\
+       if the regression is intended\n%!"
+      tolerance baseline_file;
+    exit 1
+  end
+
 let () =
+  if gate_mode then begin
+    Batch.set_jobs jobs;
+    run_gate ();
+    exit 0
+  end;
   Batch.set_jobs jobs;
   (* stderr, so section output stays byte-identical across -j values *)
   if Batch.jobs () > 1 then

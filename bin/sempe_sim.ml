@@ -1,7 +1,7 @@
 (* sempe-sim: command-line front end to the SeMPE simulator.
 
    Subcommands: config, microbench, djpeg, rsa, sample, leakage, report,
-   profile, trace, asm-run, disasm. *)
+   profile, trace, asm-run, disasm, fuzz. *)
 
 open Cmdliner
 module Scheme = Sempe_core.Scheme
@@ -767,6 +767,167 @@ let asm_run_cmd =
     (Cmd.info "asm-run" ~doc:"Assemble and simulate a .s file (see lib/isa/asm.mli for syntax).")
     Term.(const run $ scheme_arg $ path $ json_arg)
 
+(* ---- fuzz ---- *)
+
+let fuzz_cmd =
+  let module Fuzz = Sempe_fuzz.Fuzz in
+  let module Oracle = Sempe_fuzz.Oracle in
+  let run seed count budget oracle_names jobs corpus no_corpus no_minimize
+      fault_name max_failures json =
+    let oracles =
+      match oracle_names with
+      | [] -> Oracle.all
+      | names ->
+        List.map
+          (fun name ->
+            match Oracle.find name with
+            | Some o -> o
+            | None ->
+              Printf.eprintf "unknown oracle %S (expected one of: %s)\n" name
+                (String.concat ", " Oracle.names);
+              exit 124)
+          names
+    in
+    let fault =
+      match Sempe_core.Exec.fault_of_string fault_name with
+      | Some f -> f
+      | None ->
+        Printf.eprintf
+          "unknown fault %S (none, skip-restore, skip-nt-restore)\n"
+          fault_name;
+        exit 124
+    in
+    (* -j is an upper bound: the outcome is worker-count-independent by
+       construction, so oversubscribing domains past the host's cores
+       (catastrophic for allocation-heavy jobs under OCaml 5's
+       stop-the-world minor GC) would burn time without changing a byte
+       of the output. *)
+    let workers =
+      if jobs <= 0 then Pool.default_workers ()
+      else min jobs (Pool.default_workers ())
+    in
+    let config =
+      {
+        Fuzz.default_config with
+        Fuzz.seed;
+        count;
+        budget_s = budget;
+        oracles;
+        workers;
+        corpus_dir = (if no_corpus then None else Some corpus);
+        minimize = not no_minimize;
+        max_failures;
+        ctx = { Oracle.default_ctx with Oracle.fault };
+      }
+    in
+    let outcome = Fuzz.run config in
+    (* wall-clock goes to stderr: stdout stays byte-identical at any -j *)
+    Printf.eprintf
+      "[fuzz] %d cases (%d generated, %d mutants, %d replayed), %d \
+       execution shapes, %d failure(s), %.1fs wall, %d workers\n%!"
+      outcome.Fuzz.executed outcome.Fuzz.generated outcome.Fuzz.mutants
+      outcome.Fuzz.replayed outcome.Fuzz.features
+      (List.length outcome.Fuzz.failures)
+      outcome.Fuzz.wall_s workers;
+    if json then print_json (Fuzz.to_json outcome)
+    else begin
+      Printf.printf
+        "fuzz: seed %d, %d cases executed, %d execution shapes, oracles: %s\n"
+        seed outcome.Fuzz.executed outcome.Fuzz.features
+        (String.concat ", " (List.map (fun o -> o.Oracle.name) oracles));
+      match outcome.Fuzz.failures with
+      | [] -> print_endline "no oracle violations"
+      | fs ->
+        List.iter
+          (fun f ->
+            Printf.printf
+              "\nFAIL [%s] seed %d (%s): %s\n\
+               minimized %d -> %d statements (%d static instructions, %d \
+               minimizer trials)%s\n\
+               %s\n"
+              f.Fuzz.f_oracle f.Fuzz.f_seed
+              (Fuzz.origin_name f.Fuzz.f_origin)
+              f.Fuzz.f_message f.Fuzz.f_size f.Fuzz.f_min_size
+              f.Fuzz.f_min_instrs f.Fuzz.f_trials
+              (match f.Fuzz.f_repro with
+               | None -> ""
+               | Some p -> Printf.sprintf "\nreproducer: %s" p)
+              f.Fuzz.f_source)
+          fs
+    end;
+    if outcome.Fuzz.failures <> [] then exit 1
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Master seed.")
+  in
+  let count =
+    Arg.(
+      value & opt int 200
+      & info [ "count"; "n" ] ~docv:"N"
+          ~doc:"Cases to execute (fresh plus feedback mutants).")
+  in
+  let budget =
+    Arg.(
+      value & opt (some float) None
+      & info [ "budget-s" ] ~docv:"SECONDS"
+          ~doc:
+            "Stop after this much wall time (checked between rounds; a \
+             budget-limited run is not reproducible — use $(b,--count) \
+             alone for that).")
+  in
+  let oracle_names =
+    Arg.(
+      value & opt_all string []
+      & info [ "oracle" ] ~docv:"NAME"
+          ~doc:
+            "Oracle to check (repeatable): state, trace, timing, sampling, \
+             checkpoint. Default: all of them.")
+  in
+  let corpus =
+    Arg.(
+      value & opt string "corpus"
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Reproducer directory: entries replay before any new case, and \
+             minimized failures are persisted here.")
+  in
+  let no_corpus =
+    Arg.(
+      value & flag
+      & info [ "no-corpus" ] ~doc:"Neither replay nor persist reproducers.")
+  in
+  let no_minimize =
+    Arg.(
+      value & flag
+      & info [ "no-minimize" ]
+          ~doc:"Report failures as generated, without delta debugging.")
+  in
+  let fault =
+    Arg.(
+      value & opt string "none"
+      & info [ "fault" ] ~docv:"FAULT"
+          ~doc:
+            "Inject a protocol bug (skip-restore, skip-nt-restore) to \
+             self-test the oracles; the run should then fail.")
+  in
+  let max_failures =
+    Arg.(
+      value & opt int 5
+      & info [ "max-failures" ] ~docv:"N"
+          ~doc:"Stop after this many distinct failures.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: random programs with secret branches are \
+          checked against the reference interpreter, across schemes, and \
+          against the timing/sampling/checkpoint invariants. Exits \
+          non-zero if any oracle is violated; failures are minimized and \
+          persisted as corpus reproducers.")
+    Term.(
+      const run $ seed $ count $ budget $ oracle_names $ jobs_arg $ corpus
+      $ no_corpus $ no_minimize $ fault $ max_failures $ json_arg)
+
 (* ---- disasm ---- *)
 
 let disasm_cmd =
@@ -803,5 +964,5 @@ let () =
           [
             config_cmd; microbench_cmd; djpeg_cmd; rsa_cmd; sample_cmd;
             leakage_cmd; report_cmd; profile_cmd; trace_cmd; disasm_cmd;
-            asm_run_cmd;
+            asm_run_cmd; fuzz_cmd;
           ]))

@@ -1,7 +1,10 @@
 #!/bin/sh
-# CI entry point: type-check, build, run the test suites, then verify that
-# the evaluation harness renders byte-identical stdout at -j 1 and -j 2.
-# `dune build @ci` runs the same checks as a single dune invocation.
+# CI entry point: type-check, build, run the test suites, then the -j
+# determinism sweep, the perf-regression gate, the sampled-simulation
+# smoke, and the differential fuzz smoke. `dune build @ci` runs the same
+# build/test/sweep/smoke checks as a single dune invocation; the perf
+# gate compares wall-clock rates, so it runs here (and in the GitHub
+# workflow), not under dune.
 set -eu
 cd "$(dirname "$0")"
 
@@ -11,18 +14,40 @@ echo "== dune build"
 dune build
 echo "== dune runtest"
 dune runtest
-echo "== determinism sweep: bench quick, -j 1 vs -j 2"
+
 out=$(mktemp -d)
 trap 'rm -rf "$out"' EXIT
-# the trailing bechamel micro-benchmark section measures wall time and is
-# legitimately nondeterministic; the sweep compares everything before it
-./_build/default/bench/main.exe quick -j 1 \
-  | sed -n '/Component micro-benchmarks/q;p' > "$out/j1.txt"
-./_build/default/bench/main.exe quick -j 2 \
-  | sed -n '/Component micro-benchmarks/q;p' > "$out/j2.txt"
+
+echo "== determinism sweep: bench quick, -j 1 vs -j 2"
+# Run each bench to completion before filtering: piping straight into
+# sed would mask a non-zero bench exit under `set -eu` (sed exits 0
+# regardless). The trailing bechamel micro-benchmark section measures
+# wall time and is legitimately nondeterministic; the sweep compares
+# everything before it.
+./_build/default/bench/main.exe quick -j 1 --bench-json "$out/bench.json" \
+  > "$out/j1.raw"
+./_build/default/bench/main.exe quick -j 2 > "$out/j2.raw"
+sed -n '/Component micro-benchmarks/q;p' "$out/j1.raw" > "$out/j1.txt"
+sed -n '/Component micro-benchmarks/q;p' "$out/j2.raw" > "$out/j2.txt"
 diff -u "$out/j1.txt" "$out/j2.txt"
+
+echo "== perf gate: quick rates vs bench/baseline.json"
+# Reuses the perf records the -j 1 sweep run just wrote. The tolerance
+# is wide because the committed baseline's absolute rates are
+# machine-dependent; refresh with
+#   dune exec bench/main.exe -- quick --bench-json bench/baseline.json
+./_build/default/bench/main.exe gate --baseline bench/baseline.json \
+  --current "$out/bench.json" --tolerance 40
+
 echo "== sampling smoke: fibonacci, 25% coverage, -j 2"
 ./_build/default/bin/sempe_sim.exe sample fibonacci --iters 50 \
-  --coverage 0.25 -j 2 --compare-full --json \
-  | grep -q '"in_bound":true'
+  --coverage 0.25 -j 2 --compare-full --json > "$out/sample.json"
+grep -q '"in_bound":true' "$out/sample.json"
+
+echo "== fuzz smoke: 100 cases, all oracles, pinned seed"
+# Minimized reproducers land in corpus/ so CI can upload them as
+# artifacts on failure.
+./_build/default/bin/sempe_sim.exe fuzz --seed 42 --count 100 -j 4 --json \
+  > "$out/fuzz.json"
+
 echo "CI OK"

@@ -5,6 +5,19 @@ module Spm = Sempe_mem.Spm
 
 type support = Legacy | Sempe_hw
 
+type fault = No_fault | Skip_restore | Skip_nt_restore
+
+let fault_name = function
+  | No_fault -> "none"
+  | Skip_restore -> "skip-restore"
+  | Skip_nt_restore -> "skip-nt-restore"
+
+let fault_of_string = function
+  | "none" -> Some No_fault
+  | "skip-restore" -> Some Skip_restore
+  | "skip-nt-restore" -> Some Skip_nt_restore
+  | _ -> None
+
 type config = {
   support : support;
   mem_words : int;
@@ -12,6 +25,7 @@ type config = {
   spm : Spm.config;
   jbtable_entries : int;
   forgiving_oob : bool;
+  fault : fault;
 }
 
 let default_config =
@@ -22,6 +36,7 @@ let default_config =
     spm = Spm.default_config;
     jbtable_entries = Spm.default_config.Spm.max_snapshots;
     forgiving_oob = true;
+    fault = No_fault;
   }
 
 exception Out_of_bounds of { pc : int; addr : int }
@@ -121,6 +136,23 @@ let emit_plain st instr = emit_commit st instr ~mem_addr:0 Uop.Ctl_none
 let emit_drain st ~reason ~spm_cycles =
   if st.emit then st.sink (Uop.Drain { reason; spm_cycles })
 
+(* Fault injection for the differential fuzzer's self-test: run a snapshot
+   restore phase with its register writes suppressed. The snapshot stack
+   bookkeeping (frame pop, SPM transfer sizes) still happens — only the
+   architectural effect of the restore is lost. For compiled programs this
+   is architecturally silent on its own (the memory-to-memory codegen
+   leaves no register live across an eosJMP); the observable half of the
+   same seeded bug lives in the ShadowMemory lowering — see
+   Sempe_lang.Shadow.privatize and Sempe_workloads.Harness.transform. *)
+let with_fault st which f =
+  if st.cfg.fault = which then begin
+    let saved = Array.copy st.regs in
+    let r = f () in
+    Array.blit saved 0 st.regs 0 (Array.length saved);
+    r
+  end
+  else f ()
+
 (* Enter a SecBlock at a committed sJMP (Sempe_hw only). *)
 let enter_secblock st cond rs1 rs2 target instr =
   let outcome = Instr.eval_cond cond (read_reg st rs1) (read_reg st rs2) in
@@ -147,14 +179,20 @@ let do_eosjmp st instr =
     match Jbtable.on_eosjmp st.jb with
     | Jbtable.Jump_back dest ->
       emit_commit st instr ~mem_addr:0 (Uop.Ctl_jumpback { target = dest });
-      let nt_mods = Snapshot.end_nt_path st.snaps ~regs:st.regs in
+      let nt_mods =
+        with_fault st Skip_nt_restore (fun () ->
+            Snapshot.end_nt_path st.snaps ~regs:st.regs)
+      in
       let c1 = Spm.save_modified st.spm ~modified:nt_mods in
       let c2 = Spm.read_modified st.spm ~modified:nt_mods in
       emit_drain st ~reason:Uop.Drain_after_nt_path ~spm_cycles:(c1 + c2);
       st.pc <- dest
     | Jbtable.Release ->
       emit_plain st instr;
-      let union = Snapshot.finish st.snaps ~regs:st.regs in
+      let union =
+        with_fault st Skip_restore (fun () ->
+            Snapshot.finish st.snaps ~regs:st.regs)
+      in
       let cycles = Spm.restore st.spm ~modified_union:union in
       emit_drain st ~reason:Uop.Drain_exit_secblock ~spm_cycles:cycles;
       st.pc <- st.pc + 1

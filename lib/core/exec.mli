@@ -18,6 +18,23 @@
 
 type support = Legacy | Sempe_hw
 
+(** Fault injection, used by the differential fuzzer ({!Sempe_fuzz}) to
+    prove its oracles catch real protocol bugs. A fault suppresses the
+    architectural effect of one SPM restore phase while keeping the
+    snapshot-stack bookkeeping intact:
+
+    - [Skip_restore]: the final eosJMP's merge/restore writes nothing, so
+      the last-executed (taken) path's register values survive even when
+      the branch outcome selected the other path;
+    - [Skip_nt_restore]: the first eosJMP does not rewind the not-taken
+      path's register writes, so NT values leak into the taken path.
+
+    [No_fault] (the default everywhere) is the correct SeMPE protocol. *)
+type fault = No_fault | Skip_restore | Skip_nt_restore
+
+val fault_name : fault -> string
+val fault_of_string : string -> fault option
+
 type config = {
   support : support;
   mem_words : int;       (** memory size in words; the stack grows from the top *)
@@ -29,10 +46,13 @@ type config = {
       dropped (their cache address is clamped); when [false] they fail. The
       paper's threat model assumes wrong paths do not fault, but synthetic
       wrong-path code may compute junk addresses. *)
+  fault : fault;
+  (** injected protocol bug; [No_fault] for correct execution *)
 }
 
 val default_config : config
-(** [Sempe_hw], 1 MiB of words, 200M instruction budget, Table II SPM. *)
+(** [Sempe_hw], 1 MiB of words, 200M instruction budget, Table II SPM,
+    [No_fault]. *)
 
 exception Out_of_bounds of { pc : int; addr : int }
 exception Budget_exceeded of int

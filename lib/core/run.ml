@@ -7,7 +7,7 @@ type outcome = {
 }
 
 let exec_config ~support ~(machine : Config.t) ~mem_words ~max_instrs
-    ~forgiving_oob =
+    ~forgiving_oob ~fault =
   {
     Exec.support;
     mem_words;
@@ -15,12 +15,14 @@ let exec_config ~support ~(machine : Config.t) ~mem_words ~max_instrs
     spm = machine.Config.spm;
     jbtable_entries = machine.Config.jbtable_entries;
     forgiving_oob;
+    fault;
   }
 
 let simulate ?(support = Exec.Sempe_hw) ?(machine = Config.default) ?predictor
     ?(mem_words = Exec.default_config.Exec.mem_words)
     ?(max_instrs = Exec.default_config.Exec.max_instrs)
-    ?(forgiving_oob = true) ?init_mem ?observe ?sink prog =
+    ?(forgiving_oob = true) ?(fault = Exec.No_fault) ?init_mem ?observe ?sink
+    prog =
   let probe = Option.map (fun s -> s.Sempe_obs.Sink.probe) sink in
   let timing = Timing.create ~config:machine ?predictor ?probe () in
   let feed =
@@ -32,7 +34,7 @@ let simulate ?(support = Exec.Sempe_hw) ?(machine = Config.default) ?predictor
         f ev
   in
   let config =
-    exec_config ~support ~machine ~mem_words ~max_instrs ~forgiving_oob
+    exec_config ~support ~machine ~mem_words ~max_instrs ~forgiving_oob ~fault
   in
   let exec = Exec.run ~config ?init_mem ~sink:feed prog in
   { exec; timing = Timing.report timing }
@@ -40,9 +42,9 @@ let simulate ?(support = Exec.Sempe_hw) ?(machine = Config.default) ?predictor
 let execute ?(support = Exec.Sempe_hw) ?(machine = Config.default)
     ?(mem_words = Exec.default_config.Exec.mem_words)
     ?(max_instrs = Exec.default_config.Exec.max_instrs)
-    ?(forgiving_oob = true) ?init_mem ?warm prog =
+    ?(forgiving_oob = true) ?(fault = Exec.No_fault) ?init_mem ?warm prog =
   let config =
-    exec_config ~support ~machine ~mem_words ~max_instrs ~forgiving_oob
+    exec_config ~support ~machine ~mem_words ~max_instrs ~forgiving_oob ~fault
   in
   Exec.finish (Exec.start ~config ?init_mem ?warm prog)
 

@@ -13,6 +13,7 @@ val simulate :
   -> ?mem_words:int
   -> ?max_instrs:int
   -> ?forgiving_oob:bool
+  -> ?fault:Exec.fault
   -> ?init_mem:(int array -> unit)
   -> ?observe:(Sempe_pipeline.Uop.event -> unit)
   -> ?sink:Sempe_obs.Sink.t
@@ -27,6 +28,9 @@ val simulate :
     (e.g. via [sempe-sim --strict-oob]) to make out-of-bounds accesses
     raise {!Exec.Out_of_bounds} instead of being clamped.
 
+    [fault] (default {!Exec.No_fault}) injects a protocol bug for fuzzer
+    self-tests — see {!Exec.fault}.
+
     [sink] attaches an observability sink ({!Sempe_obs.Sink}) as the
     timing model's probe for this run: per-µop pipeline spans, stall
     attribution and drain events flow to it. Sinks are passive — with or
@@ -40,6 +44,7 @@ val execute :
   -> ?mem_words:int
   -> ?max_instrs:int
   -> ?forgiving_oob:bool
+  -> ?fault:Exec.fault
   -> ?init_mem:(int array -> unit)
   -> ?warm:Sempe_pipeline.Warm.t
   -> Sempe_isa.Program.t

@@ -1,0 +1,136 @@
+(* Persistent reproducers. Each corpus file is one self-contained JSON
+   document: the minimized program in concrete syntax (re-parsed on
+   load), its array fill and secret assignments, and the oracle verdict
+   that produced it. The fuzzer replays every corpus entry before
+   generating anything new, so a fixed bug stays fixed. *)
+
+module Json = Sempe_obs.Json
+module Parser = Sempe_lang.Parser
+
+type entry = { case : Gen.case; oracle : string; message : string }
+
+exception Malformed of string
+
+let case_to_json (c : Gen.case) =
+  Json.Obj
+    [
+      ("seed", Json.Int c.Gen.seed);
+      ("source", Json.Str (Gen.to_source c));
+      ( "fill",
+        Json.List (List.map (fun x -> Json.Int x) (Array.to_list c.Gen.fill))
+      );
+      ( "secrets",
+        Json.List
+          (List.map
+             (fun asg ->
+               Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) asg))
+             c.Gen.secrets) );
+    ]
+
+let to_json e =
+  Json.Obj
+    [
+      ("oracle", Json.Str e.oracle);
+      ("message", Json.Str e.message);
+      ("case", case_to_json e.case);
+    ]
+
+(* ---- decoding ----------------------------------------------------------- *)
+
+let get field j =
+  match Json.member field j with
+  | Some v -> v
+  | None -> raise (Malformed (Printf.sprintf "missing field %S" field))
+
+let as_int field = function
+  | Json.Int n -> n
+  | _ -> raise (Malformed (Printf.sprintf "field %S: expected an integer" field))
+
+let as_str field = function
+  | Json.Str s -> s
+  | _ -> raise (Malformed (Printf.sprintf "field %S: expected a string" field))
+
+let as_list field = function
+  | Json.List xs -> xs
+  | _ -> raise (Malformed (Printf.sprintf "field %S: expected a list" field))
+
+let case_of_json j =
+  let seed = as_int "seed" (get "seed" j) in
+  let source = as_str "source" (get "source" j) in
+  let prog =
+    try Parser.program source
+    with exn ->
+      raise
+        (Malformed
+           (Printf.sprintf "unparsable source: %s" (Printexc.to_string exn)))
+  in
+  let fill =
+    get "fill" j |> as_list "fill" |> List.map (as_int "fill") |> Array.of_list
+  in
+  let secrets =
+    get "secrets" j
+    |> as_list "secrets"
+    |> List.map (function
+         | Json.Obj kvs -> List.map (fun (n, v) -> (n, as_int n v)) kvs
+         | _ -> raise (Malformed "field \"secrets\": expected objects"))
+  in
+  if Array.length fill <> Gen.array_size then
+    raise
+      (Malformed
+         (Printf.sprintf "fill has %d words, expected %d" (Array.length fill)
+            Gen.array_size));
+  if secrets = [] then raise (Malformed "no secret assignments");
+  { Gen.seed; prog; fill; secrets }
+
+let of_json j =
+  {
+    case = case_of_json (get "case" j);
+    oracle = as_str "oracle" (get "oracle" j);
+    message = as_str "message" (get "message" j);
+  }
+
+(* ---- files -------------------------------------------------------------- *)
+
+let rec mkdirs dir =
+  if dir = "" || dir = "." || dir = "/" || Sys.file_exists dir then ()
+  else begin
+    mkdirs (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let save ~dir e =
+  mkdirs dir;
+  let path =
+    Filename.concat dir
+      (Printf.sprintf "repro-%s-s%d.json" e.oracle e.case.Gen.seed)
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string (to_json e));
+  output_char oc '\n';
+  close_out oc;
+  path
+
+let load_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  match Json.of_string src with
+  | j -> of_json j
+  | exception Json.Parse_error { pos; message } ->
+    raise (Malformed (Printf.sprintf "invalid JSON at offset %d: %s" pos message))
+
+let load_dir dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".json")
+    |> List.sort compare
+    |> List.filter_map (fun f ->
+           let path = Filename.concat dir f in
+           match load_file path with
+           | e -> Some (f, e)
+           | exception (Malformed reason | Sys_error reason) ->
+             Printf.eprintf "[fuzz] skipping corpus file %s: %s\n%!" path
+               reason;
+             None)

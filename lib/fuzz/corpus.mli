@@ -1,0 +1,34 @@
+(** On-disk reproducers for the differential fuzzer.
+
+    One JSON file per minimized failure: the program in concrete syntax,
+    its array fill, the secret assignments, and the oracle verdict. The
+    fuzzer replays every entry of the corpus directory before generating
+    new cases, so a reproducer keeps guarding against regressions until
+    it is deleted. Files are self-contained — they re-parse through
+    {!Sempe_lang.Parser}, with no dependence on the generator's seed
+    staying reproducible across versions. *)
+
+type entry = {
+  case : Gen.case;
+  oracle : string;  (** the oracle that failed (a {!Oracle.t} name) *)
+  message : string;  (** its account of the violation *)
+}
+
+exception Malformed of string
+(** Raised by the decoding half on structurally invalid corpus files. *)
+
+val to_json : entry -> Sempe_obs.Json.t
+val of_json : Sempe_obs.Json.t -> entry
+
+val save : dir:string -> entry -> string
+(** Write the entry to [dir/repro-<oracle>-s<seed>.json] (creating [dir]
+    if needed) and return the path. *)
+
+val load_file : string -> entry
+(** @raise Malformed on unparsable content. *)
+
+val load_dir : string -> (string * entry) list
+(** All [*.json] entries of a directory in filename order (so replay
+    order is deterministic), as [(basename, entry)]. Malformed files are
+    skipped with a note on stderr. A missing directory is an empty
+    corpus. *)

@@ -1,0 +1,519 @@
+open Sempe_lang.Ast
+module Rng = Sempe_util.Rng
+module Eval = Sempe_lang.Eval
+
+type cfg = {
+  max_depth : int;
+  max_secret_nest : int;
+  secret_stores : bool;
+  max_block : int;
+  max_dyn_instrs : int;
+}
+
+let default_cfg =
+  {
+    max_depth = 3;
+    max_secret_nest = 3;
+    secret_stores = true;
+    max_block = 3;
+    max_dyn_instrs = 200_000;
+  }
+
+type case = {
+  seed : int;
+  prog : program;
+  fill : int array;
+  secrets : (string * int) list list;
+}
+
+let data_vars = [ "x0"; "x1"; "x2"; "x3" ]
+let index_vars = [ "i0"; "i1"; "i2" ]
+let globals = [ "g0"; "g1" ]
+let secret_vars = [ "s0"; "s1" ]
+let array_name = "arr"
+let array_size = 16
+
+let pick rng xs = List.nth xs (Rng.int rng (List.length xs))
+
+(* Weighted choice: [(weight, thunk); ...] -> run one thunk. *)
+let weighted rng choices =
+  let total = List.fold_left (fun a (w, _) -> a + w) 0 choices in
+  let n = Rng.int rng total in
+  let rec go acc = function
+    | [] -> assert false
+    | (w, f) :: rest -> if n < acc + w then f () else go (acc + w) rest
+  in
+  go 0 choices
+
+(* ---- expressions ------------------------------------------------------- *)
+
+let binops =
+  [ Add; Sub; Mul; Div; Rem; Band; Bor; Bxor; Lt; Le; Gt; Ge; Eq; Ne; Land; Lor ]
+
+(* Region-bound-aware index expressions: the boundary constants 0 and
+   [size-1] hit the first and last word of the array's memory region, the
+   masked forms sweep dynamically across both edges. Always in bounds, so
+   the reference interpreter never faults. *)
+let gen_index rng =
+  weighted rng
+    [
+      (1, fun () -> Int 0);
+      (1, fun () -> Int (array_size - 1));
+      ( 3,
+        fun () ->
+          Binop (Band, Var (pick rng index_vars), Int (array_size - 1)) );
+      ( 2,
+        fun () ->
+          Binop
+            ( Band,
+              Binop (Add, Var (pick rng index_vars), Int (Rng.int_in rng 0 31)),
+              Int (array_size - 1) ) );
+      (1, fun () -> Binop (Band, Int (Rng.int_in rng 0 100), Int (array_size - 1)));
+    ]
+
+let gen_leaf rng ~secret_ok =
+  let vars =
+    data_vars @ index_vars @ globals @ if secret_ok then secret_vars else []
+  in
+  weighted rng
+    [
+      (2, fun () -> Int (Rng.int_in rng (-50) 50));
+      (3, fun () -> Var (pick rng vars));
+    ]
+
+let rec gen_expr rng ~secret_ok depth =
+  if depth = 0 then gen_leaf rng ~secret_ok
+  else
+    weighted rng
+      [
+        (3, fun () -> gen_leaf rng ~secret_ok);
+        ( 4,
+          fun () ->
+            let op = pick rng binops in
+            let a = gen_expr rng ~secret_ok (depth - 1) in
+            let b = gen_expr rng ~secret_ok (depth - 1) in
+            Binop (op, a, b) );
+        (1, fun () -> Unop (Neg, gen_expr rng ~secret_ok (depth - 1)));
+        (1, fun () -> Unop (Lnot, gen_expr rng ~secret_ok (depth - 1)));
+        (2, fun () -> Index (array_name, gen_index rng));
+        ( 1,
+          fun () ->
+            let c = gen_expr rng ~secret_ok (depth - 1) in
+            let a = gen_expr rng ~secret_ok (depth - 1) in
+            let b = gen_expr rng ~secret_ok (depth - 1) in
+            Select (c, a, b) );
+      ]
+
+(* Public branch / loop conditions may only read untainted material (index
+   variables and constants): anything else would be an unmarked branch on
+   secret-derived data, which no scheme protects. *)
+let gen_public_cond rng =
+  let leaf () =
+    weighted rng
+      [
+        (1, fun () -> Int (Rng.int_in rng (-20) 20));
+        (2, fun () -> Var (pick rng index_vars));
+      ]
+  in
+  let op = pick rng [ Lt; Le; Gt; Ge; Eq; Ne; Add; Bxor ] in
+  Binop (op, leaf (), leaf ())
+
+(* Secret branch conditions: a comparison with at least one secret
+   operand, in several shapes so the hoisted-condition path of the
+   ShadowMemory pass and the sJMP outcome evaluation see variety. *)
+let gen_secret_cond rng =
+  let s () = Var (pick rng secret_vars) in
+  weighted rng
+    [
+      (3, fun () -> Binop (Ne, s (), Int 0));
+      (2, fun () -> Binop (pick rng [ Lt; Le; Gt; Ge; Eq; Ne ], s (), s ()));
+      ( 2,
+        fun () ->
+          Binop
+            ( pick rng [ Lt; Gt; Eq; Ne ],
+              s (),
+              Int (Rng.int_in rng (-2) 2) ) );
+      (1, fun () -> Binop (Ne, Binop (Band, s (), Int 1), Int 0));
+      (1, fun () -> Binop (Ne, Binop (Bxor, s (), s ()), Int 0));
+    ]
+
+(* ---- statements --------------------------------------------------------
+
+   [secret_nest] counts enclosing secret branches (0 = public context);
+   within a secret arm, writes are restricted to what ShadowMemory
+   privatizes: local scalars always, plus globals / array stores when
+   [cfg.secret_stores]. [idx_pool] holds the loop-index variables not used
+   by an enclosing loop, so nests never share an induction variable. *)
+let rec gen_stmt cfg rng ~secret_nest ~idx_pool ~depth =
+  let in_secret = secret_nest > 0 in
+  let assign_data () =
+    Assign (pick rng data_vars, gen_expr rng ~secret_ok:true 2)
+  in
+  (* loop-carried dependence: x = x op e *)
+  let accumulate () =
+    let v_ = pick rng data_vars in
+    Assign
+      ( v_,
+        Binop
+          (pick rng [ Add; Sub; Bxor; Bor ], Var v_, gen_expr rng ~secret_ok:false 1)
+      )
+  in
+  let store_ok = (not in_secret) || cfg.secret_stores in
+  let base =
+    [ (4, assign_data); (2, accumulate) ]
+    @ (if store_ok then
+         [
+           ( 2,
+             fun () ->
+               Assign (pick rng globals, gen_expr rng ~secret_ok:false 2) );
+           ( 2,
+             fun () ->
+               Store (array_name, gen_index rng, gen_expr rng ~secret_ok:false 2)
+           );
+         ]
+       else [])
+  in
+  if depth = 0 then weighted rng base
+  else
+    let nested =
+      [
+        ( 2,
+          fun () ->
+            let cond = gen_public_cond rng in
+            let then_ =
+              gen_block cfg rng ~secret_nest ~idx_pool ~depth:(depth - 1)
+            in
+            let else_ =
+              gen_block cfg rng ~secret_nest ~idx_pool ~depth:(depth - 1)
+            in
+            If { secret = false; cond; then_; else_ } );
+      ]
+      @ (match idx_pool with
+         | [] -> []
+         | x :: rest when not in_secret ->
+           [
+             ( 2,
+               fun () ->
+                 let hi = Rng.int_in rng 1 5 in
+                 let body =
+                   gen_block cfg rng ~secret_nest ~idx_pool:rest
+                     ~depth:(depth - 1)
+                 in
+                 For (x, Int 0, Int hi, body) );
+           ]
+         | _ :: _ -> [])
+      @
+      if secret_nest >= cfg.max_secret_nest then []
+      else
+        [
+          ( 3,
+            fun () ->
+              let cond = gen_secret_cond rng in
+              let then_ =
+                gen_block cfg rng ~secret_nest:(secret_nest + 1) ~idx_pool
+                  ~depth:(depth - 1)
+              in
+              let else_ =
+                gen_block cfg rng ~secret_nest:(secret_nest + 1) ~idx_pool
+                  ~depth:(depth - 1)
+              in
+              If { secret = true; cond; then_; else_ } );
+        ]
+    in
+    weighted rng (base @ nested)
+
+and gen_block cfg rng ~secret_nest ~idx_pool ~depth =
+  let n = Rng.int_in rng 1 cfg.max_block in
+  List.init n (fun _ -> gen_stmt cfg rng ~secret_nest ~idx_pool ~depth)
+
+let checksum =
+  (* fold everything observable into the return value, including both
+     region-boundary words of the array *)
+  List.fold_left
+    (fun acc e -> acc +: e)
+    (v "x0")
+    [
+      v "x1"; v "x2"; v "x3"; v "g0"; v "g1";
+      idx array_name (i 0);
+      idx array_name (i 3);
+      idx array_name (i (array_size - 1));
+    ]
+
+let assemble body fill secrets seed =
+  let prog =
+    {
+      funcs =
+        [
+          {
+            fname = "main";
+            params = [];
+            locals = data_vars @ index_vars;
+            body = body @ [ ret checksum ];
+          };
+        ];
+      globals = globals @ secret_vars;
+      arrays = [ { aname = array_name; size = array_size; scratch = false } ];
+      secrets = secret_vars;
+      main = "main";
+    }
+  in
+  validate prog;
+  { seed; prog; fill; secrets }
+
+let gen_secret_assignments rng =
+  (* the four corners plus two random pairs: corners guarantee both
+     outcomes of every [s <> 0]-style condition, the random pairs exercise
+     magnitude-sensitive conditions (s0 < s1, s = -1, ...) *)
+  let corners =
+    [
+      [ ("s0", 0); ("s1", 0) ];
+      [ ("s0", 1); ("s1", 0) ];
+      [ ("s0", 0); ("s1", 1) ];
+      [ ("s0", 1); ("s1", 1) ];
+    ]
+  in
+  let random () =
+    [ ("s0", Rng.int_in rng (-9) 9); ("s1", Rng.int_in rng (-9) 9) ]
+  in
+  corners @ [ random (); random () ]
+
+(* SeMPE executes BOTH paths of every secret branch, so a case's dynamic
+   cost under protection can dwarf its reference-interpreter cost; bound
+   it with a functional (timing-free) run of the SeMPE build under every
+   secret assignment. Anything the protected build cannot finish within
+   the budget — or that trips a capacity limit the grammar is supposed to
+   stay under — is a generation artifact, not a finding. *)
+let affordable cfg case =
+  try
+    let built = Sempe_workloads.Harness.build Sempe_core.Scheme.Sempe case.prog in
+    List.for_all
+      (fun secrets ->
+        match
+          Sempe_core.Run.execute
+            ~support:
+              (Sempe_core.Scheme.support built.Sempe_workloads.Harness.scheme)
+            ~mem_words:(1 lsl 14) ~max_instrs:cfg.max_dyn_instrs
+            ~init_mem:
+              (Sempe_workloads.Harness.init_mem_of built ~globals:secrets
+                 ~arrays:[ (array_name, case.fill) ])
+            built.Sempe_workloads.Harness.prog
+        with
+        | (_ : Sempe_core.Exec.result) -> true
+        | exception _ -> false)
+      case.secrets
+  with _ -> false
+
+let generate ?(cfg = default_cfg) seed =
+  let rec attempt k =
+    let rng = Rng.create (if k = 0 then seed else Rng.mix seed k) in
+    let body =
+      gen_block cfg rng ~secret_nest:0 ~idx_pool:index_vars
+        ~depth:cfg.max_depth
+    in
+    let fill = Array.init array_size (fun _ -> Rng.int_in rng (-30) 30) in
+    let secrets = gen_secret_assignments rng in
+    let case = assemble body fill secrets seed in
+    if affordable cfg case then case else attempt (k + 1)
+  in
+  attempt 0
+
+(* ---- sizes -------------------------------------------------------------- *)
+
+let stmt_count blk =
+  block_fold (fun acc _ -> acc + 1) 0 blk
+
+let size case = stmt_count (find_func case.prog case.prog.main).body
+
+let static_instrs case =
+  let built = Sempe_workloads.Harness.build Sempe_core.Scheme.Sempe case.prog in
+  Sempe_isa.Program.length built.Sempe_workloads.Harness.prog
+
+let to_source case = Format.asprintf "%a" pp_program case.prog
+
+(* ---- mutation ------------------------------------------------------------
+
+   Structural edits used by the coverage feedback loop. Each edit targets
+   one statement or literal picked by pre-order index; edits that would
+   produce an invalid program are discarded (the unmodified case is
+   returned). *)
+
+let rec map_nth_stmt f k blk =
+  (* replace the [!k]-th statement (pre-order) by [f stmt]; [k] counts
+     down across the walk *)
+  match blk with
+  | [] -> []
+  | s :: rest ->
+    if !k = 0 then begin
+      decr k;
+      f s @ map_nth_stmt f k rest
+    end
+    else begin
+      decr k;
+      let s' =
+        match s with
+        | If ({ then_; else_; _ } as r) ->
+          let then_ = map_nth_stmt f k then_ in
+          let else_ = map_nth_stmt f k else_ in
+          If { r with then_; else_ }
+        | While (c, b) -> While (c, map_nth_stmt f k b)
+        | For (v_, lo, hi, b) -> For (v_, lo, hi, map_nth_stmt f k b)
+        | s -> s
+      in
+      s' :: map_nth_stmt f k rest
+    end
+
+let edit_stmt blk ~at f =
+  let k = ref at in
+  map_nth_stmt f k blk
+
+let rec map_ints_expr f = function
+  | Int n -> Int (f n)
+  | Var _ as e -> e
+  | Index (a, e) -> Index (a, map_ints_expr f e)
+  | Unop (op, e) -> Unop (op, map_ints_expr f e)
+  | Binop (op, a, b) -> Binop (op, map_ints_expr f a, map_ints_expr f b)
+  | Call (g, args) -> Call (g, List.map (map_ints_expr f) args)
+  | Select (c, a, b) ->
+    Select (map_ints_expr f c, map_ints_expr f a, map_ints_expr f b)
+
+(* visit the [at]-th Int literal (pre-order across the whole block) *)
+let edit_int blk ~at f =
+  let k = ref at in
+  let g n =
+    let hit = !k = 0 in
+    decr k;
+    if hit then f n else n
+  in
+  let rec stmt = function
+    | Assign (v_, e) -> Assign (v_, map_ints_expr g e)
+    | Store (a, ie, e) -> Store (a, map_ints_expr g ie, map_ints_expr g e)
+    | If ({ cond; then_; else_; _ } as r) ->
+      let cond = map_ints_expr g cond in
+      If { r with cond; then_ = List.map stmt then_; else_ = List.map stmt else_ }
+    | While (c, b) -> While (map_ints_expr g c, List.map stmt b)
+    | For (v_, lo, hi, b) ->
+      For (v_, map_ints_expr g lo, map_ints_expr g hi, List.map stmt b)
+    | Expr e -> Expr (map_ints_expr g e)
+    | Return e -> Return (map_ints_expr g e)
+  in
+  List.map stmt blk
+
+let int_count blk =
+  let n = ref 0 in
+  ignore (edit_int blk ~at:(-1) (fun x -> incr n; x) : block);
+  !n
+
+(* Mutants must stay runnable: a perturbed literal can push an index out
+   of bounds (the reference interpreter faults where the simulator's
+   forgiving mode would clamp), and the differential oracles need the
+   reference to have an answer. *)
+let runs_clean case =
+  List.for_all
+    (fun secrets ->
+      try
+        let st = Eval.init case.prog in
+        List.iter (fun (name, value) -> Eval.set_global st name value) secrets;
+        Eval.set_array st array_name case.fill;
+        ignore (Eval.run ~max_steps:500_000 st : int);
+        true
+      with Eval.Runtime_error _ | Eval.Step_limit -> false)
+    case.secrets
+
+let with_body case body =
+  let funcs =
+    List.map
+      (fun f -> if f.fname = case.prog.main then { f with body } else f)
+      case.prog.funcs
+  in
+  let prog = { case.prog with funcs } in
+  validate prog;
+  { case with prog }
+
+let body_stmts case =
+  let main = find_func case.prog case.prog.main in
+  match List.rev main.body with
+  | Return _ :: rev -> List.rev rev
+  | _ -> main.body
+
+let return_expr case =
+  let main = find_func case.prog case.prog.main in
+  match List.rev main.body with
+  | Return e :: _ -> e
+  | _ -> checksum
+
+let replace_body case body =
+  try
+    let case' = with_body case (body @ [ ret (return_expr case) ]) in
+    if runs_clean case' then Some case' else None
+  with Invalid_argument _ -> None
+
+let with_return case expr =
+  try
+    let case' = with_body case (body_stmts case @ [ ret expr ]) in
+    if runs_clean case' then Some case' else None
+  with Invalid_argument _ -> None
+
+let mutate ?(cfg = default_cfg) rng case =
+  let main = find_func case.prog case.prog.main in
+  (* never touch the trailing return *)
+  let body =
+    match List.rev main.body with
+    | Return _ :: rev -> List.rev rev
+    | _ -> main.body
+  in
+  let n = stmt_count body in
+  let attempt () =
+    match Rng.int rng 5 with
+    | 0 when int_count body > 0 ->
+      (* perturb one literal *)
+      let at = Rng.int rng (int_count body) in
+      let delta = Rng.int_in rng (-3) 3 in
+      Some (edit_int body ~at (fun x -> x + delta))
+    | 1 when n > 1 ->
+      (* delete one statement *)
+      let at = Rng.int rng n in
+      Some (edit_stmt body ~at (fun _ -> []))
+    | 2 when n > 0 ->
+      (* duplicate one statement *)
+      let at = Rng.int rng n in
+      Some (edit_stmt body ~at (fun s -> [ s; s ]))
+    | 3 when n > 0 ->
+      (* wrap one top-level statement in a fresh secret branch (loops stay
+         out of secret arms, mirroring the generator's discipline) *)
+      let at = Rng.int rng (List.length body) in
+      Some
+        (List.mapi
+           (fun j s ->
+             match s with
+             | (For _ | While _) when j = at -> s
+             | s when j = at ->
+               If
+                 {
+                   secret = true;
+                   cond = gen_secret_cond rng;
+                   then_ = [ s ];
+                   else_ = [];
+                 }
+             | s -> s)
+           body)
+    | _ ->
+      (* append a fresh statement *)
+      Some
+        (body
+        @ [ gen_stmt cfg rng ~secret_nest:0 ~idx_pool:index_vars ~depth:1 ])
+  in
+  let fill =
+    if Rng.int rng 4 = 0 then
+      Array.map (fun x -> x + Rng.int_in rng (-2) 2) case.fill
+    else case.fill
+  in
+  match attempt () with
+  | None -> { case with fill }
+  | Some body' -> (
+    try
+      let mutant =
+        with_body { case with fill } (body' @ [ ret (return_expr case) ])
+      in
+      if runs_clean mutant && affordable cfg mutant then mutant
+      else { case with fill }
+    with Invalid_argument _ -> { case with fill })

@@ -1,0 +1,125 @@
+(** Weighted-grammar random program generator for the differential fuzzer.
+
+    Produces closed workload-language programs over a fixed vocabulary —
+    scalar data variables, loop-index variables, scalar globals, two
+    declared secrets, and one 16-word array — with generation biased
+    towards the constructs the SeMPE protocol has to get right:
+
+    - {e nested} secure branches (secret [If]s inside secret arms, up to
+      [max_secret_nest] — each level stacks another jbTable entry and SPM
+      snapshot, and the inner region's eosJMPs fire during the outer
+      region's paths);
+    - memory traffic under secure branches: array stores and global-scalar
+      writes inside secret arms, which ShadowMemory must privatize;
+    - loads and stores at the array's region bounds (index 0, index
+      [size-1], and masked dynamic indexes that sweep across both);
+    - loop-carried dependences ([x = x op e] inside [For] bodies), so the
+      store-to-load forwarding and dataflow paths of the timing model see
+      non-trivial chains.
+
+    Everything is driven by {!Sempe_util.Rng}, so a [seed] fully
+    determines the case — across processes, worker counts and replays.
+
+    Generated programs terminate by construction (loop bounds are
+    constants, loop nests never share an induction variable, there is no
+    [While] and no recursion) and stay in bounds (indexes are masked or
+    boundary constants), so the reference interpreter accepts them. *)
+
+type cfg = {
+  max_depth : int;  (** statement-nesting depth of the grammar *)
+  max_secret_nest : int;
+      (** deepest chain of secret [If]s inside secret arms (1 = no
+          nesting); keep well under the SPM's snapshot budget *)
+  secret_stores : bool;
+      (** allow array stores / global writes inside secret arms (exercises
+          ShadowMemory privatization); [false] restricts secret arms to
+          local-scalar assignments *)
+  max_block : int;  (** statements per block, 1 .. [max_block] *)
+  max_dyn_instrs : int;
+      (** dynamic-instruction budget for the case's SeMPE build under any
+          of its secret assignments. SeMPE executes both paths of every
+          secure branch, so cost under protection can dwarf the reference
+          interpreter's; {!generate} retries on a derived seed and
+          {!mutate} rejects the edit when a candidate would exceed this. *)
+}
+
+val default_cfg : cfg
+(** depth 3, secret nesting 3, secret stores on, blocks of up to 3,
+    200k-instruction dynamic budget. *)
+
+type case = {
+  seed : int;  (** the seed that produced (or will reproduce) this case *)
+  prog : Sempe_lang.Ast.program;
+  fill : int array;  (** initial contents of the array *)
+  secrets : (string * int) list list;
+      (** secret assignments the oracles run the case under; at least
+          two, so every pairwise comparison is meaningful *)
+}
+
+val array_name : string
+val array_size : int
+val globals : string list
+val secret_vars : string list
+
+val generate : ?cfg:cfg -> int -> case
+(** [generate seed] builds a fresh case; the result passes
+    {!Sempe_lang.Ast.validate}. *)
+
+val mutate : ?cfg:cfg -> Sempe_util.Rng.t -> case -> case
+(** Small random edits of an existing case — tweak an integer literal,
+    duplicate or delete a statement, wrap a statement in a fresh secret
+    branch, perturb the array fill — used by the coverage feedback loop to
+    explore the neighborhood of cases that reached new features. Falls
+    back to the unmodified case when an edit would invalidate the
+    program. *)
+
+val size : case -> int
+(** Number of statements in [main], counting nested blocks — the size the
+    minimizer drives down and the reproducer reports. *)
+
+(** {2 Structural editing}
+
+    Shared by {!mutate} and the minimizer: pre-order addressing of the
+    statements and integer literals of a block. *)
+
+val body_stmts : case -> Sempe_lang.Ast.block
+(** [main]'s body without the trailing [Return]. *)
+
+val return_expr : case -> Sempe_lang.Ast.expr
+(** The expression [main] returns (the observability checksum, unless the
+    minimizer has already shrunk it). *)
+
+val replace_body : case -> Sempe_lang.Ast.block -> case option
+(** Re-attach an edited body (the case's return is re-appended). [None]
+    when the result fails {!Sempe_lang.Ast.validate} or faults the
+    reference interpreter on any of the case's secret assignments. *)
+
+val with_return : case -> Sempe_lang.Ast.expr -> case option
+(** Replace the returned expression, under the same validity conditions
+    as {!replace_body} — the minimizer uses this to shrink the checksum
+    down to the one atom that witnesses a failure. *)
+
+val stmt_count : Sempe_lang.Ast.block -> int
+(** Statements in the block, counting nested blocks (pre-order). *)
+
+val edit_stmt :
+  Sempe_lang.Ast.block ->
+  at:int ->
+  (Sempe_lang.Ast.stmt -> Sempe_lang.Ast.stmt list) ->
+  Sempe_lang.Ast.block
+(** Replace the [at]-th statement (pre-order) by the returned list —
+    [[]] deletes it, the nested blocks of an [If]/[For] splice it open. *)
+
+val int_count : Sempe_lang.Ast.block -> int
+(** Integer literals in the block (pre-order). *)
+
+val edit_int :
+  Sempe_lang.Ast.block -> at:int -> (int -> int) -> Sempe_lang.Ast.block
+(** Rewrite the [at]-th integer literal (pre-order). *)
+
+val static_instrs : case -> int
+(** Static length of the program compiled under the SeMPE scheme. *)
+
+val to_source : case -> string
+(** [main]'s program rendered in the concrete syntax
+    ({!Sempe_lang.Parser.program} parses it back). *)

@@ -1,0 +1,147 @@
+(* Greedy delta debugging of a failing fuzz case. Four reduction passes
+   run to a joint fixpoint; every candidate is accepted only when the
+   caller's [still] predicate confirms the reduced case still fails the
+   same way, so the result is the smallest case this greedy walk can
+   reach, not merely a smaller one that fails differently.
+
+   Each accepted edit strictly decreases a well-founded measure
+   (statement count, return-expression size, or the summed magnitude of
+   integer literals), so the fixpoint loop terminates; [max_trials]
+   additionally bounds the number of oracle invocations, since [still]
+   typically re-runs a whole battery of simulations. *)
+
+open Sempe_lang.Ast
+
+type stats = { trials : int; accepted : int }
+
+let minimize ?(max_trials = 4_000) ~still case =
+  let trials = ref 0 and accepted = ref 0 in
+  let budget_left () = !trials < max_trials in
+  let confirms case' =
+    budget_left ()
+    && begin
+      incr trials;
+      still case'
+    end
+  in
+  let cur = ref case in
+  let accept c =
+    incr accepted;
+    cur := c
+  in
+  let try_body body' =
+    match Gen.replace_body !cur body' with
+    | Some c when confirms c ->
+      accept c;
+      true
+    | _ -> false
+  in
+  let stmt_at body at =
+    let r = ref None in
+    ignore
+      (Gen.edit_stmt body ~at (fun s ->
+           r := Some s;
+           [ s ])
+        : block);
+    !r
+  in
+  let int_at body at =
+    let r = ref None in
+    ignore
+      (Gen.edit_int body ~at (fun x ->
+           r := Some x;
+           x)
+        : block);
+    !r
+  in
+  let changed = ref true in
+  while !changed && budget_left () do
+    changed := false;
+    (* 1. drop statements; rescan the same index after a hit, because the
+       statements shift down *)
+    let rec drop at =
+      let body = Gen.body_stmts !cur in
+      if at < Gen.stmt_count body && budget_left () then
+        if try_body (Gen.edit_stmt body ~at (fun _ -> [])) then begin
+          changed := true;
+          drop at
+        end
+        else drop (at + 1)
+    in
+    drop 0;
+    (* 2. un-nest: splice a branch open into one of its arms (losing the
+       branch itself — the cheapest way to peel secret nesting), or a
+       loop into a single copy of its body *)
+    let rec unnest at =
+      let body = Gen.body_stmts !cur in
+      if at < Gen.stmt_count body && budget_left () then begin
+        let arms =
+          match stmt_at body at with
+          | Some (If { then_; else_; _ }) -> [ then_; else_ ]
+          | Some (For (_, _, _, b)) | Some (While (_, b)) -> [ b ]
+          | _ -> []
+        in
+        let hit =
+          List.exists
+            (fun arm -> try_body (Gen.edit_stmt body ~at (fun _ -> arm)))
+            arms
+        in
+        if hit then begin
+          changed := true;
+          unnest at
+        end
+        else unnest (at + 1)
+      end
+    in
+    unnest 0;
+    (* 3. shrink the returned checksum towards the single atom that still
+       witnesses the failure *)
+    let rec shrink_ret () =
+      if budget_left () then begin
+        let parts =
+          match Gen.return_expr !cur with
+          | Binop (_, a, b) -> [ a; b ]
+          | Unop (_, a) -> [ a ]
+          | Select (c, a, b) -> [ a; b; c ]
+          | _ -> []
+        in
+        let hit =
+          List.exists
+            (fun e ->
+              match Gen.with_return !cur e with
+              | Some c when confirms c ->
+                accept c;
+                true
+              | _ -> false)
+            parts
+        in
+        if hit then begin
+          changed := true;
+          shrink_ret ()
+        end
+      end
+    in
+    shrink_ret ();
+    (* 4. pull integer literals towards zero (0 first, then halving) *)
+    let rec ints at =
+      let body = Gen.body_stmts !cur in
+      if at < Gen.int_count body && budget_left () then begin
+        let x = Option.value ~default:0 (int_at body at) in
+        let candidates =
+          if x = 0 then [] else if x = 1 || x = -1 then [ 0 ] else [ 0; x / 2 ]
+        in
+        let hit =
+          List.exists
+            (fun value -> try_body (Gen.edit_int body ~at (fun _ -> value)))
+            candidates
+        in
+        if hit then begin
+          changed := true;
+          ints at
+        end
+        else ints (at + 1)
+      end
+    in
+    ints 0
+  done;
+  (!cur, { trials = !trials; accepted = !accepted })

@@ -1,0 +1,22 @@
+(** Greedy delta debugging of a failing fuzz case.
+
+    Reduction passes, run to a joint fixpoint: drop statements, un-nest
+    branches/loops (replace them by one of their arms or a single body
+    copy), shrink the returned checksum to the atom that witnesses the
+    failure, and pull integer literals towards zero. Every candidate must
+    re-fail the caller's predicate before it is accepted, so the oracle
+    that flagged the original case still flags the reproducer. *)
+
+type stats = {
+  trials : int;  (** times [still] was invoked *)
+  accepted : int;  (** reductions that kept the failure *)
+}
+
+val minimize :
+  ?max_trials:int -> still:(Gen.case -> bool) -> Gen.case -> Gen.case * stats
+(** [minimize ~still case] greedily shrinks [case] while [still] holds.
+    [still] should re-run the violated oracle (and, for fidelity, accept
+    only the same oracle failing — not any failure). [max_trials]
+    (default 4000) bounds the number of [still] invocations; the walk is
+    deterministic, so a given failing case always minimizes to the same
+    reproducer. *)

@@ -1,0 +1,54 @@
+(** Differential and invariant oracles the fuzzer checks every generated
+    case against. Each oracle is independent; the driver runs the selected
+    subset and reports the first failure per case.
+
+    - [state]: the reference interpreter, the legacy build, the SeMPE
+      build and the SeMPE-on-legacy build must agree on the return value,
+      every scalar global and the array contents, for every secret
+      assignment (end-to-end differential correctness of the compiler,
+      the ShadowMemory pass and the multi-path protocol);
+    - [trace]: runs of the SeMPE build under different secrets must be
+      indistinguishable on {e all} attacker channels of
+      {!Sempe_security.Leakage} (timing, committed-PC trace, address
+      trace, cache and predictor state, instruction count);
+    - [timing]: every detailed report must satisfy the structural
+      invariants of {!Sempe_pipeline.Timing.check_report} — the stall
+      stack sums exactly to the cycle count, rates are consistent with
+      their numerators/denominators, nothing is negative;
+    - [sampling]: the sampled estimator at 100% coverage must reproduce
+      the full detailed run bit-for-bit (same cycles, same report);
+    - [checkpoint]: saving a mid-run checkpoint, restoring it and saving
+      again must be byte-identical, and both the original session and the
+      restored copy must finish in the same architectural state as an
+      uncheckpointed run. *)
+
+type ctx = {
+  fault : Sempe_core.Exec.fault;
+      (** injected protocol bug, for fuzzer self-tests ([No_fault] when
+          hunting real bugs) *)
+  mem_words : int;  (** simulated memory size for every run *)
+}
+
+val default_ctx : ctx
+(** [No_fault], 16k words. *)
+
+type verdict = Pass | Fail of string
+(** [Fail] carries a human-readable account of the violated property. *)
+
+type t = {
+  name : string;  (** stable identifier, used by [--oracle] *)
+  describe : string;
+  check : ctx -> Gen.case -> verdict;
+}
+
+val all : t list
+
+val names : string list
+(** In the order of {!all}. *)
+
+val find : string -> t option
+
+val run_all : t list -> ctx -> Gen.case -> (string * string) option
+(** First failure as [(oracle name, message)], checking in list order;
+    an exception escaping an oracle is reported as a failure of that
+    oracle. [None] when every oracle passes. *)

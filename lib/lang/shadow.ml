@@ -77,6 +77,8 @@ type ctx = {
   mutable new_locals : string list;   (* per function *)
   mutable new_arrays : array_decl list; (* program-wide *)
   scratch : Sset.t;
+  skip_merge : bool;      (* fault injection: drop the post-join merges *)
+  skip_nt_shadow : bool;  (* fault injection: NT path writes the originals *)
 }
 
 let fresh ctx hint =
@@ -170,7 +172,8 @@ let rec transform_secret_if ctx ~func ~live_after ~secret ~cond ~then_ ~else_ =
       let xnt = fresh_local ctx (x ^ "$nt") in
       pre := Assign (xnt, Var x) :: Assign (xt, Var x) :: !pre;
       then_ := subst_scalar ~old:x ~fresh:xt !then_;
-      else_ := subst_scalar ~old:x ~fresh:xnt !else_;
+      if not ctx.skip_nt_shadow then
+        else_ := subst_scalar ~old:x ~fresh:xnt !else_;
       post := Assign (x, Select (Var cond_var, Var xt, Var xnt)) :: !post)
     needs;
   (* Arrays stored by either path: privatize unless scratch. *)
@@ -200,7 +203,8 @@ let rec transform_secret_if ctx ~func ~live_after ~secret ~cond ~then_ ~else_ =
             ] )
         :: !pre;
       then_ := subst_array ~old:a ~fresh:at !then_;
-      else_ := subst_array ~old:a ~fresh:ant !else_;
+      if not ctx.skip_nt_shadow then
+        else_ := subst_array ~old:a ~fresh:ant !else_;
       post :=
         For
           ( iv,
@@ -216,7 +220,7 @@ let rec transform_secret_if ctx ~func ~live_after ~secret ~cond ~then_ ~else_ =
     stored_arrays;
   List.rev !pre
   @ [ If { secret; cond = Var cond_var; then_ = !then_; else_ = !else_ } ]
-  @ List.rev !post
+  @ (if ctx.skip_merge then [] else List.rev !post)
 
 (* Backward pass over a block, tracking liveness. *)
 and transform_block ctx ~func ~live_after block =
@@ -264,7 +268,7 @@ and transform_block ctx ~func ~live_after block =
   let _, block' = go block in
   block'
 
-let privatize prog =
+let privatize ?(skip_merge = false) ?(skip_nt_shadow = false) prog =
   validate prog;
   let ctx =
     {
@@ -277,6 +281,8 @@ let privatize prog =
           (List.filter_map
              (fun (a : array_decl) -> if a.scratch then Some a.aname else None)
              prog.arrays);
+      skip_merge;
+      skip_nt_shadow;
     }
   in
   let always_live = Sset.of_list prog.globals in

@@ -26,10 +26,18 @@
     - functions called under a secret branch must not write globals or
       non-scratch arrays (their effects would escape privatization). *)
 
-val privatize : Ast.program -> Ast.program
+val privatize :
+  ?skip_merge:bool -> ?skip_nt_shadow:bool -> Ast.program -> Ast.program
 (** The returned program computes the same results as the input under
     plain semantics, and computes them correctly under SeMPE both-path
-    execution. Shadow locals use a ["$"] suffix namespace. *)
+    execution. Shadow locals use a ["$"] suffix namespace.
+
+    The optional flags seed protocol bugs for the differential fuzzer's
+    self-test (see {!Sempe_core.Exec.fault}) — both default to [false]:
+    [skip_merge] drops the post-join [Select] merges, so the region's
+    results never reach the originals; [skip_nt_shadow] leaves the NT
+    (fall-through) path writing the original locations instead of its
+    shadows, so its effects escape when the branch is not taken. *)
 
 val strip_secret_marks : Ast.program -> Ast.program
 (** Replace every secret [If] by a public one — the unprotected baseline

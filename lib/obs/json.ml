@@ -66,3 +66,129 @@ let output oc j = output_string oc (to_string j)
 let member key = function
   | Obj kvs -> List.assoc_opt key kvs
   | _ -> None
+
+(* ---- parser ------------------------------------------------------------ *)
+
+exception Parse_error of { pos : int; message : string }
+
+let of_string src =
+  let n = String.length src in
+  let fail pos fmt =
+    Printf.ksprintf (fun message -> raise (Parse_error { pos; message })) fmt
+  in
+  let rec skip_ws k =
+    if k < n && (match src.[k] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    then skip_ws (k + 1)
+    else k
+  in
+  let expect k c =
+    if k < n && src.[k] = c then k + 1
+    else fail k "expected %C" c
+  in
+  let literal k word value =
+    let len = String.length word in
+    if k + len <= n && String.sub src k len = word then (value, k + len)
+    else fail k "invalid literal"
+  in
+  let parse_string k =
+    let buf = Buffer.create 16 in
+    let rec go k =
+      if k >= n then fail k "unterminated string"
+      else
+        match src.[k] with
+        | '"' -> (Buffer.contents buf, k + 1)
+        | '\\' ->
+          if k + 1 >= n then fail k "unterminated escape"
+          else begin
+            (match src.[k + 1] with
+             | '"' -> Buffer.add_char buf '"'
+             | '\\' -> Buffer.add_char buf '\\'
+             | '/' -> Buffer.add_char buf '/'
+             | 'n' -> Buffer.add_char buf '\n'
+             | 'r' -> Buffer.add_char buf '\r'
+             | 't' -> Buffer.add_char buf '\t'
+             | 'b' -> Buffer.add_char buf '\b'
+             | 'f' -> Buffer.add_char buf '\012'
+             | 'u' ->
+               if k + 5 >= n then fail k "truncated \\u escape"
+               else begin
+                 let code =
+                   try int_of_string ("0x" ^ String.sub src (k + 2) 4)
+                   with _ -> fail k "invalid \\u escape"
+                 in
+                 (* the emitter only produces \u for control characters;
+                    decode the low byte, which covers everything it writes *)
+                 Buffer.add_char buf (Char.chr (code land 0xff))
+               end
+             | c -> fail k "invalid escape \\%c" c);
+            go (k + if src.[k + 1] = 'u' then 6 else 2)
+          end
+        | c -> Buffer.add_char buf c; go (k + 1)
+    in
+    go k
+  in
+  let parse_number k =
+    let j = ref k in
+    let is_float = ref false in
+    if !j < n && (src.[!j] = '-' || src.[!j] = '+') then incr j;
+    while
+      !j < n
+      && (match src.[!j] with
+          | '0' .. '9' -> true
+          | '.' | 'e' | 'E' | '-' | '+' -> is_float := true; true
+          | _ -> false)
+    do
+      incr j
+    done;
+    let text = String.sub src k (!j - k) in
+    if !is_float then
+      match float_of_string_opt text with
+      | Some f -> (Float f, !j)
+      | None -> fail k "invalid number %S" text
+    else
+      match int_of_string_opt text with
+      | Some i -> (Int i, !j)
+      | None -> fail k "invalid number %S" text
+  in
+  let rec parse_value k =
+    let k = skip_ws k in
+    if k >= n then fail k "unexpected end of input"
+    else
+      match src.[k] with
+      | 'n' -> literal k "null" Null
+      | 't' -> literal k "true" (Bool true)
+      | 'f' -> literal k "false" (Bool false)
+      | '"' ->
+        let s, k = parse_string (k + 1) in
+        (Str s, k)
+      | '[' ->
+        let k' = skip_ws (k + 1) in
+        if k' < n && src.[k'] = ']' then (List [], k' + 1)
+        else
+          let rec items acc k =
+            let v, k = parse_value k in
+            let k = skip_ws k in
+            if k < n && src.[k] = ',' then items (v :: acc) (k + 1)
+            else (List (List.rev (v :: acc)), expect k ']')
+          in
+          items [] (k + 1)
+      | '{' ->
+        let k' = skip_ws (k + 1) in
+        if k' < n && src.[k'] = '}' then (Obj [], k' + 1)
+        else
+          let rec pairs acc k =
+            let k = skip_ws k in
+            let k = expect k '"' in
+            let key, k = parse_string k in
+            let k = expect (skip_ws k) ':' in
+            let v, k = parse_value k in
+            let k = skip_ws k in
+            if k < n && src.[k] = ',' then pairs ((key, v) :: acc) (k + 1)
+            else (Obj (List.rev ((key, v) :: acc)), expect k '}')
+          in
+          pairs [] (k + 1)
+      | c -> parse_number (ignore c; k)
+  in
+  let v, k = parse_value 0 in
+  let k = skip_ws k in
+  if k <> n then fail k "trailing garbage" else v

@@ -25,3 +25,13 @@ val output : out_channel -> t -> unit
 val member : string -> t -> t option
 (** [member k (Obj kvs)] is the value bound to [k], if any; [None] on
     non-objects. Convenience for structural checks in tests. *)
+
+exception Parse_error of { pos : int; message : string }
+
+val of_string : string -> t
+(** Parse one JSON document. Round-trips everything {!to_string} emits
+    (the CLI's [--json] output, the fuzzer's corpus files, the bench perf
+    records), which is what the structural tests and the perf-regression
+    gate consume. [\u] escapes are decoded bytewise (the emitter only
+    produces them for control characters).
+    @raise Parse_error with the offending position otherwise. *)

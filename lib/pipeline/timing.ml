@@ -465,5 +465,57 @@ let report t =
        st);
   }
 
+(* Structural invariants every well-formed report satisfies, whatever the
+   workload: the differential fuzzer and the test suite call this instead
+   of re-deriving the checks. Returns one message per violated invariant
+   (empty = healthy). *)
+let check_report (r : report) =
+  let bad = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> bad := m :: !bad) fmt in
+  if r.instructions < 0 then fail "negative instruction count %d" r.instructions;
+  if r.instructions > 0 && r.cycles <= 0 then
+    fail "%d instructions committed in %d cycles" r.instructions r.cycles;
+  if Array.length r.stall_stack <> Stall.count then
+    fail "stall stack has %d buckets, expected %d"
+      (Array.length r.stall_stack) Stall.count;
+  Array.iteri
+    (fun i c ->
+      if c < 0 then
+        fail "negative stall bucket %s = %d" (Stall.name (List.nth Stall.all i)) c)
+    r.stall_stack;
+  let attributed = Array.fold_left ( + ) 0 r.stall_stack in
+  if attributed <> r.cycles then
+    fail "stall stack sums to %d, cycles = %d" attributed r.cycles;
+  if r.mispredicts < 0 || r.mispredicts > r.cond_branches then
+    fail "%d mispredicts out of %d conditional branches" r.mispredicts
+      r.cond_branches;
+  if r.loads < 0 || r.stores < 0 || r.loads + r.stores > r.instructions then
+    fail "%d loads + %d stores exceed %d instructions" r.loads r.stores
+      r.instructions;
+  if r.secure_branches < 0 then fail "negative sJMP count %d" r.secure_branches;
+  if r.drains < 0 then fail "negative drain count %d" r.drains;
+  if r.spm_cycles < 0 then fail "negative SPM transfer cycles %d" r.spm_cycles;
+  let cache name accesses misses rate =
+    if misses < 0 || misses > accesses then
+      fail "%s: %d misses out of %d accesses" name misses accesses;
+    let expect =
+      if accesses = 0 then 0. else float_of_int misses /. float_of_int accesses
+    in
+    if Float.abs (rate -. expect) > 1e-9 then
+      fail "%s: miss rate %.6f inconsistent with %d/%d" name rate misses
+        accesses
+  in
+  cache "IL1" r.il1_accesses r.il1_misses r.il1_miss_rate;
+  cache "DL1" r.dl1_accesses r.dl1_misses r.dl1_miss_rate;
+  cache "L2" r.l2_accesses r.l2_misses r.l2_miss_rate;
+  let cpi_expect =
+    if r.instructions = 0 then 0.
+    else float_of_int r.cycles /. float_of_int r.instructions
+  in
+  if Float.abs (r.cpi -. cpi_expect) > 1e-9 then
+    fail "CPI %.6f inconsistent with %d cycles / %d instructions" r.cpi
+      r.cycles r.instructions;
+  List.rev !bad
+
 let predictor_signature t = Warm.predictor_signature t.warm
 let cache_signature t = Hierarchy.signature (Warm.hierarchy t.warm)

@@ -102,6 +102,16 @@ type report = {
 val report : t -> report
 (** Snapshot of the statistics; call after the last {!feed}. *)
 
+val check_report : report -> string list
+(** Structural invariants of a well-formed report — the stall stack has
+    one entry per {!Stall.bucket}, is non-negative and sums exactly to
+    [cycles]; miss counts never exceed access counts and match the
+    reported rates; mispredicts never exceed conditional branches; loads
+    plus stores never exceed instructions; CPI equals cycles over
+    instructions. Returns one message per violation (empty = healthy).
+    The differential fuzzer's timing oracle and the test suite both gate
+    on this. *)
+
 val predictor_signature : t -> int
 (** Hash of branch-predictor + BTB state (the branch-predictor side
     channel). *)

@@ -77,3 +77,14 @@ let restore t =
 let instructions t = t.instructions
 let halted t = t.halted
 let size_bytes t = String.length t.bytes
+
+(* FNV-1a over the serialized payload: two checkpoints with equal digests
+   encode the same state (up to hash collision), which is what the fuzzer's
+   save/restore/save round-trip oracle compares. *)
+let digest t =
+  (* FNV-1a offset basis truncated to OCaml's 63-bit int range *)
+  let h = ref 0x3bf29ce484222325 in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x100000001b3)
+    t.bytes;
+  !h land max_int

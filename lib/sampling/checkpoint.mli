@@ -36,3 +36,8 @@ val halted : t -> bool
 
 val size_bytes : t -> int
 (** Serialized size, for telemetry. *)
+
+val digest : t -> int
+(** FNV-1a hash of the serialized payload. Two checkpoints of identical
+    state have identical digests, so a save / restore / save round-trip
+    can be checked for byte fidelity without exposing the encoding. *)

@@ -34,7 +34,7 @@ let stride_of config =
   max 1 (int_of_float (Float.round (1. /. config.coverage)))
 
 let exec_config ~support ~(machine : Config.t) ~mem_words ~max_instrs
-    ~forgiving_oob =
+    ~forgiving_oob ~fault =
   {
     Exec.support;
     mem_words;
@@ -42,6 +42,7 @@ let exec_config ~support ~(machine : Config.t) ~mem_words ~max_instrs
     spm = machine.Config.spm;
     jbtable_entries = machine.Config.jbtable_entries;
     forgiving_oob;
+    fault;
   }
 
 let intervals_of ~interval n = (n + interval - 1) / interval
@@ -92,15 +93,15 @@ let measure ~machine ~interval prog ckpt ~skip =
 let estimate ?(machine = Config.default) ?(support = Exec.Sempe_hw)
     ?(mem_words = Exec.default_config.Exec.mem_words)
     ?(max_instrs = Exec.default_config.Exec.max_instrs)
-    ?(forgiving_oob = true) ?init_mem ?(config = default_config) ?workers
-    prog =
+    ?(forgiving_oob = true) ?(fault = Exec.No_fault) ?init_mem
+    ?(config = default_config) ?workers prog =
   if config.interval <= 0 then
     invalid_arg "Sampling.estimate: interval must be positive";
   if not (config.coverage > 0. && config.coverage <= 1.) then
     invalid_arg "Sampling.estimate: coverage must be in (0, 1]";
   let interval = config.interval in
   let exec_cfg =
-    exec_config ~support ~machine ~mem_words ~max_instrs ~forgiving_oob
+    exec_config ~support ~machine ~mem_words ~max_instrs ~forgiving_oob ~fault
   in
   let stride = stride_of config in
   if stride = 1 then exact ~machine ~exec_cfg ~interval ?init_mem prog

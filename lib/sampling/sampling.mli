@@ -73,6 +73,7 @@ val estimate :
   -> ?mem_words:int
   -> ?max_instrs:int
   -> ?forgiving_oob:bool
+  -> ?fault:Sempe_core.Exec.fault
   -> ?init_mem:(int array -> unit)
   -> ?config:config
   -> ?workers:int

@@ -34,6 +34,13 @@ let float t =
   let bits53 = Int64.to_int (Int64.shift_right_logical (next64 t) 11) in
   float_of_int bits53 *. (1.0 /. 9007199254740992.0)
 
+let mix a b =
+  (* one splitmix64 round over the pair: good avalanche, so derived seeds
+     (per fuzz case, per round) are statistically independent of each
+     other and of the parent seed *)
+  let z = Int64.add (Int64.of_int a) (Int64.mul golden_gamma (Int64.of_int (b + 1))) in
+  Int64.to_int (Int64.logand (mix64 z) 0x3FFFFFFFFFFFFFFFL)
+
 let shuffle t a =
   for i = Array.length a - 1 downto 1 do
     let j = int t (i + 1) in

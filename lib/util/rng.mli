@@ -38,3 +38,9 @@ val float : t -> float
 
 val shuffle : t -> 'a array -> unit
 (** In-place Fisher–Yates shuffle. *)
+
+val mix : int -> int -> int
+(** [mix seed k] deterministically derives a fresh non-negative seed from
+    a parent seed and an index (one splitmix64 finalizer round), so
+    independent generators can be fanned out per work item without
+    sharing or threading generator state. *)

@@ -11,16 +11,20 @@ type built = {
   layout : Codegen.layout;
 }
 
-let transform scheme ast =
+let transform ?(fault = Exec.No_fault) scheme ast =
   match scheme with
   | Scheme.Baseline -> Shadow.strip_secret_marks ast
-  | Scheme.Sempe | Scheme.Sempe_on_legacy -> Shadow.privatize ast
+  | Scheme.Sempe | Scheme.Sempe_on_legacy ->
+    Shadow.privatize
+      ~skip_merge:(fault = Exec.Skip_restore)
+      ~skip_nt_shadow:(fault = Exec.Skip_nt_restore)
+      ast
   | Scheme.Cte -> Sempe_cte.Baselines.cte ast
   | Scheme.Raccoon -> Sempe_cte.Baselines.raccoon ast
   | Scheme.Mto -> Sempe_cte.Baselines.mto ast
 
-let build scheme ast =
-  let ast = transform scheme ast in
+let build ?fault scheme ast =
+  let ast = transform ?fault scheme ast in
   let prog, layout = Codegen.compile ast in
   { scheme; ast; prog; layout }
 
@@ -39,19 +43,19 @@ let init_mem_of built ~globals ~arrays mem =
       Array.blit values 0 mem off size)
     arrays
 
-let run ?machine ?(mem_words = 1 lsl 20) ?max_instrs ?forgiving_oob
+let run ?machine ?(mem_words = 1 lsl 20) ?max_instrs ?forgiving_oob ?fault
     ?(globals = []) ?(arrays = []) ?observe ?sink built =
   Run.simulate
     ~support:(Scheme.support built.scheme)
-    ?machine ~mem_words ?max_instrs ?forgiving_oob
+    ?machine ~mem_words ?max_instrs ?forgiving_oob ?fault
     ~init_mem:(init_mem_of built ~globals ~arrays)
     ?observe ?sink built.prog
 
-let sample ?machine ?(mem_words = 1 lsl 20) ?max_instrs ?forgiving_oob
+let sample ?machine ?(mem_words = 1 lsl 20) ?max_instrs ?forgiving_oob ?fault
     ?(globals = []) ?(arrays = []) ?config ?workers built =
   Sempe_sampling.Sampling.estimate
     ~support:(Scheme.support built.scheme)
-    ?machine ~mem_words ?max_instrs ?forgiving_oob
+    ?machine ~mem_words ?max_instrs ?forgiving_oob ?fault
     ~init_mem:(init_mem_of built ~globals ~arrays)
     ?config ?workers built.prog
 

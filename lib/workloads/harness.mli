@@ -9,12 +9,31 @@ type built = {
 }
 
 val transform :
-  Sempe_core.Scheme.t -> Sempe_lang.Ast.program -> Sempe_lang.Ast.program
+  ?fault:Sempe_core.Exec.fault ->
+  Sempe_core.Scheme.t ->
+  Sempe_lang.Ast.program ->
+  Sempe_lang.Ast.program
 (** Baseline strips the secret marks; SeMPE (and SeMPE-on-legacy) applies
     ShadowMemory privatization; CTE / Raccoon / MTO apply their softpath
-    transforms. *)
+    transforms.
 
-val build : Sempe_core.Scheme.t -> Sempe_lang.Ast.program -> built
+    [fault] (default [No_fault]) seeds the corresponding protocol bug
+    into the ShadowMemory lowering of the SeMPE builds — the fuzzer's
+    self-test. [Skip_restore] drops the post-join merges and
+    [Skip_nt_restore] lets the fall-through path write the original
+    locations; see {!Sempe_lang.Shadow.privatize}. The execution-level
+    counterpart (suppressed hardware register restores, see
+    {!Sempe_core.Exec}) is architecturally silent for compiled programs
+    because the memory-to-memory codegen leaves no register live across
+    an eosJMP — the lowering is where the restore protocol is
+    observable. *)
+
+val build :
+  ?fault:Sempe_core.Exec.fault ->
+  Sempe_core.Scheme.t ->
+  Sempe_lang.Ast.program ->
+  built
+(** [transform], then compile. [fault] as in {!transform}. *)
 
 val init_mem_of :
   built
@@ -31,6 +50,7 @@ val run :
   -> ?mem_words:int
   -> ?max_instrs:int
   -> ?forgiving_oob:bool
+  -> ?fault:Sempe_core.Exec.fault
   -> ?globals:(string * int) list
   -> ?arrays:(string * int array) list
   -> ?observe:(Sempe_pipeline.Uop.event -> unit)
@@ -39,7 +59,7 @@ val run :
   -> Sempe_core.Run.outcome
 (** Simulates on a fresh machine with the scheme's hardware support.
     [globals]/[arrays] initialize named program state (secrets, inputs).
-    [forgiving_oob] as in {!Sempe_core.Run.simulate}.
+    [forgiving_oob] / [fault] as in {!Sempe_core.Run.simulate}.
     [sink] attaches an observability sink (see {!Sempe_core.Run.simulate}). *)
 
 val sample :
@@ -47,6 +67,7 @@ val sample :
   -> ?mem_words:int
   -> ?max_instrs:int
   -> ?forgiving_oob:bool
+  -> ?fault:Sempe_core.Exec.fault
   -> ?globals:(string * int) list
   -> ?arrays:(string * int array) list
   -> ?config:Sempe_sampling.Sampling.config

@@ -1,0 +1,162 @@
+(* Table-driven coverage of the CLI surface: exec the real executables,
+   check exit codes and the structure of --json output, so flag
+   regressions are caught without running the full examples. *)
+
+module Json = Sempe_obs.Json
+
+(* Resolve the executables relative to the test binary, so the table
+   works under both `dune runtest` and `dune exec` from any directory. *)
+let build_dir = Filename.dirname (Filename.dirname Sys.executable_name)
+let sim_exe = Filename.concat build_dir "bin/sempe_sim.exe"
+let bench_exe = Filename.concat build_dir "bench/main.exe"
+
+(* [run exe args] execs and returns (exit code, stdout). *)
+let run exe args =
+  let out = Filename.temp_file "sempe-cli" ".out" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove out)
+    (fun () ->
+      let cmd =
+        String.concat " "
+          (List.map Filename.quote (exe :: args))
+        ^ " > " ^ Filename.quote out ^ " 2> /dev/null"
+      in
+      let code = Sys.command cmd in
+      let text = In_channel.with_open_text out In_channel.input_all in
+      (code, text))
+
+type expect =
+  | Non_empty  (** human-readable output: anything on stdout *)
+  | Json_with of string list  (** a JSON document carrying these members *)
+  | Ignore_output
+
+let sim_table =
+  [
+    ("config prints the machine model", [ "config" ], 0, Non_empty);
+    ( "microbench --json",
+      [ "microbench"; "-w"; "2"; "-i"; "2"; "--json" ],
+      0,
+      Json_with [ "workload"; "kernel"; "checksum"; "report" ] );
+    ( "microbench sampled --json",
+      [ "microbench"; "-w"; "2"; "-i"; "2"; "--sample"; "--json" ],
+      0,
+      Json_with [ "workload"; "sampling" ] );
+    ( "djpeg --json",
+      [ "djpeg"; "-b"; "2"; "--json" ],
+      0,
+      Json_with [ "workload"; "format"; "checksum"; "report" ] );
+    ( "sample --compare-full --json",
+      [ "sample"; "fibonacci"; "--iters"; "20"; "--coverage"; "0.25"; "-j";
+        "1"; "--compare-full"; "--json" ],
+      0,
+      Json_with [ "in_bound" ] );
+    ( "fuzz --json",
+      [ "fuzz"; "--seed"; "7"; "--count"; "8"; "--no-corpus"; "--json" ],
+      0,
+      Json_with [ "executed"; "generated"; "mutants"; "features"; "failures" ]
+    );
+    ( "fuzz rejects unknown oracles",
+      [ "fuzz"; "--count"; "1"; "--no-corpus"; "--oracle"; "bogus" ],
+      124,
+      Ignore_output );
+    ( "fuzz rejects unknown faults",
+      [ "fuzz"; "--count"; "1"; "--no-corpus"; "--fault"; "bogus" ],
+      124,
+      Ignore_output );
+    ("unknown subcommand fails", [ "frobnicate" ], 124, Ignore_output);
+    ("bad flag value fails", [ "fuzz"; "--count"; "lots" ], 124, Ignore_output);
+  ]
+
+let check_expect name expect stdout =
+  match expect with
+  | Ignore_output -> ()
+  | Non_empty ->
+    Alcotest.(check bool) (name ^ ": stdout non-empty") true (stdout <> "")
+  | Json_with members -> (
+    match Json.of_string (String.trim stdout) with
+    | exception Json.Parse_error { pos; message } ->
+      Alcotest.failf "%s: stdout is not JSON (at %d: %s)" name pos message
+    | doc ->
+      List.iter
+        (fun m ->
+          match Json.member m doc with
+          | Some _ -> ()
+          | None -> Alcotest.failf "%s: JSON lacks member %S" name m)
+        members)
+
+let sim_case (name, args, expected_code, expect) =
+  Alcotest.test_case name `Quick (fun () ->
+      let code, stdout = run sim_exe args in
+      Alcotest.(check int) (name ^ ": exit code") expected_code code;
+      check_expect name expect stdout)
+
+(* ---- the bench perf gate, against handcrafted record files ---- *)
+
+let perf_record workload mode rate =
+  Json.Obj
+    [
+      ("workload", Json.Str workload);
+      ("mode", Json.Str mode);
+      ("instructions", Json.Int 1000);
+      ("cycles", Json.Int 1000);
+      ("wall_s", Json.Float 0.01);
+      ("minstr_per_s", Json.Float rate);
+      ("speedup", Json.Float 1.0);
+    ]
+
+let write_records records =
+  let file = Filename.temp_file "sempe-gate" ".json" in
+  Out_channel.with_open_text file (fun oc ->
+      output_string oc (Json.to_string (Json.List records)));
+  file
+
+let gate_case name ~baseline ~current ~args ~expected_code =
+  Alcotest.test_case name `Quick (fun () ->
+      let bfile = write_records baseline in
+      let cfile = write_records current in
+      Fun.protect
+        ~finally:(fun () ->
+          Sys.remove bfile;
+          Sys.remove cfile)
+        (fun () ->
+          let code, _ =
+            run bench_exe
+              ([ "gate"; "--baseline"; bfile; "--current"; cfile ] @ args)
+          in
+          Alcotest.(check int) (name ^ ": exit code") expected_code code))
+
+let base_records =
+  [ perf_record "fib" "full" 10.0; perf_record "fib" "sampled" 20.0 ]
+
+let gate_table =
+  [
+    gate_case "gate passes on identical records" ~baseline:base_records
+      ~current:base_records ~args:[] ~expected_code:0;
+    gate_case "gate fails when tolerance < slowdown" ~baseline:base_records
+      ~current:[ perf_record "fib" "full" 5.0; perf_record "fib" "sampled" 20.0 ]
+      ~args:[ "--tolerance"; "30" ] ~expected_code:1;
+    gate_case "gate tolerates a slowdown within tolerance"
+      ~baseline:base_records
+      ~current:[ perf_record "fib" "full" 5.0; perf_record "fib" "sampled" 20.0 ]
+      ~args:[ "--tolerance"; "60" ] ~expected_code:0;
+    gate_case "gate fails on a missing record" ~baseline:base_records
+      ~current:[ perf_record "fib" "full" 10.0 ]
+      ~args:[] ~expected_code:1;
+    gate_case "gate ignores rate improvements" ~baseline:base_records
+      ~current:
+        [ perf_record "fib" "full" 100.0; perf_record "fib" "sampled" 20.0 ]
+      ~args:[ "--tolerance"; "0" ] ~expected_code:0;
+  ]
+
+let gate_malformed =
+  Alcotest.test_case "gate rejects malformed baselines" `Quick (fun () ->
+      let bfile = Filename.temp_file "sempe-gate" ".json" in
+      Out_channel.with_open_text bfile (fun oc ->
+          output_string oc "{\"not\":\"a list\"}");
+      Fun.protect
+        ~finally:(fun () -> Sys.remove bfile)
+        (fun () ->
+          let code, _ = run bench_exe [ "gate"; "--baseline"; bfile ] in
+          Alcotest.(check int) "exit code" 2 code))
+
+let tests = List.map sim_case sim_table @ gate_table @ [ gate_malformed ]

@@ -1,0 +1,194 @@
+(* The differential fuzzer itself: generator determinism, oracles clean
+   on healthy builds, worker-count-independent outcomes, seeded faults
+   caught and minimized, corpus round-trips. *)
+
+module Gen = Sempe_fuzz.Gen
+module Oracle = Sempe_fuzz.Oracle
+module Minimize = Sempe_fuzz.Minimize
+module Corpus = Sempe_fuzz.Corpus
+module Fuzz = Sempe_fuzz.Fuzz
+module Exec = Sempe_core.Exec
+module Json = Sempe_obs.Json
+
+let no_corpus cfg = { cfg with Fuzz.corpus_dir = None }
+
+let gen_deterministic () =
+  List.iter
+    (fun seed ->
+      let a = Gen.generate seed and b = Gen.generate seed in
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d reproduces" seed)
+        (Gen.to_source a) (Gen.to_source b))
+    [ 1; 2; 17; 123456789 ];
+  let distinct =
+    List.sort_uniq compare
+      (List.map (fun s -> Gen.to_source (Gen.generate s)) [ 1; 2; 3; 4; 5 ])
+  in
+  Alcotest.(check bool) "different seeds vary" true (List.length distinct > 1)
+
+let gen_affordable () =
+  (* The generator's budget must hold for the SeMPE build, which executes
+     both paths of every secure branch. *)
+  List.iter
+    (fun seed ->
+      let case = Gen.generate seed in
+      let built =
+        Sempe_workloads.Harness.build Sempe_core.Scheme.Sempe case.Gen.prog
+      in
+      List.iter
+        (fun secrets ->
+          let res =
+            Sempe_core.Run.execute
+              ~support:(Sempe_core.Scheme.support Sempe_core.Scheme.Sempe)
+              ~mem_words:(1 lsl 14)
+              ~max_instrs:Gen.default_cfg.Gen.max_dyn_instrs
+              ~init_mem:
+                (Sempe_workloads.Harness.init_mem_of built ~globals:secrets
+                   ~arrays:[ (Gen.array_name, case.Gen.fill) ])
+              built.Sempe_workloads.Harness.prog
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d halts in budget" seed)
+            true
+            (res.Exec.dyn_instrs <= Gen.default_cfg.Gen.max_dyn_instrs))
+        case.Gen.secrets)
+    [ 1; 7; 42 ]
+
+let oracles_clean () =
+  List.iter
+    (fun seed ->
+      let case = Gen.generate seed in
+      match Oracle.run_all Oracle.all Oracle.default_ctx case with
+      | None -> ()
+      | Some (oracle, msg) ->
+        Alcotest.failf "seed %d: oracle %s: %s\n%s" seed oracle msg
+          (Gen.to_source case))
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let run_clean () =
+  let cfg = no_corpus { Fuzz.default_config with Fuzz.seed = 11; count = 20 } in
+  let outcome = Fuzz.run cfg in
+  Alcotest.(check int) "executed" 20 outcome.Fuzz.executed;
+  Alcotest.(check int) "no failures" 0 (List.length outcome.Fuzz.failures);
+  Alcotest.(check bool) "features observed" true (outcome.Fuzz.features > 0)
+
+let workers_deterministic () =
+  let cfg workers =
+    no_corpus { Fuzz.default_config with Fuzz.seed = 3; count = 12; workers }
+  in
+  let doc workers = Json.to_string (Fuzz.to_json (Fuzz.run (cfg workers))) in
+  Alcotest.(check string) "1 worker = 2 workers" (doc 1) (doc 2)
+
+let fault_caught () =
+  List.iter
+    (fun fault ->
+      let cfg =
+        no_corpus
+          {
+            Fuzz.default_config with
+            Fuzz.seed = 42;
+            count = 64;
+            max_failures = 1;
+            ctx = { Oracle.default_ctx with Oracle.fault };
+          }
+      in
+      let outcome = Fuzz.run cfg in
+      match outcome.Fuzz.failures with
+      | [] ->
+        Alcotest.failf "%s escaped 64 fuzz cases" (Exec.fault_name fault)
+      | f :: _ ->
+        Alcotest.(check string)
+          (Exec.fault_name fault ^ " flagged by the state oracle")
+          "state" f.Fuzz.f_oracle;
+        Alcotest.(check bool)
+          (Printf.sprintf "reproducer is small (%d statements)"
+             f.Fuzz.f_min_size)
+          true
+          (f.Fuzz.f_min_size <= 20))
+    [ Exec.Skip_restore; Exec.Skip_nt_restore ]
+
+let minimizer_shrinks () =
+  let ctx = { Oracle.default_ctx with Oracle.fault = Exec.Skip_restore } in
+  let still case =
+    match Oracle.run_all Oracle.all ctx case with
+    | Some ("state", _) -> true
+    | Some _ | None -> false
+  in
+  let rec find seed =
+    if seed > 200 then Alcotest.fail "no failing seed found"
+    else
+      let case = Gen.generate seed in
+      if still case then case else find (seed + 1)
+  in
+  let case = find 1 in
+  let small, stats = Minimize.minimize ~still case in
+  Alcotest.(check bool) "still fails" true (still small);
+  Alcotest.(check bool) "no growth" true (Gen.size small <= Gen.size case);
+  Alcotest.(check bool) "spent trials" true (stats.Minimize.trials > 0);
+  let again, _ = Minimize.minimize ~still case in
+  Alcotest.(check string) "deterministic walk" (Gen.to_source small)
+    (Gen.to_source again)
+
+let corpus_roundtrip () =
+  let case = Gen.generate 9 in
+  let entry = { Corpus.case; oracle = "state"; message = "test entry" } in
+  let entry' = Corpus.of_json (Corpus.to_json entry) in
+  Alcotest.(check string) "source survives" (Gen.to_source case)
+    (Gen.to_source entry'.Corpus.case);
+  Alcotest.(check bool) "fill survives" true
+    (entry'.Corpus.case.Gen.fill = case.Gen.fill);
+  Alcotest.(check bool) "secrets survive" true
+    (entry'.Corpus.case.Gen.secrets = case.Gen.secrets)
+
+let corpus_replay () =
+  let dir = Filename.temp_file "sempe-corpus" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      let case = Gen.generate 21 in
+      let path =
+        Corpus.save ~dir { Corpus.case; oracle = "state"; message = "kept" }
+      in
+      Alcotest.(check bool) "file written" true (Sys.file_exists path);
+      let entries = Corpus.load_dir dir in
+      Alcotest.(check int) "one entry" 1 (List.length entries);
+      (* A healthy simulator passes every replayed reproducer. *)
+      let cfg =
+        {
+          Fuzz.default_config with
+          Fuzz.seed = 1;
+          count = 0;
+          corpus_dir = Some dir;
+        }
+      in
+      let outcome = Fuzz.run cfg in
+      Alcotest.(check int) "replayed" 1 outcome.Fuzz.replayed;
+      Alcotest.(check int) "replay clean" 0 (List.length outcome.Fuzz.failures))
+
+let tests =
+  [
+    Alcotest.test_case "generator is seed-deterministic" `Quick
+      gen_deterministic;
+    Alcotest.test_case "generated cases stay in the dynamic budget" `Quick
+      gen_affordable;
+    Alcotest.test_case "all oracles pass on generated cases" `Quick
+      oracles_clean;
+    Alcotest.test_case "driver finds nothing on a healthy tree" `Quick
+      run_clean;
+    Alcotest.test_case "outcome is worker-count-independent" `Slow
+      workers_deterministic;
+    Alcotest.test_case "seeded restore faults are caught and minimized" `Quick
+      fault_caught;
+    Alcotest.test_case "minimizer shrinks deterministically" `Quick
+      minimizer_shrinks;
+    Alcotest.test_case "corpus entries round-trip through JSON" `Quick
+      corpus_roundtrip;
+    Alcotest.test_case "corpus replay runs before generation" `Quick
+      corpus_replay;
+  ]

@@ -16,6 +16,8 @@ let () =
       ("random-programs", Test_random_progs.tests);
       ("sampling", Test_sampling.tests);
       ("obs", Test_obs.tests);
+      ("fuzz", Test_fuzz.tests);
+      ("cli", Test_cli.tests);
       ("frontend", Test_frontend.tests);
       ("passes", Test_passes.tests);
       ("edge-cases", Test_more.tests);

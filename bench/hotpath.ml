@@ -1,0 +1,59 @@
+(* Hot-path split timer: where does a simulated instruction's time go?
+   Times the same workload in four modes — functional only, functional +
+   discarding sink, functional + warm, full detailed — and prints ns per
+   dynamic instruction for each, plus GC allocation per instruction.
+   `dune exec bench/hotpath.exe [--iters N]` (default sized for ~1M
+   dynamic instructions). *)
+
+module Exec = Sempe_core.Exec
+module Run = Sempe_core.Run
+module Timing = Sempe_pipeline.Timing
+module Warm = Sempe_pipeline.Warm
+module Harness = Sempe_workloads.Harness
+module Pool = Sempe_util.Pool
+
+let iters =
+  let rec scan i =
+    if i + 1 >= Array.length Sys.argv then 100
+    else if Sys.argv.(i) = "--iters" then int_of_string Sys.argv.(i + 1)
+    else scan (i + 1)
+  in
+  scan 1
+
+let () =
+  let spec =
+    { Sempe_workloads.Microbench.kernel = Sempe_workloads.Kernels.fibonacci;
+      width = 4; iters }
+  in
+  let built =
+    Harness.build Sempe_core.Scheme.Sempe
+      (Sempe_workloads.Microbench.program ~ct:false spec)
+  in
+  let globals = Sempe_workloads.Microbench.secrets_for_leaf ~width:4 ~leaf:1 in
+  let init_mem = Harness.init_mem_of built ~globals ~arrays:[] in
+  let prog = built.Harness.prog in
+  let mem_words = 1 lsl 20 in
+  let time name f =
+    let a0 = Gc.minor_words () in
+    let t0 = Pool.now_s () in
+    let instrs = f () in
+    let dt = Pool.now_s () -. t0 in
+    let alloc = (Gc.minor_words () -. a0) /. float_of_int instrs in
+    Printf.printf "%-28s %9.1f ns/instr  %7.1f w/instr  (%d instrs, %.3f s)\n%!"
+      name
+      (dt *. 1e9 /. float_of_int instrs)
+      alloc instrs dt
+  in
+  let config = { Exec.default_config with Exec.mem_words } in
+  time "functional (no sink)" (fun () ->
+      (Exec.run ~config ~init_mem prog).Exec.dyn_instrs);
+  time "functional + null sink" (fun () ->
+      (Exec.run ~config ~init_mem ~sink:(fun _ -> ()) prog).Exec.dyn_instrs);
+  time "functional + warm" (fun () ->
+      let warm = Warm.create () in
+      let res = Exec.finish (Exec.start ~config ~init_mem ~warm prog) in
+      res.Exec.dyn_instrs);
+  time "full detailed (timing)" (fun () ->
+      let timing = Timing.create () in
+      let res = Exec.run ~config ~init_mem ~sink:(Timing.feed timing) prog in
+      res.Exec.dyn_instrs)

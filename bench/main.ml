@@ -7,9 +7,12 @@
    sequential path). The rendered sections up to the micro-benchmarks are
    byte-identical at any -j (the perf sections report wall-clock times,
    so they print after the determinism cut). `--bench-json FILE` writes
-   the perf records as machine-readable JSON, and `gate --baseline FILE
-   [--current FILE] [--tolerance PCT]` compares two such record sets and
-   exits non-zero on a rate regression — the CI perf gate. *)
+   the perf records as machine-readable JSON; `--runs N` (default 3)
+   takes the median of N timed repeats of each perf measurement. `gate
+   --baseline FILE [--current FILE] [--tolerance PCT] [--min-work N]`
+   compares two such record sets and exits non-zero on a rate regression
+   or on a record measured over fewer than N instructions — the CI perf
+   gate. *)
 
 module Config = Sempe_pipeline.Config
 module Tablefmt = Sempe_util.Tablefmt
@@ -44,6 +47,28 @@ let arg_after name =
   scan 1
 
 let bench_json = arg_after "--bench-json"
+
+let runs =
+  match arg_after "--runs" with
+  | None -> 3
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> n
+    | _ ->
+      Printf.eprintf "[bench] --runs expects a positive integer, got %S\n%!" s;
+      exit 2)
+
+let min_work =
+  match arg_after "--min-work" with
+  | None -> 100_000
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n when n >= 0 -> n
+    | _ ->
+      Printf.eprintf
+        "[gate] --min-work expects a non-negative instruction count, got %S\n%!"
+        s;
+      exit 2)
 
 let section title body =
   Printf.printf "==== %s ====\n%s\n\n%!" title body
@@ -227,17 +252,25 @@ let measure_perf () =
     { Sampling.default_config with Sampling.coverage }
   in
   (* Simulation is deterministic, so repeats only re-measure the wall
-     clock; best-of-3 keeps the reported rates (and the perf gate that
-     consumes them) stable against scheduler noise and cold starts. *)
+     clock; the median of [--runs] repeats (default 3) keeps the reported
+     rates (and the perf gate that consumes them) stable against
+     scheduler noise and cold starts — unlike best-of-N it is also not
+     biased optimistic on a machine with bursty interference. *)
   let timed f =
-    let best = ref infinity and result = ref None in
-    for _ = 1 to 3 do
+    let times = Array.make runs 0.0 in
+    let result = ref None in
+    for i = 0 to runs - 1 do
       let t0 = Pool.now_s () in
       let r = f () in
-      best := Float.min !best (Pool.now_s () -. t0);
+      times.(i) <- Pool.now_s () -. t0;
       result := Some r
     done;
-    match !result with Some r -> (r, !best) | None -> assert false
+    Array.sort compare times;
+    let median =
+      if runs land 1 = 1 then times.(runs / 2)
+      else (times.((runs / 2) - 1) +. times.(runs / 2)) /. 2.0
+    in
+    match !result with Some r -> (r, median) | None -> assert false
   in
   let workloads =
     let fib =
@@ -354,7 +387,12 @@ let perf () =
    fresh quick-sized measurement is taken — ci.sh passes the record file
    its own quick run just wrote, so the gate costs nothing extra there. *)
 
-type gate_rec = { g_workload : string; g_mode : string; g_rate : float }
+type gate_rec = {
+  g_workload : string;
+  g_mode : string;
+  g_rate : float;
+  g_instructions : int;
+}
 
 let gate_key r = r.g_workload ^ "/" ^ r.g_mode
 
@@ -378,7 +416,12 @@ let gate_rec_of_json file j =
       Printf.eprintf "[gate] %s: perf record field %S is not a number\n%!" file k;
       exit 2
   in
-  { g_workload = str "workload"; g_mode = str "mode"; g_rate = num "minstr_per_s" }
+  {
+    g_workload = str "workload";
+    g_mode = str "mode";
+    g_rate = num "minstr_per_s";
+    g_instructions = int_of_float (num "instructions");
+  }
 
 let gate_recs_of_file file =
   let text =
@@ -398,7 +441,7 @@ let run_gate () =
     | None ->
       Printf.eprintf
         "usage: bench/main.exe gate --baseline FILE [--current FILE] \
-         [--tolerance PCT]\n%!";
+         [--tolerance PCT] [--runs N] [--min-work N]\n%!";
       exit 2
   in
   let tolerance =
@@ -422,11 +465,25 @@ let run_gate () =
       ( List.map
           (fun r ->
             { g_workload = r.p_workload; g_mode = r.p_mode;
-              g_rate = minstr_per_s r })
+              g_rate = minstr_per_s r; g_instructions = r.p_instructions })
           records,
         "fresh quick measurement" )
   in
   let failed = ref false in
+  (* Measured-work floor: a rate measured over a handful of instructions
+     is startup cost and timer noise, not a simulation rate. Refuse to
+     gate on such records instead of passing or failing on jitter. *)
+  List.iter
+    (fun c ->
+      if c.g_instructions < min_work then begin
+        Printf.eprintf
+          "[gate] FAILED: %s measured only %d instructions, below the \
+           --min-work floor of %d; the workload is too small for its rate \
+           to mean anything\n%!"
+          (gate_key c) c.g_instructions min_work;
+        failed := true
+      end)
+    current;
   let rows =
     List.map
       (fun b ->

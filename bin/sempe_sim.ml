@@ -115,8 +115,9 @@ let strict_oob_arg =
     value & flag
     & info [ "strict-oob" ]
         ~doc:
-          "Trap on out-of-bounds data addresses instead of wrapping them \
-           into memory (the forgiving default).")
+          "Trap on out-of-bounds data addresses and indirect-jump targets \
+           (jr/ret) instead of wrapping them into memory / into the \
+           program (the forgiving default).")
 
 let sample_flag =
   Arg.(

@@ -31,6 +31,21 @@ let lookup t ~pc =
   in
   scan 0
 
+(* Same hit behavior (LRU touch included) as [lookup], without the option
+   allocation; -1 encodes a miss. *)
+let find t ~pc =
+  let set = set_of t pc and tag = tag_of t pc in
+  let rec scan i =
+    if i >= Array.length set then -1
+    else if set.(i).tag = tag then begin
+      t.clock <- t.clock + 1;
+      set.(i).lru <- t.clock;
+      set.(i).target
+    end
+    else scan (i + 1)
+  in
+  scan 0
+
 let update t ~pc ~target =
   let set = set_of t pc and tag = tag_of t pc in
   t.clock <- t.clock + 1;

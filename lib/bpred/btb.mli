@@ -18,3 +18,9 @@ val reset : t -> unit
 
 val signature : t -> int
 (** Hash of the table contents, for the security observables. *)
+
+val find : t -> pc:int -> int
+(** Allocation-free {!lookup} for the per-transfer hot path: returns the
+    cached target, or [-1] when [pc] misses (targets are instruction
+    indices, hence non-negative). Touches the LRU state exactly as
+    {!lookup} does. *)

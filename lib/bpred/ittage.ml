@@ -101,6 +101,17 @@ let predict t ~pc =
     let b = t.base.(base_index t pc) in
     if b < 0 then None else Some b
 
+(* Allocation-free [predict] for the per-indirect hot path; -1 encodes
+   "no target known". Same provider scan, without the option/tuple. *)
+let predict_value t ~pc =
+  let rec scan i =
+    if i < 0 then t.base.(base_index t pc)
+    else
+      let e = t.tables.(i).entries.(index t i pc) in
+      if e.tag = tag_of t i pc then e.target else scan (i - 1)
+  in
+  scan (t.cfg.num_tables - 1)
+
 let allocate t ~above pc target =
   let rec find i =
     if i >= t.cfg.num_tables then None

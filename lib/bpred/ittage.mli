@@ -34,3 +34,7 @@ val reset : t -> unit
 
 val signature : t -> int
 (** State hash for the security observables. *)
+
+val predict_value : t -> pc:int -> int
+(** Allocation-free {!predict}: the predicted target, or [-1] when no
+    target is known yet. *)

@@ -20,3 +20,12 @@ let reset t =
   t.count <- 0
 
 let depth_used t = t.count
+
+(* Allocation-free [pop]; -1 encodes an empty stack. *)
+let pop_value t =
+  if t.count = 0 then -1
+  else begin
+    t.top <- (t.top - 1 + Array.length t.buf) mod Array.length t.buf;
+    t.count <- t.count - 1;
+    t.buf.(t.top)
+  end

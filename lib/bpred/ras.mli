@@ -12,3 +12,8 @@ val pop : t -> int option
 
 val reset : t -> unit
 val depth_used : t -> int
+
+val pop_value : t -> int
+(** Allocation-free {!pop}: the popped return address, or [-1] when the
+    stack is empty (return addresses are instruction indices, hence
+    non-negative). *)

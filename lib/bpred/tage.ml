@@ -130,43 +130,59 @@ let table_tag t i pc =
   let mask = (1 lsl t.cfg.tag_bits) - 1 in
   (pc lxor tb.tag_fold1.value lxor (tb.tag_fold2.value lsl 1)) land mask
 
+(* Scratch lookup, preallocated per predictor instance and refilled in
+   place by [lookup]: prediction runs once per committed conditional
+   branch in both execution modes, and an immutable result record (plus
+   the options inside it) would allocate there. -1 encodes "no matching
+   component". *)
 type lookup = {
-  provider : int option;          (* table index of the matching component *)
-  provider_idx : int;
-  alt : int option;               (* next-longest matching component *)
-  alt_idx : int;
-  base_idx : int;
+  mutable provider : int;         (* table index of the matching component *)
+  mutable provider_idx : int;
+  mutable alt : int;              (* next-longest matching component *)
+  mutable alt_idx : int;
+  mutable base_idx : int;
 }
 
-let lookup t pc =
-  let base_idx = pc land ((1 lsl t.cfg.base_bits) - 1) in
-  let rec scan i provider provider_idx alt alt_idx =
-    if i < 0 then { provider; provider_idx; alt; alt_idx; base_idx }
-    else
+let lookup t lk pc =
+  lk.base_idx <- pc land ((1 lsl t.cfg.base_bits) - 1);
+  lk.provider <- -1;
+  lk.provider_idx <- 0;
+  lk.alt <- -1;
+  lk.alt_idx <- 0;
+  let rec scan i =
+    if i >= 0 then begin
       let idx = table_index t i pc in
-      if t.tables.(i).entries.(idx).tag = table_tag t i pc then
-        if provider = None then scan (i - 1) (Some i) idx alt alt_idx
-        else if alt = None then scan (i - 1) provider provider_idx (Some i) idx
-        else { provider; provider_idx; alt; alt_idx; base_idx }
-      else scan (i - 1) provider provider_idx alt alt_idx
+      if t.tables.(i).entries.(idx).tag = table_tag t i pc then begin
+        if lk.provider < 0 then begin
+          lk.provider <- i;
+          lk.provider_idx <- idx;
+          scan (i - 1)
+        end
+        else begin
+          lk.alt <- i;
+          lk.alt_idx <- idx
+          (* provider and alternate found: stop scanning *)
+        end
+      end
+      else scan (i - 1)
+    end
   in
-  scan (t.cfg.num_tables - 1) None 0 None 0
+  scan (t.cfg.num_tables - 1)
 
 let alt_pred t lk =
-  match lk.alt with
-  | Some i -> t.tables.(i).entries.(lk.alt_idx).ctr >= 0
-  | None -> Counters.taken t.base lk.base_idx
+  if lk.alt >= 0 then t.tables.(lk.alt).entries.(lk.alt_idx).ctr >= 0
+  else Counters.taken t.base lk.base_idx
 
 let is_weak e = e.ctr = 0 || e.ctr = -1
 
-let predict_with t pc =
-  let lk = lookup t pc in
-  match lk.provider with
-  | None -> (lk, Counters.taken t.base lk.base_idx)
-  | Some i ->
-    let e = t.tables.(i).entries.(lk.provider_idx) in
-    if is_weak e && e.u = 0 && t.use_alt_on_new >= 8 then (lk, alt_pred t lk)
-    else (lk, e.ctr >= 0)
+let predict_with t lk pc =
+  lookup t lk pc;
+  if lk.provider < 0 then Counters.taken t.base lk.base_idx
+  else begin
+    let e = t.tables.(lk.provider).entries.(lk.provider_idx) in
+    if is_weak e && e.u = 0 && t.use_alt_on_new >= 8 then alt_pred t lk
+    else e.ctr >= 0
+  end
 
 let sat_update e taken =
   if taken then (if e.ctr < 3 then e.ctr <- e.ctr + 1)
@@ -174,7 +190,7 @@ let sat_update e taken =
 
 let allocate t lk pc taken =
   (* Try to claim a u=0 entry in a table longer than the provider. *)
-  let start = (match lk.provider with Some i -> i + 1 | None -> 0) in
+  let start = if lk.provider >= 0 then lk.provider + 1 else 0 in
   let rec find i =
     if i >= t.cfg.num_tables then None
     else
@@ -204,12 +220,12 @@ let age_usefulness t =
 
 let update_with t lk pred pc taken =
   let altp = alt_pred t lk in
-  (match lk.provider with
-   | None ->
+  (if lk.provider < 0 then begin
      Counters.train t.base lk.base_idx taken;
      if pred <> taken then allocate t lk pc taken
-   | Some i ->
-     let e = t.tables.(i).entries.(lk.provider_idx) in
+   end
+   else begin
+     let e = t.tables.(lk.provider).entries.(lk.provider_idx) in
      let provider_pred = e.ctr >= 0 in
      (* Track whether trusting weak new entries beats the alternate. *)
      if is_weak e && e.u = 0 && provider_pred <> altp then begin
@@ -223,8 +239,9 @@ let update_with t lk pred pc taken =
        if provider_pred = taken then (if e.u < 3 then e.u <- e.u + 1)
        else if e.u > 0 then e.u <- e.u - 1
      end;
-     if lk.alt = None then Counters.train t.base lk.base_idx taken;
-     if pred <> taken then allocate t lk pc taken);
+     if lk.alt < 0 then Counters.train t.base lk.base_idx taken;
+     if pred <> taken then allocate t lk pc taken
+   end);
   age_usefulness t;
   push_history t (if taken then 1 else 0)
 
@@ -244,29 +261,32 @@ let create ?(config = default_config) () =
      execution modes go through [Warm.cond_branch]), and only [update]
      and [reset] mutate predictor state — so the lookup [update] needs is
      exactly the one [predict] just computed. Memoize it: the re-lookup
-     was the single most expensive part of the update path. The memo ref
-     is captured by both closures, so [Marshal.Closures] round-trips it
-     with the rest of the state. *)
-  let memo = ref None in
+     was the single most expensive part of the update path. The scratch
+     lookup and the memo cells are captured by both closures, so
+     [Marshal.Closures] round-trips them with the rest of the state.
+     [memo_pc = -1] means "stale": [lk] may not describe [pc], so update
+     recomputes (refilling [lk] in place). *)
+  let lk = { provider = -1; provider_idx = 0; alt = -1; alt_idx = 0; base_idx = 0 } in
+  let memo_pc = ref (-1) in
+  let memo_pred = ref false in
   {
     Predictor.name = "tage";
     predict =
       (fun ~pc ->
-        let lk, p = predict_with t pc in
-        memo := Some (pc, lk, p);
+        let p = predict_with t lk pc in
+        memo_pc := pc;
+        memo_pred := p;
         p);
     update =
       (fun ~pc ~taken ->
-        let lk, pred =
-          match !memo with
-          | Some (mpc, mlk, mp) when mpc = pc -> (mlk, mp)
-          | Some _ | None -> predict_with t pc
+        let pred =
+          if !memo_pc = pc then !memo_pred else predict_with t lk pc
         in
-        memo := None;
+        memo_pc := -1;
         update_with t lk pred pc taken);
     reset =
       (fun () ->
-        memo := None;
+        memo_pc := -1;
         Counters.reset t.base;
         Array.iter
           (fun tb ->

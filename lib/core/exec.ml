@@ -61,7 +61,7 @@ type state = {
   spm : Spm.t;
   sink : Uop.event -> unit;
   (* [emit] is false when no sink was supplied: the µop events would be
-     discarded anyway, so fast-forward execution skips allocating them. *)
+     discarded anyway, so fast-forward execution skips producing them. *)
   emit : bool;
   (* Fast-forward functional warming: when present, every architectural
      step drives the shared {!Sempe_pipeline.Warm} update protocol — the
@@ -74,67 +74,13 @@ type state = {
   mutable sjmps : int;
   mutable max_nesting : int;
   mutable halted : bool;
+  (* Decoded micro-op cache: one thunk per static pc, specialized at
+     session creation (opcode, operands, secure-ness, OOB policy, sink and
+     warm presence all resolved once). The per-step loop is then a single
+     indexed indirect call instead of re-matching the [Instr.t] tree.
+     Rebuilt by [start]/[resume]; never part of a captured [arch]. *)
+  mutable code : (unit -> unit) array;
 }
-
-let warm_fetch st =
-  match st.warm with
-  | Some w -> ignore (Warm.fetch w ~pc:st.pc : int)
-  | None -> ()
-
-let warm_data st ~addr ~write =
-  match st.warm with
-  | Some w -> ignore (Warm.data w ~pc:st.pc ~word_addr:addr ~write : int)
-  | None -> ()
-
-let warm_cond st ~taken ~target =
-  match st.warm with
-  | Some w -> ignore (Warm.cond_branch w ~pc:st.pc ~taken ~target : Warm.cond)
-  | None -> ()
-
-let warm_jump st ~target =
-  match st.warm with
-  | Some w -> ignore (Warm.taken_transfer w ~pc:st.pc ~target : Warm.transfer)
-  | None -> ()
-
-let warm_call st ~target ~return_to =
-  match st.warm with
-  | Some w -> ignore (Warm.call w ~pc:st.pc ~target ~return_to : Warm.transfer)
-  | None -> ()
-
-let warm_ret st ~target =
-  match st.warm with
-  | Some w -> ignore (Warm.ret w ~target : Warm.target_pred)
-  | None -> ()
-
-let warm_indirect st ~target =
-  match st.warm with
-  | Some w -> ignore (Warm.indirect w ~pc:st.pc ~target : Warm.target_pred)
-  | None -> ()
-
-let write_reg st r v =
-  if r <> Reg.zero then begin
-    st.regs.(r) <- v;
-    Snapshot.note_write st.snaps r
-  end
-
-let read_reg st r = st.regs.(r)
-
-(* Resolve a word address, clamping or failing on wild accesses. Returns the
-   address actually used (for the cache model) and whether it is valid. *)
-let resolve_addr st addr =
-  if addr >= 0 && addr < st.cfg.mem_words then (addr, true)
-  else if st.cfg.forgiving_oob then
-    (((addr mod st.cfg.mem_words) + st.cfg.mem_words) mod st.cfg.mem_words, false)
-  else raise (Out_of_bounds { pc = st.pc; addr })
-
-let emit_commit st instr ~mem_addr control =
-  if st.emit then
-    st.sink (Uop.Commit (Uop.of_instr ~pc:st.pc instr ~mem_addr control))
-
-let emit_plain st instr = emit_commit st instr ~mem_addr:0 Uop.Ctl_none
-
-let emit_drain st ~reason ~spm_cycles =
-  if st.emit then st.sink (Uop.Drain { reason; spm_cycles })
 
 (* Fault injection for the differential fuzzer's self-test: run a snapshot
    restore phase with its register writes suppressed. The snapshot stack
@@ -153,130 +99,339 @@ let with_fault st which f =
   end
   else f ()
 
-(* Enter a SecBlock at a committed sJMP (Sempe_hw only). *)
-let enter_secblock st cond rs1 rs2 target instr =
-  let outcome = Instr.eval_cond cond (read_reg st rs1) (read_reg st rs2) in
-  ignore (Jbtable.push st.jb);
-  Jbtable.commit_sjmp st.jb ~dest:target ~outcome;
-  emit_commit st instr ~mem_addr:0
-    (Uop.Ctl_branch { taken = outcome; target; secure = true });
-  let cycles = Spm.push_full_save st.spm in
-  Snapshot.push st.snaps ~regs:st.regs ~outcome;
-  if Snapshot.depth st.snaps > st.max_nesting then
-    st.max_nesting <- Snapshot.depth st.snaps;
-  emit_drain st ~reason:Uop.Drain_enter_secblock ~spm_cycles:cycles;
-  st.sjmps <- st.sjmps + 1;
-  st.pc <- st.pc + 1
+(* ALU/condition semantics specialized at decode time: each predecoded
+   thunk holds a direct pointer to its operation instead of re-matching
+   the op constructor per dynamic execution. *)
+let alu_fn : Instr.alu_op -> int -> int -> int = function
+  | Instr.Add -> ( + )
+  | Instr.Sub -> ( - )
+  | Instr.Mul -> ( * )
+  | Instr.Div -> fun a b -> if b = 0 then 0 else a / b
+  | Instr.Rem -> fun a b -> if b = 0 then 0 else a mod b
+  | Instr.And -> ( land )
+  | Instr.Or -> ( lor )
+  | Instr.Xor -> ( lxor )
+  | Instr.Shl -> fun a b -> a lsl (b land 63)
+  | Instr.Shr -> fun a b -> a asr (b land 63)
+  | Instr.Slt -> fun a b -> if a < b then 1 else 0
+  | Instr.Sle -> fun a b -> if a <= b then 1 else 0
+  | Instr.Seq -> fun a b -> if a = b then 1 else 0
+  | Instr.Sne -> fun a b -> if a <> b then 1 else 0
 
-(* eosJMP under Sempe_hw: consult the jbTable. Outside any secure region the
-   instruction decodes as a NOP, like on legacy hardware. *)
-let do_eosjmp st instr =
-  if Jbtable.is_empty st.jb then begin
-    emit_plain st instr;
-    st.pc <- st.pc + 1
-  end
-  else
-    match Jbtable.on_eosjmp st.jb with
-    | Jbtable.Jump_back dest ->
-      emit_commit st instr ~mem_addr:0 (Uop.Ctl_jumpback { target = dest });
-      let nt_mods =
-        with_fault st Skip_nt_restore (fun () ->
-            Snapshot.end_nt_path st.snaps ~regs:st.regs)
-      in
-      let c1 = Spm.save_modified st.spm ~modified:nt_mods in
-      let c2 = Spm.read_modified st.spm ~modified:nt_mods in
-      emit_drain st ~reason:Uop.Drain_after_nt_path ~spm_cycles:(c1 + c2);
-      st.pc <- dest
-    | Jbtable.Release ->
-      emit_plain st instr;
-      let union =
-        with_fault st Skip_restore (fun () ->
-            Snapshot.finish st.snaps ~regs:st.regs)
-      in
-      let cycles = Spm.restore st.spm ~modified_union:union in
-      emit_drain st ~reason:Uop.Drain_exit_secblock ~spm_cycles:cycles;
-      st.pc <- st.pc + 1
+let cond_fn : Instr.cond -> int -> int -> bool = function
+  | Instr.Eq -> ( = )
+  | Instr.Ne -> ( <> )
+  | Instr.Lt -> ( < )
+  | Instr.Ge -> ( >= )
+  | Instr.Le -> ( <= )
+  | Instr.Gt -> ( > )
 
-let step st =
-  let instr = st.prog.Program.code.(st.pc) in
-  (* Same per-instruction warming order as the timing model's µop path:
-     instruction fetch, then any data access, then control flow. *)
-  warm_fetch st;
-  match instr with
-  | Instr.Nop ->
-    emit_plain st instr;
-    st.pc <- st.pc + 1
-  | Instr.Alu (op, rd, rs1, rs2) ->
-    emit_plain st instr;
-    write_reg st rd (Instr.eval_alu op (read_reg st rs1) (read_reg st rs2));
-    st.pc <- st.pc + 1
-  | Instr.Alui (op, rd, rs1, imm) ->
-    emit_plain st instr;
-    write_reg st rd (Instr.eval_alu op (read_reg st rs1) imm);
-    st.pc <- st.pc + 1
-  | Instr.Li (rd, imm) ->
-    emit_plain st instr;
-    write_reg st rd imm;
-    st.pc <- st.pc + 1
-  | Instr.Ld (rd, base, off) ->
-    let addr, ok = resolve_addr st (read_reg st base + off) in
-    warm_data st ~addr ~write:false;
-    emit_commit st instr ~mem_addr:addr Uop.Ctl_none;
-    write_reg st rd (if ok then st.mem.(addr) else 0);
-    st.pc <- st.pc + 1
-  | Instr.St (rs, base, off) ->
-    let addr, ok = resolve_addr st (read_reg st base + off) in
-    warm_data st ~addr ~write:true;
-    emit_commit st instr ~mem_addr:addr Uop.Ctl_none;
-    if ok then st.mem.(addr) <- read_reg st rs;
-    st.pc <- st.pc + 1
-  | Instr.Cmov (rd, rc, rs) ->
-    emit_plain st instr;
-    if read_reg st rc <> 0 then write_reg st rd (read_reg st rs);
-    st.pc <- st.pc + 1
-  | Instr.Br { cond; rs1; rs2; target; secure } ->
-    let hw_secure = secure && st.cfg.support = Sempe_hw in
-    if hw_secure then enter_secblock st cond rs1 rs2 target instr
-    else begin
-      let taken = Instr.eval_cond cond (read_reg st rs1) (read_reg st rs2) in
-      warm_cond st ~taken ~target;
-      emit_commit st instr ~mem_addr:0
-        (Uop.Ctl_branch { taken; target; secure = false });
-      st.pc <- (if taken then target else st.pc + 1)
+(* Build the decoded micro-op cache for a session. Every thunk ends by
+   setting [st.pc]; the driver loops [st.code.(st.pc) ()].
+
+   Warming order inside each thunk matches the timing model's µop path
+   exactly: instruction fetch, then any data access, then control flow.
+
+   Commit events reuse one predecoded µop record per static pc (static
+   fields filled here, dynamic fields — memory address, branch outcome,
+   indirect target — written just before each emit), so the instrumented
+   path allocates nothing per instruction. Sinks must not retain the
+   record (see {!Sempe_pipeline.Uop}). *)
+let predecode st =
+  let cfg = st.cfg in
+  let mw = cfg.mem_words in
+  let forgiving = cfg.forgiving_oob in
+  let sempe = cfg.support = Sempe_hw in
+  let plen = Program.length st.prog in
+  let regs = st.regs and mem = st.mem in
+  let snaps = st.snaps and jb = st.jb and spm = st.spm in
+  let emit = st.emit and sink = st.sink in
+  let warm = st.warm in
+  let wr r v =
+    if r <> Reg.zero then begin
+      regs.(r) <- v;
+      Snapshot.note_write snaps r
     end
-  | Instr.Jmp target ->
-    warm_jump st ~target;
-    emit_commit st instr ~mem_addr:0 (Uop.Ctl_jump { target });
-    st.pc <- target
-  | Instr.Call target ->
-    warm_call st ~target ~return_to:(st.pc + 1);
-    emit_commit st instr ~mem_addr:0
-      (Uop.Ctl_call { target; return_to = st.pc + 1 });
-    write_reg st Reg.ra (st.pc + 1);
-    st.pc <- target
-  | Instr.Jr r ->
-    let target = read_reg st r in
-    if target < 0 || target >= Program.length st.prog then
-      raise (Out_of_bounds { pc = st.pc; addr = target });
-    warm_indirect st ~target;
-    emit_commit st instr ~mem_addr:0 (Uop.Ctl_indirect { target });
-    st.pc <- target
-  | Instr.Ret ->
-    let target = read_reg st Reg.ra in
-    if target < 0 || target >= Program.length st.prog then
-      raise (Out_of_bounds { pc = st.pc; addr = target });
-    warm_ret st ~target;
-    emit_commit st instr ~mem_addr:0 (Uop.Ctl_ret { target });
-    st.pc <- target
-  | Instr.Eosjmp ->
-    if st.cfg.support = Sempe_hw then do_eosjmp st instr
-    else begin
-      emit_plain st instr;
-      st.pc <- st.pc + 1
-    end
-  | Instr.Halt ->
-    emit_plain st instr;
-    st.halted <- true
+  in
+  (* Control-flow mirror of the data-side clamp: a wild indirect target is
+     wrapped into the program under forgiving mode, and traps otherwise. *)
+  let resolve_target pc target =
+    if target >= 0 && target < plen then target
+    else if forgiving then ((target mod plen) + plen) mod plen
+    else raise (Out_of_bounds { pc; addr = target })
+  in
+  let decode pc instr =
+    let u = Uop.of_instr ~pc instr ~mem_addr:0 in
+    let ev = Uop.Commit u in
+    match instr with
+    | Instr.Nop ->
+      fun () ->
+        (match warm with
+         | Some w -> ignore (Warm.fetch w ~pc : int)
+         | None -> ());
+        if emit then sink ev;
+        st.pc <- pc + 1
+    | Instr.Alu (op, rd, rs1, rs2) ->
+      let f = alu_fn op in
+      fun () ->
+        (match warm with
+         | Some w -> ignore (Warm.fetch w ~pc : int)
+         | None -> ());
+        if emit then sink ev;
+        wr rd (f regs.(rs1) regs.(rs2));
+        st.pc <- pc + 1
+    | Instr.Alui (op, rd, rs1, imm) ->
+      let f = alu_fn op in
+      fun () ->
+        (match warm with
+         | Some w -> ignore (Warm.fetch w ~pc : int)
+         | None -> ());
+        if emit then sink ev;
+        wr rd (f regs.(rs1) imm);
+        st.pc <- pc + 1
+    | Instr.Li (rd, imm) ->
+      fun () ->
+        (match warm with
+         | Some w -> ignore (Warm.fetch w ~pc : int)
+         | None -> ());
+        if emit then sink ev;
+        wr rd imm;
+        st.pc <- pc + 1
+    | Instr.Ld (rd, base, off) ->
+      fun () ->
+        (match warm with
+         | Some w -> ignore (Warm.fetch w ~pc : int)
+         | None -> ());
+        let addr = regs.(base) + off in
+        if addr >= 0 && addr < mw then begin
+          (match warm with
+           | Some w -> ignore (Warm.data w ~pc ~word_addr:addr ~write:false : int)
+           | None -> ());
+          if emit then begin
+            u.Uop.mem_addr <- addr;
+            sink ev
+          end;
+          wr rd mem.(addr)
+        end
+        else if forgiving then begin
+          (* clamp the cache address, read as zero *)
+          let a = ((addr mod mw) + mw) mod mw in
+          (match warm with
+           | Some w -> ignore (Warm.data w ~pc ~word_addr:a ~write:false : int)
+           | None -> ());
+          if emit then begin
+            u.Uop.mem_addr <- a;
+            sink ev
+          end;
+          wr rd 0
+        end
+        else raise (Out_of_bounds { pc; addr });
+        st.pc <- pc + 1
+    | Instr.St (rs, base, off) ->
+      fun () ->
+        (match warm with
+         | Some w -> ignore (Warm.fetch w ~pc : int)
+         | None -> ());
+        let addr = regs.(base) + off in
+        if addr >= 0 && addr < mw then begin
+          (match warm with
+           | Some w -> ignore (Warm.data w ~pc ~word_addr:addr ~write:true : int)
+           | None -> ());
+          if emit then begin
+            u.Uop.mem_addr <- addr;
+            sink ev
+          end;
+          mem.(addr) <- regs.(rs)
+        end
+        else if forgiving then begin
+          (* clamp the cache address, drop the store *)
+          let a = ((addr mod mw) + mw) mod mw in
+          (match warm with
+           | Some w -> ignore (Warm.data w ~pc ~word_addr:a ~write:true : int)
+           | None -> ());
+          if emit then begin
+            u.Uop.mem_addr <- a;
+            sink ev
+          end
+        end
+        else raise (Out_of_bounds { pc; addr });
+        st.pc <- pc + 1
+    | Instr.Cmov (rd, rc, rs) ->
+      fun () ->
+        (match warm with
+         | Some w -> ignore (Warm.fetch w ~pc : int)
+         | None -> ());
+        if emit then sink ev;
+        if regs.(rc) <> 0 then wr rd regs.(rs);
+        st.pc <- pc + 1
+    | Instr.Br { cond; rs1; rs2; target; secure } when secure && sempe ->
+      (* Committed sJMP: enter a SecBlock (Sempe_hw only). *)
+      u.Uop.ctl <- Uop.Ctl_branch;
+      u.Uop.secure <- true;
+      u.Uop.target <- target;
+      let cf = cond_fn cond in
+      fun () ->
+        (match warm with
+         | Some w -> ignore (Warm.fetch w ~pc : int)
+         | None -> ());
+        let outcome = cf regs.(rs1) regs.(rs2) in
+        ignore (Jbtable.push jb);
+        Jbtable.commit_sjmp jb ~dest:target ~outcome;
+        if emit then begin
+          u.Uop.taken <- outcome;
+          sink ev
+        end;
+        let cycles = Spm.push_full_save spm in
+        Snapshot.push snaps ~regs ~outcome;
+        if Snapshot.depth snaps > st.max_nesting then
+          st.max_nesting <- Snapshot.depth snaps;
+        if emit then
+          sink
+            (Uop.Drain
+               { reason = Uop.Drain_enter_secblock; spm_cycles = cycles });
+        st.sjmps <- st.sjmps + 1;
+        st.pc <- pc + 1
+    | Instr.Br { cond; rs1; rs2; target; secure = _ } ->
+      (* ordinary predicted branch (non-secure, or SecPrefix on legacy) *)
+      u.Uop.ctl <- Uop.Ctl_branch;
+      u.Uop.target <- target;
+      let cf = cond_fn cond in
+      fun () ->
+        (match warm with
+         | Some w -> ignore (Warm.fetch w ~pc : int)
+         | None -> ());
+        let taken = cf regs.(rs1) regs.(rs2) in
+        (match warm with
+         | Some w -> ignore (Warm.cond_branch w ~pc ~taken ~target : Warm.cond)
+         | None -> ());
+        if emit then begin
+          u.Uop.taken <- taken;
+          sink ev
+        end;
+        st.pc <- (if taken then target else pc + 1)
+    | Instr.Jmp target ->
+      u.Uop.ctl <- Uop.Ctl_jump;
+      u.Uop.target <- target;
+      fun () ->
+        (match warm with
+         | Some w ->
+           ignore (Warm.fetch w ~pc : int);
+           ignore (Warm.taken_transfer w ~pc ~target : Warm.transfer)
+         | None -> ());
+        if emit then sink ev;
+        st.pc <- target
+    | Instr.Call target ->
+      u.Uop.ctl <- Uop.Ctl_call;
+      u.Uop.target <- target;
+      u.Uop.return_to <- pc + 1;
+      fun () ->
+        (match warm with
+         | Some w ->
+           ignore (Warm.fetch w ~pc : int);
+           ignore
+             (Warm.call w ~pc ~target ~return_to:(pc + 1) : Warm.transfer)
+         | None -> ());
+        if emit then sink ev;
+        wr Reg.ra (pc + 1);
+        st.pc <- target
+    | Instr.Jr r ->
+      u.Uop.ctl <- Uop.Ctl_indirect;
+      fun () ->
+        (match warm with
+         | Some w -> ignore (Warm.fetch w ~pc : int)
+         | None -> ());
+        let target = resolve_target pc regs.(r) in
+        (match warm with
+         | Some w -> ignore (Warm.indirect w ~pc ~target : Warm.target_pred)
+         | None -> ());
+        if emit then begin
+          u.Uop.target <- target;
+          sink ev
+        end;
+        st.pc <- target
+    | Instr.Ret ->
+      u.Uop.ctl <- Uop.Ctl_ret;
+      fun () ->
+        (match warm with
+         | Some w -> ignore (Warm.fetch w ~pc : int)
+         | None -> ());
+        let target = resolve_target pc regs.(Reg.ra) in
+        (match warm with
+         | Some w -> ignore (Warm.ret w ~target : Warm.target_pred)
+         | None -> ());
+        if emit then begin
+          u.Uop.target <- target;
+          sink ev
+        end;
+        st.pc <- target
+    | Instr.Eosjmp when sempe ->
+      (* eosJMP under Sempe_hw: consult the jbTable. Outside any secure
+         region the instruction decodes as a NOP, like on legacy
+         hardware. The µop's control kind is dynamic (plain vs jump-back),
+         so [ctl] is written per commit. *)
+      fun () ->
+        (match warm with
+         | Some w -> ignore (Warm.fetch w ~pc : int)
+         | None -> ());
+        if Jbtable.is_empty jb then begin
+          if emit then begin
+            u.Uop.ctl <- Uop.Ctl_none;
+            sink ev
+          end;
+          st.pc <- pc + 1
+        end
+        else begin
+          match Jbtable.on_eosjmp jb with
+          | Jbtable.Jump_back dest ->
+            if emit then begin
+              u.Uop.ctl <- Uop.Ctl_jumpback;
+              u.Uop.target <- dest;
+              sink ev
+            end;
+            let nt_mods =
+              with_fault st Skip_nt_restore (fun () ->
+                  Snapshot.end_nt_path snaps ~regs)
+            in
+            let c1 = Spm.save_modified spm ~modified:nt_mods in
+            let c2 = Spm.read_modified spm ~modified:nt_mods in
+            if emit then
+              sink
+                (Uop.Drain
+                   { reason = Uop.Drain_after_nt_path; spm_cycles = c1 + c2 });
+            st.pc <- dest
+          | Jbtable.Release ->
+            if emit then begin
+              u.Uop.ctl <- Uop.Ctl_none;
+              sink ev
+            end;
+            let union =
+              with_fault st Skip_restore (fun () ->
+                  Snapshot.finish snaps ~regs)
+            in
+            let cycles = Spm.restore spm ~modified_union:union in
+            if emit then
+              sink
+                (Uop.Drain
+                   { reason = Uop.Drain_exit_secblock; spm_cycles = cycles });
+            st.pc <- pc + 1
+        end
+    | Instr.Eosjmp ->
+      (* legacy hardware: NOP *)
+      fun () ->
+        (match warm with
+         | Some w -> ignore (Warm.fetch w ~pc : int)
+         | None -> ());
+        if emit then sink ev;
+        st.pc <- pc + 1
+    | Instr.Halt ->
+      fun () ->
+        (match warm with
+         | Some w -> ignore (Warm.fetch w ~pc : int)
+         | None -> ());
+        if emit then sink ev;
+        st.halted <- true
+  in
+  Array.mapi decode st.prog.Program.code
 
 type session = state
 
@@ -301,18 +456,26 @@ let start ?(config = default_config) ?init_mem ?sink ?warm prog =
       sjmps = 0;
       max_nesting = 0;
       halted = false;
+      code = [||];
     }
   in
-  st.regs.(Reg.sp) <- config.mem_words;
+  (* The stack grows down from the last valid word. (The top-of-memory
+     address itself would be out of bounds: with the old [mem_words]
+     initialization a first access through sp under forgiving mode wrapped
+     to address 0 and aliased global data.) *)
+  st.regs.(Reg.sp) <- config.mem_words - 1;
   st.regs.(Reg.gp) <- 0;
   (match init_mem with Some f -> f st.mem | None -> ());
+  st.code <- predecode st;
   st
 
 let step_slice st n =
   let stop = st.count + n in
+  let code = st.code in
+  let max_instrs = st.cfg.max_instrs in
   while (not st.halted) && st.count < stop do
-    if st.count >= st.cfg.max_instrs then raise (Budget_exceeded st.count);
-    step st;
+    if st.count >= max_instrs then raise (Budget_exceeded st.count);
+    code.(st.pc) ();
     st.count <- st.count + 1
   done;
   st.halted
@@ -321,9 +484,11 @@ let halted st = st.halted
 let instructions st = st.count
 
 let finish st =
+  let code = st.code in
+  let max_instrs = st.cfg.max_instrs in
   while not st.halted do
-    if st.count >= st.cfg.max_instrs then raise (Budget_exceeded st.count);
-    step st;
+    if st.count >= max_instrs then raise (Budget_exceeded st.count);
+    code.(st.pc) ();
     st.count <- st.count + 1
   done;
   {
@@ -341,9 +506,12 @@ let run ?config ?init_mem ?sink prog = finish (start ?config ?init_mem ?sink pro
 
 (* Everything a session owns except the (immutable, shared) program and the
    sink/warm plumbing, as a plain record of plain data: registers, memory,
-   jbTable, register snapshots, SPM, and the scalar cursor. The fields
-   alias the live session's arrays — serialize (or deep-copy) the capture
-   before stepping the session further. *)
+   jbTable, register snapshots, SPM, and the scalar cursor. The decoded
+   micro-op cache is deliberately excluded — it holds closures (not
+   marshalable) and is cheap to rebuild relative to any measured interval,
+   so [resume] re-derives it from the program. The fields alias the live
+   session's arrays — serialize (or deep-copy) the capture before stepping
+   the session further. *)
 type arch = {
   a_cfg : config;
   a_regs : int array;
@@ -382,20 +550,25 @@ let resume ?sink ?warm prog arch =
   let emit, sink =
     match sink with Some s -> (true, s) | None -> (false, fun _ -> ())
   in
-  {
-    cfg = arch.a_cfg;
-    prog;
-    regs = arch.a_regs;
-    mem = arch.a_mem;
-    jb = arch.a_jb;
-    snaps = arch.a_snaps;
-    spm = arch.a_spm;
-    sink;
-    emit;
-    warm;
-    pc = arch.a_pc;
-    count = arch.a_count;
-    sjmps = arch.a_sjmps;
-    max_nesting = arch.a_max_nesting;
-    halted = arch.a_halted;
-  }
+  let st =
+    {
+      cfg = arch.a_cfg;
+      prog;
+      regs = arch.a_regs;
+      mem = arch.a_mem;
+      jb = arch.a_jb;
+      snaps = arch.a_snaps;
+      spm = arch.a_spm;
+      sink;
+      emit;
+      warm;
+      pc = arch.a_pc;
+      count = arch.a_count;
+      sjmps = arch.a_sjmps;
+      max_nesting = arch.a_max_nesting;
+      halted = arch.a_halted;
+      code = [||];
+    }
+  in
+  st.code <- predecode st;
+  st

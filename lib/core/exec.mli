@@ -42,10 +42,13 @@ type config = {
   spm : Sempe_mem.Spm.config;
   jbtable_entries : int;
   forgiving_oob : bool;
-  (** when [true], out-of-bounds loads return 0 and out-of-bounds stores are
-      dropped (their cache address is clamped); when [false] they fail. The
-      paper's threat model assumes wrong paths do not fault, but synthetic
-      wrong-path code may compute junk addresses. *)
+  (** when [true], out-of-bounds loads return 0, out-of-bounds stores are
+      dropped (their cache address is clamped), and out-of-bounds
+      indirect-jump targets ([Jr]/[Ret]) are wrapped into the program
+      deterministically; when [false] all three fail with
+      {!Out_of_bounds}. The paper's threat model assumes wrong paths do
+      not fault, but synthetic wrong-path code may compute junk addresses
+      and junk targets. *)
   fault : fault;
   (** injected protocol bug; [No_fault] for correct execution *)
 }
@@ -85,6 +88,12 @@ val run :
     slices. *)
 
 type session
+(** A session owns a decoded micro-op cache: the program is predecoded
+    once at {!start}/{!resume} into one specialized thunk per static
+    instruction, so the per-step loop does threaded dispatch instead of
+    re-matching the instruction constructor tree. When a sink is attached,
+    commits reuse one mutable µop record per static pc — see the reuse
+    contract in {!Sempe_pipeline.Uop}. *)
 
 val start :
   ?config:config

@@ -150,8 +150,24 @@ let miss_rate t =
   Stats.ratio ~num:(Stats.value t.c_misses) ~den:(Stats.value t.c_accesses)
 
 let signature t =
+  (* Hashes the per-set LRU ranking alongside the tags: two caches with the
+     same resident lines but divergent replacement order must not collide,
+     or the warm-state fidelity checks cannot see recency drift. The rank
+     (number of strictly more-recent lines in the set) rather than the raw
+     [lru] clock keeps the hash independent of access counts. *)
   let acc = ref 2166136261 in
+  let mix x = acc := (!acc * 16777619) lxor x in
   Array.iter
-    (fun set -> Array.iter (fun l -> acc := (!acc * 16777619) lxor (l.tag + 2)) set)
+    (fun set ->
+      let n = Array.length set in
+      for i = 0 to n - 1 do
+        let l = set.(i) in
+        let rank = ref 0 in
+        for j = 0 to n - 1 do
+          if set.(j).lru > l.lru then incr rank
+        done;
+        mix (l.tag + 2);
+        mix !rank
+      done)
     t.sets;
   !acc

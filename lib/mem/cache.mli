@@ -48,5 +48,7 @@ val stats : t -> Sempe_util.Stats.group
 val miss_rate : t -> float
 
 val signature : t -> int
-(** Order-dependent hash of the resident tags (an attacker-visible summary
-    of cache state). *)
+(** Order-dependent hash of the resident tags {e and} their per-set LRU
+    recency ranking (an attacker-visible summary of cache state). Two
+    caches holding the same lines in a different replacement order hash
+    differently, so warm-state fidelity checks catch recency drift. *)

@@ -48,11 +48,10 @@ let on_drain t (ev : Probe.drain_event) =
 let on_uop t (ev : Probe.uop_event) =
   t.uops <- t.uops + 1;
   let u = ev.Probe.uop in
-  (match u.Uop.control with
-   | Uop.Ctl_branch { secure = true; _ } ->
-     t.sjmp_stack <- u.Uop.pc :: t.sjmp_stack
-   | Uop.Ctl_branch { secure = false; _ } ->
-     Counters.incr t.branch_executions ~key:u.Uop.pc
+  (match u.Uop.ctl with
+   | Uop.Ctl_branch ->
+     if u.Uop.secure then t.sjmp_stack <- u.Uop.pc :: t.sjmp_stack
+     else Counters.incr t.branch_executions ~key:u.Uop.pc
    | _ -> ());
   if ev.Probe.mispredicted then Counters.incr t.branch_mispredicts ~key:u.Uop.pc;
   if ev.Probe.dcache_miss then Counters.incr t.load_misses ~key:u.Uop.pc

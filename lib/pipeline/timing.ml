@@ -256,33 +256,39 @@ let handle_control t (u : Uop.t) ~complete =
       raise_stall t (t.fetch_cycle + cfg.Config.btb_miss_bubble) Stall.Redirect;
       break_fetch_group t
   in
-  match u.Uop.control with
+  match u.Uop.ctl with
   | Uop.Ctl_none -> ()
-  | Uop.Ctl_branch { taken; target; secure } ->
-    if secure then
+  | Uop.Ctl_branch ->
+    if u.Uop.secure then
       (* sJMP: the predictor is never consulted; fetch already continued at
          the fall-through, which is always the execution order (§IV-E). *)
       t.s_secure_branches <- t.s_secure_branches + 1
     else begin
       t.s_cond_branches <- t.s_cond_branches + 1;
-      match Warm.cond_branch t.warm ~pc:u.Uop.pc ~taken ~target with
+      match
+        Warm.cond_branch t.warm ~pc:u.Uop.pc ~taken:u.Uop.taken
+          ~target:u.Uop.target
+      with
       | Warm.Cond_mispredict -> mispredict ()
-      | Warm.Cond_correct_taken tr -> transfer tr
+      | Warm.Cond_correct_taken_hit -> transfer Warm.Btb_hit
+      | Warm.Cond_correct_taken_miss -> transfer Warm.Btb_miss
       | Warm.Cond_correct_not_taken -> ()
     end
-  | Uop.Ctl_jump { target } ->
-    transfer (Warm.taken_transfer t.warm ~pc:u.Uop.pc ~target)
-  | Uop.Ctl_call { target; return_to } ->
-    transfer (Warm.call t.warm ~pc:u.Uop.pc ~target ~return_to)
-  | Uop.Ctl_ret { target } ->
-    (match Warm.ret t.warm ~target with
+  | Uop.Ctl_jump ->
+    transfer (Warm.taken_transfer t.warm ~pc:u.Uop.pc ~target:u.Uop.target)
+  | Uop.Ctl_call ->
+    transfer
+      (Warm.call t.warm ~pc:u.Uop.pc ~target:u.Uop.target
+         ~return_to:u.Uop.return_to)
+  | Uop.Ctl_ret ->
+    (match Warm.ret t.warm ~target:u.Uop.target with
      | Warm.Pred_hit -> break_fetch_group t
      | Warm.Pred_miss -> mispredict ())
-  | Uop.Ctl_indirect { target } ->
-    (match Warm.indirect t.warm ~pc:u.Uop.pc ~target with
+  | Uop.Ctl_indirect ->
+    (match Warm.indirect t.warm ~pc:u.Uop.pc ~target:u.Uop.target with
      | Warm.Pred_hit -> break_fetch_group t
      | Warm.Pred_miss -> mispredict ())
-  | Uop.Ctl_jumpback { target = _ } ->
+  | Uop.Ctl_jumpback ->
     (* eosJMP: nextPC comes from the jbTable at commit; the mandatory drain
        event that follows already charges the redirect. *)
     break_fetch_group t
@@ -294,7 +300,15 @@ let feed_uop t (u : Uop.t) =
   let f = fetch t ~pc:u.Uop.pc in
   let d = dispatch t ~fetch_time:f ~is_load ~is_store in
   let ready =
-    List.fold_left (fun acc r -> max acc t.reg_ready.(r)) (d + 1) u.Uop.srcs
+    (* plain for-loop: [srcs] is a predecoded array shared across commits,
+       and this runs once per committed instruction *)
+    let r = ref (d + 1) in
+    let srcs = u.Uop.srcs in
+    for i = 0 to Array.length srcs - 1 do
+      let v = t.reg_ready.(Array.unsafe_get srcs i) in
+      if v > !r then r := v
+    done;
+    !r
   in
   let iss = Ports.alloc t.issue_ports ready in
   let iss = if is_load then Ports.alloc t.load_ports iss else iss in
@@ -310,9 +324,9 @@ let feed_uop t (u : Uop.t) =
       (* Store-to-load forwarding: a younger load of a word written by an
          in-flight store sees the value one cycle after the store data is
          ready. *)
-      match Hashtbl.find_opt t.store_complete u.Uop.mem_addr with
-      | Some sc -> max c (sc + 1)
-      | None -> c
+      match Hashtbl.find t.store_complete u.Uop.mem_addr with
+      | sc -> max c (sc + 1)
+      | exception Not_found -> c
     end
     else if is_store then begin
       t.s_stores <- t.s_stores + 1;
@@ -325,7 +339,7 @@ let feed_uop t (u : Uop.t) =
     end
     else iss + fu_latency t u.Uop.cls
   in
-  (match u.Uop.dst with Some r -> t.reg_ready.(r) <- complete | None -> ());
+  if u.Uop.dst >= 0 then t.reg_ready.(u.Uop.dst) <- complete;
   let old_max = t.max_commit in
   let c = commit t ~complete in
   (* Record resource release times in the capacity rings. *)

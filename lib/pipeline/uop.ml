@@ -1,20 +1,31 @@
-type control =
+type ctl =
   | Ctl_none
-  | Ctl_branch of { taken : bool; target : int; secure : bool }
-  | Ctl_jump of { target : int }
-  | Ctl_call of { target : int; return_to : int }
-  | Ctl_ret of { target : int }
-  | Ctl_indirect of { target : int }
-  | Ctl_jumpback of { target : int }
+  | Ctl_branch
+  | Ctl_jump
+  | Ctl_call
+  | Ctl_ret
+  | Ctl_indirect
+  | Ctl_jumpback
 
+(* All fields are mutable so the interpreter can predecode one record per
+   static instruction and reuse it across that instruction's dynamic
+   executions: a commit then writes only the dynamic fields (memory
+   address, branch outcome, indirect target) instead of allocating.
+   Consumers must not retain a [t] across sink callbacks. *)
 type t = {
-  pc : int;
-  cls : Sempe_isa.Instr.iclass;
-  dst : Sempe_isa.Reg.t option;
-  srcs : Sempe_isa.Reg.t list;
-  mem_addr : int;
-  control : control;
+  mutable pc : int;
+  mutable cls : Sempe_isa.Instr.iclass;
+  mutable dst : int;
+  mutable srcs : int array;
+  mutable mem_addr : int;
+  mutable ctl : ctl;
+  mutable taken : bool;
+  mutable target : int;
+  mutable return_to : int;
+  mutable secure : bool;
 }
+
+let no_dst = -1
 
 type drain_reason =
   | Drain_enter_secblock
@@ -25,12 +36,31 @@ type event =
   | Commit of t
   | Drain of { reason : drain_reason; spm_cycles : int }
 
-let of_instr ~pc instr ~mem_addr control =
+let make () =
+  {
+    pc = 0;
+    cls = Sempe_isa.Instr.Cls_nop;
+    dst = no_dst;
+    srcs = [||];
+    mem_addr = 0;
+    ctl = Ctl_none;
+    taken = false;
+    target = 0;
+    return_to = 0;
+    secure = false;
+  }
+
+let of_instr ~pc instr ~mem_addr =
   {
     pc;
     cls = Sempe_isa.Instr.class_of instr;
-    dst = Sempe_isa.Instr.dest instr;
-    srcs = Sempe_isa.Instr.sources instr;
+    dst =
+      (match Sempe_isa.Instr.dest instr with Some r -> r | None -> no_dst);
+    srcs = Array.of_list (Sempe_isa.Instr.sources instr);
     mem_addr;
-    control;
+    ctl = Ctl_none;
+    taken = false;
+    target = 0;
+    return_to = 0;
+    secure = false;
   }

@@ -2,35 +2,53 @@
 
     The functional interpreter streams one {!event} per committed
     instruction (plus drain events for the SeMPE snapshot machinery) into
-    the timing model, in commit order. *)
+    the timing model, in commit order.
 
-type control =
+    {b Reuse contract.} To keep the commit path allocation-free, the
+    interpreter predecodes one {!t} per static instruction and reuses it
+    for every dynamic execution of that pc, mutating only the dynamic
+    fields before each [Commit]. A sink must therefore consume the record
+    inside the callback and never retain it (copy the fields it needs);
+    every in-tree consumer — {!Timing}, the observability recorders, the
+    profilers — already does. *)
+
+(** Control-flow kind of a committed µop. Payload lives in the mutable
+    [taken] / [target] / [return_to] / [secure] fields of {!t} so the
+    constructors stay constant (no allocation when switching kinds). *)
+type ctl =
   | Ctl_none
-  | Ctl_branch of { taken : bool; target : int; secure : bool }
-      (** conditional branch; [target] is the taken destination *)
-  | Ctl_jump of { target : int }
-  | Ctl_call of { target : int; return_to : int }
-  | Ctl_ret of { target : int }
-  | Ctl_indirect of { target : int }
-      (** computed jump (Jr): target predicted by ITTAGE *)
-  | Ctl_jumpback of { target : int }
-      (** eosJMP consuming a jbTable entry: nextPC comes from hardware, not
-          from prediction *)
+  | Ctl_branch  (** conditional; [taken], [target], [secure] are valid *)
+  | Ctl_jump  (** direct jump; [target] is valid *)
+  | Ctl_call  (** [target] and [return_to] are valid *)
+  | Ctl_ret  (** [target] is valid *)
+  | Ctl_indirect
+      (** computed jump (Jr): [target] is valid, predicted by ITTAGE *)
+  | Ctl_jumpback
+      (** eosJMP consuming a jbTable entry: nextPC ([target]) comes from
+          hardware, not from prediction *)
 
 type t = {
-  pc : int;                     (** instruction index *)
-  cls : Sempe_isa.Instr.iclass;
-  dst : Sempe_isa.Reg.t option;
-  srcs : Sempe_isa.Reg.t list;
-  mem_addr : int;               (** word address; meaningful for load/store *)
-  control : control;
+  mutable pc : int;  (** instruction index *)
+  mutable cls : Sempe_isa.Instr.iclass;
+  mutable dst : int;  (** destination register, or {!no_dst} *)
+  mutable srcs : int array;
+      (** source registers; shared with the decoder — do not mutate *)
+  mutable mem_addr : int;  (** word address; meaningful for load/store *)
+  mutable ctl : ctl;
+  mutable taken : bool;  (** branch outcome ([Ctl_branch]) *)
+  mutable target : int;  (** taken/transfer destination (any control) *)
+  mutable return_to : int;  (** return address ([Ctl_call]) *)
+  mutable secure : bool;  (** sJMP ([Ctl_branch]) *)
 }
+
+val no_dst : int
+(** [-1]: the µop writes no architectural register. *)
 
 (** Why the SeMPE front end drained the pipeline. *)
 type drain_reason =
-  | Drain_enter_secblock   (** before entering a SecBlock (save all registers) *)
-  | Drain_after_nt_path    (** at the first eosJMP (save modified, jump back) *)
-  | Drain_exit_secblock    (** at the second eosJMP (restore) *)
+  | Drain_enter_secblock  (** before entering a SecBlock (save all registers) *)
+  | Drain_after_nt_path  (** at the first eosJMP (save modified, jump back) *)
+  | Drain_exit_secblock  (** at the second eosJMP (restore) *)
 
 type event =
   | Commit of t
@@ -38,6 +56,12 @@ type event =
       (** Pipeline drain: later instructions may not dispatch until all
           earlier ones have committed, plus [spm_cycles] of SPM transfer. *)
 
-val of_instr : pc:int -> Sempe_isa.Instr.t -> mem_addr:int -> control -> t
-(** Builds a µop from a decoded instruction; [mem_addr] is ignored for
-    non-memory instructions. *)
+val make : unit -> t
+(** A blank µop ([Cls_nop], no registers, [Ctl_none]) for callers that
+    fill fields themselves. *)
+
+val of_instr : pc:int -> Sempe_isa.Instr.t -> mem_addr:int -> t
+(** Builds a fresh µop from a decoded instruction: class, destination and
+    sources are derived from the instruction; [ctl] and the control-flow
+    fields are left at their [Ctl_none] defaults for the caller to set.
+    [mem_addr] is ignored for non-memory instructions. *)

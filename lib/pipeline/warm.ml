@@ -76,17 +76,16 @@ let data t ~pc ~word_addr ~write =
 type transfer = Btb_hit | Btb_miss
 
 let taken_transfer t ~pc ~target =
-  let hit =
-    match Btb.lookup t.btb ~pc with
-    | Some cached when cached = target -> Btb_hit
-    | Some _ | None -> Btb_miss
-  in
+  (* [Btb.find] touches the LRU exactly as [lookup] would; -1 (miss) never
+     equals a real target, so the comparison is exact. *)
+  let hit = if Btb.find t.btb ~pc = target then Btb_hit else Btb_miss in
   Btb.update t.btb ~pc ~target;
   hit
 
 type cond =
   | Cond_correct_not_taken
-  | Cond_correct_taken of transfer
+  | Cond_correct_taken_hit
+  | Cond_correct_taken_miss
   | Cond_mispredict
 
 let cond_branch t ~pc ~taken ~target =
@@ -99,7 +98,10 @@ let cond_branch t ~pc ~taken ~target =
     if taken then Btb.update t.btb ~pc ~target;
     Cond_mispredict
   end
-  else if taken then Cond_correct_taken (taken_transfer t ~pc ~target)
+  else if taken then
+    match taken_transfer t ~pc ~target with
+    | Btb_hit -> Cond_correct_taken_hit
+    | Btb_miss -> Cond_correct_taken_miss
   else Cond_correct_not_taken
 
 type target_pred = Pred_hit | Pred_miss
@@ -109,16 +111,14 @@ let call t ~pc ~target ~return_to =
   taken_transfer t ~pc ~target
 
 let ret t ~target =
-  match Ras.pop t.ras with
-  | Some predicted when predicted = target -> Pred_hit
-  | Some _ | None -> Pred_miss
+  (* -1 (empty stack) never equals a real return address *)
+  if Ras.pop_value t.ras = target then Pred_hit else Pred_miss
 
 let indirect t ~pc ~target =
-  let predicted = Ittage.predict t.ittage ~pc in
+  (* -1 (no known target) never equals a real target *)
+  let predicted = Ittage.predict_value t.ittage ~pc in
   Ittage.update t.ittage ~pc ~target;
-  match predicted with
-  | Some p when p = target -> Pred_hit
-  | Some _ | None -> Pred_miss
+  if predicted = target then Pred_hit else Pred_miss
 
 let predictor_signature t =
   (((t.bp.Predictor.snapshot_signature () * 31) + Btb.signature t.btb) * 31)

@@ -51,9 +51,13 @@ val taken_transfer : t -> pc:int -> target:int -> transfer
     predicted taken branches): consult and train the BTB. [Btb_miss] means
     the front end pays a decode-redirect bubble. *)
 
+(** Constant constructors only: [cond_branch] runs once per committed
+    conditional branch in both execution modes, and a payload-carrying
+    result would allocate there. *)
 type cond =
   | Cond_correct_not_taken
-  | Cond_correct_taken of transfer
+  | Cond_correct_taken_hit  (** taken, predicted, BTB had the target *)
+  | Cond_correct_taken_miss  (** taken, predicted, decode-redirect bubble *)
   | Cond_mispredict
 
 val cond_branch : t -> pc:int -> taken:bool -> target:int -> cond

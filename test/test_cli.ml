@@ -92,12 +92,12 @@ let sim_case (name, args, expected_code, expect) =
 
 (* ---- the bench perf gate, against handcrafted record files ---- *)
 
-let perf_record workload mode rate =
+let perf_record ?(instructions = 200_000) workload mode rate =
   Json.Obj
     [
       ("workload", Json.Str workload);
       ("mode", Json.Str mode);
-      ("instructions", Json.Int 1000);
+      ("instructions", Json.Int instructions);
       ("cycles", Json.Int 1000);
       ("wall_s", Json.Float 0.01);
       ("minstr_per_s", Json.Float rate);
@@ -146,6 +146,18 @@ let gate_table =
       ~current:
         [ perf_record "fib" "full" 100.0; perf_record "fib" "sampled" 20.0 ]
       ~args:[ "--tolerance"; "0" ] ~expected_code:0;
+    (* measured-work floor: a current record over too few instructions
+       fails the gate even when its rate looks fine *)
+    gate_case "gate fails below the min-work floor" ~baseline:base_records
+      ~current:
+        [ perf_record ~instructions:1000 "fib" "full" 10.0;
+          perf_record "fib" "sampled" 20.0 ]
+      ~args:[] ~expected_code:1;
+    gate_case "gate min-work floor is configurable" ~baseline:base_records
+      ~current:
+        [ perf_record ~instructions:1000 "fib" "full" 10.0;
+          perf_record "fib" "sampled" 20.0 ]
+      ~args:[ "--min-work"; "500" ] ~expected_code:0;
   ]
 
 let gate_malformed =

@@ -164,6 +164,99 @@ let test_eosjmp_outside_region_is_nop () =
   let res = run prog in
   Alcotest.(check int) "fell through" 7 res.Exec.regs.(r10)
 
+(* ---- indirect-jump targets honor forgiving_oob ---- *)
+
+(* entry: li r12 <target>; jr r12; t0: li r10 111; halt; t1: li r10 222; halt.
+   Built twice: once to learn the layout, then with the wild value baked. *)
+let indirect_program target_value =
+  let b = Builder.create () in
+  Builder.bind b "entry";
+  Builder.li b r12 target_value;
+  Builder.jr b r12;
+  Builder.bind b "t0";
+  Builder.li b r10 111;
+  Builder.halt b;
+  Builder.bind b "t1";
+  Builder.li b r10 222;
+  Builder.halt b;
+  Builder.assemble b ~entry:"entry" ~data_words:0
+
+let test_jr_oob_forgiving () =
+  let probe = indirect_program 0 in
+  let t1 = Program.find_label probe "t1" in
+  let len = Program.length probe in
+  (* A wild positive target wraps into the program deterministically. *)
+  let res = run (indirect_program (len + t1)) in
+  Alcotest.(check int) "positive OOB target wraps mod length" 222 res.Exec.regs.(r10);
+  (* So does a wild negative one ((t mod len) + len) mod len). *)
+  let res = run (indirect_program (t1 - (3 * len))) in
+  Alcotest.(check int) "negative OOB target wraps mod length" 222 res.Exec.regs.(r10)
+
+let test_jr_oob_strict () =
+  let probe = indirect_program 0 in
+  let len = Program.length probe in
+  let wild = len + Program.find_label probe "t1" in
+  let config =
+    { Exec.default_config with Exec.mem_words = 4096; forgiving_oob = false }
+  in
+  (* the jr sits at pc 1 (entry: li at 0, jr at 1) *)
+  Alcotest.check_raises "strict mode traps on the wild target"
+    (Exec.Out_of_bounds { pc = 1; addr = wild })
+    (fun () -> ignore (Exec.run ~config (indirect_program wild)))
+
+let test_ret_oob () =
+  let build target_value =
+    let b = Builder.create () in
+    Builder.bind b "entry";
+    Builder.li b Reg.ra target_value;
+    Builder.ret b;
+    Builder.bind b "t0";
+    Builder.li b r10 111;
+    Builder.halt b;
+    Builder.bind b "t1";
+    Builder.li b r10 222;
+    Builder.halt b;
+    Builder.assemble b ~entry:"entry" ~data_words:0
+  in
+  let probe = build 0 in
+  let t1 = Program.find_label probe "t1" in
+  let len = Program.length probe in
+  let wild = (2 * len) + t1 in
+  let res = run (build wild) in
+  Alcotest.(check int) "forgiving ret wraps mod length" 222 res.Exec.regs.(r10);
+  let config =
+    { Exec.default_config with Exec.mem_words = 4096; forgiving_oob = false }
+  in
+  Alcotest.check_raises "strict ret traps"
+    (Exec.Out_of_bounds { pc = 1; addr = wild })
+    (fun () -> ignore (Exec.run ~config (build wild)))
+
+(* ---- initial sp points at the last valid word ---- *)
+
+let test_sp_init_no_alias () =
+  (* Historically sp started at mem_words — itself out of bounds — so the
+     first access through sp was clamped under forgiving mode: stores
+     through sp were dropped, loads returned 0, and the clamped cache
+     address aliased global data at word 0. Pin the fixed behavior: the
+     top-of-stack slot is a real, usable word distinct from word 0. *)
+  let mw = 256 in
+  let b = Builder.create () in
+  Builder.bind b "entry";
+  Builder.li b r10 7;
+  Builder.st b r10 Reg.sp 0;
+  Builder.ld b r11 Reg.gp 0;
+  Builder.ld b r12 Reg.sp 0;
+  Builder.halt b;
+  let prog = Builder.assemble b ~entry:"entry" ~data_words:1 in
+  let config = { Exec.default_config with Exec.mem_words = mw } in
+  let res = Exec.run ~config ~init_mem:(fun m -> m.(0) <- 42) prog in
+  Alcotest.(check int) "sp starts at the last valid word" (mw - 1) res.Exec.regs.(Reg.sp);
+  Alcotest.(check int) "store through sp lands in bounds" 7 res.Exec.memory.(mw - 1);
+  Alcotest.(check int) "load through sp reads it back (old: dropped to 0)" 7
+    res.Exec.regs.(r12);
+  Alcotest.(check int) "global word 0 untouched" 42 res.Exec.regs.(r11);
+  Alcotest.(check int) "memory image keeps the global" 42 res.Exec.memory.(0)
+
 let test_overflow () =
   (* 31 nested secure branches exceed the 30-entry jbTable. *)
   let b = Builder.create () in
@@ -195,5 +288,9 @@ let tests =
     Alcotest.test_case "nested trace independent" `Quick test_nested_trace_independent;
     Alcotest.test_case "memory not snapshotted" `Quick test_memory_not_snapshotted;
     Alcotest.test_case "eosjmp outside region" `Quick test_eosjmp_outside_region_is_nop;
+    Alcotest.test_case "jr oob forgiving" `Quick test_jr_oob_forgiving;
+    Alcotest.test_case "jr oob strict" `Quick test_jr_oob_strict;
+    Alcotest.test_case "ret oob" `Quick test_ret_oob;
+    Alcotest.test_case "sp init no alias" `Quick test_sp_init_no_alias;
     Alcotest.test_case "jbtable overflow" `Quick test_overflow;
   ]

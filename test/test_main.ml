@@ -21,4 +21,5 @@ let () =
       ("frontend", Test_frontend.tests);
       ("passes", Test_passes.tests);
       ("edge-cases", Test_more.tests);
+      ("differential", Test_differential.tests);
     ]

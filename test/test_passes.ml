@@ -205,15 +205,12 @@ let test_jr_timing_learns () =
   (* Repeated monomorphic indirect jumps: ITTAGE removes the redirect after
      warmup, so cycles grow sub-linearly versus a polymorphic target. *)
   let uop target =
-    Sempe_pipeline.Uop.Commit
-      {
-        Sempe_pipeline.Uop.pc = 40;
-        cls = Sempe_isa.Instr.Cls_jump;
-        dst = None;
-        srcs = [];
-        mem_addr = 0;
-        control = Sempe_pipeline.Uop.Ctl_indirect { target };
-      }
+    let u = Sempe_pipeline.Uop.make () in
+    u.Sempe_pipeline.Uop.pc <- 40;
+    u.Sempe_pipeline.Uop.cls <- Sempe_isa.Instr.Cls_jump;
+    u.Sempe_pipeline.Uop.ctl <- Sempe_pipeline.Uop.Ctl_indirect;
+    u.Sempe_pipeline.Uop.target <- target;
+    Sempe_pipeline.Uop.Commit u
   in
   let run targets =
     let t = Sempe_pipeline.Timing.create () in

@@ -6,49 +6,34 @@ module Timing = Sempe_pipeline.Timing
 module Config = Sempe_pipeline.Config
 module Uop = Sempe_pipeline.Uop
 
+(* Fresh records per event (the timing model never retains them, but list
+   literals built once here are replayed across runs). *)
+let uop ~pc ~cls ~dst ~srcs ~mem_addr =
+  let u = Uop.make () in
+  u.Uop.pc <- pc;
+  u.Uop.cls <- cls;
+  u.Uop.dst <- dst;
+  u.Uop.srcs <- Array.of_list srcs;
+  u.Uop.mem_addr <- mem_addr;
+  u
+
 let alu ~pc ~dst ~srcs =
-  Uop.Commit
-    {
-      Uop.pc;
-      cls = Instr.Cls_int_alu;
-      dst = Some dst;
-      srcs;
-      mem_addr = 0;
-      control = Uop.Ctl_none;
-    }
+  Uop.Commit (uop ~pc ~cls:Instr.Cls_int_alu ~dst ~srcs ~mem_addr:0)
 
 let load ?(srcs = []) ~pc ~dst ~addr () =
-  Uop.Commit
-    {
-      Uop.pc;
-      cls = Instr.Cls_load;
-      dst = Some dst;
-      srcs;
-      mem_addr = addr;
-      control = Uop.Ctl_none;
-    }
+  Uop.Commit (uop ~pc ~cls:Instr.Cls_load ~dst ~srcs ~mem_addr:addr)
 
 let store ~pc ~src ~addr =
   Uop.Commit
-    {
-      Uop.pc;
-      cls = Instr.Cls_store;
-      dst = None;
-      srcs = [ src ];
-      mem_addr = addr;
-      control = Uop.Ctl_none;
-    }
+    (uop ~pc ~cls:Instr.Cls_store ~dst:Uop.no_dst ~srcs:[ src ] ~mem_addr:addr)
 
 let branch ~pc ~taken ~target ~secure =
-  Uop.Commit
-    {
-      Uop.pc;
-      cls = Instr.Cls_branch;
-      dst = None;
-      srcs = [];
-      mem_addr = 0;
-      control = Uop.Ctl_branch { taken; target; secure };
-    }
+  let u = uop ~pc ~cls:Instr.Cls_branch ~dst:Uop.no_dst ~srcs:[] ~mem_addr:0 in
+  u.Uop.ctl <- Uop.Ctl_branch;
+  u.Uop.taken <- taken;
+  u.Uop.target <- target;
+  u.Uop.secure <- secure;
+  Uop.Commit u
 
 let run events =
   let t = Timing.create () in

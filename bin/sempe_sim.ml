@@ -652,22 +652,118 @@ let trace_cmd =
 (* ---- leakage ---- *)
 
 let leakage_cmd =
-  let run jobs json progress =
+  let module Leakage = Sempe_security.Leakage in
+  let module Attribution = Sempe_security.Attribution in
+  let run jobs json progress attribute channel_names trace_out =
     set_jobs jobs;
-    let results =
-      with_progress progress (fun () ->
-          Sempe_experiments.Security_exp.measure ())
-    in
-    if json then print_json (Sempe_experiments.Security_exp.to_json results)
-    else begin
-      print_string (Sempe_experiments.Security_exp.render results);
-      print_newline ()
+    if (not attribute) && (channel_names <> [] || trace_out <> None) then begin
+      Printf.eprintf "--channel and --trace-out require --attribute\n";
+      exit 124
+    end;
+    if not attribute then begin
+      let results =
+        with_progress progress (fun () ->
+            Sempe_experiments.Security_exp.measure ())
+      in
+      if json then print_json (Sempe_experiments.Security_exp.to_json results)
+      else begin
+        print_string (Sempe_experiments.Security_exp.render results);
+        print_newline ()
+      end
     end
+    else begin
+      (* --channel names go through the Leakage channel vocabulary (the
+         same names `fuzz --oracle trace` failures report) and map onto
+         the witness stream carrying that channel. *)
+      let channels =
+        match channel_names with
+        | [] -> None
+        | names ->
+          Some
+            (List.map
+               (fun name ->
+                 match Leakage.channel_of_name name with
+                 | Some c -> Leakage.stream_of_channel c
+                 | None ->
+                   Printf.eprintf "unknown channel %S (expected one of: %s)\n"
+                     name
+                     (String.concat ", "
+                        (List.map Leakage.channel_name Leakage.channels));
+                   exit 124)
+               names)
+      in
+      let results =
+        with_progress progress (fun () ->
+            Sempe_experiments.Security_exp.measure_attribution ())
+      in
+      (match trace_out with
+       | None -> ()
+       | Some dir ->
+         if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+         List.iter
+           (fun (r : Sempe_experiments.Security_exp.attribution_result) ->
+             let file =
+               Filename.concat dir (Scheme.name r.a_scheme ^ ".json")
+             in
+             let oc = open_out file in
+             Fun.protect
+               ~finally:(fun () -> close_out oc)
+               (fun () ->
+                 Attribution.write_perfetto
+                   ~secrets:
+                     (List.map (fun k -> Printf.sprintf "key 0x%04x" k)
+                        r.a_keys)
+                   oc r.a_attribution r.a_witnesses);
+             Printf.eprintf "wrote %s\n%!" file)
+           results);
+      if json then
+        print_json
+          (Sempe_experiments.Security_exp.attribution_to_json ?channels
+             results)
+      else
+        print_string
+          (Sempe_experiments.Security_exp.render_attribution ?channels
+             results)
+    end
+  in
+  let attribute =
+    Arg.(
+      value & flag
+      & info [ "attribute" ]
+          ~doc:
+            "Record full witness streams per key and localize every \
+             divergence: first diverging event, static PC, source \
+             statement and hardware structure, plus the per-structure \
+             leakage stack.")
+  in
+  let channels =
+    Arg.(
+      value & opt_all string []
+      & info [ "channel" ] ~docv:"NAME"
+          ~doc:
+            "With $(b,--attribute): restrict the report to this channel \
+             (repeatable): timing, pc-trace, mem-address, icache, dcache, \
+             l2, branch-predictor, instruction-count.")
+  in
+  let trace_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace-out" ] ~docv:"DIR"
+          ~doc:
+            "With $(b,--attribute): write one Perfetto trace per scheme \
+             to $(docv)/<scheme>.json — one lane per key, an instant \
+             marker at every divergent region.")
   in
   Cmd.v
     (Cmd.info "leakage"
-       ~doc:"Leakage matrix: which attacker channels distinguish RSA keys under each scheme.")
-    Term.(const run $ jobs_arg $ json_arg $ progress_arg)
+       ~doc:
+         "Leakage matrix: which attacker channels distinguish RSA keys \
+          under each scheme. With $(b,--attribute), a full leakage \
+          attribution: where the runs diverge, per channel, PC and \
+          hardware structure.")
+    Term.(
+      const run $ jobs_arg $ json_arg $ progress_arg $ attribute $ channels
+      $ trace_out)
 
 (* ---- report ---- *)
 
@@ -853,7 +949,12 @@ let fuzz_cmd =
               (match f.Fuzz.f_repro with
                | None -> ""
                | Some p -> Printf.sprintf "\nreproducer: %s" p)
-              f.Fuzz.f_source)
+              f.Fuzz.f_source;
+            match f.Fuzz.f_attribution with
+            | None -> ()
+            | Some a ->
+              Printf.printf "leakage attribution (%s):\n%s" a.Fuzz.a_comparison
+                a.Fuzz.a_text)
           fs
     end;
     if outcome.Fuzz.failures <> [] then exit 1

@@ -50,8 +50,20 @@ grep -q '"in_bound":true' "$out/sample.json"
 
 echo "== fuzz smoke: 100 cases, all oracles, pinned seed"
 # Minimized reproducers land in corpus/ so CI can upload them as
-# artifacts on failure.
+# artifacts on failure; each failure's JSON carries its leakage
+# attribution (divergent PC + hardware structure).
 ./_build/default/bin/sempe_sim.exe fuzz --seed 42 --count 100 -j 4 --json \
   > "$out/fuzz.json"
+
+echo "== leakage attribution smoke: sempe indistinguishable on every channel"
+# Full witness diff of the RSA runs across keys under every scheme; the
+# attribution JSON and the per-scheme Perfetto divergence traces are the
+# artifacts CI uploads when this (or the fuzz smoke) fails.
+./_build/default/bin/sempe_sim.exe leakage --attribute --json -j 2 \
+  --trace-out "$out/leakage-traces" > "$out/leakage-attribution.json"
+./_build/default/bin/sempe_sim.exe leakage --attribute -j 2 \
+  > "$out/leakage-attribution.txt"
+grep -A 1 '^== sempe ==' "$out/leakage-attribution.txt" \
+  | grep -q 'indistinguishable on every channel'
 
 echo "CI OK"

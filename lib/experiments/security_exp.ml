@@ -3,7 +3,10 @@ module Rsa = Sempe_workloads.Rsa
 module Scheme = Sempe_core.Scheme
 module Observable = Sempe_security.Observable
 module Leakage = Sempe_security.Leakage
+module Witness = Sempe_security.Witness
+module Attribution = Sempe_security.Attribution
 module Attacker = Sempe_security.Attacker
+module Sink = Sempe_obs.Sink
 module Tablefmt = Sempe_util.Tablefmt
 module Json = Sempe_obs.Json
 
@@ -35,6 +38,80 @@ let measure ?(keys = default_keys) () =
       let timing_correlation = Attacker.timing_key_correlation ~run ~keys in
       { scheme; leaky; timing_correlation })
     Scheme.all
+
+(* ---- leakage attribution: where exactly do the runs diverge? ---- *)
+
+type attribution_result = {
+  a_scheme : Scheme.t;
+  a_keys : int list;
+  a_attribution : Attribution.t;
+  a_witnesses : Witness.t list;
+  a_program : Sempe_isa.Program.t;
+}
+
+let witness scheme ~key =
+  let built = Harness.build scheme Rsa.program in
+  let globals, arrays = Rsa.inputs ~key ~base:1234 ~modulus:99991 in
+  let w = Witness.create () in
+  let outcome =
+    Harness.run ~globals ~arrays ~sink:(Sink.of_probe (Witness.probe w)) built
+  in
+  ignore outcome;
+  (w, built.Harness.prog)
+
+let measure_attribution ?(keys = default_keys) () =
+  Batch.map
+    (fun scheme ->
+      let pairs = List.map (fun key -> witness scheme ~key) keys in
+      let witnesses = List.map fst pairs in
+      let program =
+        match pairs with (_, p) :: _ -> p | [] -> assert false
+      in
+      {
+        a_scheme = scheme;
+        a_keys = keys;
+        a_attribution = Attribution.attribute witnesses;
+        a_witnesses = witnesses;
+        a_program = program;
+      })
+    Scheme.all
+
+let filter_attribution channels (a : Attribution.t) =
+  match channels with
+  | None -> a
+  | Some chs ->
+    {
+      a with
+      Attribution.by_channel =
+        List.filter
+          (fun (cr : Attribution.channel_report) ->
+            List.mem cr.Attribution.cr_stream chs)
+          a.Attribution.by_channel;
+    }
+
+let render_attribution ?channels results =
+  String.concat "\n"
+    (List.map
+       (fun r ->
+         Printf.sprintf "== %s ==\n%s" (Scheme.name r.a_scheme)
+           (Attribution.render ~program:r.a_program
+              (filter_attribution channels r.a_attribution)))
+       results)
+
+let attribution_to_json ?channels results =
+  Json.List
+    (List.map
+       (fun r ->
+         Json.Obj
+           [
+             ("scheme", Json.Str (Scheme.name r.a_scheme));
+             ( "keys",
+               Json.List (List.map (fun k -> Json.Int k) r.a_keys) );
+             ( "attribution",
+               Attribution.to_json ~program:r.a_program
+                 (filter_attribution channels r.a_attribution) );
+           ])
+       results)
 
 let render results =
   let rows =

@@ -60,6 +60,12 @@ let origin_name = function
   | Mutant -> "mutant"
   | Replayed file -> "replay:" ^ file
 
+type attribution = {
+  a_comparison : string;  (** which runs were diffed (see [Oracle.attribute]) *)
+  a_text : string;  (** rendered attribution report *)
+  a_json : Json.t;
+}
+
 type failure = {
   f_seed : int;
   f_origin : origin;
@@ -71,6 +77,9 @@ type failure = {
   f_source : string;  (** minimized program, concrete syntax *)
   f_trials : int;  (** oracle invocations the minimizer spent *)
   f_repro : string option;  (** corpus path, when persisted *)
+  f_attribution : attribution option;
+      (** leakage localization of the minimized reproducer: the divergent
+          PC and hardware structure (state/trace oracles only) *)
 }
 
 type outcome = {
@@ -145,6 +154,24 @@ let record_failure config ~origin case (oracle, message) =
       Some (Corpus.save ~dir { Corpus.case = minimized; oracle; message })
     | _ -> None
   in
+  (* Leakage localization of the reproducer. Only the differential
+     oracles benefit (a timing-invariant or sampling failure is not a
+     leak), and an exception here must not mask the failure itself. *)
+  let attribution =
+    match oracle with
+    | "state" | "trace" -> (
+      match (try Oracle.attribute config.ctx minimized with _ -> None) with
+      | None -> None
+      | Some (attr, prog, comparison) ->
+        Some
+          {
+            a_comparison = comparison;
+            a_text =
+              Sempe_security.Attribution.render ~program:prog attr;
+            a_json = Sempe_security.Attribution.to_json ~program:prog attr;
+          })
+    | _ -> None
+  in
   {
     f_seed = case.Gen.seed;
     f_origin = origin;
@@ -157,6 +184,7 @@ let record_failure config ~origin case (oracle, message) =
     f_source = Gen.to_source minimized;
     f_trials = stats.Minimize.trials;
     f_repro = repro;
+    f_attribution = attribution;
   }
 
 (* ---- driver -------------------------------------------------------------- *)
@@ -267,6 +295,15 @@ let failure_to_json f =
       ("source", Json.Str f.f_source);
       ( "repro",
         match f.f_repro with None -> Json.Null | Some p -> Json.Str p );
+      ( "attribution",
+        match f.f_attribution with
+        | None -> Json.Null
+        | Some a ->
+          Json.Obj
+            [
+              ("comparison", Json.Str a.a_comparison);
+              ("report", a.a_json);
+            ] );
     ]
 
 (* [wall_s] is deliberately not part of the JSON document: `sempe-sim

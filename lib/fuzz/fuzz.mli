@@ -40,6 +40,15 @@ type origin = Generated | Mutant | Replayed of string
 
 val origin_name : origin -> string
 
+(** Leakage localization of a reproducer (see {!Oracle.attribute}): which
+    comparison diverged, the rendered attribution naming the divergent PC
+    and hardware structure, and its JSON form. *)
+type attribution = {
+  a_comparison : string;
+  a_text : string;
+  a_json : Sempe_obs.Json.t;
+}
+
 type failure = {
   f_seed : int;
   f_origin : origin;
@@ -53,6 +62,9 @@ type failure = {
   f_source : string;  (** minimized program, concrete syntax *)
   f_trials : int;  (** oracle invocations the minimizer spent *)
   f_repro : string option;  (** corpus path, when persisted *)
+  f_attribution : attribution option;
+      (** present for state/trace failures whose witness comparison
+          diverges *)
 }
 
 type outcome = {

@@ -7,6 +7,9 @@ module Timing = Sempe_pipeline.Timing
 module Warm = Sempe_pipeline.Warm
 module Observable = Sempe_security.Observable
 module Leakage = Sempe_security.Leakage
+module Witness = Sempe_security.Witness
+module Attribution = Sempe_security.Attribution
+module Sink = Sempe_obs.Sink
 module Sampling = Sempe_sampling.Sampling
 module Checkpoint = Sempe_sampling.Checkpoint
 
@@ -108,21 +111,32 @@ let check_trace ctx (case : Gen.case) =
   let built = Harness.build ~fault:ctx.fault Scheme.Sempe case.prog in
   let view secrets =
     let recorder = Observable.recorder () in
+    let w = Witness.create () in
     let outcome =
       Harness.run ~fault:ctx.fault ~globals:secrets ~arrays:(arrays_of case)
         ~mem_words:ctx.mem_words
         ~observe:(Observable.feed recorder)
+        ~sink:(Sink.of_probe (Witness.probe w))
         built
     in
-    Observable.view recorder outcome.Run.timing
+    (Observable.view recorder outcome.Run.timing, w)
   in
-  let views = List.map view case.secrets in
-  match Leakage.leaky_channels views with
+  let pairs = List.map view case.secrets in
+  let views = List.map fst pairs and witnesses = List.map snd pairs in
+  let findings = Leakage.compare_views ~witnesses views in
+  match List.filter Leakage.leaks findings with
   | [] -> Pass
-  | chans ->
+  | leaky ->
+    let describe (f : Leakage.finding) =
+      match f.Leakage.first_divergence with
+      | Some i ->
+        Printf.sprintf "%s (first divergence at event %d)"
+          (Leakage.channel_name f.Leakage.channel) i
+      | None -> Leakage.channel_name f.Leakage.channel
+    in
     Fail
       (Printf.sprintf "SeMPE run distinguishes secrets on channel(s): %s"
-         (String.concat ", " (List.map Leakage.channel_name chans)))
+         (String.concat ", " (List.map describe leaky)))
 
 (* ---- timing-report invariants ------------------------------------------- *)
 
@@ -242,6 +256,52 @@ let check_checkpoint ctx (case : Gen.case) =
       | Some msg, _ | _, Some msg -> Fail msg
     end
   end
+
+(* ---- leakage attribution of a reproducer --------------------------------- *)
+
+let witness_of ctx ~fault built secrets (case : Gen.case) =
+  let w = Witness.create () in
+  let (_ : Run.outcome) =
+    Harness.run ~fault ~globals:secrets ~arrays:(arrays_of case)
+      ~mem_words:ctx.mem_words
+      ~sink:(Sink.of_probe (Witness.probe w))
+      built
+  in
+  w
+
+(* Localize what a failing case leaks: first diff the (possibly faulted)
+   SeMPE build's attacker streams across the case's secrets; when those
+   are identical (a value-only bug such as a skipped restore corrupts
+   state without splitting the streams across secrets), fall back to
+   diffing the faulted build against the clean build under one secret —
+   the dropped statements shift every later pc, so the divergence names
+   the site of the missing protocol step. *)
+let attribute ctx (case : Gen.case) =
+  let built = Harness.build ~fault:ctx.fault Scheme.Sempe case.prog in
+  let cross =
+    List.map
+      (fun secrets -> witness_of ctx ~fault:ctx.fault built secrets case)
+      case.secrets
+  in
+  let cross_attr =
+    match cross with
+    | _ :: _ :: _ -> Some (Attribution.attribute cross)
+    | _ -> None
+  in
+  match cross_attr with
+  | Some attr when not (Attribution.is_clean attr) ->
+    Some (attr, built.Harness.prog, "across secrets (SeMPE build)")
+  | _ -> (
+    match ctx.fault with
+    | Exec.No_fault -> None
+    | _ ->
+      let clean = Harness.build Scheme.Sempe case.prog in
+      let secrets = List.hd case.secrets in
+      let wc = witness_of ctx ~fault:Exec.No_fault clean secrets case in
+      let wf = witness_of ctx ~fault:ctx.fault built secrets case in
+      let attr = Attribution.attribute [ wc; wf ] in
+      if Attribution.is_clean attr then None
+      else Some (attr, clean.Harness.prog, "faulted vs clean build"))
 
 (* ---- registry ------------------------------------------------------------ *)
 

@@ -52,3 +52,15 @@ val run_all : t list -> ctx -> Gen.case -> (string * string) option
 (** First failure as [(oracle name, message)], checking in list order;
     an exception escaping an oracle is reported as a failure of that
     oracle. [None] when every oracle passes. *)
+
+val attribute :
+  ctx ->
+  Gen.case ->
+  (Sempe_security.Attribution.t * Sempe_isa.Program.t * string) option
+(** Leakage attribution of a (typically minimized) failing case: diff the
+    SeMPE build's witness streams across the case's secrets; when those
+    are indistinguishable but a fault is injected, diff the faulted build
+    against the clean one under a single secret instead. Returns the
+    attribution, the program whose pcs it refers to (the reference run's
+    build), and a label saying which comparison was made; [None] when
+    every comparison is clean. *)

@@ -32,6 +32,34 @@ let stall_stack_json (r : Timing.report) =
   Json.Obj
     (List.map (fun (b, n) -> (Stall.name b, Json.Int n)) (stall_stack_alist r))
 
+(* Generic "stack" rendering shared with the security side's leakage
+   stacks: a bucket -> count alist whose counts sum to [total] by
+   construction (the caller's invariant, mirrored from the stall stack).
+   Kept generic over strings so this library stays security-agnostic. *)
+let render_leakage_stack ~title ~total ~unit buckets =
+  let denom = max 1 total in
+  let rows =
+    List.filter_map
+      (fun (name, n) ->
+        if n = 0 then None
+        else
+          Some
+            [
+              name;
+              string_of_int n;
+              Tablefmt.percent (float_of_int n /. float_of_int denom);
+            ])
+      buckets
+  in
+  if rows = [] then
+    Printf.sprintf "%s: no divergent %s\n" title unit
+  else
+    Printf.sprintf "%s (%d divergent %s)\n%s\n" title total unit
+      (Tablefmt.render ~header:[ "structure"; unit; "share" ] rows)
+
+let leakage_stack_json buckets =
+  Json.Obj (List.map (fun (name, n) -> (name, Json.Int n)) buckets)
+
 let to_json (r : Timing.report) =
   Json.Obj
     [

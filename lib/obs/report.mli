@@ -12,6 +12,18 @@ val render_stall_stack : Sempe_pipeline.Timing.report -> string
 
 val stall_stack_json : Sempe_pipeline.Timing.report -> Json.t
 
+val render_leakage_stack :
+  title:string -> total:int -> unit:string -> (string * int) list -> string
+(** Text table for a leakage stack: divergent-event counts bucketed by
+    hardware structure, in the stall-stack style. The caller guarantees
+    the counts sum to [total] (held by construction in
+    [Sempe_security.Attribution]); zero buckets are omitted, and a stack
+    with no nonzero bucket renders as a one-line "no divergent ..."
+    notice. [unit] names the counted thing (e.g. ["events"]). *)
+
+val leakage_stack_json : (string * int) list -> Json.t
+(** The same stack as a flat JSON object. *)
+
 val to_json : Sempe_pipeline.Timing.report -> Json.t
 (** Every counter of the report (cache signature hashes excluded) plus the
     stall stack, as one flat JSON object. *)

@@ -56,6 +56,53 @@ let metadata_events =
     thread tid_drain "SeMPE drains";
   ]
 
+(* Generic metadata/instant builders for traces with a custom (pid, tid)
+   layout — the leakage-attribution trace puts one lane per secret and
+   marks divergences with instant events. *)
+let process_meta ~pid ~name =
+  Json.Obj
+    [
+      ("name", Json.Str "process_name");
+      ("ph", Json.Str "M");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int 0);
+      ("args", Json.Obj [ ("name", Json.Str name) ]);
+    ]
+
+let thread_meta ~pid ~tid ~name =
+  Json.Obj
+    [
+      ("name", Json.Str "thread_name");
+      ("ph", Json.Str "M");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int tid);
+      ("args", Json.Obj [ ("name", Json.Str name) ]);
+    ]
+
+let instant ~name ~pid ~tid ~ts ~args =
+  Json.Obj
+    [
+      ("name", Json.Str name);
+      ("ph", Json.Str "i");
+      ("s", Json.Str "t");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int tid);
+      ("ts", Json.Int ts);
+      ("args", Json.Obj args);
+    ]
+
+let slice_at ~name ~pid ~tid ~ts ~dur ~args =
+  Json.Obj
+    [
+      ("name", Json.Str name);
+      ("ph", Json.Str "X");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int tid);
+      ("ts", Json.Int ts);
+      ("dur", Json.Int (max 0 dur));
+      ("args", Json.Obj args);
+    ]
+
 let slice ~name ~tid ~ts ~dur ~args =
   Json.Obj
     [

@@ -17,6 +17,18 @@ val drain_reason_name : Sempe_pipeline.Uop.drain_reason -> string
 val metadata_events : Json.t list
 (** Process/thread-name metadata events; emit once, before any slice. *)
 
+val process_meta : pid:int -> name:string -> Json.t
+val thread_meta : pid:int -> tid:int -> name:string -> Json.t
+(** Metadata events for traces with a custom lane layout (one lane per
+    secret in the leakage-attribution trace). *)
+
+val instant : name:string -> pid:int -> tid:int -> ts:int -> args:(string * Json.t) list -> Json.t
+(** A thread-scoped ["ph":"i"] instant event — the divergence markers of
+    the attribution trace. *)
+
+val slice_at : name:string -> pid:int -> tid:int -> ts:int -> dur:int -> args:(string * Json.t) list -> Json.t
+(** Like the internal slice builder but with an explicit [pid]. *)
+
 val events_of_uop : Sempe_pipeline.Probe.uop_event -> Json.t list
 (** Four ["ph":"X"] slices, one per pipeline stage of the µop. *)
 

@@ -9,6 +9,9 @@ type uop_event = {
   attributed : int;
   mispredicted : bool;
   dcache_miss : bool;
+  il1_line : int;
+  fetch_extra : int;
+  mem_extra : int;
 }
 
 type drain_event = {

@@ -24,6 +24,14 @@ type uop_event = {
           over a run (plus the base cycle 0) equals the total cycle count *)
   mispredicted : bool; (** this µop caused a front-end redirect *)
   dcache_miss : bool;  (** load whose latency exceeded the pipelined DL1 *)
+  il1_line : int;
+      (** IL1 line this µop's fetch accessed, or [-1] when it rode the
+          previously fetched line (no cache access at all) *)
+  fetch_extra : int;
+      (** extra fetch latency beyond the pipelined IL1 hit (0 = hit) *)
+  mem_extra : int;
+      (** extra data-access latency beyond the pipelined DL1 hit for loads
+          {e and} stores (0 = DL1 hit, or not a memory µop) *)
 }
 
 type drain_event = {

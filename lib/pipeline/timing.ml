@@ -61,6 +61,10 @@ type t = {
   mutable stall_reason : Stall.bucket;
   mutable c_fetch_cause : Stall.bucket;
   mutable c_dispatch_cause : Stall.bucket;
+  (* per-µop fetch observables for the probe: IL1 line touched by the most
+     recent [fetch] (-1 = rode the previous line) and its extra latency *)
+  mutable c_il1_line : int;
+  mutable c_fetch_extra : int;
   (* stores in flight: word address -> completion cycle. Pruned (see
      [prune_stores]) so the table tracks recent stores only instead of one
      entry per word address ever written. *)
@@ -111,6 +115,8 @@ let create ?(config = Config.default) ?predictor ?warm
     stall_reason = Stall.Base;
     c_fetch_cause = Stall.Base;
     c_dispatch_cause = Stall.Base;
+    c_il1_line = -1;
+    c_fetch_extra = 0;
     store_complete = Hashtbl.create 1024;
     store_window = max 1 store_window;
     store_table_cap = max 1 store_table_cap;
@@ -173,7 +179,11 @@ let fetch t ~pc =
   t.c_fetch_cause <- (if t.stall_until > base then t.stall_reason else Stall.Base);
   (* A hit costs no bubble beyond the pipelined front end; a miss stalls
      fetch for the extra latency. *)
+  let line_before = Warm.fetch_line t.warm in
   let extra = Warm.fetch t.warm ~pc in
+  let line_after = Warm.fetch_line t.warm in
+  t.c_il1_line <- (if line_after = line_before then -1 else line_after);
+  t.c_fetch_extra <- extra;
   if extra > 0 then t.c_fetch_cause <- Stall.Icache;
   let f = f + extra in
   if f > t.fetch_cycle then begin
@@ -330,8 +340,13 @@ let feed_uop t (u : Uop.t) =
     end
     else if is_store then begin
       t.s_stores <- t.s_stores + 1;
-      ignore
-        (Warm.data t.warm ~pc:u.Uop.pc ~word_addr:u.Uop.mem_addr ~write:true);
+      (* Store latency never gates commit (the SQ drains in the background),
+         but the DL1/L2 response still tells a passive observer whether the
+         store hit — keep it for the probe. *)
+      let lat =
+        Warm.data t.warm ~pc:u.Uop.pc ~word_addr:u.Uop.mem_addr ~write:true
+      in
+      dcache_extra := lat - Warm.lat_l1 t.warm;
       let c = iss + 1 in
       Hashtbl.replace t.store_complete u.Uop.mem_addr c;
       prune_stores t;
@@ -390,6 +405,9 @@ let feed_uop t (u : Uop.t) =
         attributed = delta;
         mispredicted = t.s_mispredicts > mispredicts_before;
         dcache_miss = is_load && !dcache_extra > 0;
+        il1_line = t.c_il1_line;
+        fetch_extra = t.c_fetch_extra;
+        mem_extra = !dcache_extra;
       }
 
 let feed_drain t ~reason ~spm_cycles =

@@ -56,6 +56,7 @@ let btb t = t.btb
 let ras t = t.ras
 let ittage t = t.ittage
 let lat_l1 t = t.lat_l1
+let fetch_line t = t.fetch_line
 
 let fetch t ~pc =
   let byte_addr = pc * t.inst_bytes in

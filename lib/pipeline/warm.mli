@@ -40,6 +40,13 @@ val fetch : t -> pc:int -> int
     latency beyond the pipelined L1 hit (0 for a same-line fetch or an L1
     hit). *)
 
+val fetch_line : t -> int
+(** The IL1 line index of the most recent {!fetch} ([-1] before the first
+    one). Comparing the value across a [fetch] call tells a passive
+    observer whether that fetch touched the cache at all — used by the
+    leakage witness to reconstruct the instruction-cache access stream
+    without perturbing it. *)
+
 val data : t -> pc:int -> word_addr:int -> write:bool -> int
 (** Data access for one word; drives the DL1/L2 and both prefetchers.
     Returns the access latency. *)

@@ -65,6 +65,14 @@ let sim_table =
       Ignore_output );
     ("unknown subcommand fails", [ "frobnicate" ], 124, Ignore_output);
     ("bad flag value fails", [ "fuzz"; "--count"; "lots" ], 124, Ignore_output);
+    ( "leakage rejects unknown channels",
+      [ "leakage"; "--attribute"; "--channel"; "bogus" ],
+      124,
+      Ignore_output );
+    ( "leakage --channel requires --attribute",
+      [ "leakage"; "--channel"; "timing" ],
+      124,
+      Ignore_output );
   ]
 
 let check_expect name expect stdout =
@@ -171,4 +179,77 @@ let gate_malformed =
           let code, _ = run bench_exe [ "gate"; "--baseline"; bfile ] in
           Alcotest.(check int) "exit code" 2 code))
 
-let tests = List.map sim_case sim_table @ gate_table @ [ gate_malformed ]
+(* ---- end-to-end Perfetto sink contract: `trace` writes a complete,
+   parseable Chrome trace-event document (footer written on close) ---- *)
+
+let trace_perfetto =
+  Alcotest.test_case "trace writes a parseable Perfetto document" `Quick
+    (fun () ->
+      let out = Filename.temp_file "sempe-trace" ".json" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove out)
+        (fun () ->
+          let code, _ =
+            run sim_exe
+              [ "trace"; "fibonacci"; "-w"; "2"; "-i"; "1"; "-o"; out ]
+          in
+          Alcotest.(check int) "trace exit code" 0 code;
+          let text = In_channel.with_open_text out In_channel.input_all in
+          match Json.of_string (String.trim text) with
+          | exception Json.Parse_error { pos; message } ->
+            Alcotest.failf "trace output is not JSON (at %d: %s)" pos message
+          | doc -> (
+            Alcotest.(check bool) "displayTimeUnit present" true
+              (Json.member "displayTimeUnit" doc <> None);
+            match Json.member "traceEvents" doc with
+            | Some (Json.List (_ :: _)) -> ()
+            | Some _ -> Alcotest.fail "traceEvents is not a non-empty list"
+            | None -> Alcotest.fail "traceEvents member missing")))
+
+(* ---- `leakage --attribute --json`: the paper's claim as JSON — the
+   SeMPE scheme reports zero divergent events on every channel ---- *)
+
+let leakage_attribute_json =
+  Alcotest.test_case "leakage --attribute --json, sempe clean" `Quick
+    (fun () ->
+      let code, stdout =
+        run sim_exe [ "leakage"; "--attribute"; "--json"; "-j"; "2" ]
+      in
+      Alcotest.(check int) "exit code" 0 code;
+      match Json.of_string (String.trim stdout) with
+      | exception Json.Parse_error { pos; message } ->
+        Alcotest.failf "not JSON (at %d: %s)" pos message
+      | Json.List entries ->
+        Alcotest.(check bool) "one entry per scheme" true
+          (List.length entries >= 2);
+        let find_scheme name =
+          List.find_opt
+            (fun e -> Json.member "scheme" e = Some (Json.Str name))
+            entries
+        in
+        let clean_of e =
+          match Json.member "attribution" e with
+          | Some attr -> (
+            match (Json.member "clean" attr, Json.member "total_divergent" attr) with
+            | Some (Json.Bool c), Some (Json.Int n) -> (c, n)
+            | _ -> Alcotest.fail "attribution lacks clean/total_divergent")
+          | None -> Alcotest.fail "entry lacks attribution"
+        in
+        (match find_scheme "sempe" with
+         | None -> Alcotest.fail "no sempe entry"
+         | Some e ->
+           let clean, total = clean_of e in
+           Alcotest.(check bool) "sempe clean" true clean;
+           Alcotest.(check int) "sempe zero divergent events" 0 total);
+        (match find_scheme "baseline" with
+         | None -> Alcotest.fail "no baseline entry"
+         | Some e ->
+           let clean, total = clean_of e in
+           Alcotest.(check bool) "baseline attributed" true
+             ((not clean) && total > 0))
+      | _ -> Alcotest.fail "expected a JSON list of scheme entries")
+
+let tests =
+  List.map sim_case sim_table
+  @ gate_table
+  @ [ gate_malformed; trace_perfetto; leakage_attribute_json ]

@@ -86,7 +86,28 @@ let test_sink_invisible () =
   let profiled =
     report (Some (Sink.of_probe (Profile.probe (Profile.create ()))))
   in
-  Alcotest.(check bool) "profiling sink identical" true (plain = profiled)
+  Alcotest.(check bool) "profiling sink identical" true (plain = profiled);
+  let witnessed =
+    report
+      (Some
+         (Sink.of_probe
+            (Sempe_security.Witness.probe (Sempe_security.Witness.create ()))))
+  in
+  Alcotest.(check bool) "witness sink identical" true (plain = witnessed)
+
+let test_attribution_j1_vs_j4 () =
+  (* The attribution sweep fans one job per scheme over the pool; its
+     rendered report and JSON must be byte-identical at any -j. *)
+  let module Security_exp = Sempe_experiments.Security_exp in
+  let measure () = Security_exp.measure_attribution ~keys:[ 0x0000; 0xffff ] () in
+  let seq = with_jobs 1 measure in
+  let par = with_jobs 4 measure in
+  Alcotest.(check string) "render byte-identical"
+    (Security_exp.render_attribution seq)
+    (Security_exp.render_attribution par);
+  Alcotest.(check string) "json byte-identical"
+    (Sempe_obs.Json.to_string (Security_exp.attribution_to_json seq))
+    (Sempe_obs.Json.to_string (Security_exp.attribution_to_json par))
 
 let tests =
   [
@@ -97,4 +118,6 @@ let tests =
     Alcotest.test_case "map_product grouping" `Quick test_map_product_grouping;
     Alcotest.test_case "fig10 average skips missing widths" `Quick
       test_fig10_cross_kernel_average_missing_width;
+    Alcotest.test_case "attribution sweep -j1 = -j4" `Quick
+      test_attribution_j1_vs_j4;
   ]

@@ -282,11 +282,21 @@ let test_leakage_needs_two_views () =
       Sempe_security.Observable.cycles = 1;
       instructions = 1;
       pc_digest = 0;
+      pc_digest2 = 0;
       addr_digest = 0;
+      addr_digest2 = 0;
+      mem_ops = 0;
       il1_sig = 0;
       dl1_sig = 0;
       l2_sig = 0;
       bpred_sig = 0;
+      il1_accesses = 0;
+      il1_misses = 0;
+      dl1_accesses = 0;
+      dl1_misses = 0;
+      l2_accesses = 0;
+      l2_misses = 0;
+      mispredicts = 0;
     }
   in
   Alcotest.check_raises "single view" msg (fun () ->

@@ -192,3 +192,189 @@ let tests =
         test_ct_ladder_silent_on_plain_hw;
       Alcotest.test_case "sempe vs manual ct cost" `Quick test_sempe_vs_manual_ct_cost;
     ]
+
+(* ---- leakage attribution: witness streams and the diff engine ---- *)
+
+module Witness = Sempe_security.Witness
+module Attribution = Sempe_security.Attribution
+module Sink = Sempe_obs.Sink
+module Gen = Sempe_fuzz.Gen
+
+let zero_view : Observable.view =
+  {
+    Observable.cycles = 0;
+    instructions = 0;
+    pc_digest = 0;
+    pc_digest2 = 0;
+    addr_digest = 0;
+    addr_digest2 = 0;
+    mem_ops = 0;
+    il1_sig = 0;
+    dl1_sig = 0;
+    l2_sig = 0;
+    bpred_sig = 0;
+    il1_accesses = 0;
+    il1_misses = 0;
+    dl1_accesses = 0;
+    dl1_misses = 0;
+    l2_accesses = 0;
+    l2_misses = 0;
+    mispredicts = 0;
+  }
+
+let test_extract_collision_caught () =
+  (* Regression for the old single-int channel comparison: two runs whose
+     committed-PC streams differ but whose primary digest collides. The
+     scalar [extract] projection cannot tell them apart; [fingerprint]
+     (what [compare_views] now uses) must. *)
+  let v1 =
+    { zero_view with Observable.pc_digest = 42; pc_digest2 = 1; instructions = 10 }
+  in
+  let v2 =
+    { zero_view with Observable.pc_digest = 42; pc_digest2 = 2; instructions = 10 }
+  in
+  Alcotest.(check int) "single-int projection collides"
+    (Leakage.extract Leakage.Trace v1)
+    (Leakage.extract Leakage.Trace v2);
+  Alcotest.(check bool) "fingerprint distinguishes" true
+    (Leakage.fingerprint Leakage.Trace v1 <> Leakage.fingerprint Leakage.Trace v2);
+  let f =
+    List.find
+      (fun f -> f.Leakage.channel = Leakage.Trace)
+      (Leakage.compare_views [ v1; v2 ])
+  in
+  Alcotest.(check bool) "trace channel reported leaky" true (Leakage.leaks f)
+
+let test_channel_name_round_trip () =
+  List.iter
+    (fun ch ->
+      Alcotest.(check bool)
+        (Leakage.channel_name ch ^ " round-trips")
+        true
+        (Leakage.channel_of_name (Leakage.channel_name ch) = Some ch))
+    Leakage.channels;
+  Alcotest.(check bool) "unknown channel name rejected" true
+    (Leakage.channel_of_name "bogus" = None)
+
+let rsa_witness scheme ~key =
+  let built = Harness.build scheme Rsa.program in
+  let globals, arrays = Rsa.inputs ~key ~base:1234 ~modulus:99991 in
+  let recorder = Observable.recorder () in
+  let w = Witness.create () in
+  let outcome =
+    Harness.run ~globals ~arrays
+      ~observe:(Observable.feed recorder)
+      ~sink:(Sink.of_probe (Witness.probe w))
+      built
+  in
+  (Observable.view recorder outcome.Sempe_core.Run.timing, w)
+
+let test_first_divergence_indices () =
+  let wkeys = [ 0x0000; 0xffff ] in
+  let pairs scheme = List.map (fun key -> rsa_witness scheme ~key) wkeys in
+  let base = pairs Scheme.Baseline in
+  let findings =
+    Leakage.compare_views ~witnesses:(List.map snd base) (List.map fst base)
+  in
+  List.iter
+    (fun f ->
+      if Leakage.leaks f then
+        match f.Leakage.first_divergence with
+        | None ->
+          Alcotest.failf "%s leaks but carries no first-divergence index"
+            (Leakage.channel_name f.Leakage.channel)
+        | Some i ->
+          Alcotest.(check bool)
+            (Leakage.channel_name f.Leakage.channel ^ " index sane")
+            true (i >= 0))
+    findings;
+  (* the finding's index is exactly the witness-level stream diff *)
+  let w0 = snd (List.nth base 0) and w1 = snd (List.nth base 1) in
+  let trace_f =
+    List.find (fun f -> f.Leakage.channel = Leakage.Trace) findings
+  in
+  Alcotest.(check (option int)) "trace index matches Witness.first_divergence"
+    (Witness.first_divergence w0 w1 Witness.Trace)
+    trace_f.Leakage.first_divergence;
+  (* under SeMPE every stream agrees, so no channel carries an index *)
+  let se = pairs Scheme.Sempe in
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (Leakage.channel_name f.Leakage.channel ^ " silent under sempe")
+        true
+        ((not (Leakage.leaks f)) && f.Leakage.first_divergence = None))
+    (Leakage.compare_views ~witnesses:(List.map snd se) (List.map fst se))
+
+let test_attribution_needs_two_witnesses () =
+  Alcotest.check_raises "one witness rejected"
+    (Invalid_argument
+       "Attribution.attribute: need at least 2 witnesses to compare")
+    (fun () -> ignore (Attribution.attribute [ Witness.create () ]))
+
+(* The leakage-stack invariant, property-tested over random programs: on
+   every channel the per-structure and per-PC buckets each sum exactly to
+   the divergent-event count, and a clean SeMPE attribution stays clean. *)
+let test_attribution_stack_sums () =
+  let sum l = List.fold_left (fun a (_, n) -> a + n) 0 l in
+  let check_sums name (attr : Attribution.t) =
+    List.iter
+      (fun (cr : Attribution.channel_report) ->
+        Alcotest.(check int)
+          (Printf.sprintf "%s: %s structure stack sums to divergent" name
+             (Witness.stream_name cr.Attribution.cr_stream))
+          cr.Attribution.cr_divergent
+          (sum cr.Attribution.cr_stack);
+        Alcotest.(check int)
+          (Printf.sprintf "%s: %s pc stack sums to divergent" name
+             (Witness.stream_name cr.Attribution.cr_stream))
+          cr.Attribution.cr_divergent
+          (sum cr.Attribution.cr_pcs))
+      attr.Attribution.by_channel;
+    Alcotest.(check int) (name ^ ": total is the channel sum")
+      (List.fold_left
+         (fun a (cr : Attribution.channel_report) ->
+           a + cr.Attribution.cr_divergent)
+         0 attr.Attribution.by_channel)
+      (Attribution.total_divergent attr)
+  in
+  for seed = 1 to 6 do
+    let case = Gen.generate seed in
+    List.iter
+      (fun scheme ->
+        let built = Harness.build scheme case.Gen.prog in
+        let witnesses =
+          List.map
+            (fun secrets ->
+              let w = Witness.create () in
+              ignore
+                (Harness.run ~mem_words:16384 ~globals:secrets
+                   ~arrays:[ (Gen.array_name, case.Gen.fill) ]
+                   ~sink:(Sink.of_probe (Witness.probe w))
+                   built);
+              w)
+            case.Gen.secrets
+        in
+        let attr = Attribution.attribute witnesses in
+        check_sums (Printf.sprintf "seed %d %s" seed (Scheme.name scheme)) attr;
+        if scheme = Scheme.Sempe then
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d sempe attribution clean" seed)
+            true (Attribution.is_clean attr))
+      [ Scheme.Baseline; Scheme.Sempe ]
+  done
+
+let tests =
+  tests
+  @ [
+      Alcotest.test_case "extract collision caught by fingerprint" `Quick
+        test_extract_collision_caught;
+      Alcotest.test_case "channel names round-trip" `Quick
+        test_channel_name_round_trip;
+      Alcotest.test_case "findings carry first-divergence indices" `Quick
+        test_first_divergence_indices;
+      Alcotest.test_case "attribution needs two witnesses" `Quick
+        test_attribution_needs_two_witnesses;
+      Alcotest.test_case "leakage stack sums by construction" `Quick
+        test_attribution_stack_sums;
+    ]

@@ -20,6 +20,10 @@ module Profile = Sempe_obs.Profile
 module Sink = Sempe_obs.Sink
 module Sampling = Sempe_sampling.Sampling
 module Pool = Sempe_util.Pool
+module Api = Sempe_serve.Api
+module Server = Sempe_serve.Server
+module Client = Sempe_serve.Client
+module Loadgen = Sempe_serve.Loadgen
 
 let scheme_conv =
   let parse s =
@@ -202,27 +206,29 @@ let ct_of_scheme = function
 let microbench_cmd =
   let run scheme kernel width iters leaf strict sample interval coverage warmup
       json =
+    (* The JSON branches go through the serving API so the daemon's
+       responses are byte-identical to this CLI by construction. *)
+    if json then
+      let workload =
+        Api.Microbench { kernel = kernel.Kernels.name; width; iters; leaf }
+      in
+      print_json
+        (Api.perform
+           (if sample then
+              Api.Sample
+                { scheme; workload; strict_oob = strict;
+                  params = { Api.interval; coverage; warmup } }
+            else Api.Simulate { scheme; workload; strict_oob = strict }))
+    else
     let spec = { MB.kernel; width; iters } in
     let src = MB.program ~ct:(ct_of_scheme scheme) spec in
     let secrets = MB.secrets_for_leaf ~width ~leaf in
     let built = Harness.build scheme src in
     let forgiving_oob = not strict in
-    let tags =
-      [
-        ("workload", Json.Str "microbench");
-        ("kernel", Json.Str kernel.Kernels.name);
-        ("width", Json.Int width);
-        ("iters", Json.Int iters);
-        ("leaf", Json.Int leaf);
-        ("scheme", Json.Str (Scheme.name scheme));
-      ]
-    in
     if sample then begin
       let config = sample_config ~interval ~coverage ~warmup in
       let est = Harness.sample ~forgiving_oob ~globals:secrets ~config built in
-      if json then
-        print_json (Json.Obj (tags @ [ ("sampling", Sampling.to_json est) ]))
-      else begin
+      begin
         Printf.printf
           "microbenchmark %s, W=%d, iters=%d, scheme=%s, true leaf=%d (sampled)\n\n"
           kernel.Kernels.name width iters (Scheme.name scheme) leaf;
@@ -236,16 +242,7 @@ let microbench_cmd =
           (Harness.build Scheme.Baseline (MB.program ~ct:false spec))
       in
       let slowdown = Run.overhead ~baseline:base outcome in
-      if json then
-        print_json
-          (Json.Obj
-             (tags
-             @ [
-                 ("checksum", Json.Int (Harness.return_value outcome));
-                 ("slowdown_vs_baseline", Json.Float slowdown);
-                 ("report", Report.to_json outcome.Run.timing);
-               ]))
-      else begin
+      begin
         Printf.printf "microbenchmark %s, W=%d, iters=%d, scheme=%s, true leaf=%d\n"
           kernel.Kernels.name width iters (Scheme.name scheme) leaf;
         Printf.printf "checksum = %d\n\n" (Harness.return_value outcome);
@@ -286,47 +283,36 @@ let djpeg_cmd =
   let run scheme fmt_name blocks seed strict sample interval coverage warmup
       json =
     let fmt = djpeg_format (String.uppercase_ascii fmt_name) in
+    if json then
+      let workload =
+        Api.Djpeg { format = Djpeg.format_name fmt; blocks; seed }
+      in
+      print_json
+        (Api.perform
+           (if sample then
+              Api.Sample
+                { scheme; workload; strict_oob = strict;
+                  params = { Api.interval; coverage; warmup } }
+            else Api.Simulate { scheme; workload; strict_oob = strict }))
+    else
     let built = Harness.build scheme (Djpeg.program fmt) in
     let globals, arrays = Djpeg.inputs fmt ~seed ~blocks in
     let forgiving_oob = not strict in
-    let tags =
-      [
-        ("workload", Json.Str "djpeg");
-        ("format", Json.Str (Djpeg.format_name fmt));
-        ("blocks", Json.Int blocks);
-        ("seed", Json.Int seed);
-        ("scheme", Json.Str (Scheme.name scheme));
-      ]
-    in
     if sample then begin
       let config = sample_config ~interval ~coverage ~warmup in
       let est =
         Harness.sample ~forgiving_oob ~globals ~arrays ~config built
       in
-      if json then
-        print_json (Json.Obj (tags @ [ ("sampling", Sampling.to_json est) ]))
-      else begin
-        Printf.printf "djpeg -> %s, %d blocks, scheme=%s, image seed=%d (sampled)\n\n"
-          (Djpeg.format_name fmt) blocks (Scheme.name scheme) seed;
-        print_estimate est
-      end
+      Printf.printf "djpeg -> %s, %d blocks, scheme=%s, image seed=%d (sampled)\n\n"
+        (Djpeg.format_name fmt) blocks (Scheme.name scheme) seed;
+      print_estimate est
     end
     else begin
       let outcome = Harness.run ~forgiving_oob ~globals ~arrays built in
-      if json then
-        print_json
-          (Json.Obj
-             (tags
-             @ [
-                 ("checksum", Json.Int (Harness.return_value outcome));
-                 ("report", Report.to_json outcome.Run.timing);
-               ]))
-      else begin
-        Printf.printf "djpeg -> %s, %d blocks, scheme=%s, image seed=%d\n"
-          (Djpeg.format_name fmt) blocks (Scheme.name scheme) seed;
-        Printf.printf "checksum = %d\n\n" (Harness.return_value outcome);
-        print_report outcome.Run.timing
-      end
+      Printf.printf "djpeg -> %s, %d blocks, scheme=%s, image seed=%d\n"
+        (Djpeg.format_name fmt) blocks (Scheme.name scheme) seed;
+      Printf.printf "checksum = %d\n\n" (Harness.return_value outcome);
+      print_report outcome.Run.timing
     end
   in
   let fmt =
@@ -347,48 +333,36 @@ let djpeg_cmd =
 
 let rsa_cmd =
   let run scheme key strict sample interval coverage warmup json =
+    if json then
+      let workload = Api.Rsa { key } in
+      print_json
+        (Api.perform
+           (if sample then
+              Api.Sample
+                { scheme; workload; strict_oob = strict;
+                  params = { Api.interval; coverage; warmup } }
+            else Api.Simulate { scheme; workload; strict_oob = strict }))
+    else
     let built = Harness.build scheme Rsa.program in
     let globals, arrays = Rsa.inputs ~key ~base:1234 ~modulus:99991 in
     let forgiving_oob = not strict in
-    let tags =
-      [
-        ("workload", Json.Str "rsa");
-        ("key", Json.Int key);
-        ("scheme", Json.Str (Scheme.name scheme));
-      ]
-    in
     if sample then begin
       let config = sample_config ~interval ~coverage ~warmup in
       let est =
         Harness.sample ~forgiving_oob ~globals ~arrays ~config built
       in
-      if json then
-        print_json (Json.Obj (tags @ [ ("sampling", Sampling.to_json est) ]))
-      else begin
-        Printf.printf "modexp (Figure 1), key=0x%04x, scheme=%s (sampled)\n\n"
-          key (Scheme.name scheme);
-        print_estimate est
-      end
+      Printf.printf "modexp (Figure 1), key=0x%04x, scheme=%s (sampled)\n\n"
+        key (Scheme.name scheme);
+      print_estimate est
     end
     else begin
       let outcome = Harness.run ~forgiving_oob ~globals ~arrays built in
       let expected = Rsa.reference ~key ~base:1234 ~modulus:99991 in
-      if json then
-        print_json
-          (Json.Obj
-             (tags
-             @ [
-                 ("result", Json.Int (Harness.return_value outcome));
-                 ("expected", Json.Int expected);
-                 ("report", Report.to_json outcome.Run.timing);
-               ]))
-      else begin
-        Printf.printf "modexp (Figure 1), key=0x%04x, scheme=%s\n" key
-          (Scheme.name scheme);
-        Printf.printf "result = %d (expected %d)\n\n"
-          (Harness.return_value outcome) expected;
-        print_report outcome.Run.timing
-      end
+      Printf.printf "modexp (Figure 1), key=0x%04x, scheme=%s\n" key
+        (Scheme.name scheme);
+      Printf.printf "result = %d (expected %d)\n\n"
+        (Harness.return_value outcome) expected;
+      print_report outcome.Run.timing
     end
   in
   let key =
@@ -424,6 +398,23 @@ let workload scheme which ~width ~iters ~leaf ~blocks ~seed ~key =
         [],
         Printf.sprintf "%s W=%d iters=%d leaf=%d" kernel.Kernels.name width
           iters leaf )
+    | None ->
+      Printf.eprintf "unknown workload %S (rsa, djpeg, or a kernel: %s)\n"
+        other
+        (String.concat ", " (List.map (fun k -> k.Kernels.name) Kernels.all));
+      exit 1)
+
+(* The serving-API mirror of [workload]: the same selector semantics,
+   producing an {!Api.workload} value (the profile/djpeg selector is
+   always PPM, like [workload]). *)
+let api_workload which ~width ~iters ~leaf ~blocks ~seed ~key =
+  match String.lowercase_ascii which with
+  | "rsa" -> Api.Rsa { key }
+  | "djpeg" -> Api.Djpeg { format = "PPM"; blocks; seed }
+  | other -> (
+    match Kernels.by_name other with
+    | Some kernel ->
+      Api.Microbench { kernel = kernel.Kernels.name; width; iters; leaf }
     | None ->
       Printf.eprintf "unknown workload %S (rsa, djpeg, or a kernel: %s)\n"
         other
@@ -552,6 +543,17 @@ let sample_cmd =
 
 let profile_cmd =
   let run scheme which width iters leaf blocks seed key top json =
+    if json then
+      print_json
+        (Api.perform
+           (Api.Profile
+              {
+                scheme;
+                workload =
+                  api_workload which ~width ~iters ~leaf ~blocks ~seed ~key;
+                top;
+              }))
+    else
     let src, globals, arrays, desc =
       workload scheme which ~width ~iters ~leaf ~blocks ~seed ~key
     in
@@ -561,16 +563,7 @@ let profile_cmd =
     let outcome = Harness.run ~globals ~arrays ~sink built in
     sink.Sink.close ();
     let report = outcome.Run.timing in
-    if json then
-      print_json
-        (Json.Obj
-           [
-             ("workload", Json.Str desc);
-             ("scheme", Json.Str (Scheme.name scheme));
-             ("report", Report.to_json report);
-             ("profile", Profile.to_json ~n:top profile);
-           ])
-    else begin
+    begin
       Printf.printf "profile: %s, scheme=%s\n\n" desc (Scheme.name scheme);
       print_report report;
       print_newline ();
@@ -661,12 +654,15 @@ let leakage_cmd =
       exit 124
     end;
     if not attribute then begin
-      let results =
-        with_progress progress (fun () ->
-            Sempe_experiments.Security_exp.measure ())
-      in
-      if json then print_json (Sempe_experiments.Security_exp.to_json results)
+      if json then
+        (* Through the serving API: daemon leakage responses are
+           byte-identical to this document by construction. *)
+        print_json (with_progress progress (fun () -> Api.perform Api.Leakage))
       else begin
+        let results =
+          with_progress progress (fun () ->
+              Sempe_experiments.Security_exp.measure ())
+        in
         print_string (Sempe_experiments.Security_exp.render results);
         print_newline ()
       end
@@ -1055,6 +1051,337 @@ let disasm_cmd =
     (Cmd.info "disasm" ~doc:"Compile a workload under a scheme and print the assembly.")
     Term.(const run $ scheme_arg $ which)
 
+(* ---- serve / client / loadgen: the simulation service ---- *)
+
+let connect_arg =
+  Arg.(
+    value & opt string "sempe.sock"
+    & info [ "connect"; "c" ] ~docv:"ADDR"
+        ~doc:
+          "Daemon address: $(b,unix:PATH), $(b,tcp:HOST:PORT), or a bare \
+           unix socket path.")
+
+let parse_addr s =
+  match Server.addr_of_string s with
+  | Ok addr -> addr
+  | Error msg ->
+    Printf.eprintf "bad address %S: %s\n" s msg;
+    exit 124
+
+let serve_cmd =
+  let run listen workers result_entries plan_entries timeout_s max_connections
+      verbose =
+    let addr = parse_addr listen in
+    (* Leakage requests sweep the scheme grid on the process-wide Batch
+       pool; keep it sequential so concurrent requests do not
+       oversubscribe domains (responses are jobs-independent anyway). *)
+    Sempe_experiments.Batch.set_jobs 1;
+    let config =
+      {
+        Server.default_config with
+        Server.workers = max 1 workers;
+        result_entries = max 1 result_entries;
+        plan_entries = max 1 plan_entries;
+        timeout_s;
+        max_connections = max 1 max_connections;
+        verbose;
+      }
+    in
+    let t = Server.start ~config addr in
+    Printf.eprintf "sempe-sim serve: listening on %s (%d workers)\n%!"
+      (Server.addr_to_string (Server.addr t))
+      config.Server.workers;
+    let on_signal _ = Server.request_stop t in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+    Server.wait t;
+    Printf.eprintf "sempe-sim serve: stopped\n%!"
+  in
+  let listen =
+    Arg.(
+      value & opt string "sempe.sock"
+      & info [ "listen"; "l" ] ~docv:"ADDR"
+          ~doc:
+            "Listen address: $(b,unix:PATH), $(b,tcp:HOST:PORT), or a bare \
+             unix socket path.")
+  in
+  let workers =
+    Arg.(
+      value & opt int Server.default_config.Server.workers
+      & info [ "workers"; "j" ] ~docv:"N"
+          ~doc:"Simulation worker domains (requests queue past this).")
+  in
+  let result_entries =
+    Arg.(
+      value & opt int Server.default_config.Server.result_entries
+      & info [ "result-entries" ] ~docv:"N" ~doc:"Response cache capacity.")
+  in
+  let plan_entries =
+    Arg.(
+      value & opt int Server.default_config.Server.plan_entries
+      & info [ "plan-entries" ] ~docv:"N"
+          ~doc:"Sampling checkpoint-plan cache capacity.")
+  in
+  let timeout =
+    Arg.(
+      value & opt float Server.default_config.Server.timeout_s
+      & info [ "timeout-s" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-request reply deadline (the job keeps running and feeds \
+             the cache; only the reply gives up). 0 disables.")
+  in
+  let max_connections =
+    Arg.(
+      value & opt int Server.default_config.Server.max_connections
+      & info [ "max-connections" ] ~docv:"N"
+          ~doc:"Concurrent connections; excess clients get a busy error.")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "verbose" ] ~doc:"Log one line per served request to stderr.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the simulation daemon: a length-prefixed JSON protocol over a \
+          unix or TCP socket, with content-addressed response and \
+          checkpoint-plan caches and in-flight request coalescing. The \
+          daemon trusts its clients; see the Serving section of the \
+          README.")
+    Term.(
+      const run $ listen $ workers $ result_entries $ plan_entries $ timeout
+      $ max_connections $ verbose)
+
+let client_cmd =
+  let run connect op which width iters leaf blocks seed key scheme strict
+      interval coverage warmup top fuzz_seed count =
+    let request =
+      match op with
+      | "ping" | "stats" | "shutdown" -> None
+      | "simulate" ->
+        Some
+          (Api.Simulate
+             {
+               scheme;
+               workload = api_workload which ~width ~iters ~leaf ~blocks ~seed ~key;
+               strict_oob = strict;
+             })
+      | "sample" ->
+        Some
+          (Api.Sample
+             {
+               scheme;
+               workload = api_workload which ~width ~iters ~leaf ~blocks ~seed ~key;
+               strict_oob = strict;
+               params = { Api.interval; coverage; warmup };
+             })
+      | "profile" ->
+        Some
+          (Api.Profile
+             {
+               scheme;
+               workload = api_workload which ~width ~iters ~leaf ~blocks ~seed ~key;
+               top;
+             })
+      | "leakage" -> Some Api.Leakage
+      | "fuzz-smoke" -> Some (Api.Fuzz_smoke { seed = fuzz_seed; count })
+      | other ->
+        Printf.eprintf
+          "unknown op %S (ping, stats, shutdown, simulate, sample, profile, \
+           leakage, fuzz-smoke)\n"
+          other;
+        exit 124
+    in
+    let conn =
+      try Client.connect (parse_addr connect)
+      with Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "cannot connect to %s: %s\n" connect
+          (Unix.error_message e);
+        exit 1
+    in
+    let result =
+      Fun.protect
+        ~finally:(fun () -> Client.close conn)
+        (fun () ->
+          match request with
+          | Some req -> Client.call conn req
+          | None -> (
+            match op with
+            | "ping" -> Result.map (fun () -> Json.Str "pong") (Client.ping conn)
+            | "stats" -> Client.stats conn
+            | _ -> Result.map (fun () -> Json.Bool true) (Client.shutdown conn)))
+    in
+    match result with
+    | Ok json -> print_json json
+    | Error { Client.code; message } ->
+      Printf.eprintf "error [%s]: %s\n" code message;
+      exit 1
+  in
+  let op =
+    Arg.(
+      value & pos 0 string "ping"
+      & info [] ~docv:"OP"
+          ~doc:
+            "ping, stats, shutdown, simulate, sample, profile, leakage or \
+             fuzz-smoke.")
+  in
+  let which =
+    Arg.(
+      value & opt string "rsa"
+      & info [ "workload" ] ~docv:"WORKLOAD"
+          ~doc:"rsa, djpeg, or a microbenchmark kernel name.")
+  in
+  let fuzz_seed =
+    Arg.(
+      value & opt int 1
+      & info [ "fuzz-seed" ] ~docv:"SEED" ~doc:"Master seed (fuzz-smoke).")
+  in
+  let count =
+    Arg.(
+      value & opt int 200
+      & info [ "count"; "n" ] ~docv:"N" ~doc:"Cases to execute (fuzz-smoke).")
+  in
+  let top =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N" ~doc:"Rows per profile table (profile).")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send one request to a running daemon and print the result \
+          document — the same bytes the matching batch subcommand's \
+          $(b,--json) mode prints.")
+    Term.(
+      const run $ connect_arg $ op $ which $ width_arg $ iters_arg $ leaf_arg
+      $ blocks_arg $ seed_arg $ key_arg $ scheme_arg $ strict_oob_arg
+      $ interval_arg $ coverage_arg $ warmup_arg $ top $ fuzz_seed $ count)
+
+let loadgen_cmd =
+  let run connect clients requests mix_names rate json =
+    let mix =
+      List.concat_map
+        (fun name ->
+          match String.lowercase_ascii name with
+          | "simulate" ->
+            [
+              Api.Simulate
+                {
+                  scheme = Scheme.Sempe;
+                  workload =
+                    Api.Microbench
+                      { kernel = "fibonacci"; width = 4; iters = 3; leaf = 1 };
+                  strict_oob = false;
+                };
+              Api.Simulate
+                {
+                  scheme = Scheme.Baseline;
+                  workload =
+                    Api.Microbench
+                      { kernel = "ones"; width = 4; iters = 3; leaf = 2 };
+                  strict_oob = false;
+                };
+              Api.Simulate
+                {
+                  scheme = Scheme.Sempe;
+                  workload = Api.Djpeg { format = "PPM"; blocks = 4; seed = 42 };
+                  strict_oob = false;
+                };
+              Api.Simulate
+                {
+                  scheme = Scheme.Cte;
+                  workload = Api.Rsa { key = 0x1234 };
+                  strict_oob = false;
+                };
+            ]
+          | "sample" ->
+            [
+              Api.Sample
+                {
+                  scheme = Scheme.Sempe;
+                  workload = Api.Rsa { key = 0x1234 };
+                  strict_oob = false;
+                  params =
+                    { Api.interval = 2000; coverage = 0.25; warmup = 500 };
+                };
+              Api.Sample
+                {
+                  scheme = Scheme.Sempe;
+                  workload = Api.Djpeg { format = "PPM"; blocks = 8; seed = 7 };
+                  strict_oob = false;
+                  params =
+                    { Api.interval = 2000; coverage = 0.25; warmup = 500 };
+                };
+            ]
+          | "profile" ->
+            [
+              Api.Profile
+                {
+                  scheme = Scheme.Sempe;
+                  workload = Api.Rsa { key = 0x1234 };
+                  top = 10;
+                };
+            ]
+          | "leakage" -> [ Api.Leakage ]
+          | "fuzz" -> [ Api.Fuzz_smoke { seed = 1; count = 25 } ]
+          | other ->
+            Printf.eprintf
+              "unknown mix element %S (simulate, sample, profile, leakage, \
+               fuzz)\n"
+              other;
+            exit 124)
+        mix_names
+    in
+    let outcome =
+      Loadgen.run (parse_addr connect)
+        {
+          Loadgen.clients;
+          requests_per_client = requests;
+          mix;
+          rate_hz = rate;
+        }
+    in
+    if json then print_json (Loadgen.to_json outcome)
+    else print_endline (Loadgen.render outcome);
+    if outcome.Loadgen.dropped > 0 then exit 1
+  in
+  let clients =
+    Arg.(
+      value & opt int 8
+      & info [ "clients" ] ~docv:"N" ~doc:"Concurrent connections.")
+  in
+  let requests =
+    Arg.(
+      value & opt int 12
+      & info [ "requests" ] ~docv:"N" ~doc:"Requests per client.")
+  in
+  let mix =
+    Arg.(
+      value
+      & opt (list string) [ "simulate"; "sample" ]
+      & info [ "mix" ] ~docv:"NAMES"
+          ~doc:
+            "Comma-separated request classes to cycle through: simulate, \
+             sample, profile, leakage, fuzz.")
+  in
+  let rate =
+    Arg.(
+      value & opt (some float) None
+      & info [ "rate" ] ~docv:"HZ"
+          ~doc:
+            "Open-loop arrival rate per client (latency measured from the \
+             scheduled send time). Default: closed loop.")
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Drive a running daemon with N concurrent clients replaying a \
+          request mix; report latency percentiles, throughput, drop count \
+          and the daemon-side cache hit rate. Exits non-zero if any \
+          request was dropped.")
+    Term.(const run $ connect_arg $ clients $ requests $ mix $ rate $ json_arg)
+
 let () =
   let info =
     Cmd.info "sempe-sim" ~version:"1.0"
@@ -1066,5 +1393,5 @@ let () =
           [
             config_cmd; microbench_cmd; djpeg_cmd; rsa_cmd; sample_cmd;
             leakage_cmd; report_cmd; profile_cmd; trace_cmd; disasm_cmd;
-            asm_run_cmd; fuzz_cmd;
+            asm_run_cmd; fuzz_cmd; serve_cmd; client_cmd; loadgen_cmd;
           ]))

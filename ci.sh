@@ -66,4 +66,47 @@ echo "== leakage attribution smoke: sempe indistinguishable on every channel"
 grep -A 1 '^== sempe ==' "$out/leakage-attribution.txt" \
   | grep -q 'indistinguishable on every channel'
 
+echo "== serve smoke: daemon round-trips byte-identical to the batch CLI"
+# Background daemon on a unix socket; each served response is compared
+# byte-for-byte against the matching batch subcommand's --json output,
+# a warm repeat must serve the identical cached bytes, and the client
+# shutdown op must leave a clean exit.
+sim=./_build/default/bin/sempe_sim.exe
+sock="$out/serve.sock"
+"$sim" serve --listen "$sock" --workers 2 2> "$out/serve.log" &
+srv=$!
+i=0
+while [ ! -S "$sock" ] && [ $i -lt 100 ]; do sleep 0.1; i=$((i + 1)); done
+test -S "$sock"
+"$sim" client simulate -c "$sock" --workload fibonacci > "$out/served-sim.json"
+"$sim" microbench --json > "$out/batch-sim.json"
+cmp "$out/served-sim.json" "$out/batch-sim.json"
+"$sim" client simulate -c "$sock" --workload fibonacci > "$out/served-sim2.json"
+cmp "$out/served-sim.json" "$out/served-sim2.json"
+"$sim" client sample -c "$sock" --workload rsa > "$out/served-sample.json"
+"$sim" rsa --sample --json > "$out/batch-sample.json"
+cmp "$out/served-sample.json" "$out/batch-sample.json"
+"$sim" client fuzz-smoke -c "$sock" --fuzz-seed 5 --count 25 \
+  > "$out/served-fuzz.json"
+"$sim" fuzz --seed 5 --count 25 --no-corpus --json > "$out/batch-fuzz.json"
+cmp "$out/served-fuzz.json" "$out/batch-fuzz.json"
+"$sim" client leakage -c "$sock" > "$out/served-leakage.json"
+"$sim" leakage --json -j 2 > "$out/batch-leakage.json"
+cmp "$out/served-leakage.json" "$out/batch-leakage.json"
+"$sim" client stats -c "$sock" > /dev/null
+"$sim" client shutdown -c "$sock" > /dev/null
+wait "$srv"
+
+echo "== loadgen smoke: 8 concurrent clients, mixed workload, zero dropped"
+"$sim" serve --listen "$sock" --workers 2 2>> "$out/serve.log" &
+srv=$!
+i=0
+while [ ! -S "$sock" ] && [ $i -lt 100 ]; do sleep 0.1; i=$((i + 1)); done
+test -S "$sock"
+# loadgen exits non-zero if any request is dropped
+"$sim" loadgen -c "$sock" --clients 8 --requests 6 --mix simulate,sample \
+  --json > "$out/loadgen.json"
+"$sim" client shutdown -c "$sock" > /dev/null
+wait "$srv"
+
 echo "CI OK"

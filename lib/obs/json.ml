@@ -71,7 +71,13 @@ let member key = function
 
 exception Parse_error of { pos : int; message : string }
 
-let of_string src =
+(* [parse ~max_depth ~max_string src] is the single parser body; the
+   trusted entry point passes effectively-unbounded limits, the strict
+   entry point the caller's. Depth is counted on containers only (a
+   scalar at depth d costs nothing); the depth check turns what would be
+   stack recursion proportional to attacker input into a clean
+   [Parse_error]. *)
+let parse ~max_depth ~max_string src =
   let n = String.length src in
   let fail pos fmt =
     Printf.ksprintf (fun message -> raise (Parse_error { pos; message })) fmt
@@ -93,7 +99,9 @@ let of_string src =
   let parse_string k =
     let buf = Buffer.create 16 in
     let rec go k =
-      if k >= n then fail k "unterminated string"
+      if Buffer.length buf > max_string then
+        fail k "string longer than %d bytes" max_string
+      else if k >= n then fail k "unterminated string (truncated input?)"
       else
         match src.[k] with
         | '"' -> (Buffer.contents buf, k + 1)
@@ -150,9 +158,9 @@ let of_string src =
       | Some i -> (Int i, !j)
       | None -> fail k "invalid number %S" text
   in
-  let rec parse_value k =
+  let rec parse_value depth k =
     let k = skip_ws k in
-    if k >= n then fail k "unexpected end of input"
+    if k >= n then fail k "unexpected end of input (truncated?)"
     else
       match src.[k] with
       | 'n' -> literal k "null" Null
@@ -162,33 +170,58 @@ let of_string src =
         let s, k = parse_string (k + 1) in
         (Str s, k)
       | '[' ->
-        let k' = skip_ws (k + 1) in
-        if k' < n && src.[k'] = ']' then (List [], k' + 1)
-        else
-          let rec items acc k =
-            let v, k = parse_value k in
-            let k = skip_ws k in
-            if k < n && src.[k] = ',' then items (v :: acc) (k + 1)
-            else (List (List.rev (v :: acc)), expect k ']')
-          in
-          items [] (k + 1)
+        if depth >= max_depth then fail k "nesting deeper than %d" max_depth
+        else begin
+          let k' = skip_ws (k + 1) in
+          if k' < n && src.[k'] = ']' then (List [], k' + 1)
+          else
+            let rec items acc k =
+              let v, k = parse_value (depth + 1) k in
+              let k = skip_ws k in
+              if k < n && src.[k] = ',' then items (v :: acc) (k + 1)
+              else (List (List.rev (v :: acc)), expect k ']')
+            in
+            items [] (k + 1)
+        end
       | '{' ->
-        let k' = skip_ws (k + 1) in
-        if k' < n && src.[k'] = '}' then (Obj [], k' + 1)
-        else
-          let rec pairs acc k =
-            let k = skip_ws k in
-            let k = expect k '"' in
-            let key, k = parse_string k in
-            let k = expect (skip_ws k) ':' in
-            let v, k = parse_value k in
-            let k = skip_ws k in
-            if k < n && src.[k] = ',' then pairs ((key, v) :: acc) (k + 1)
-            else (Obj (List.rev ((key, v) :: acc)), expect k '}')
-          in
-          pairs [] (k + 1)
+        if depth >= max_depth then fail k "nesting deeper than %d" max_depth
+        else begin
+          let k' = skip_ws (k + 1) in
+          if k' < n && src.[k'] = '}' then (Obj [], k' + 1)
+          else
+            let rec pairs acc k =
+              let k = skip_ws k in
+              let k = expect k '"' in
+              let key, k = parse_string k in
+              let k = expect (skip_ws k) ':' in
+              let v, k = parse_value (depth + 1) k in
+              let k = skip_ws k in
+              if k < n && src.[k] = ',' then pairs ((key, v) :: acc) (k + 1)
+              else (Obj (List.rev ((key, v) :: acc)), expect k '}')
+            in
+            pairs [] (k + 1)
+        end
       | c -> parse_number (ignore c; k)
   in
-  let v, k = parse_value 0 in
+  let v, k = parse_value 0 0 in
   let k = skip_ws k in
   if k <> n then fail k "trailing garbage" else v
+
+let of_string src = parse ~max_depth:max_int ~max_string:max_int src
+
+let default_max_depth = 64
+let default_max_string = 4 * 1024 * 1024
+let default_max_bytes = 16 * 1024 * 1024
+
+let of_string_strict ?(max_depth = default_max_depth)
+    ?(max_string = default_max_string) ?(max_bytes = default_max_bytes) src =
+  if String.length src > max_bytes then
+    raise
+      (Parse_error
+         {
+           pos = max_bytes;
+           message =
+             Printf.sprintf "input of %d bytes exceeds the %d-byte limit"
+               (String.length src) max_bytes;
+         });
+  parse ~max_depth ~max_string src

@@ -35,3 +35,21 @@ val of_string : string -> t
     gate consume. [\u] escapes are decoded bytewise (the emitter only
     produces them for control characters).
     @raise Parse_error with the offending position otherwise. *)
+
+val of_string_strict :
+  ?max_depth:int -> ?max_string:int -> ?max_bytes:int -> string -> t
+(** {!of_string} for {e untrusted} input — the serving daemon parses
+    these bytes straight off a socket. Identical grammar, three extra
+    rejections, each a {!Parse_error} with a clear message instead of a
+    resource blow-up:
+
+    - [max_depth] (default 64): maximum container nesting. Bounds parser
+      recursion, so a ["[[[[…"] bomb cannot overflow the stack.
+    - [max_string] (default 4 MiB): maximum decoded length of any single
+      string or key.
+    - [max_bytes] (default 16 MiB): maximum input length, checked before
+      parsing starts.
+
+    Truncated input (a frame cut mid-document) fails with an
+    ["unexpected end of input"/"unterminated"] message at the cut
+    position; it is never silently completed. *)

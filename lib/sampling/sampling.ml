@@ -15,6 +15,27 @@ type config = {
 
 let default_config = { interval = 20_000; coverage = 0.25; warmup = 2_000; offset = 0 }
 
+(* A reusable record of the fast-forward pass: the checkpoints selected
+   for measurement plus the exact dynamic instruction count. Reviving a
+   plan skips the sequential functional pass entirely — the serving
+   layer's checkpoint cache keys these by (program, inputs, boundary
+   config) fingerprints. The plan pins the boundary-defining parameters
+   so a mismatched revival is rejected instead of silently measuring the
+   wrong intervals. *)
+type plan = {
+  p_interval : int;
+  p_warmup : int;
+  p_stride : int;
+  p_offset : int;  (** realized first measured interval *)
+  p_points : (int * Checkpoint.t) list;  (** interval index, boundary state *)
+  p_instructions : int;
+  p_bytes : int;
+}
+
+let plan_points p = List.length p.p_points
+let plan_instructions p = p.p_instructions
+let plan_bytes p = p.p_bytes
+
 type estimate = {
   instructions : int;
   cycles_estimate : int;
@@ -90,11 +111,64 @@ let measure ~machine ~interval prog ckpt ~skip =
   ignore (Exec.step_slice sess interval : bool);
   (Exec.instructions sess - i0, Timing.current_cycles timing - c0)
 
+(* Shared aggregation of the measured (instructions, cycles) samples: a
+   pure function of the samples, the total instruction count, and the
+   checkpoint volume — so the cold (fast-forward) and warm (plan-revival)
+   paths produce byte-identical estimates from the same checkpoints. *)
+let aggregate ~machine ~exec_cfg ~interval ?init_mem prog ~samples ~n_total
+    ~ckpt_bytes =
+  match samples with
+  | [] ->
+    (* The program ended before the first checkpoint: nothing was
+       sampled, so just measure it exactly — it is tiny by definition. *)
+    exact ~machine ~exec_cfg ~interval ?init_mem prog
+  | samples ->
+    let sum_i = List.fold_left (fun a (di, _) -> a + di) 0 samples in
+    let sum_c = List.fold_left (fun a (_, dc) -> a + dc) 0 samples in
+    (* Ratio estimator: overall CPI as total measured cycles over total
+       measured instructions (weights intervals by their true length),
+       extrapolated to the whole run. *)
+    let cpi = float_of_int sum_c /. float_of_int sum_i in
+    let extrapolate c = int_of_float (Float.round (c *. float_of_int n_total)) in
+    let cycles_estimate = extrapolate cpi in
+    (* Error bound: nearest-rank percentiles of the per-interval CPI
+       distribution, extrapolated the same way. With few samples the
+       band degenerates towards [min, max], which is the honest answer. *)
+    let summary = Stats.Summary.create () in
+    List.iter
+      (fun (di, dc) ->
+        Stats.Summary.observe summary (float_of_int dc /. float_of_int di))
+      samples;
+    let cycles_low =
+      min cycles_estimate (extrapolate (Stats.Summary.percentile 0.05 summary))
+    in
+    let cycles_high =
+      max cycles_estimate (extrapolate (Stats.Summary.percentile 0.95 summary))
+    in
+    {
+      instructions = n_total;
+      cycles_estimate;
+      cycles_low;
+      cycles_high;
+      cpi;
+      intervals_total = intervals_of ~interval n_total;
+      intervals_measured = List.length samples;
+      measured_instructions = sum_i;
+      measured_cycles = sum_c;
+      exact = false;
+      checkpoint_bytes = ckpt_bytes;
+      report = None;
+    }
+
+let skip_of ~interval ~warmup k =
+  let boundary = max 0 ((k * interval) - warmup) in
+  (boundary, (k * interval) - boundary)
+
 let estimate ?(machine = Config.default) ?(support = Exec.Sempe_hw)
     ?(mem_words = Exec.default_config.Exec.mem_words)
     ?(max_instrs = Exec.default_config.Exec.max_instrs)
     ?(forgiving_oob = true) ?(fault = Exec.No_fault) ?init_mem
-    ?(config = default_config) ?workers prog =
+    ?(config = default_config) ?workers ?plan ?plan_out prog =
   if config.interval <= 0 then
     invalid_arg "Sampling.estimate: interval must be positive";
   if not (config.coverage > 0. && config.coverage <= 1.) then
@@ -108,8 +182,6 @@ let estimate ?(machine = Config.default) ?(support = Exec.Sempe_hw)
   else begin
     let warmup = max 0 config.warmup in
     let offset = ((config.offset mod stride) + stride) mod stride in
-    let warm = Warm.create ~machine () in
-    let sess = Exec.start ~config:exec_cfg ?init_mem ~warm prog in
     (* The estimate is worker-count-independent, so oversubscribing cores
        can only cost time (every busy domain lengthens the stop-the-world
        minor-GC rendezvous): cap the pool at the host's recommended domain
@@ -119,84 +191,95 @@ let estimate ?(machine = Config.default) ?(support = Exec.Sempe_hw)
       | None -> Pool.default_workers ()
       | Some w -> min w (Pool.default_workers ())
     in
-    let pool = Pool.create ~workers () in
-    let ckpt_bytes = ref 0 in
-    (* Fast-forward to each measured interval's warmup boundary, snapshot,
-       and hand the measurement to the pool while this domain keeps
-       fast-forwarding towards the next boundary: checkpointing and
-       measuring overlap instead of serializing. *)
-    let rec plan acc k =
-      let boundary = max 0 ((k * interval) - warmup) in
-      let need = boundary - Exec.instructions sess in
-      let halted =
-        if need > 0 then Exec.step_slice sess need else Exec.halted sess
+    match plan with
+    | Some p ->
+      (* Warm path: revive a previously recorded plan — no functional
+         fast-forward pass at all. Each measurement is a pure function of
+         its checkpoint bytes, so the estimate is byte-identical to the
+         cold run that produced the plan. *)
+      if
+        p.p_interval <> interval || p.p_warmup <> warmup
+        || p.p_stride <> stride || p.p_offset <> offset
+      then
+        invalid_arg
+          "Sampling.estimate: plan was recorded under a different \
+           interval/warmup/coverage/offset";
+      let pool = Pool.create ~workers () in
+      let samples =
+        Fun.protect
+          ~finally:(fun () -> Pool.shutdown pool)
+          (fun () ->
+            let promises =
+              List.map
+                (fun (k, ckpt) ->
+                  let _, skip = skip_of ~interval ~warmup k in
+                  Pool.submit pool (fun () ->
+                      measure ~machine ~interval prog ckpt ~skip))
+                p.p_points
+            in
+            List.filter (fun (di, _) -> di > 0) (List.map Pool.await promises))
       in
-      if halted then List.rev acc
-      else begin
-        let ckpt = Checkpoint.save ~arch:(Exec.capture sess) ~warm in
-        ckpt_bytes := !ckpt_bytes + Checkpoint.size_bytes ckpt;
-        let skip = (k * interval) - boundary in
-        let p =
-          Pool.submit pool (fun () -> measure ~machine ~interval prog ckpt ~skip)
+      aggregate ~machine ~exec_cfg ~interval ?init_mem prog ~samples
+        ~n_total:p.p_instructions ~ckpt_bytes:p.p_bytes
+    | None ->
+      let warm = Warm.create ~machine () in
+      let sess = Exec.start ~config:exec_cfg ?init_mem ~warm prog in
+      let pool = Pool.create ~workers () in
+      let ckpt_bytes = ref 0 in
+      let points = ref [] in
+      (* Fast-forward to each measured interval's warmup boundary,
+         snapshot, and hand the measurement to the pool while this domain
+         keeps fast-forwarding towards the next boundary: checkpointing
+         and measuring overlap instead of serializing. *)
+      let rec schedule acc k =
+        let boundary, skip = skip_of ~interval ~warmup k in
+        let need = boundary - Exec.instructions sess in
+        let halted =
+          if need > 0 then Exec.step_slice sess need else Exec.halted sess
         in
-        plan (p :: acc) (k + stride)
-      end
-    in
-    let samples, n_total =
-      Fun.protect
-        ~finally:(fun () -> Pool.shutdown pool)
-        (fun () ->
-          let promises = plan [] offset in
-          (* Finish the functional run: the total instruction count is the
-             quantity the per-interval CPI is extrapolated over. *)
-          let exec = Exec.finish sess in
-          let samples =
-            List.filter (fun (di, _) -> di > 0) (List.map Pool.await promises)
+        if halted then List.rev acc
+        else begin
+          let ckpt = Checkpoint.save ~arch:(Exec.capture sess) ~warm in
+          ckpt_bytes := !ckpt_bytes + Checkpoint.size_bytes ckpt;
+          points := (k, ckpt) :: !points;
+          let p =
+            Pool.submit pool (fun () ->
+                measure ~machine ~interval prog ckpt ~skip)
           in
-          (samples, exec.Exec.dyn_instrs))
-    in
-    match samples with
-    | [] ->
-      (* The program ended before the first checkpoint: nothing was
-         sampled, so just measure it exactly — it is tiny by definition. *)
-      exact ~machine ~exec_cfg ~interval ?init_mem prog
-    | samples ->
-      let sum_i = List.fold_left (fun a (di, _) -> a + di) 0 samples in
-      let sum_c = List.fold_left (fun a (_, dc) -> a + dc) 0 samples in
-      (* Ratio estimator: overall CPI as total measured cycles over total
-         measured instructions (weights intervals by their true length),
-         extrapolated to the whole run. *)
-      let cpi = float_of_int sum_c /. float_of_int sum_i in
-      let extrapolate c = int_of_float (Float.round (c *. float_of_int n_total)) in
-      let cycles_estimate = extrapolate cpi in
-      (* Error bound: nearest-rank percentiles of the per-interval CPI
-         distribution, extrapolated the same way. With few samples the
-         band degenerates towards [min, max], which is the honest answer. *)
-      let summary = Stats.Summary.create () in
-      List.iter
-        (fun (di, dc) ->
-          Stats.Summary.observe summary (float_of_int dc /. float_of_int di))
-        samples;
-      let cycles_low =
-        min cycles_estimate (extrapolate (Stats.Summary.percentile 0.05 summary))
+          schedule (p :: acc) (k + stride)
+        end
       in
-      let cycles_high =
-        max cycles_estimate (extrapolate (Stats.Summary.percentile 0.95 summary))
+      let samples, n_total =
+        Fun.protect
+          ~finally:(fun () -> Pool.shutdown pool)
+          (fun () ->
+            let promises = schedule [] offset in
+            (* Finish the functional run: the total instruction count is
+               the quantity the per-interval CPI is extrapolated over. *)
+            let exec = Exec.finish sess in
+            let samples =
+              List.filter (fun (di, _) -> di > 0) (List.map Pool.await promises)
+            in
+            (samples, exec.Exec.dyn_instrs))
       in
-      {
-        instructions = n_total;
-        cycles_estimate;
-        cycles_low;
-        cycles_high;
-        cpi;
-        intervals_total = intervals_of ~interval n_total;
-        intervals_measured = List.length samples;
-        measured_instructions = sum_i;
-        measured_cycles = sum_c;
-        exact = false;
-        checkpoint_bytes = !ckpt_bytes;
-        report = None;
-      }
+      (* Export the plan only when the sampled path actually produced the
+         estimate: a run that fell back to the exact path has nothing a
+         revival could reuse. *)
+      (match (plan_out, samples) with
+       | Some store, _ :: _ ->
+         store
+           {
+             p_interval = interval;
+             p_warmup = warmup;
+             p_stride = stride;
+             p_offset = offset;
+             p_points = List.rev !points;
+             p_instructions = n_total;
+             p_bytes = !ckpt_bytes;
+           }
+       | _ -> ());
+      aggregate ~machine ~exec_cfg ~interval ?init_mem prog ~samples ~n_total
+        ~ckpt_bytes:!ckpt_bytes
   end
 
 let contains e ~cycles = e.cycles_low <= cycles && cycles <= e.cycles_high

@@ -50,6 +50,29 @@ type config = {
 val default_config : config
 (** 20k-instruction intervals, 25% coverage, 2k detailed warmup. *)
 
+type plan
+(** A reusable record of one fast-forward pass: the checkpoints selected
+    for measurement, the exact dynamic instruction count, and the
+    boundary-defining parameters (interval, warmup, stride, offset) they
+    were taken under. Reviving a plan through {!estimate}'s [?plan] skips
+    the sequential functional-warming pass entirely — this is what the
+    serving daemon's checkpoint cache stores, keyed by fingerprints of
+    the program, its inputs, and the boundary configuration. A plan is
+    only meaningful for the exact program/inputs/machine it was recorded
+    from (checkpoints embed closures, see {!Checkpoint}); the boundary
+    parameters are validated on revival, the rest is the caller's cache
+    key. *)
+
+val plan_points : plan -> int
+(** Number of checkpointed measurement intervals. *)
+
+val plan_instructions : plan -> int
+(** Total dynamic instruction count recorded by the pass. *)
+
+val plan_bytes : plan -> int
+(** Serialized checkpoint volume (telemetry, mirrors
+    [estimate.checkpoint_bytes]). *)
+
 type estimate = {
   instructions : int;  (** total dynamic instructions (exact; from the
                            fast-forward pass) *)
@@ -77,6 +100,8 @@ val estimate :
   -> ?init_mem:(int array -> unit)
   -> ?config:config
   -> ?workers:int
+  -> ?plan:plan
+  -> ?plan_out:(plan -> unit)
   -> Sempe_isa.Program.t
   -> estimate
 (** Run the sampled simulation. Simulation parameters mirror
@@ -86,8 +111,20 @@ val estimate :
     the host's cores could only add GC-rendezvous latency). A program
     that halts before the first checkpoint falls back to the exact path.
 
-    @raise Invalid_argument on a non-positive [interval] or a [coverage]
-    outside (0, 1]. *)
+    [plan] revives a previously recorded {!plan}: the fast-forward pass
+    is skipped and the plan's checkpoints are measured directly. Because
+    each measurement is a pure function of its checkpoint bytes and the
+    aggregation follows interval order, the estimate is byte-identical to
+    the cold run that recorded the plan. The caller must pass the same
+    program, inputs and machine the plan was recorded from.
+
+    [plan_out] receives the recorded plan of a cold run that produced its
+    estimate via the sampled path (it is not called on the exact or
+    fell-back-to-exact paths, where there is nothing to reuse).
+
+    @raise Invalid_argument on a non-positive [interval], a [coverage]
+    outside (0, 1], or a [plan] recorded under different boundary
+    parameters (interval/warmup/stride/offset). *)
 
 val contains : estimate -> cycles:int -> bool
 (** Whether the true cycle count lies within [cycles_low .. cycles_high]. *)

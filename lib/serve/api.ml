@@ -1,0 +1,443 @@
+module Json = Sempe_obs.Json
+module Report = Sempe_obs.Report
+module Profile = Sempe_obs.Profile
+module Sink = Sempe_obs.Sink
+module Scheme = Sempe_core.Scheme
+module Run = Sempe_core.Run
+module Sampling = Sempe_sampling.Sampling
+module Harness = Sempe_workloads.Harness
+module MB = Sempe_workloads.Microbench
+module Kernels = Sempe_workloads.Kernels
+module Djpeg = Sempe_workloads.Djpeg
+module Rsa = Sempe_workloads.Rsa
+module Pool = Sempe_util.Pool
+module Fuzz = Sempe_fuzz.Fuzz
+
+type workload =
+  | Microbench of { kernel : string; width : int; iters : int; leaf : int }
+  | Djpeg of { format : string; blocks : int; seed : int }
+  | Rsa of { key : int }
+
+type sample_params = { interval : int; coverage : float; warmup : int }
+
+type request =
+  | Simulate of { scheme : Scheme.t; workload : workload; strict_oob : bool }
+  | Sample of {
+      scheme : Scheme.t;
+      workload : workload;
+      strict_oob : bool;
+      params : sample_params;
+    }
+  | Profile of { scheme : Scheme.t; workload : workload; top : int }
+  | Leakage
+  | Fuzz_smoke of { seed : int; count : int }
+
+(* Mirrors the CLI: the software schemes get the constant-time kernel
+   variants (their transforms would not terminate on data-dependent
+   loops). *)
+let ct_of_scheme = function
+  | Scheme.Cte | Scheme.Raccoon | Scheme.Mto -> true
+  | Scheme.Baseline | Scheme.Sempe | Scheme.Sempe_on_legacy -> false
+
+let kernel_named name =
+  match Kernels.by_name name with
+  | Some k -> k
+  | None -> invalid_arg (Printf.sprintf "Api: unknown kernel %S" name)
+
+let format_named name =
+  match String.uppercase_ascii name with
+  | "PPM" -> Djpeg.Ppm
+  | "GIF" -> Djpeg.Gif
+  | "BMP" -> Djpeg.Bmp
+  | other -> invalid_arg (Printf.sprintf "Api: unknown djpeg format %S" other)
+
+(* Source program, initial state and the identifying JSON tags of a
+   workload — the same values (in the same field order) the CLI
+   subcommands use. *)
+let setup scheme workload =
+  match workload with
+  | Microbench { kernel; width; iters; leaf } ->
+    let spec = { MB.kernel = kernel_named kernel; width; iters } in
+    let tags =
+      [
+        ("workload", Json.Str "microbench");
+        ("kernel", Json.Str kernel);
+        ("width", Json.Int width);
+        ("iters", Json.Int iters);
+        ("leaf", Json.Int leaf);
+        ("scheme", Json.Str (Scheme.name scheme));
+      ]
+    in
+    ( MB.program ~ct:(ct_of_scheme scheme) spec,
+      MB.secrets_for_leaf ~width ~leaf,
+      [],
+      tags )
+  | Djpeg { format; blocks; seed } ->
+    let fmt = format_named format in
+    let globals, arrays = Djpeg.inputs fmt ~seed ~blocks in
+    let tags =
+      [
+        ("workload", Json.Str "djpeg");
+        ("format", Json.Str (Djpeg.format_name fmt));
+        ("blocks", Json.Int blocks);
+        ("seed", Json.Int seed);
+        ("scheme", Json.Str (Scheme.name scheme));
+      ]
+    in
+    (Djpeg.program fmt, globals, arrays, tags)
+  | Rsa { key } ->
+    let globals, arrays = Rsa.inputs ~key ~base:1234 ~modulus:99991 in
+    let tags =
+      [
+        ("workload", Json.Str "rsa");
+        ("key", Json.Int key);
+        ("scheme", Json.Str (Scheme.name scheme));
+      ]
+    in
+    (Rsa.program, globals, arrays, tags)
+
+(* The profile/trace subcommands describe their workload with a one-line
+   string rather than tags; reproduce those exact strings. *)
+let describe = function
+  | Rsa { key } -> Printf.sprintf "rsa key=0x%04x" key
+  | Djpeg { format; blocks; seed } ->
+    Printf.sprintf "djpeg %s blocks=%d seed=%d"
+      (Djpeg.format_name (format_named format))
+      blocks seed
+  | Microbench { kernel; width; iters; leaf } ->
+    Printf.sprintf "%s W=%d iters=%d leaf=%d"
+      (kernel_named kernel).Kernels.name width iters leaf
+
+let perform ?workers ?plan ?plan_out request =
+  match request with
+  | Simulate { scheme; workload; strict_oob } ->
+    let src, globals, arrays, tags = setup scheme workload in
+    let built = Harness.build scheme src in
+    let forgiving_oob = not strict_oob in
+    let outcome = Harness.run ~forgiving_oob ~globals ~arrays built in
+    let fields =
+      match workload with
+      | Microbench { kernel; width; iters; _ } ->
+        (* The microbench report carries its slowdown against the
+           unprotected baseline, like the CLI's. *)
+        let spec = { MB.kernel = kernel_named kernel; width; iters } in
+        let base =
+          Harness.run ~forgiving_oob ~globals
+            (Harness.build Scheme.Baseline (MB.program ~ct:false spec))
+        in
+        [
+          ("checksum", Json.Int (Harness.return_value outcome));
+          ("slowdown_vs_baseline", Json.Float (Run.overhead ~baseline:base outcome));
+          ("report", Report.to_json outcome.Run.timing);
+        ]
+      | Djpeg _ ->
+        [
+          ("checksum", Json.Int (Harness.return_value outcome));
+          ("report", Report.to_json outcome.Run.timing);
+        ]
+      | Rsa { key } ->
+        [
+          ("result", Json.Int (Harness.return_value outcome));
+          ("expected", Json.Int (Rsa.reference ~key ~base:1234 ~modulus:99991));
+          ("report", Report.to_json outcome.Run.timing);
+        ]
+    in
+    Json.Obj (tags @ fields)
+  | Sample { scheme; workload; strict_oob; params } ->
+    let src, globals, arrays, tags = setup scheme workload in
+    let built = Harness.build scheme src in
+    let config =
+      {
+        Sampling.default_config with
+        Sampling.interval = params.interval;
+        coverage = params.coverage;
+        warmup = params.warmup;
+      }
+    in
+    let est =
+      Harness.sample ~forgiving_oob:(not strict_oob) ~globals ~arrays ~config
+        ?workers ?plan ?plan_out built
+    in
+    Json.Obj (tags @ [ ("sampling", Sampling.to_json est) ])
+  | Profile { scheme; workload; top } ->
+    let src, globals, arrays, _ = setup scheme workload in
+    let built = Harness.build scheme src in
+    let profile = Profile.create () in
+    let sink = Sink.of_probe (Profile.probe profile) in
+    let outcome = Harness.run ~globals ~arrays ~sink built in
+    sink.Sink.close ();
+    Json.Obj
+      [
+        ("workload", Json.Str (describe workload));
+        ("scheme", Json.Str (Scheme.name scheme));
+        ("report", Report.to_json outcome.Run.timing);
+        ("profile", Profile.to_json ~n:top profile);
+      ]
+  | Leakage ->
+    Sempe_experiments.Security_exp.to_json
+      (Sempe_experiments.Security_exp.measure ())
+  | Fuzz_smoke { seed; count } ->
+    (* The corpus-less CLI invocation: all oracles, minimization on, the
+       default failure cap. The outcome JSON is worker-count-independent
+       by construction, so [workers] only bounds wall time. *)
+    let workers =
+      match workers with
+      | None -> Pool.default_workers ()
+      | Some w -> max 1 (min w (Pool.default_workers ()))
+    in
+    let config = { Fuzz.default_config with Fuzz.seed; count; workers } in
+    Fuzz.to_json (Fuzz.run config)
+
+(* ---- wire form ---- *)
+
+let workload_to_json = function
+  | Microbench { kernel; width; iters; leaf } ->
+    Json.Obj
+      [
+        ("type", Json.Str "microbench");
+        ("kernel", Json.Str (kernel_named kernel).Kernels.name);
+        ("width", Json.Int width);
+        ("iters", Json.Int iters);
+        ("leaf", Json.Int leaf);
+      ]
+  | Djpeg { format; blocks; seed } ->
+    Json.Obj
+      [
+        ("type", Json.Str "djpeg");
+        ("format", Json.Str (Djpeg.format_name (format_named format)));
+        ("blocks", Json.Int blocks);
+        ("seed", Json.Int seed);
+      ]
+  | Rsa { key } -> Json.Obj [ ("type", Json.Str "rsa"); ("key", Json.Int key) ]
+
+let request_to_json = function
+  | Simulate { scheme; workload; strict_oob } ->
+    Json.Obj
+      [
+        ("op", Json.Str "simulate");
+        ("scheme", Json.Str (Scheme.name scheme));
+        ("strict_oob", Json.Bool strict_oob);
+        ("workload", workload_to_json workload);
+      ]
+  | Sample { scheme; workload; strict_oob; params } ->
+    Json.Obj
+      [
+        ("op", Json.Str "sample");
+        ("scheme", Json.Str (Scheme.name scheme));
+        ("strict_oob", Json.Bool strict_oob);
+        ("workload", workload_to_json workload);
+        ("interval", Json.Int params.interval);
+        ("coverage", Json.Float params.coverage);
+        ("warmup", Json.Int params.warmup);
+      ]
+  | Profile { scheme; workload; top } ->
+    Json.Obj
+      [
+        ("op", Json.Str "profile");
+        ("scheme", Json.Str (Scheme.name scheme));
+        ("top", Json.Int top);
+        ("workload", workload_to_json workload);
+      ]
+  | Leakage -> Json.Obj [ ("op", Json.Str "leakage") ]
+  | Fuzz_smoke { seed; count } ->
+    Json.Obj
+      [
+        ("op", Json.Str "fuzz-smoke");
+        ("seed", Json.Int seed);
+        ("count", Json.Int count);
+      ]
+
+(* ---- strict decode ---- *)
+
+let ( let* ) = Result.bind
+
+let field name fields =
+  match List.assoc_opt name fields with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let as_obj name = function
+  | Json.Obj fields -> Ok fields
+  | _ -> Error (Printf.sprintf "field %S must be an object" name)
+
+let int_field name fields =
+  let* v = field name fields in
+  match v with
+  | Json.Int i -> Ok i
+  | _ -> Error (Printf.sprintf "field %S must be an integer" name)
+
+let str_field name fields =
+  let* v = field name fields in
+  match v with
+  | Json.Str s -> Ok s
+  | _ -> Error (Printf.sprintf "field %S must be a string" name)
+
+let bool_field name fields =
+  let* v = field name fields in
+  match v with
+  | Json.Bool b -> Ok b
+  | _ -> Error (Printf.sprintf "field %S must be a boolean" name)
+
+let float_field name fields =
+  let* v = field name fields in
+  match v with
+  | Json.Float f -> Ok f
+  | Json.Int i -> Ok (float_of_int i)
+  | _ -> Error (Printf.sprintf "field %S must be a number" name)
+
+let scheme_field fields =
+  let* s = str_field "scheme" fields in
+  match Scheme.of_string s with
+  | Some scheme -> Ok scheme
+  | None ->
+    Error
+      (Printf.sprintf "unknown scheme %S (expected one of: %s)" s
+         (String.concat ", " (List.map Scheme.name Scheme.all)))
+
+let workload_of_fields fields =
+  let* w = field "workload" fields in
+  let* wf = as_obj "workload" w in
+  let* ty = str_field "type" wf in
+  match ty with
+  | "microbench" ->
+    let* kernel = str_field "kernel" wf in
+    let* () =
+      match Kernels.by_name kernel with
+      | Some _ -> Ok ()
+      | None ->
+        Error
+          (Printf.sprintf "unknown kernel %S (expected one of: %s)" kernel
+             (String.concat ", "
+                (List.map (fun k -> k.Kernels.name) Kernels.all)))
+    in
+    let* width = int_field "width" wf in
+    let* iters = int_field "iters" wf in
+    let* leaf = int_field "leaf" wf in
+    if width < 1 then Error "field \"width\" must be >= 1"
+    else if iters < 1 then Error "field \"iters\" must be >= 1"
+    else Ok (Microbench { kernel; width; iters; leaf })
+  | "djpeg" ->
+    let* format = str_field "format" wf in
+    let* () =
+      match String.uppercase_ascii format with
+      | "PPM" | "GIF" | "BMP" -> Ok ()
+      | other ->
+        Error
+          (Printf.sprintf "unknown djpeg format %S (PPM, GIF or BMP)" other)
+    in
+    let* blocks = int_field "blocks" wf in
+    let* seed = int_field "seed" wf in
+    if blocks < 1 then Error "field \"blocks\" must be >= 1"
+    else Ok (Djpeg { format = String.uppercase_ascii format; blocks; seed })
+  | "rsa" ->
+    let* key = int_field "key" wf in
+    if key < 0 || key lsr Rsa.key_bits <> 0 then
+      Error (Printf.sprintf "field \"key\" must fit in %d bits" Rsa.key_bits)
+    else Ok (Rsa { key })
+  | other -> Error (Printf.sprintf "unknown workload type %S" other)
+
+let request_of_json json =
+  match json with
+  | Json.Obj fields -> (
+    let* op = str_field "op" fields in
+    match op with
+    | "simulate" ->
+      let* scheme = scheme_field fields in
+      let* strict_oob = bool_field "strict_oob" fields in
+      let* workload = workload_of_fields fields in
+      Ok (Simulate { scheme; workload; strict_oob })
+    | "sample" ->
+      let* scheme = scheme_field fields in
+      let* strict_oob = bool_field "strict_oob" fields in
+      let* workload = workload_of_fields fields in
+      let* interval = int_field "interval" fields in
+      let* coverage = float_field "coverage" fields in
+      let* warmup = int_field "warmup" fields in
+      if interval <= 0 then Error "field \"interval\" must be positive"
+      else if not (coverage > 0. && coverage <= 1.) then
+        Error "field \"coverage\" must be in (0, 1]"
+      else if warmup < 0 then Error "field \"warmup\" must be >= 0"
+      else
+        Ok
+          (Sample
+             { scheme; workload; strict_oob;
+               params = { interval; coverage; warmup } })
+    | "profile" ->
+      let* scheme = scheme_field fields in
+      let* top = int_field "top" fields in
+      let* workload = workload_of_fields fields in
+      if top < 1 then Error "field \"top\" must be >= 1"
+      else Ok (Profile { scheme; workload; top })
+    | "leakage" -> Ok Leakage
+    | "fuzz-smoke" ->
+      let* seed = int_field "seed" fields in
+      let* count = int_field "count" fields in
+      if count < 1 then Error "field \"count\" must be >= 1"
+      else if count > 10_000 then Error "field \"count\" must be <= 10000"
+      else Ok (Fuzz_smoke { seed; count })
+    | other -> Error (Printf.sprintf "unknown op %S" other))
+  | _ -> Error "request must be a JSON object"
+
+(* ---- content addressing ---- *)
+
+(* The dual independent digests of Security.Observable: two strings that
+   collide under [fnv] have no reason to also collide under [fnv2], so
+   the pair is a structural fingerprint rather than a single hash a
+   lookup could alias behind. *)
+let fnv acc x = (acc * 16777619) lxor (x land 0x3fffffff) lxor (x asr 30)
+let fnv2 acc x = (acc lxor (x land 0x3fffffff) lxor (x asr 30)) * 16777619
+
+let digests s =
+  let h1 = ref 0x811c9dc5 and h2 = ref 0x01000193 in
+  String.iter
+    (fun c ->
+      let x = Char.code c in
+      h1 := fnv !h1 x;
+      h2 := fnv2 !h2 x)
+    s;
+  (!h1, !h2)
+
+(* Fingerprint of the compiled program image: the response depends on the
+   generated code, so two requests whose JSON collides but whose programs
+   differ still get distinct keys. *)
+let program_digests scheme workload =
+  let src, _, _, _ = setup scheme workload in
+  let built = Harness.build scheme src in
+  digests (Marshal.to_string built.Harness.prog [])
+
+let cache_key request =
+  let j1, j2 = digests (Json.to_string (request_to_json request)) in
+  match request with
+  | Simulate { scheme; workload; _ }
+  | Sample { scheme; workload; _ }
+  | Profile { scheme; workload; _ } ->
+    let p1, p2 = program_digests scheme workload in
+    [ j1; j2; p1; p2 ]
+  | Leakage | Fuzz_smoke _ -> [ j1; j2 ]
+
+let plan_key request =
+  match request with
+  | Sample { scheme; workload; strict_oob; params } ->
+    (* The plan is a product of the fast-forward pass and the interval
+       selection only: coverage enters via the derived stride (the same
+       derivation Sampling uses), so any coverage selecting the same
+       interval set shares one plan. *)
+    let stride =
+      max 1 (int_of_float (Float.round (1. /. params.coverage)))
+    in
+    let doc =
+      Json.Obj
+        [
+          ("op", Json.Str "plan");
+          ("scheme", Json.Str (Scheme.name scheme));
+          ("strict_oob", Json.Bool strict_oob);
+          ("workload", workload_to_json workload);
+          ("interval", Json.Int params.interval);
+          ("warmup", Json.Int (max 0 params.warmup));
+          ("stride", Json.Int stride);
+        ]
+    in
+    let j1, j2 = digests (Json.to_string doc) in
+    let p1, p2 = program_digests scheme workload in
+    Some [ j1; j2; p1; p2 ]
+  | Simulate _ | Profile _ | Leakage | Fuzz_smoke _ -> None

@@ -1,0 +1,81 @@
+(** The daemon's request vocabulary and its single execution entry point.
+
+    Every operation the daemon serves is also a batch CLI invocation, and
+    the [--json] branches of those CLI subcommands call {!perform} too —
+    so a served response is byte-identical to the batch CLI's stdout for
+    the same request {e by construction}, not by parallel maintenance of
+    two formatting paths. *)
+
+module Json = Sempe_obs.Json
+module Scheme = Sempe_core.Scheme
+module Sampling = Sempe_sampling.Sampling
+
+type workload =
+  | Microbench of { kernel : string; width : int; iters : int; leaf : int }
+      (** the Figure-7 nested chain; [kernel] is a {!Sempe_workloads.Kernels}
+          name *)
+  | Djpeg of { format : string; blocks : int; seed : int }
+      (** [format] is PPM, GIF or BMP (case-insensitive) *)
+  | Rsa of { key : int }
+
+type sample_params = { interval : int; coverage : float; warmup : int }
+
+type request =
+  | Simulate of { scheme : Scheme.t; workload : workload; strict_oob : bool }
+      (** full detailed simulation — [sempe-sim microbench/djpeg/rsa --json] *)
+  | Sample of {
+      scheme : Scheme.t;
+      workload : workload;
+      strict_oob : bool;
+      params : sample_params;
+    }  (** sampled simulation — [sempe-sim <workload> --sample --json] *)
+  | Profile of { scheme : Scheme.t; workload : workload; top : int }
+      (** per-PC profile — [sempe-sim profile --json] *)
+  | Leakage  (** the §IV-A security matrix — [sempe-sim leakage --json] *)
+  | Fuzz_smoke of { seed : int; count : int }
+      (** a corpus-less differential-fuzz round —
+          [sempe-sim fuzz --seed S --count N --no-corpus --json] *)
+
+val perform :
+  ?workers:int ->
+  ?plan:Sampling.plan ->
+  ?plan_out:(Sampling.plan -> unit) ->
+  request ->
+  Json.t
+(** Execute one request and return the same JSON document the batch CLI
+    prints for it. Deterministic: the document is byte-identical at any
+    [workers] (which only bounds the inner measurement parallelism of
+    [Sample] and the fuzz pool of [Fuzz_smoke]). [plan]/[plan_out] revive
+    / record a [Sample] request's checkpoint plan (ignored for the other
+    requests) — see {!Sempe_sampling.Sampling.estimate}.
+
+    @raise Invalid_argument on an unknown kernel or djpeg format (the
+    strict decoder {!request_of_json} rejects those earlier, so the
+    daemon never sees them). *)
+
+val request_to_json : request -> Json.t
+(** Canonical wire form: an object carrying ["op"] plus the operation's
+    parameters, every field explicit (no defaults elided) — the canonical
+    form is what {!cache_key} digests, so two spellings of the same
+    request share a cache entry. *)
+
+val request_of_json : Json.t -> (request, string) result
+(** Strict decode of a wire object: unknown ["op"], missing or
+    mistyped fields, unknown scheme/kernel/format names and out-of-range
+    sampling parameters are all [Error] with a message naming the
+    offending field. Unknown {e extra} fields are ignored (forward
+    compatibility). *)
+
+val cache_key : request -> int list
+(** Content address of a request's response: two independent FNV digests
+    of the canonical request JSON plus two of the compiled program image
+    (via [Marshal]) for workload-bearing requests. A response may be
+    reused exactly when all four digests match, so a single unlucky hash
+    collision cannot alias two different requests. *)
+
+val plan_key : request -> int list option
+(** Content address of the checkpoint plan a [Sample] request's
+    fast-forward pass produces — [None] for every other request. Unlike
+    {!cache_key} it excludes [coverage] and digests the derived sampling
+    stride instead, so any coverage that selects the same interval set
+    reuses the same plan. *)

@@ -1,0 +1,97 @@
+(* Classic hash-map + doubly-linked recency list: O(1) find/add/evict.
+   The list head is the most recently used entry, the tail the eviction
+   candidate. *)
+
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node option;
+  mutable next : ('k, 'v) node option;
+}
+
+type ('k, 'v) t = {
+  cap : int;
+  table : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable head : ('k, 'v) node option;
+  mutable tail : ('k, 'v) node option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Cache.create: capacity must be >= 1";
+  {
+    cap = capacity;
+    table = Hashtbl.create (2 * capacity);
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let unlink t n =
+  (match n.prev with
+   | Some p -> p.next <- n.next
+   | None -> t.head <- n.next);
+  (match n.next with
+   | Some s -> s.prev <- n.prev
+   | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+  | Some n ->
+    t.hits <- t.hits + 1;
+    unlink t n;
+    push_front t n;
+    Some n.value
+
+let add t k v =
+  match Hashtbl.find_opt t.table k with
+  | Some n ->
+    n.value <- v;
+    unlink t n;
+    push_front t n
+  | None ->
+    if Hashtbl.length t.table >= t.cap then begin
+      match t.tail with
+      | None -> assert false (* cap >= 1 and the table is non-empty *)
+      | Some lru ->
+        unlink t lru;
+        Hashtbl.remove t.table lru.key;
+        t.evictions <- t.evictions + 1
+    end;
+    let n = { key = k; value = v; prev = None; next = None } in
+    Hashtbl.replace t.table k n;
+    push_front t n
+
+let mem t k = Hashtbl.mem t.table k
+
+let length t = Hashtbl.length t.table
+
+let capacity t = t.cap
+
+let hits t = t.hits
+
+let misses t = t.misses
+
+let evictions t = t.evictions
+
+let keys_newest_first t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some n -> go (n.key :: acc) n.next
+  in
+  go [] t.head

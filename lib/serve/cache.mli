@@ -1,0 +1,40 @@
+(** Bounded LRU cache with hit/miss/eviction counters.
+
+    The daemon keeps two of these: (program fingerprint, request config)
+    → rendered report, and (program fingerprint, inputs, sampling
+    boundary config) → checkpoint plan. Keys are compared structurally
+    (the daemon uses lists of independent digests — see
+    {!Api.cache_key} — so a single unlucky hash collision cannot alias
+    two requests), values are opaque.
+
+    Not thread-safe: the daemon serializes access under its own lock. *)
+
+type ('k, 'v) t
+
+val create : capacity:int -> ('k, 'v) t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Lookup; a hit refreshes the entry's recency and increments the hit
+    counter, a miss increments the miss counter. *)
+
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert (or overwrite, refreshing recency). When the cache is full,
+    the least-recently-used entry is evicted first. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Like {!find} but without touching recency or the counters. *)
+
+val length : ('k, 'v) t -> int
+
+val capacity : ('k, 'v) t -> int
+
+val hits : ('k, 'v) t -> int
+
+val misses : ('k, 'v) t -> int
+
+val evictions : ('k, 'v) t -> int
+
+val keys_newest_first : ('k, 'v) t -> 'k list
+(** Keys in recency order, most recently used first — the eviction order
+    reversed. For tests and introspection. *)

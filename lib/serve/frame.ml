@@ -1,0 +1,52 @@
+exception Frame_error of string
+
+let max_len_default = 16 * 1024 * 1024
+
+let rec write_all fd bytes off len =
+  if len > 0 then begin
+    let n = Unix.write fd bytes off len in
+    write_all fd bytes (off + n) (len - n)
+  end
+
+let write fd payload =
+  let len = String.length payload in
+  let buf = Bytes.create (4 + len) in
+  Bytes.set_int32_be buf 0 (Int32.of_int len);
+  Bytes.blit_string payload 0 buf 4 len;
+  write_all fd buf 0 (4 + len)
+
+(* Returns the number of bytes read before EOF (= [len] when the read
+   completed). A 0 return with [off = 0] is the clean between-frames
+   EOF. *)
+let read_upto fd buf len =
+  let rec go off =
+    if off >= len then off
+    else
+      let n = Unix.read fd buf off (len - off) in
+      if n = 0 then off else go (off + n)
+  in
+  go 0
+
+let read ?(max_len = max_len_default) fd =
+  let header = Bytes.create 4 in
+  match read_upto fd header 4 with
+  | 0 -> None
+  | 4 ->
+    let len = Int32.to_int (Bytes.get_int32_be header 0) in
+    if len < 0 then raise (Frame_error "negative frame length")
+    else if len > max_len then
+      raise
+        (Frame_error
+           (Printf.sprintf "frame of %d bytes exceeds the %d-byte limit" len
+              max_len))
+    else begin
+      let payload = Bytes.create len in
+      let got = read_upto fd payload len in
+      if got < len then
+        raise
+          (Frame_error
+             (Printf.sprintf "EOF after %d of %d payload bytes" got len))
+      else Some (Bytes.unsafe_to_string payload)
+    end
+  | got ->
+    raise (Frame_error (Printf.sprintf "EOF after %d of 4 header bytes" got))

@@ -1,0 +1,28 @@
+(** Length-prefixed framing for the serving protocol.
+
+    One frame = a 4-byte big-endian payload length followed by that many
+    payload bytes (one JSON document, by convention — this module does
+    not look inside). Both sides speak frames in both directions, so a
+    reader always knows exactly how many bytes to consume and a slow or
+    malicious peer can be rejected on the declared length alone, before
+    any payload is buffered. *)
+
+exception Frame_error of string
+(** A malformed or truncated frame: negative/oversized declared length,
+    or EOF in the middle of a frame. A clean EOF {e between} frames is
+    not an error (see {!read}). *)
+
+val max_len_default : int
+(** Default cap on a frame's declared payload length (16 MiB). *)
+
+val write : Unix.file_descr -> string -> unit
+(** [write fd payload] sends one complete frame, looping on short
+    writes. *)
+
+val read : ?max_len:int -> Unix.file_descr -> string option
+(** [read fd] consumes exactly one frame and returns its payload, or
+    [None] on a clean EOF before any header byte (the peer closed
+    between frames — the normal end of a connection).
+
+    @raise Frame_error on EOF inside a frame, or when the declared
+    length is negative or exceeds [max_len]. *)

@@ -1,0 +1,178 @@
+module Json = Sempe_obs.Json
+module Stats = Sempe_util.Stats
+module Pool = Sempe_util.Pool
+
+type config = {
+  clients : int;
+  requests_per_client : int;
+  mix : Api.request list;
+  rate_hz : float option;
+}
+
+type outcome = {
+  sent : int;
+  completed : int;
+  errors : int;
+  dropped : int;
+  wall_s : float;
+  throughput : float;
+  mean_s : float;
+  p50_s : float;
+  p95_s : float;
+  p99_s : float;
+  max_s : float;
+  hit_rate : float;
+  server_stats : Json.t option;
+}
+
+(* Pull an integer out of a stats document by path, 0 when absent — the
+   hit-rate computation degrades gracefully if the daemon's stats shape
+   evolves. *)
+let stat_int json path =
+  let rec go json = function
+    | [] -> ( match json with Json.Int i -> Some i | _ -> None)
+    | name :: rest -> (
+      match json with
+      | Json.Obj fields -> (
+        match List.assoc_opt name fields with
+        | Some v -> go v rest
+        | None -> None)
+      | _ -> None)
+  in
+  Option.value ~default:0 (go json path)
+
+let cache_lookups json =
+  ( stat_int json [ "result_cache"; "hits" ],
+    stat_int json [ "result_cache"; "misses" ] )
+
+let run address config =
+  if config.mix = [] then invalid_arg "Loadgen.run: empty request mix";
+  if config.clients < 1 then invalid_arg "Loadgen.run: clients must be >= 1";
+  if config.requests_per_client < 1 then
+    invalid_arg "Loadgen.run: requests_per_client must be >= 1";
+  let mix = Array.of_list config.mix in
+  let m = Mutex.create () in
+  let latencies = Stats.Summary.create () in
+  let completed = ref 0 and errors = ref 0 and dropped = ref 0 in
+  let record f =
+    Mutex.lock m;
+    f ();
+    Mutex.unlock m
+  in
+  let stats_before =
+    match Client.connect address with
+    | exception _ -> None
+    | conn ->
+      let s = Result.to_option (Client.stats conn) in
+      Client.close conn;
+      s
+  in
+  let t_start = Pool.now_s () in
+  let client idx =
+    match Client.connect address with
+    | exception _ ->
+      record (fun () -> dropped := !dropped + config.requests_per_client)
+    | conn ->
+      Fun.protect
+        ~finally:(fun () -> Client.close conn)
+        (fun () ->
+          for i = 0 to config.requests_per_client - 1 do
+            let req = mix.((idx + i) mod Array.length mix) in
+            let scheduled =
+              match config.rate_hz with
+              | None -> Pool.now_s ()
+              | Some rate ->
+                let at = t_start +. (float_of_int i /. rate) in
+                let now = Pool.now_s () in
+                if at > now then Thread.delay (at -. now);
+                at
+            in
+            match Client.call conn req with
+            | Ok _ ->
+              let dt = Pool.now_s () -. scheduled in
+              record (fun () ->
+                  incr completed;
+                  Stats.Summary.observe latencies dt)
+            | Error { code = "closed" | "busy" | "protocol"; _ } ->
+              record (fun () -> incr dropped)
+            | Error _ -> record (fun () -> incr errors)
+          done)
+  in
+  let threads =
+    List.init config.clients (fun idx -> Thread.create client idx)
+  in
+  List.iter Thread.join threads;
+  let wall_s = Pool.now_s () -. t_start in
+  let server_stats =
+    match Client.connect address with
+    | exception _ -> None
+    | conn ->
+      let s = Result.to_option (Client.stats conn) in
+      Client.close conn;
+      s
+  in
+  let hit_rate =
+    match server_stats with
+    | None -> 0.
+    | Some after ->
+      let h1, m1 = cache_lookups after in
+      let h0, m0 =
+        match stats_before with
+        | None -> (0, 0)
+        | Some before -> cache_lookups before
+      in
+      let hits = h1 - h0 and lookups = h1 - h0 + (m1 - m0) in
+      if lookups <= 0 then 0. else float_of_int hits /. float_of_int lookups
+  in
+  let pct q = Stats.Summary.percentile q latencies in
+  {
+    sent = config.clients * config.requests_per_client;
+    completed = !completed;
+    errors = !errors;
+    dropped = !dropped;
+    wall_s;
+    throughput = (if wall_s > 0. then float_of_int !completed /. wall_s else 0.);
+    mean_s = Stats.Summary.mean latencies;
+    p50_s = pct 0.5;
+    p95_s = pct 0.95;
+    p99_s = pct 0.99;
+    max_s = Stats.Summary.max latencies;
+    hit_rate;
+    server_stats;
+  }
+
+let to_json o =
+  Json.Obj
+    ([
+       ("sent", Json.Int o.sent);
+       ("completed", Json.Int o.completed);
+       ("errors", Json.Int o.errors);
+       ("dropped", Json.Int o.dropped);
+       ("wall_s", Json.Float o.wall_s);
+       ("throughput_rps", Json.Float o.throughput);
+       ("mean_s", Json.Float o.mean_s);
+       ("p50_s", Json.Float o.p50_s);
+       ("p95_s", Json.Float o.p95_s);
+       ("p99_s", Json.Float o.p99_s);
+       ("max_s", Json.Float o.max_s);
+       ("cache_hit_rate", Json.Float o.hit_rate);
+     ]
+    @
+    match o.server_stats with
+    | None -> []
+    | Some s -> [ ("server", s) ])
+
+let render o =
+  String.concat "\n"
+    [
+      Printf.sprintf "requests:   %d sent, %d completed, %d errors, %d dropped"
+        o.sent o.completed o.errors o.dropped;
+      Printf.sprintf "wall:       %.2fs (%.1f replies/s)" o.wall_s o.throughput;
+      Printf.sprintf
+        "latency:    mean %.1f ms, p50 %.1f ms, p95 %.1f ms, p99 %.1f ms, max \
+         %.1f ms"
+        (1e3 *. o.mean_s) (1e3 *. o.p50_s) (1e3 *. o.p95_s) (1e3 *. o.p99_s)
+        (1e3 *. o.max_s);
+      Printf.sprintf "cache:      %.1f%% result-cache hit rate"
+        (100. *. o.hit_rate);
+    ]

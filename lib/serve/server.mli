@@ -1,0 +1,72 @@
+(** The [sempe-sim serve] daemon: a long-running simulation service.
+
+    One accept thread plus one handler thread per connection; the
+    simulations themselves run on a {!Sempe_util.Pool} of worker domains,
+    so a connection is cheap and the expensive work is bounded by the
+    pool size. Each connection speaks the length-prefixed JSON protocol
+    of {!Frame}: a request is an object [{"id": .., "op": .., ...}] (the
+    operation fields of {!Api.request_of_json}, plus the control ops
+    [ping], [stats] and [shutdown]); the reply echoes ["id"] and carries
+    either [{"ok": true, "cached": .., "result": ..}] or
+    [{"ok": false, "error": {"code": .., "message": ..}}].
+
+    Two content-addressed LRU caches back the service: response bytes
+    keyed by {!Api.cache_key}, and sampling checkpoint plans keyed by
+    {!Api.plan_key} — a repeated sweep neither re-simulates nor re-runs
+    the fast-forward pass. Identical in-flight requests coalesce onto one
+    execution.
+
+    Security note: the daemon fully trusts its clients. Frames are
+    length-capped and parsed with the strict reader, so a malformed or
+    truncated frame cannot wedge the server — but any client that can
+    connect can run simulations, read statistics and shut the daemon
+    down. Bind the unix socket in a directory with appropriate
+    permissions; do not expose the TCP listener beyond the host. *)
+
+type addr = Unix_sock of string | Tcp of string * int
+
+val addr_of_string : string -> (addr, string) result
+(** [unix:PATH], [tcp:HOST:PORT], or a bare path (taken as a unix
+    socket). *)
+
+val addr_to_string : addr -> string
+
+type config = {
+  workers : int;  (** simulation pool size *)
+  result_entries : int;  (** response cache capacity *)
+  plan_entries : int;  (** checkpoint-plan cache capacity *)
+  timeout_s : float;  (** per-request reply deadline; [0.] = none *)
+  max_connections : int;  (** concurrent connections; excess get [busy] *)
+  max_frame : int;  (** request frame byte cap *)
+  verbose : bool;  (** per-request log lines on stderr *)
+}
+
+val default_config : config
+
+type t
+
+val start : ?config:config -> addr -> t
+(** Bind, listen and serve. Returns once the listener is live (a client
+    connecting after [start] returns will not get a connection refusal).
+    @raise Unix.Unix_error when the address cannot be bound. *)
+
+val addr : t -> addr
+
+val request_stop : t -> unit
+(** Ask the daemon to stop; safe from signal handlers and handler
+    threads. The shutdown itself happens in {!wait} / {!stop}. *)
+
+val stop : t -> unit
+(** Graceful shutdown: stop accepting, let in-flight requests finish and
+    reply, wake idle connections, join every thread and drain the pool.
+    Idempotent. *)
+
+val wait : t -> unit
+(** Block until {!request_stop} (e.g. from a signal handler or a client's
+    [shutdown] op), then run {!stop}. *)
+
+val stats_json : t -> Sempe_obs.Json.t
+(** The daemon's counters, as served by the [stats] op: request/reply
+    totals, cache hits/misses/evictions for both caches, coalesced and
+    executed requests, connection counts and request latency
+    percentiles. *)

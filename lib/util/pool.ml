@@ -10,11 +10,23 @@ let default_workers () = min max_workers (Domain.recommended_domain_count ())
 
 let now_s () = Unix.gettimeofday ()
 
+exception Shutdown
+
+(* A queued entry is either run (by a worker) or aborted (by a
+   non-draining shutdown) — exactly one of the two, exactly once. [abort]
+   settles whatever is waiting on the entry (a batch slot, a promise)
+   with {!Shutdown} so no caller is left blocked on work that will never
+   execute. *)
+type entry = {
+  run : unit -> unit;
+  abort : unit -> unit;
+}
+
 type t = {
   size : int;
   m : Mutex.t;
   work_available : Condition.t;
-  queue : (unit -> unit) Queue.t;
+  queue : entry Queue.t;
   mutable stop : bool;
   mutable domains : unit Domain.t list;
 }
@@ -28,7 +40,7 @@ let rec worker t =
   else begin
     let job = Queue.pop t.queue in
     Mutex.unlock t.m;
-    job ();
+    job.run ();
     worker t
   end
 
@@ -58,6 +70,13 @@ let map_parallel ?on_done t f xs =
   let results = Array.make n None in
   let remaining = ref n in
   let batch_done = Condition.create () in
+  let settle i r =
+    Mutex.lock t.m;
+    results.(i) <- Some r;
+    decr remaining;
+    if !remaining = 0 then Condition.broadcast batch_done;
+    Mutex.unlock t.m
+  in
   let job i () =
     let t0 = now_s () in
     let r =
@@ -77,13 +96,19 @@ let map_parallel ?on_done t f xs =
     | _ -> ());
     Mutex.unlock t.m
   in
+  let entry i =
+    {
+      run = job i;
+      abort = (fun () -> settle i (Error (Shutdown, Printexc.get_callstack 0)));
+    }
+  in
   Mutex.lock t.m;
   if t.stop then begin
     Mutex.unlock t.m;
     invalid_arg "Pool.map: pool is shut down"
   end;
   for i = 0 to n - 1 do
-    Queue.add (job i) t.queue
+    Queue.add (entry i) t.queue
   done;
   Condition.broadcast t.work_available;
   while !remaining > 0 do
@@ -128,7 +153,13 @@ let submit t f =
       Mutex.unlock t.m;
       invalid_arg "Pool.submit: pool is shut down"
     end;
-    Queue.add job t.queue;
+    Queue.add
+      {
+        run = job;
+        abort =
+          (fun () -> fulfil p (Error (Shutdown, Printexc.get_callstack 0)));
+      }
+      t.queue;
     Condition.signal t.work_available;
     Mutex.unlock t.m
   end;
@@ -144,6 +175,15 @@ let await p =
   | Some (Ok v) -> v
   | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
   | None -> assert false
+
+let peek p =
+  Mutex.lock p.p_m;
+  let state = p.p_state in
+  Mutex.unlock p.p_m;
+  match state with
+  | None -> None
+  | Some (Ok v) -> Some v
+  | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
 
 let map_seq ?on_done f xs =
   match on_done with
@@ -166,13 +206,27 @@ let map ?on_done t f xs =
     if t.size <= 1 then map_seq ?on_done f xs
     else map_parallel ?on_done t f xs
 
-let shutdown t =
+let shutdown ?(drain = true) t =
   Mutex.lock t.m;
-  if t.stop then Mutex.unlock t.m
+  if t.stop then Mutex.unlock t.m (* double shutdown is a no-op *)
   else begin
     t.stop <- true;
+    (* Non-draining shutdown: discard everything still queued, settling
+       each entry's waiter with {!Shutdown} so no [await]/[map] caller is
+       left blocked on work that will never run. Jobs a worker already
+       started always run to completion — there is no cancellation of
+       in-flight work, only of queued work. *)
+    let discarded =
+      if drain then []
+      else begin
+        let xs = List.of_seq (Queue.to_seq t.queue) in
+        Queue.clear t.queue;
+        xs
+      end
+    in
     Condition.broadcast t.work_available;
     Mutex.unlock t.m;
+    List.iter (fun e -> e.abort ()) discarded;
     List.iter Domain.join t.domains;
     t.domains <- []
   end

@@ -48,6 +48,10 @@ val map : ?on_done:(int -> float -> unit) -> t -> ('a -> 'b) -> 'a list -> 'b li
     (exceptions it raises are swallowed). Jobs that raise are not
     reported. *)
 
+exception Shutdown
+(** Raised from {!await} (or a {!map} batch) for jobs that were still
+    queued when a non-draining {!shutdown} discarded them. *)
+
 type 'a promise
 (** The pending result of a single job handed to {!submit}. *)
 
@@ -67,9 +71,19 @@ val await : 'a promise -> 'a
     once per promise from the submitting domain's side; repeated awaits
     return the same settled result. *)
 
-val shutdown : t -> unit
-(** Drains queued jobs, then joins all worker domains. Idempotent; [map]
-    after [shutdown] raises [Invalid_argument]. *)
+val peek : 'a promise -> 'a option
+(** Non-blocking {!await}: [None] while the job is still pending, the
+    result once settled (re-raising the job's exception like {!await}).
+    The serving layer polls this to bound a request's wait without
+    cancelling the underlying job. *)
+
+val shutdown : ?drain:bool -> t -> unit
+(** Stops the pool and joins all worker domains. With [drain:true] (the
+    default) every queued job still runs first; with [drain:false] jobs
+    that no worker has started yet are discarded and their waiters settle
+    with {!Shutdown} (in-flight jobs always complete — there is no
+    preemption). Double shutdown is a no-op; [map]/[submit] after
+    [shutdown] raise [Invalid_argument]. *)
 
 val run :
   ?workers:int -> ?on_done:(int -> float -> unit) -> ('a -> 'b) -> 'a list -> 'b list

@@ -52,12 +52,12 @@ let run ?machine ?(mem_words = 1 lsl 20) ?max_instrs ?forgiving_oob ?fault
     ?observe ?sink built.prog
 
 let sample ?machine ?(mem_words = 1 lsl 20) ?max_instrs ?forgiving_oob ?fault
-    ?(globals = []) ?(arrays = []) ?config ?workers built =
+    ?(globals = []) ?(arrays = []) ?config ?workers ?plan ?plan_out built =
   Sempe_sampling.Sampling.estimate
     ~support:(Scheme.support built.scheme)
     ?machine ~mem_words ?max_instrs ?forgiving_oob ?fault
     ~init_mem:(init_mem_of built ~globals ~arrays)
-    ?config ?workers built.prog
+    ?config ?workers ?plan ?plan_out built.prog
 
 let return_value (o : Run.outcome) = o.Run.exec.Exec.regs.(Sempe_isa.Reg.rv)
 

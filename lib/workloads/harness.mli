@@ -72,11 +72,16 @@ val sample :
   -> ?arrays:(string * int array) list
   -> ?config:Sempe_sampling.Sampling.config
   -> ?workers:int
+  -> ?plan:Sempe_sampling.Sampling.plan
+  -> ?plan_out:(Sempe_sampling.Sampling.plan -> unit)
   -> built
   -> Sempe_sampling.Sampling.estimate
 (** Sampled simulation of the same workload setup as {!run} — see
     {!Sempe_sampling.Sampling.estimate}. For performance estimates only;
-    security experiments need the full runs of {!run}. *)
+    security experiments need the full runs of {!run}. [plan]/[plan_out]
+    revive / record the fast-forward pass's checkpoint plan (the serving
+    daemon's checkpoint cache); the caller must key plans by program,
+    inputs, and sampling boundary config. *)
 
 val return_value : Sempe_core.Run.outcome -> int
 (** [main]'s return value. *)

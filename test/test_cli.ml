@@ -73,6 +73,33 @@ let sim_table =
       [ "leakage"; "--channel"; "timing" ],
       124,
       Ignore_output );
+    (* The serving surface follows the same exit-code convention: bad
+       addresses, unknown ops and unknown flags all exit 124 before any
+       connection is attempted. *)
+    ( "serve rejects a bad address",
+      [ "serve"; "--listen"; "tcp:missing-port" ],
+      124,
+      Ignore_output );
+    ( "serve rejects an unknown flag",
+      [ "serve"; "--frobnicate" ],
+      124,
+      Ignore_output );
+    ( "client rejects an unknown op",
+      [ "client"; "frobnicate" ],
+      124,
+      Ignore_output );
+    ( "client rejects a bad address",
+      [ "client"; "ping"; "-c"; "tcp:missing-port" ],
+      124,
+      Ignore_output );
+    ( "loadgen rejects an unknown mix element",
+      [ "loadgen"; "--mix"; "bogus" ],
+      124,
+      Ignore_output );
+    ( "loadgen rejects a bad flag value",
+      [ "loadgen"; "--clients"; "many" ],
+      124,
+      Ignore_output );
   ]
 
 let check_expect name expect stdout =

@@ -17,6 +17,7 @@ let () =
       ("sampling", Test_sampling.tests);
       ("obs", Test_obs.tests);
       ("fuzz", Test_fuzz.tests);
+      ("serve", Test_serve.tests);
       ("cli", Test_cli.tests);
       ("frontend", Test_frontend.tests);
       ("passes", Test_passes.tests);

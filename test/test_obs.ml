@@ -468,6 +468,83 @@ let prop_report_self_consistent =
                r.Timing.l2_miss_rate)
         [ Scheme.Baseline; Scheme.Sempe ])
 
+(* ---- strict reader (untrusted input) ---- *)
+
+let strict_fails ?max_depth ?max_string ?max_bytes ~needle src =
+  match Json.of_string_strict ?max_depth ?max_string ?max_bytes src with
+  | _ -> Alcotest.fail (Printf.sprintf "accepted %S" src)
+  | exception Json.Parse_error { message; _ } ->
+    let contains hay =
+      let n = String.length needle in
+      let rec go i =
+        i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1))
+      in
+      go 0
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "%S error mentions %S (got %S)" src needle message)
+      true (contains message)
+
+let test_strict_depth () =
+  let deep n = String.make n '[' ^ String.make n ']' in
+  (* the default reader takes it; the strict one draws the line *)
+  Alcotest.(check bool) "default reader accepts depth 80" true
+    (Json.of_string (deep 80) <> Json.Null);
+  strict_fails ~max_depth:64 ~needle:"nesting" (deep 80);
+  strict_fails ~max_depth:8 ~needle:"nesting"
+    "{\"a\":{\"b\":{\"c\":{\"d\":{\"e\":{\"f\":{\"g\":{\"h\":{\"i\":1}}}}}}}}}";
+  (* at the limit is fine *)
+  Alcotest.(check bool) "depth just under the cap parses" true
+    (Json.of_string_strict ~max_depth:64 (deep 63) <> Json.Null)
+
+let test_strict_string_and_bytes () =
+  let long = "\"" ^ String.make 100 'x' ^ "\"" in
+  strict_fails ~max_string:50 ~needle:"longer" long;
+  Alcotest.(check bool) "under the string cap parses" true
+    (Json.of_string_strict ~max_string:100 long = Json.Str (String.make 100 'x'));
+  strict_fails ~max_bytes:10 ~needle:"limit" "[1,2,3,4,5,6,7,8]"
+
+let test_strict_truncation () =
+  (* Truncated frames must fail with a message that says so, at every
+     prefix of a valid document. *)
+  let doc = "{\"a\":[1,true,\"xy\"],\"b\":null}" in
+  Alcotest.(check bool) "whole document parses" true
+    (Json.of_string_strict doc <> Json.Null);
+  for len = 1 to String.length doc - 1 do
+    let prefix = String.sub doc 0 len in
+    match Json.of_string_strict prefix with
+    | _ -> Alcotest.fail (Printf.sprintf "accepted prefix %S" prefix)
+    | exception Json.Parse_error _ -> ()
+  done;
+  strict_fails ~needle:"truncated" "{\"a\": [1,";
+  strict_fails ~needle:"truncated" "\"unterminated"
+
+let prop_strict_total =
+  (* Malformed frames from an untrusted peer: the strict reader either
+     parses or raises Parse_error — never loops, overflows the stack or
+     leaks another exception. *)
+  QCheck.Test.make ~name:"strict reader total on arbitrary bytes" ~count:500
+    QCheck.(string_of_size (Gen.int_bound 200))
+    (fun s ->
+      match
+        Json.of_string_strict ~max_depth:16 ~max_string:64 ~max_bytes:256 s
+      with
+      | _ -> true
+      | exception Json.Parse_error _ -> true
+      | exception _ -> false)
+
+let test_strict_agrees_with_default () =
+  List.iter
+    (fun src ->
+      Alcotest.(check bool)
+        (Printf.sprintf "strict = default on %S" src)
+        true
+        (Json.of_string_strict src = Json.of_string src))
+    [
+      "null"; "true"; "[1,2.5,\"x\"]"; "{\"a\":{\"b\":[]},\"c\":\"\\u0041\"}";
+      "-12"; "[[[[1]]]]";
+    ]
+
 let tests =
   [
     Alcotest.test_case "stall stack sums to cycles" `Quick test_stall_stack_sums;
@@ -487,4 +564,11 @@ let tests =
     Alcotest.test_case "tee sink" `Quick test_tee_sink;
     Alcotest.test_case "report json" `Quick test_report_json;
     qtest prop_report_self_consistent;
+    Alcotest.test_case "strict reader: nesting depth" `Quick test_strict_depth;
+    Alcotest.test_case "strict reader: string and payload caps" `Quick
+      test_strict_string_and_bytes;
+    Alcotest.test_case "strict reader: truncation" `Quick test_strict_truncation;
+    qtest prop_strict_total;
+    Alcotest.test_case "strict reader agrees with default" `Quick
+      test_strict_agrees_with_default;
   ]

@@ -60,6 +60,106 @@ let test_empty_and_singleton () =
   Alcotest.(check (list int)) "singleton" [ 9 ] (Pool.map t (fun k -> k * 9) [ 1 ]);
   Pool.shutdown t
 
+(* ---- submit/await/peek and shutdown semantics ------------------------- *)
+
+(* A job that parks on [gate] until the test releases it, bumping
+   [started] on entry so the test can wait until the pool's workers are
+   provably occupied before queueing more work behind them. *)
+let parked ~gate ~started v () =
+  Atomic.incr started;
+  while not (Atomic.get gate) do
+    Thread.yield ();
+    Unix.sleepf 0.002
+  done;
+  v
+
+let spin_until ?(timeout_s = 5.) pred =
+  let t0 = Unix.gettimeofday () in
+  while (not (pred ())) && Unix.gettimeofday () -. t0 < timeout_s do
+    Thread.yield ();
+    Unix.sleepf 0.002
+  done;
+  Alcotest.(check bool) "condition reached before timeout" true (pred ())
+
+let test_submit_await () =
+  let t = Pool.create ~workers:2 () in
+  let ps = List.init 8 (fun k -> Pool.submit t (fun () -> k * k)) in
+  let got = List.map Pool.await ps in
+  (* repeated await returns the same settled value *)
+  Alcotest.(check (list int)) "await twice" got (List.map Pool.await ps);
+  Alcotest.(check (list int)) "squares" (List.init 8 (fun k -> k * k)) got;
+  Pool.shutdown t
+
+let test_peek () =
+  let t = Pool.create ~workers:2 () in
+  let gate = Atomic.make false and started = Atomic.make 0 in
+  let p = Pool.submit t (parked ~gate ~started 42) in
+  spin_until (fun () -> Atomic.get started = 1);
+  Alcotest.(check (option int)) "pending while parked" None (Pool.peek p);
+  Atomic.set gate true;
+  spin_until (fun () -> Pool.peek p <> None);
+  Alcotest.(check (option int)) "settled after release" (Some 42) (Pool.peek p);
+  Alcotest.(check int) "await agrees" 42 (Pool.await p);
+  Pool.shutdown t
+
+let test_peek_reraises () =
+  (* Sequential pool: submit runs inline, so the promise is already an
+     Error when we peek. *)
+  let t = Pool.create ~workers:1 () in
+  let p = Pool.submit t (fun () -> raise (Boom 5)) in
+  Alcotest.check_raises "peek re-raises" (Boom 5) (fun () ->
+      ignore (Pool.peek p));
+  Pool.shutdown t
+
+(* Occupy both workers with parked jobs and return (pool, gate, parked
+   promises). The caller then queues more work that no worker can reach
+   until the gate opens. *)
+let occupied_pool () =
+  let t = Pool.create ~workers:2 () in
+  let gate = Atomic.make false and started = Atomic.make 0 in
+  let p1 = Pool.submit t (parked ~gate ~started 1) in
+  let p2 = Pool.submit t (parked ~gate ~started 2) in
+  spin_until (fun () -> Atomic.get started = 2);
+  (t, gate, p1, p2)
+
+let release_later gate =
+  Thread.create
+    (fun () ->
+      Thread.delay 0.05;
+      Atomic.set gate true)
+    ()
+
+let test_shutdown_drains () =
+  let t, gate, p1, p2 = occupied_pool () in
+  let q = Pool.submit t (fun () -> 99) in
+  Alcotest.(check (option int)) "queued job not started" None (Pool.peek q);
+  let releaser = release_later gate in
+  Pool.shutdown ~drain:true t;
+  Thread.join releaser;
+  Alcotest.(check int) "in-flight job 1 completed" 1 (Pool.await p1);
+  Alcotest.(check int) "in-flight job 2 completed" 2 (Pool.await p2);
+  Alcotest.(check int) "queued job ran before shutdown returned" 99
+    (Pool.await q)
+
+let test_shutdown_no_drain_discards () =
+  let t, gate, p1, p2 = occupied_pool () in
+  let q = Pool.submit t (fun () -> 99) in
+  let releaser = release_later gate in
+  Pool.shutdown ~drain:false t;
+  Thread.join releaser;
+  (* In-flight work always completes; only queued work is discarded, and
+     its waiter settles with Shutdown instead of blocking forever. *)
+  Alcotest.(check int) "in-flight job 1 completed" 1 (Pool.await p1);
+  Alcotest.(check int) "in-flight job 2 completed" 2 (Pool.await p2);
+  Alcotest.check_raises "queued job aborted" Pool.Shutdown (fun () ->
+      ignore (Pool.await q));
+  (* double shutdown, either flavour, is a no-op *)
+  Pool.shutdown ~drain:false t;
+  Pool.shutdown ~drain:true t;
+  Alcotest.check_raises "submit after shutdown"
+    (Invalid_argument "Pool.submit: pool is shut down") (fun () ->
+      ignore (Pool.submit t (fun () -> 0)))
+
 let tests =
   [
     Alcotest.test_case "result ordering" `Quick test_ordering;
@@ -70,4 +170,10 @@ let tests =
     Alcotest.test_case "pool reuse" `Quick test_pool_reuse;
     Alcotest.test_case "shutdown" `Quick test_shutdown_rejects;
     Alcotest.test_case "empty and singleton batches" `Quick test_empty_and_singleton;
+    Alcotest.test_case "submit/await" `Quick test_submit_await;
+    Alcotest.test_case "peek" `Quick test_peek;
+    Alcotest.test_case "peek re-raises" `Quick test_peek_reraises;
+    Alcotest.test_case "shutdown drains queued work" `Quick test_shutdown_drains;
+    Alcotest.test_case "shutdown ~drain:false discards queued work" `Quick
+      test_shutdown_no_drain_discards;
   ]

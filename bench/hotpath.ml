@@ -2,8 +2,10 @@
    Times the same workload in four modes — functional only, functional +
    discarding sink, functional + warm, full detailed — and prints ns per
    dynamic instruction for each, plus GC allocation per instruction.
-   `dune exec bench/hotpath.exe [--iters N]` (default sized for ~1M
-   dynamic instructions). *)
+   `dune exec bench/hotpath.exe [--iters N] [--assert-alloc]` (default
+   sized for ~1M dynamic instructions). [--assert-alloc] exits non-zero
+   if any probe-free mode allocates measurably per instruction — the CI
+   smoke that keeps closures and per-event records out of the hot loop. *)
 
 module Exec = Sempe_core.Exec
 module Run = Sempe_core.Run
@@ -20,6 +22,13 @@ let iters =
   in
   scan 1
 
+let assert_alloc = Array.exists (( = ) "--assert-alloc") Sys.argv
+
+(* Words per instruction below which a mode counts as allocation-free:
+   fixed per-run costs (session setup, the report record) amortized over
+   ~1M instructions, not anything per-instruction. *)
+let alloc_free_threshold = 0.05
+
 let () =
   let spec =
     { Sempe_workloads.Microbench.kernel = Sempe_workloads.Kernels.fibonacci;
@@ -33,27 +42,38 @@ let () =
   let init_mem = Harness.init_mem_of built ~globals ~arrays:[] in
   let prog = built.Harness.prog in
   let mem_words = 1 lsl 20 in
-  let time name f =
+  let failures = ref [] in
+  let time ?(alloc_free = false) name f =
     let a0 = Gc.minor_words () in
     let t0 = Pool.now_s () in
     let instrs = f () in
     let dt = Pool.now_s () -. t0 in
     let alloc = (Gc.minor_words () -. a0) /. float_of_int instrs in
-    Printf.printf "%-28s %9.1f ns/instr  %7.1f w/instr  (%d instrs, %.3f s)\n%!"
+    Printf.printf "%-28s %9.1f ns/instr  %7.3f w/instr  (%d instrs, %.3f s)\n%!"
       name
       (dt *. 1e9 /. float_of_int instrs)
-      alloc instrs dt
+      alloc instrs dt;
+    if assert_alloc && alloc_free && alloc > alloc_free_threshold then
+      failures :=
+        Printf.sprintf "%s allocates %.3f w/instr (limit %.3f)" name alloc
+          alloc_free_threshold
+        :: !failures
   in
   let config = { Exec.default_config with Exec.mem_words } in
-  time "functional (no sink)" (fun () ->
+  time ~alloc_free:true "functional (no sink)" (fun () ->
       (Exec.run ~config ~init_mem prog).Exec.dyn_instrs);
   time "functional + null sink" (fun () ->
       (Exec.run ~config ~init_mem ~sink:(fun _ -> ()) prog).Exec.dyn_instrs);
-  time "functional + warm" (fun () ->
+  time ~alloc_free:true "functional + warm" (fun () ->
       let warm = Warm.create () in
       let res = Exec.finish (Exec.start ~config ~init_mem ~warm prog) in
       res.Exec.dyn_instrs);
-  time "full detailed (timing)" (fun () ->
+  time ~alloc_free:true "full detailed (timing)" (fun () ->
       let timing = Timing.create () in
       let res = Exec.run ~config ~init_mem ~sink:(Timing.feed timing) prog in
-      res.Exec.dyn_instrs)
+      res.Exec.dyn_instrs);
+  match List.rev !failures with
+  | [] -> ()
+  | fs ->
+    List.iter (Printf.eprintf "[hotpath] alloc assertion FAILED: %s\n%!") fs;
+    exit 1

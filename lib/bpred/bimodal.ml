@@ -8,4 +8,8 @@ let create ?(entries = 4096) () =
     update = (fun ~pc ~taken -> Counters.train table (index pc) taken);
     reset = (fun () -> Counters.reset table);
     snapshot_signature = (fun () -> Counters.signature table);
+    save_state = (fun () -> Marshal.to_string table []);
+    load_state =
+      (fun s ->
+        Counters.copy_into ~src:(Marshal.from_string s 0 : Counters.t) ~dst:table);
   }

@@ -16,5 +16,10 @@ val train : t -> int -> bool -> unit
 
 val reset : t -> unit
 
+val copy_into : src:t -> dst:t -> unit
+(** Overwrite [dst]'s counter values with [src]'s. The tables must have the
+    same shape (entry count and bit width). Used to revive a checkpointed
+    predictor state inside an already-constructed instance. *)
+
 val signature : t -> int
 (** Order-dependent hash of all counter values. *)

@@ -16,4 +16,10 @@ let create ?(entries = 8192) ?(history_bits = 12) () =
         Counters.reset table;
         history := 0);
     snapshot_signature = (fun () -> (Counters.signature table * 31) + !history);
+    save_state = (fun () -> Marshal.to_string (table, !history) []);
+    load_state =
+      (fun s ->
+        let table', history' = (Marshal.from_string s 0 : Counters.t * int) in
+        Counters.copy_into ~src:table' ~dst:table;
+        history := history');
   }

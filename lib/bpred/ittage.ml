@@ -17,23 +17,21 @@ let default_config =
     base_bits = 9;
   }
 
-type entry = {
-  mutable tag : int;       (* -1 = invalid *)
-  mutable target : int;
-  mutable conf : int;      (* 0..3 confidence *)
-  mutable u : int;         (* usefulness *)
-}
-
-type table = {
-  entries : entry array;
-  history_length : int;
-}
-
+(* Entry state in flat packed int arrays indexed
+   [table * (1 lsl table_bits) + entry], same layout discipline as
+   {!Tage}: no per-entry records to chase on the per-indirect hot path,
+   and a warmed predictor checkpoint marshals four int arrays.
+   e_tag = -1 encodes invalid; e_conf is a 0..3 confidence counter. *)
 type t = {
   cfg : config;
-  base : int array;        (* last-target table; -1 = unknown *)
-  tables : table array;
-  mutable history : int;   (* folded path history *)
+  base : int array; (* last-target table; -1 = unknown *)
+  tsize : int; (* 1 lsl table_bits *)
+  e_tag : int array; (* num_tables * tsize; -1 = invalid *)
+  e_target : int array;
+  e_conf : int array;
+  e_u : int array;
+  hmask : int array; (* per-table folded path-history masks *)
+  mutable history : int; (* folded path history *)
   mutable tick : int;
 }
 
@@ -52,133 +50,137 @@ let geometric_lengths cfg =
 
 let make cfg =
   let lens = geometric_lengths cfg in
+  let n = cfg.num_tables in
+  let tsize = 1 lsl cfg.table_bits in
   {
     cfg;
     base = Array.make (1 lsl cfg.base_bits) (-1);
-    tables =
-      Array.init cfg.num_tables (fun i ->
-          {
-            entries =
-              Array.init (1 lsl cfg.table_bits) (fun _ ->
-                  { tag = -1; target = 0; conf = 0; u = 0 });
-            history_length = lens.(i);
-          });
+    tsize;
+    e_tag = Array.make (n * tsize) (-1);
+    e_target = Array.make (n * tsize) 0;
+    e_conf = Array.make (n * tsize) 0;
+    e_u = Array.make (n * tsize) 0;
+    hmask = Array.init n (fun i -> (1 lsl min 30 (lens.(i) * 2)) - 1);
     history = 0;
     tick = 0;
   }
 
 let create ?(config = default_config) () = make config
 
-(* Fold [len] bits of history with the pc into [bits] bits. *)
+(* Fold the path history (masked to the table's window) with the pc into
+   [table_bits] bits. *)
 let index t i pc =
-  let tb = t.tables.(i) in
-  let mask = (1 lsl t.cfg.table_bits) - 1 in
-  let h = t.history land ((1 lsl min 30 (tb.history_length * 2)) - 1) in
+  let mask = t.tsize - 1 in
+  let h = t.history land Array.unsafe_get t.hmask i in
   (pc lxor (h * 2654435761) lxor (pc lsr (i + 3))) land mask
 
 let tag_of t i pc =
-  let tb = t.tables.(i) in
   let mask = (1 lsl t.cfg.tag_bits) - 1 in
-  let h = t.history land ((1 lsl min 30 (tb.history_length * 2)) - 1) in
+  let h = t.history land Array.unsafe_get t.hmask i in
   (pc lxor (h * 40503) lxor (pc lsr 5)) land mask
 
 let base_index t pc = pc land ((1 lsl t.cfg.base_bits) - 1)
 
-let find_provider t pc =
-  let rec scan i =
-    if i < 0 then None
-    else
-      let idx = index t i pc in
-      let e = t.tables.(i).entries.(idx) in
-      if e.tag = tag_of t i pc then Some (i, e) else scan (i - 1)
-  in
-  scan (t.cfg.num_tables - 1)
+(* Flat cell index of the longest-history matching component, -1 if none.
+   While-loop scan: a local [let rec] would allocate a closure per
+   indirect branch without flambda. *)
+let find_provider_cell t pc =
+  let found = ref (-1) in
+  let i = ref (t.cfg.num_tables - 1) in
+  while !found < 0 && !i >= 0 do
+    let cell = (!i * t.tsize) + index t !i pc in
+    if Array.unsafe_get t.e_tag cell = tag_of t !i pc then found := cell
+    else decr i
+  done;
+  !found
 
 let predict t ~pc =
-  match find_provider t pc with
-  | Some (_, e) -> Some e.target
-  | None ->
+  match find_provider_cell t pc with
+  | -1 ->
     let b = t.base.(base_index t pc) in
     if b < 0 then None else Some b
+  | cell -> Some t.e_target.(cell)
 
 (* Allocation-free [predict] for the per-indirect hot path; -1 encodes
-   "no target known". Same provider scan, without the option/tuple. *)
+   "no target known". Same provider scan, without the option. *)
 let predict_value t ~pc =
-  let rec scan i =
-    if i < 0 then t.base.(base_index t pc)
-    else
-      let e = t.tables.(i).entries.(index t i pc) in
-      if e.tag = tag_of t i pc then e.target else scan (i - 1)
-  in
-  scan (t.cfg.num_tables - 1)
+  let cell = find_provider_cell t pc in
+  if cell < 0 then Array.unsafe_get t.base (base_index t pc)
+  else Array.unsafe_get t.e_target cell
 
 let allocate t ~above pc target =
-  let rec find i =
-    if i >= t.cfg.num_tables then None
-    else
-      let idx = index t i pc in
-      if t.tables.(i).entries.(idx).u = 0 then Some (i, idx) else find (i + 1)
-  in
-  match find above with
-  | Some (i, idx) ->
-    let e = t.tables.(i).entries.(idx) in
-    e.tag <- tag_of t i pc;
-    e.target <- target;
-    e.conf <- 0;
-    e.u <- 0
-  | None ->
+  let found = ref (-1) in
+  let i = ref above in
+  while !found < 0 && !i < t.cfg.num_tables do
+    let cell = (!i * t.tsize) + index t !i pc in
+    if Array.unsafe_get t.e_u cell = 0 then found := cell else incr i
+  done;
+  let cell = !found in
+  if cell >= 0 then begin
+    let i = cell / t.tsize in
+    Array.unsafe_set t.e_tag cell (tag_of t i pc);
+    Array.unsafe_set t.e_target cell target;
+    Array.unsafe_set t.e_conf cell 0;
+    Array.unsafe_set t.e_u cell 0
+  end
+  else
     for i = above to t.cfg.num_tables - 1 do
-      let e = t.tables.(i).entries.(index t i pc) in
-      if e.u > 0 then e.u <- e.u - 1
+      let cell = (i * t.tsize) + index t i pc in
+      let u = Array.unsafe_get t.e_u cell in
+      if u > 0 then Array.unsafe_set t.e_u cell (u - 1)
     done
 
 let update t ~pc ~target =
-  (match find_provider t pc with
-   | Some (i, e) ->
-     if e.target = target then begin
-       if e.conf < 3 then e.conf <- e.conf + 1;
-       if e.u < 3 then e.u <- e.u + 1
+  (let cell = find_provider_cell t pc in
+   if cell >= 0 then begin
+     if Array.unsafe_get t.e_target cell = target then begin
+       let conf = Array.unsafe_get t.e_conf cell in
+       if conf < 3 then Array.unsafe_set t.e_conf cell (conf + 1);
+       let u = Array.unsafe_get t.e_u cell in
+       if u < 3 then Array.unsafe_set t.e_u cell (u + 1)
      end
-     else if e.conf > 0 then e.conf <- e.conf - 1
      else begin
-       e.target <- target;
-       if e.u > 0 then e.u <- e.u - 1;
-       allocate t ~above:(i + 1) pc target
+       let conf = Array.unsafe_get t.e_conf cell in
+       if conf > 0 then Array.unsafe_set t.e_conf cell (conf - 1)
+       else begin
+         Array.unsafe_set t.e_target cell target;
+         let u = Array.unsafe_get t.e_u cell in
+         if u > 0 then Array.unsafe_set t.e_u cell (u - 1);
+         allocate t ~above:((cell / t.tsize) + 1) pc target
+       end
      end
-   | None ->
+   end
+   else begin
      let bi = base_index t pc in
      if t.base.(bi) >= 0 && t.base.(bi) <> target then allocate t ~above:0 pc target;
-     t.base.(bi) <- target);
+     t.base.(bi) <- target
+   end);
   t.tick <- t.tick + 1;
   if t.tick land 0xffff = 0 then
-    Array.iter
-      (fun tb -> Array.iter (fun e -> if e.u > 0 then e.u <- e.u - 1) tb.entries)
-      t.tables;
+    for cell = 0 to Array.length t.e_u - 1 do
+      let u = Array.unsafe_get t.e_u cell in
+      if u > 0 then Array.unsafe_set t.e_u cell (u - 1)
+    done;
   (* path history: fold in the target's low bits *)
   t.history <- ((t.history lsl 3) lxor (target land 0x3f)) land 0x3fffffff
 
 let reset t =
   Array.fill t.base 0 (Array.length t.base) (-1);
-  Array.iter
-    (fun tb ->
-      Array.iter
-        (fun e ->
-          e.tag <- -1;
-          e.target <- 0;
-          e.conf <- 0;
-          e.u <- 0)
-        tb.entries)
-    t.tables;
+  Array.fill t.e_tag 0 (Array.length t.e_tag) (-1);
+  Array.fill t.e_target 0 (Array.length t.e_target) 0;
+  Array.fill t.e_conf 0 (Array.length t.e_conf) 0;
+  Array.fill t.e_u 0 (Array.length t.e_u) 0;
   t.history <- 0;
   t.tick <- 0
 
 let signature t =
+  (* Fold order (base, then tables ascending, entries ascending) matches
+     the record-based layout this replaced bit for bit. *)
   let acc = ref 77777 in
   Array.iter (fun b -> acc := (!acc * 31) + b + 2) t.base;
-  Array.iter
-    (fun tb ->
-      Array.iter
-        (fun e -> acc := (!acc * 131) lxor (e.tag + (e.target lsl 3) + e.conf))
-        tb.entries)
-    t.tables;
+  for cell = 0 to Array.length t.e_tag - 1 do
+    acc :=
+      (!acc * 131)
+      lxor (t.e_tag.(cell) + (t.e_target.(cell) lsl 3) + t.e_conf.(cell))
+  done;
   !acc lxor t.history

@@ -4,6 +4,8 @@ type t = {
   update : pc:int -> taken:bool -> unit;
   reset : unit -> unit;
   snapshot_signature : unit -> int;
+  save_state : unit -> string;
+  load_state : string -> unit;
 }
 
 let constant name dir =
@@ -13,6 +15,8 @@ let constant name dir =
     update = (fun ~pc:_ ~taken:_ -> ());
     reset = (fun () -> ());
     snapshot_signature = (fun () -> 0);
+    save_state = (fun () -> "");
+    load_state = (fun _ -> ());
   }
 
 let always_taken () = constant "always-taken" true

@@ -13,6 +13,16 @@ type t = {
   (** A hash of the internal state. The security tests use it to check
       whether two executions left the predictor in distinguishable states
       (the branch predictor side channel of §I). *)
+  save_state : unit -> string;
+  (** The mutable internal state as a plain-data [Marshal] string — no
+      closures, so the bytes survive [Marshal] without [Closures] and are
+      not tied to the producing binary. Paired with {!load_state} this is
+      what lets a sampling checkpoint revive a warmed predictor inside a
+      freshly constructed instance. *)
+  load_state : string -> unit;
+  (** Overwrite the internal state with bytes from {!save_state} of an
+      instance created with the same configuration.
+      @raise Invalid_argument on a shape mismatch. *)
 }
 
 val always_taken : unit -> t

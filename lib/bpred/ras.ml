@@ -2,15 +2,17 @@ type t = { buf : int array; mutable top : int; mutable count : int }
 
 let create ?(depth = 32) () = { buf = Array.make depth 0; top = 0; count = 0 }
 
+(* wrap-on-increment/decrement instead of [mod]: push/pop run once per
+   call/return in both execution modes *)
 let push t v =
   t.buf.(t.top) <- v;
-  t.top <- (t.top + 1) mod Array.length t.buf;
+  t.top <- (let p = t.top + 1 in if p = Array.length t.buf then 0 else p);
   if t.count < Array.length t.buf then t.count <- t.count + 1
 
 let pop t =
   if t.count = 0 then None
   else begin
-    t.top <- (t.top - 1 + Array.length t.buf) mod Array.length t.buf;
+    t.top <- (let p = t.top - 1 in if p < 0 then Array.length t.buf - 1 else p);
     t.count <- t.count - 1;
     Some t.buf.(t.top)
   end
@@ -25,7 +27,7 @@ let depth_used t = t.count
 let pop_value t =
   if t.count = 0 then -1
   else begin
-    t.top <- (t.top - 1 + Array.length t.buf) mod Array.length t.buf;
+    t.top <- (let p = t.top - 1 in if p < 0 then Array.length t.buf - 1 else p);
     t.count <- t.count - 1;
     t.buf.(t.top)
   end

@@ -90,14 +90,9 @@ type state = {
    leaves no register live across an eosJMP); the observable half of the
    same seeded bug lives in the ShadowMemory lowering — see
    Sempe_lang.Shadow.privatize and Sempe_workloads.Harness.transform. *)
-let with_fault st which f =
-  if st.cfg.fault = which then begin
-    let saved = Array.copy st.regs in
-    let r = f () in
-    Array.blit saved 0 st.regs 0 (Array.length saved);
-    r
-  end
-  else f ()
+(* The fault comparison happens once at predecode and the slow path is
+   written out at each site: passing [fun () -> ...] to a combinator per
+   committed eosJMP would allocate a closure without flambda. *)
 
 (* ALU/condition semantics specialized at decode time: each predecoded
    thunk holds a direct pointer to its operation instead of re-matching
@@ -147,6 +142,8 @@ let predecode st =
   let snaps = st.snaps and jb = st.jb and spm = st.spm in
   let emit = st.emit and sink = st.sink in
   let warm = st.warm in
+  let fault_nt = cfg.fault = Skip_nt_restore in
+  let fault_restore = cfg.fault = Skip_restore in
   let wr r v =
     if r <> Reg.zero then begin
       regs.(r) <- v;
@@ -389,8 +386,13 @@ let predecode st =
               sink ev
             end;
             let nt_mods =
-              with_fault st Skip_nt_restore (fun () ->
-                  Snapshot.end_nt_path snaps ~regs)
+              if fault_nt then begin
+                let saved = Array.copy regs in
+                let r = Snapshot.end_nt_path snaps ~regs in
+                Array.blit saved 0 regs 0 (Array.length saved);
+                r
+              end
+              else Snapshot.end_nt_path snaps ~regs
             in
             let c1 = Spm.save_modified spm ~modified:nt_mods in
             let c2 = Spm.read_modified spm ~modified:nt_mods in
@@ -405,8 +407,13 @@ let predecode st =
               sink ev
             end;
             let union =
-              with_fault st Skip_restore (fun () ->
-                  Snapshot.finish snaps ~regs)
+              if fault_restore then begin
+                let saved = Array.copy regs in
+                let r = Snapshot.finish snaps ~regs in
+                Array.blit saved 0 regs 0 (Array.length saved);
+                r
+              end
+              else Snapshot.finish snaps ~regs
             in
             let cycles = Spm.restore spm ~modified_union:union in
             if emit then

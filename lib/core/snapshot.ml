@@ -1,71 +1,98 @@
 open Sempe_util
 
+type phase = Nt_path | T_path
+
+(* One frame per nesting level, pooled: frames are allocated only the first
+   time a nesting depth is reached and reused for every later SecBlock at
+   that depth. Entering/leaving a SecBlock is the hot non-straight-line
+   event of a SeMPE execution (once per committed sJMP in both execution
+   modes), and the old stack-of-records representation allocated two
+   register arrays, two bit vectors and three heap blocks per entry. *)
 type frame = {
   pre_state : int array;
   nt_state : int array;
   nt_modified : Bitvec.t;
   t_modified : Bitvec.t;
-  outcome : bool;
+  mutable outcome : bool;
+  mutable phase : phase;
 }
 
-type phase = Nt_path | T_path
+type t = {
+  mutable frames : frame array; (* pool; frames.(0 .. depth-1) are live *)
+  mutable depth : int;
+  mutable union_scratch : Bitvec.t; (* reused by [finish]; sized on demand *)
+}
 
-type live = { frame : frame; mutable phase : phase }
-
-type t = { mutable stack : live list; mutable depth : int }
-
-let create () = { stack = []; depth = 0 }
+let create () = { frames = [||]; depth = 0; union_scratch = Bitvec.create 0 }
 
 let depth t = t.depth
 
+let new_frame nregs =
+  {
+    pre_state = Array.make nregs 0;
+    nt_state = Array.make nregs 0;
+    nt_modified = Bitvec.create nregs;
+    t_modified = Bitvec.create nregs;
+    outcome = false;
+    phase = Nt_path;
+  }
+
 let push t ~regs ~outcome =
   let nregs = Array.length regs in
-  let frame =
-    {
-      pre_state = Array.copy regs;
-      nt_state = Array.make nregs 0;
-      nt_modified = Bitvec.create nregs;
-      t_modified = Bitvec.create nregs;
-      outcome;
-    }
+  if t.depth = Array.length t.frames then
+    t.frames <- Array.append t.frames [| new_frame nregs |];
+  let f = t.frames.(t.depth) in
+  let f =
+    (* Defensive: a pool frame sized for a different register file (only
+       possible if one [t] is reused across configs) is rebuilt in place. *)
+    if Array.length f.pre_state <> nregs then begin
+      let f = new_frame nregs in
+      t.frames.(t.depth) <- f;
+      f
+    end
+    else f
   in
-  t.stack <- { frame; phase = Nt_path } :: t.stack;
+  Array.blit regs 0 f.pre_state 0 nregs;
+  Bitvec.clear_all f.nt_modified;
+  Bitvec.clear_all f.t_modified;
+  f.outcome <- outcome;
+  f.phase <- Nt_path;
   t.depth <- t.depth + 1
 
 let top t =
-  match t.stack with
-  | [] -> invalid_arg "Snapshot: no open SecBlock"
-  | live :: _ -> live
+  if t.depth = 0 then invalid_arg "Snapshot: no open SecBlock";
+  Array.unsafe_get t.frames (t.depth - 1)
 
 let current_phase t = (top t).phase
 
 let note_write t r =
-  match t.stack with
-  | [] -> ()
-  | live :: _ ->
-    let v =
-      match live.phase with
-      | Nt_path -> live.frame.nt_modified
-      | T_path -> live.frame.t_modified
-    in
+  if t.depth > 0 then begin
+    let f = Array.unsafe_get t.frames (t.depth - 1) in
+    let v = match f.phase with Nt_path -> f.nt_modified | T_path -> f.t_modified in
     Bitvec.set v r
+  end
 
 let end_nt_path t ~regs =
-  let live = top t in
-  if live.phase <> Nt_path then invalid_arg "Snapshot.end_nt_path: not in NT path";
-  let f = live.frame in
+  let f = top t in
+  if f.phase <> Nt_path then invalid_arg "Snapshot.end_nt_path: not in NT path";
   Array.blit regs 0 f.nt_state 0 (Array.length regs);
   (* Roll the live registers back to the pre-state so the T path starts from
-     the same state the NT path did. *)
-  Bitvec.iter_set (fun r -> regs.(r) <- f.pre_state.(r)) f.nt_modified;
-  live.phase <- T_path;
+     the same state the NT path did. Plain for-loops throughout this file
+     rather than [Bitvec.iter_set] closures: these run per committed sJMP
+     and a closure would allocate without flambda. *)
+  for r = 0 to Array.length regs - 1 do
+    if Bitvec.get f.nt_modified r then regs.(r) <- f.pre_state.(r)
+  done;
+  f.phase <- T_path;
   Bitvec.popcount f.nt_modified
 
 let finish t ~regs =
-  let live = top t in
-  if live.phase <> T_path then invalid_arg "Snapshot.finish: NT path still open";
-  let f = live.frame in
-  let union = Bitvec.union f.nt_modified f.t_modified in
+  let f = top t in
+  if f.phase <> T_path then invalid_arg "Snapshot.finish: NT path still open";
+  if Bitvec.length t.union_scratch <> Bitvec.length f.nt_modified then
+    t.union_scratch <- Bitvec.create (Bitvec.length f.nt_modified);
+  let union = t.union_scratch in
+  Bitvec.union_into union f.nt_modified f.t_modified;
   if not f.outcome then
     (* The NT path is the true path: registers it modified take their
        NT-state values; registers modified only by the (wrong) T path roll
@@ -73,21 +100,24 @@ let finish t ~regs =
        (the T path's results) are already correct — the hardware still reads
        every modified register from the SPM and overwrites it with itself so
        the restore cost cannot leak the outcome. *)
-    Bitvec.iter_set
-      (fun r ->
+    for r = 0 to Array.length regs - 1 do
+      if Bitvec.get union r then
         if Bitvec.get f.nt_modified r then regs.(r) <- f.nt_state.(r)
-        else regs.(r) <- f.pre_state.(r))
-      union;
-  (match t.stack with
-   | _ :: (parent :: _ as rest) ->
-     let pv =
-       match parent.phase with
-       | Nt_path -> parent.frame.nt_modified
-       | T_path -> parent.frame.t_modified
-     in
-     Bitvec.iter_set (fun r -> Bitvec.set pv r) union;
-     t.stack <- rest
-   | _ :: [] -> t.stack <- []
-   | [] -> assert false);
+        else regs.(r) <- f.pre_state.(r)
+    done;
+  (* Propagate the modified union into the parent frame's current vector:
+     an inner SecBlock's restore writes registers during the parent's
+     path. *)
+  if t.depth >= 2 then begin
+    let parent = Array.unsafe_get t.frames (t.depth - 2) in
+    let pv =
+      match parent.phase with
+      | Nt_path -> parent.nt_modified
+      | T_path -> parent.t_modified
+    in
+    for r = 0 to Bitvec.length union - 1 do
+      if Bitvec.get union r then Bitvec.set pv r
+    done
+  end;
   t.depth <- t.depth - 1;
   Bitvec.popcount union

@@ -4,17 +4,11 @@
     holds the register state captured before entering the SecBlock, the
     state captured after the NT path, and the two modified-bit vectors that
     decide which values the restore phase writes back. The nesting level is
-    the frame's SPM offset. *)
+    the frame's SPM offset.
 
-open Sempe_util
-
-type frame = {
-  pre_state : int array;          (** registers before entering the SecBlock *)
-  nt_state : int array;           (** registers after the NT path *)
-  nt_modified : Bitvec.t;         (** registers written during the NT path *)
-  t_modified : Bitvec.t;          (** registers written during the T path *)
-  outcome : bool;                 (** T/NT bit copied from the jbTable *)
-}
+    Frames are pooled per nesting depth and reused across SecBlocks, so
+    entering and leaving a region allocates nothing after the deepest
+    nesting level has been visited once. *)
 
 (** Which path the innermost SecBlock is currently executing. *)
 type phase = Nt_path | T_path

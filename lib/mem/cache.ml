@@ -7,12 +7,20 @@ type config = {
   ways : int;
 }
 
-type line = { mutable tag : int; mutable lru : int }
-(* tag = -1 encodes invalid. *)
-
+(* The per-line state lives in two flat packed int arrays indexed
+   [set * ways + way] instead of an array-of-arrays of line records: one
+   cache access touches one contiguous handful of words instead of
+   chasing a set pointer and then one boxed record per way. [tags.(i)]
+   = -1 encodes invalid; [lru.(i)] is the global-clock stamp of the
+   line's last touch. The packed layout is also what makes checkpointing
+   a warmed cache a plain array copy for [Marshal] instead of a graph of
+   thousands of records. *)
 type t = {
   cfg : config;
-  sets : line array array;
+  nsets : int;
+  ways : int;
+  tags : int array; (* nsets * ways; -1 = invalid *)
+  lru : int array; (* nsets * ways; last-touch clock stamp *)
   (* [addr / line_bytes] and [... / num_sets] as shifts when both are
      powers of two (they always are for the paper's machines; [-1] falls
      back to division). Addresses are non-negative, so the results are
@@ -49,7 +57,10 @@ let create cfg =
   let group = Stats.group cfg.name in
   {
     cfg;
-    sets = Array.init nsets (fun _ -> Array.init cfg.ways (fun _ -> { tag = -1; lru = 0 }));
+    nsets;
+    ways = cfg.ways;
+    tags = Array.make lines (-1);
+    lru = Array.make lines 0;
     line_shift = log2_pow2 cfg.line_bytes;
     set_shift = log2_pow2 nsets;
     clock = 0;
@@ -62,86 +73,128 @@ let create cfg =
   }
 
 let config t = t.cfg
-let num_sets t = Array.length t.sets
+let num_sets t = t.nsets
 
 let line_of t addr =
   if t.line_shift >= 0 then addr lsr t.line_shift else addr / t.cfg.line_bytes
 
-let set_index t ~addr = line_of t addr land (num_sets t - 1)
+let set_index t ~addr = line_of t addr land (t.nsets - 1)
 
 let tag_of t addr =
   let line = line_of t addr in
-  if t.set_shift >= 0 then line lsr t.set_shift else line / num_sets t
+  if t.set_shift >= 0 then line lsr t.set_shift else line / t.nsets
 
-(* [set_index] is masked to [num_sets - 1] and the scans below are
-   bounded by the set's length, so the unsafe accesses are in bounds by
-   construction. This is the per-access hot path of both execution
-   modes, hence also the allocation-free [mem] instead of an
-   option-returning find. *)
-let set_of t ~addr = Array.unsafe_get t.sets (set_index t ~addr)
+(* [set_index] is masked to [nsets - 1] and the scans below are bounded by
+   [base + ways <= nsets * ways], so the unsafe accesses are in bounds by
+   construction. This is the per-access hot path of both execution modes,
+   hence also the allocation-free scans instead of option-returning
+   finds. *)
+let set_base t ~addr = set_index t ~addr * t.ways
 
-let mem set tag =
-  let rec scan i =
-    if i >= Array.length set then false
-    else if (Array.unsafe_get set i).tag = tag then true
-    else scan (i + 1)
-  in
-  scan 0
+(* The scans below are while-loops over local refs rather than local
+   recursive functions: without flambda a [let rec] capturing its
+   surroundings allocates a closure per call, and these run on the
+   per-access hot path (non-escaping refs are compiled to mutable
+   variables). *)
+let mem t base tag =
+  let stop = base + t.ways in
+  let i = ref base in
+  while !i < stop && Array.unsafe_get t.tags !i <> tag do
+    incr i
+  done;
+  !i < stop
 
-let lru_victim set =
-  Array.fold_left (fun best l -> if l.lru < best.lru then l else best) set.(0) set
+(* First way with the minimum stamp, matching the record-based reference
+   (fold kept the earlier way on ties). *)
+let lru_victim t base =
+  let stop = base + t.ways in
+  let best = ref base in
+  let best_lru = ref (Array.unsafe_get t.lru base) in
+  for i = base + 1 to stop - 1 do
+    let l = Array.unsafe_get t.lru i in
+    if l < !best_lru then begin
+      best := i;
+      best_lru := l
+    end
+  done;
+  !best
 
-let install t set tag =
-  let victim = lru_victim set in
-  if victim.tag >= 0 then Stats.incr t.c_evictions;
-  victim.tag <- tag;
+let install t base tag =
+  let v = lru_victim t base in
+  if Array.unsafe_get t.tags v >= 0 then Stats.incr t.c_evictions;
+  Array.unsafe_set t.tags v tag;
   t.clock <- t.clock + 1;
-  victim.lru <- t.clock
+  Array.unsafe_set t.lru v t.clock
 
 let access t ~addr ~write =
   Stats.incr t.c_accesses;
   if write then Stats.incr t.c_writes;
-  let set = set_of t ~addr and tag = tag_of t addr in
-  let n = Array.length set in
-  let rec scan i =
-    if i >= n then begin
-      Stats.incr t.c_misses;
-      install t set tag;
-      Miss
-    end
-    else
-      let line = Array.unsafe_get set i in
-      if line.tag = tag then begin
-        t.clock <- t.clock + 1;
-        line.lru <- t.clock;
-        Hit
-      end
-      else scan (i + 1)
-  in
-  scan 0
+  let base = set_base t ~addr and tag = tag_of t addr in
+  let stop = base + t.ways in
+  let i = ref base in
+  while !i < stop && Array.unsafe_get t.tags !i <> tag do
+    incr i
+  done;
+  if !i < stop then begin
+    t.clock <- t.clock + 1;
+    Array.unsafe_set t.lru !i t.clock;
+    Hit
+  end
+  else begin
+    Stats.incr t.c_misses;
+    install t base tag;
+    Miss
+  end
 
 let prefetch_fill t ~addr =
-  let set = set_of t ~addr and tag = tag_of t addr in
-  if mem set tag then false
+  let base = set_base t ~addr and tag = tag_of t addr in
+  if mem t base tag then false
   else begin
     Stats.incr t.c_prefetch_fills;
-    install t set tag;
+    install t base tag;
     true
   end
 
 let probe t ~addr =
-  let set = set_of t ~addr and tag = tag_of t addr in
-  mem set tag
+  let base = set_base t ~addr and tag = tag_of t addr in
+  mem t base tag
+
+(* Rank of way [i] within its set: the number of strictly more-recent
+   lines. Valid lines carry distinct clock stamps, so ranks of valid
+   lines are distinct. *)
+let rank_of t base stop i =
+  let li = Array.unsafe_get t.lru i in
+  let rec count j acc =
+    if j >= stop then acc
+    else count (j + 1) (if Array.unsafe_get t.lru j > li then acc + 1 else acc)
+  in
+  count base 0
 
 let resident_tags t set_idx =
-  let set = t.sets.(set_idx) in
-  let lines = Array.to_list (Array.copy set) in
-  let valid = List.filter (fun l -> l.tag >= 0) lines in
-  let sorted = List.sort (fun a b -> compare b.lru a.lru) valid in
-  List.map (fun l -> l.tag) sorted
+  (* Direct rank scan over the packed arrays (no copy, no sort): way of
+     rank 0 is the MRU. Quadratic in [ways], which is tiny; this runs
+     thousands of times inside warm-state fidelity tests. *)
+  let base = set_idx * t.ways in
+  let stop = base + t.ways in
+  let rec emit rank acc =
+    if rank < 0 then acc
+    else
+      let rec find i =
+        if i >= stop then None
+        else if Array.unsafe_get t.tags i >= 0 && rank_of t base stop i = rank
+        then Some (Array.unsafe_get t.tags i)
+        else find (i + 1)
+      in
+      match find base with
+      | Some tag -> emit (rank - 1) (tag :: acc)
+      | None -> emit (rank - 1) acc
+  in
+  (* built from the largest rank down, so the head ends up the MRU *)
+  emit (t.ways - 1) []
 
 let flush t =
-  Array.iter (fun set -> Array.iter (fun l -> l.tag <- -1; l.lru <- 0) set) t.sets;
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.lru 0 (Array.length t.lru) 0;
   t.clock <- 0
 
 let stats t = t.group
@@ -154,20 +207,17 @@ let signature t =
      same resident lines but divergent replacement order must not collide,
      or the warm-state fidelity checks cannot see recency drift. The rank
      (number of strictly more-recent lines in the set) rather than the raw
-     [lru] clock keeps the hash independent of access counts. *)
+     [lru] clock keeps the hash independent of access counts. Fold order
+     (sets ascending, ways ascending) matches the record-based reference
+     bit for bit. *)
   let acc = ref 2166136261 in
   let mix x = acc := (!acc * 16777619) lxor x in
-  Array.iter
-    (fun set ->
-      let n = Array.length set in
-      for i = 0 to n - 1 do
-        let l = set.(i) in
-        let rank = ref 0 in
-        for j = 0 to n - 1 do
-          if set.(j).lru > l.lru then incr rank
-        done;
-        mix (l.tag + 2);
-        mix !rank
-      done)
-    t.sets;
+  for s = 0 to t.nsets - 1 do
+    let base = s * t.ways in
+    let stop = base + t.ways in
+    for i = base to stop - 1 do
+      mix (t.tags.(i) + 2);
+      mix (rank_of t base stop i)
+    done
+  done;
   !acc

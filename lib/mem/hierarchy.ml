@@ -46,8 +46,10 @@ let l2_access t ~addr ~write =
   match Cache.access t.l2 ~addr ~write with
   | Cache.Hit -> t.cfg.lat_l2
   | Cache.Miss ->
-    let candidates = Prefetch.Stream.observe_miss t.stream ~addr in
-    List.iter (fun a -> ignore (Cache.prefetch_fill t.l2 ~addr:a)) candidates;
+    let n = Prefetch.Stream.observe_miss t.stream ~addr in
+    for i = 0 to n - 1 do
+      ignore (Cache.prefetch_fill t.l2 ~addr:(Prefetch.Stream.candidate t.stream i))
+    done;
     t.cfg.lat_mem
 
 let inst_fetch t ~addr =
@@ -63,19 +65,13 @@ let data_access t ~pc ~addr ~write =
   in
   (* Stride prefetches fill the DL1 (and the L2 on the way, as a real
      hierarchy would). This runs once per load/store in both execution
-     modes; the common cases are matched out so no closure is allocated
-     on the hot path. *)
-  (match Prefetch.Stride.observe t.stride ~pc ~addr with
-   | [] -> ()
-   | [ a ] ->
-     if Cache.prefetch_fill t.dl1 ~addr:a then
-       ignore (Cache.prefetch_fill t.l2 ~addr:a)
-   | candidates ->
-     List.iter
-       (fun a ->
-         if Cache.prefetch_fill t.dl1 ~addr:a then
-           ignore (Cache.prefetch_fill t.l2 ~addr:a))
-       candidates);
+     modes. *)
+  let n = Prefetch.Stride.observe t.stride ~pc ~addr in
+  for i = 0 to n - 1 do
+    let a = Prefetch.Stride.candidate t.stride i in
+    if Cache.prefetch_fill t.dl1 ~addr:a then
+      ignore (Cache.prefetch_fill t.l2 ~addr:a)
+  done;
   latency
 
 let il1 t = t.il1

@@ -6,7 +6,7 @@ module Stride = struct
     mutable confidence : int;
   }
 
-  type t = { table : entry array; degree : int }
+  type t = { table : entry array; degree : int; buf : int array }
 
   let create ?(entries = 64) ?(degree = 1) () =
     assert (entries land (entries - 1) = 0);
@@ -15,8 +15,14 @@ module Stride = struct
         Array.init entries (fun _ ->
             { tag = -1; last_addr = 0; stride = 0; confidence = 0 });
       degree;
+      buf = Array.make degree 0;
     }
 
+  let candidate t i = t.buf.(i)
+
+  (* Returns the number of candidates written into the internal buffer
+     (read back with [candidate]) instead of consing a list: this runs
+     once per load/store in both execution modes. *)
   let observe t ~pc ~addr =
     let e = t.table.(pc land (Array.length t.table - 1)) in
     if e.tag <> pc then begin
@@ -24,7 +30,7 @@ module Stride = struct
       e.last_addr <- addr;
       e.stride <- 0;
       e.confidence <- 0;
-      []
+      0
     end
     else begin
       let stride = addr - e.last_addr in
@@ -37,14 +43,12 @@ module Stride = struct
       end;
       e.last_addr <- addr;
       if e.confidence >= 2 && e.stride <> 0 then begin
-        (* Built back to front without the List.init closure: this runs
-           on every confident streaming access in both execution modes. *)
-        let rec build i acc =
-          if i = 0 then acc else build (i - 1) (addr + (e.stride * i) :: acc)
-        in
-        build t.degree []
+        for i = 0 to t.degree - 1 do
+          Array.unsafe_set t.buf i (addr + (e.stride * (i + 1)))
+        done;
+        t.degree
       end
-      else []
+      else 0
     end
 
   let reset t =
@@ -64,6 +68,7 @@ module Stream = struct
     streams : stream array;
     degree : int;
     line_bytes : int;
+    buf : int array;
     mutable clock : int;
   }
 
@@ -72,8 +77,11 @@ module Stream = struct
       streams = Array.init streams (fun _ -> { last_line = -1; length = 0; lru = 0 });
       degree;
       line_bytes;
+      buf = Array.make degree 0;
       clock = 0;
     }
+
+  let candidate t i = t.buf.(i)
 
   let observe_miss t ~addr =
     let line = addr / t.line_bytes in
@@ -91,9 +99,13 @@ module Stream = struct
       s.last_line <- line;
       s.length <- s.length + 1;
       s.lru <- t.clock;
-      if s.length >= 2 then
-        List.init t.degree (fun i -> (line + i + 1) * t.line_bytes)
-      else []
+      if s.length >= 2 then begin
+        for i = 0 to t.degree - 1 do
+          Array.unsafe_set t.buf i ((line + i + 1) * t.line_bytes)
+        done;
+        t.degree
+      end
+      else 0
     | None ->
       let victim =
         Array.fold_left
@@ -103,7 +115,7 @@ module Stream = struct
       victim.last_line <- line;
       victim.length <- 1;
       victim.lru <- t.clock;
-      []
+      0
 
   let reset t =
     Array.iter

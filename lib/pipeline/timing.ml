@@ -12,22 +12,29 @@ module Ports = struct
 
   let create cap = { use = Array.make size 0; tag = Array.make size (-1); cap }
 
-  (* Earliest cycle >= [c] with a free slot; claims it. *)
+  (* Earliest cycle >= [c] with a free slot; claims it. While-loop (a
+     local [let rec] would allocate a closure per µop without flambda). *)
   let alloc t c =
-    let rec go c =
-      let i = c land mask in
-      if t.tag.(i) <> c then begin
-        t.tag.(i) <- c;
-        t.use.(i) <- 1;
-        c
+    let use = t.use and tag = t.tag and cap = t.cap in
+    let c = ref c in
+    let claimed = ref false in
+    while not !claimed do
+      let i = !c land mask in
+      if Array.unsafe_get tag i <> !c then begin
+        Array.unsafe_set tag i !c;
+        Array.unsafe_set use i 1;
+        claimed := true
       end
-      else if t.use.(i) < t.cap then begin
-        t.use.(i) <- t.use.(i) + 1;
-        c
+      else begin
+        let u = Array.unsafe_get use i in
+        if u < cap then begin
+          Array.unsafe_set use i (u + 1);
+          claimed := true
+        end
+        else incr c
       end
-      else go (c + 1)
-    in
-    go c
+    done;
+    !c
 end
 
 type t = {
@@ -51,12 +58,17 @@ type t = {
   mutable n_uops : int;
   mutable n_loads : int;
   mutable n_stores : int;
+  (* ring cursors: [rob_pos = n_uops mod rob_entries] etc., maintained by
+     wrap-on-increment so the per-µop path never divides *)
+  mutable rob_pos : int;
+  mutable iq_pos : int;
+  mutable lq_pos : int;
+  mutable sq_pos : int;
   issue_ports : Ports.t;
   load_ports : Ports.t;
-  (* observability: optional probe plus stall-stack accounting. The probe
-     is passive and the stall counters are pure bookkeeping: neither ever
-     feeds back into a cycle assignment. *)
-  probe : Probe.t option;
+  (* observability: stall-stack accounting is pure bookkeeping and never
+     feeds back into a cycle assignment. The optional probe is captured by
+     [feed_fn] at [create] time — see the staging note there. *)
   stalls : int array;
   mutable stall_reason : Stall.bucket;
   mutable c_fetch_cause : Stall.bucket;
@@ -65,13 +77,18 @@ type t = {
      recent [fetch] (-1 = rode the previous line) and its extra latency *)
   mutable c_il1_line : int;
   mutable c_fetch_extra : int;
-  (* stores in flight: word address -> completion cycle. Pruned (see
-     [prune_stores]) so the table tracks recent stores only instead of one
-     entry per word address ever written. *)
-  store_complete : (int, int) Hashtbl.t;
-  store_window : int;
-  store_table_cap : int;
-  mutable store_next_prune : int;
+  mutable c_mem_extra : int;
+  (* stores in flight, a direct-mapped ring like [Ports]: slot
+     [addr land store_mask] holds the word address of the youngest store
+     mapping there and its completion cycle. A collision simply forgets the
+     older store — forwarding is a performance heuristic, and a stale
+     completion cycle from long ago loses the [max] against the load's own
+     latency, so dropped entries can only cost forwarding, never corrupt a
+     cycle. Replaces a Hashtbl (hashing + bucket chasing + amortized
+     pruning) with two array words per store. *)
+  store_addr : int array; (* -1 = empty *)
+  store_done : int array;
+  store_mask : int;
   (* commit *)
   mutable last_commit_cycle : int;
   mutable commits_in_cycle : int;
@@ -85,77 +102,80 @@ type t = {
   mutable s_spm_cycles : int;
   mutable s_loads : int;
   mutable s_stores : int;
+  (* step loop staged at [create]: probe-attached vs probe-free variants of
+     the feed path, so the no-sink hot path carries neither the option
+     branch nor the probe-only observable writes. *)
+  mutable feed_fn : Uop.event -> unit;
 }
 
-let create ?(config = Config.default) ?predictor ?warm
-    ?(store_window = Ports.size) ?(store_table_cap = 4096) ?probe () =
+let round_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let make ?(config = Config.default) ?predictor ?warm ?(store_slots = 4096) () =
   let warm =
     match warm with
     | Some w -> w (* revived (pre-warmed) state; [predictor] is ignored *)
     | None -> Warm.create ~machine:config ?predictor ()
   in
-  {
-    cfg = config;
-    warm;
-    fetch_cycle = 0;
-    fetched_in_cycle = 0;
-    stall_until = 0;
-    reg_ready = Array.make Reg.count 0;
-    rob_commit = Array.make config.Config.rob_entries 0;
-    iq_issue = Array.make config.Config.iq_entries 0;
-    lq_free = Array.make config.Config.lq_entries 0;
-    sq_free = Array.make config.Config.sq_entries 0;
-    n_uops = 0;
-    n_loads = 0;
-    n_stores = 0;
-    issue_ports = Ports.create config.Config.issue_width;
-    load_ports = Ports.create config.Config.load_issue;
-    probe;
-    stalls = Array.make Stall.count 0;
-    stall_reason = Stall.Base;
-    c_fetch_cause = Stall.Base;
-    c_dispatch_cause = Stall.Base;
-    c_il1_line = -1;
-    c_fetch_extra = 0;
-    store_complete = Hashtbl.create 1024;
-    store_window = max 1 store_window;
-    store_table_cap = max 1 store_table_cap;
-    store_next_prune = max 1 store_table_cap;
-    last_commit_cycle = -1;
-    commits_in_cycle = 0;
-    max_commit = 0;
-    s_instructions = 0;
-    s_cond_branches = 0;
-    s_mispredicts = 0;
-    s_secure_branches = 0;
-    s_drains = 0;
-    s_spm_cycles = 0;
-    s_loads = 0;
-    s_stores = 0;
-  }
+  let store_slots = round_pow2 (max 1 store_slots) in
+  let t =
+    {
+      cfg = config;
+      warm;
+      fetch_cycle = 0;
+      fetched_in_cycle = 0;
+      stall_until = 0;
+      reg_ready = Array.make Reg.count 0;
+      rob_commit = Array.make config.Config.rob_entries 0;
+      iq_issue = Array.make config.Config.iq_entries 0;
+      lq_free = Array.make config.Config.lq_entries 0;
+      sq_free = Array.make config.Config.sq_entries 0;
+      n_uops = 0;
+      n_loads = 0;
+      n_stores = 0;
+      rob_pos = 0;
+      iq_pos = 0;
+      lq_pos = 0;
+      sq_pos = 0;
+      issue_ports = Ports.create config.Config.issue_width;
+      load_ports = Ports.create config.Config.load_issue;
+      stalls = Array.make Stall.count 0;
+      stall_reason = Stall.Base;
+      c_fetch_cause = Stall.Base;
+      c_dispatch_cause = Stall.Base;
+      c_il1_line = -1;
+      c_fetch_extra = 0;
+      c_mem_extra = 0;
+      store_addr = Array.make store_slots (-1);
+      store_done = Array.make store_slots 0;
+      store_mask = store_slots - 1;
+      last_commit_cycle = -1;
+      commits_in_cycle = 0;
+      max_commit = 0;
+      s_instructions = 0;
+      s_cond_branches = 0;
+      s_mispredicts = 0;
+      s_secure_branches = 0;
+      s_drains = 0;
+      s_spm_cycles = 0;
+      s_loads = 0;
+      s_stores = 0;
+      feed_fn = ignore;
+    }
+  in
+  t
 
 let config t = t.cfg
 let hierarchy t = Warm.hierarchy t.warm
 let warm_state t = t.warm
-let store_entries t = Hashtbl.length t.store_complete
-let current_cycles t = t.max_commit + 1
 
-(* Forget stores whose completion is further behind the commit frontier
-   than any later load could reach back (same spread bound as the Ports
-   ring): they can never win the [max completion (sc + 1)] forwarding race
-   again, so dropping them cannot change any timing. Without this the
-   table keeps one entry per word address ever stored for the whole run. *)
-let prune_stores t =
-  if Hashtbl.length t.store_complete >= t.store_next_prune then begin
-    let horizon = t.max_commit - t.store_window in
-    Hashtbl.filter_map_inplace
-      (fun _addr sc -> if sc < horizon then None else Some sc)
-      t.store_complete;
-    (* Amortize: if everything was recent and survived, don't re-sweep
-       until the table has grown substantially past this point. *)
-    t.store_next_prune <-
-      max t.store_table_cap (2 * Hashtbl.length t.store_complete)
-  end
+let store_entries t =
+  let n = ref 0 in
+  Array.iter (fun a -> if a >= 0 then incr n) t.store_addr;
+  !n
+
+let current_cycles t = t.max_commit + 1
 
 let break_fetch_group t = t.fetched_in_cycle <- t.cfg.Config.fetch_width
 
@@ -168,8 +188,11 @@ let raise_stall t cycle reason =
   end
 
 (* Assign a fetch cycle to the µop at [pc], honoring width, stalls and the
-   instruction cache. *)
-let fetch t ~pc =
+   instruction cache. [track_line] is a compile-time-known flag in each
+   staged caller: the IL1-line observable exists only for the probe, and
+   the probe-free path must not pay the two [Warm.fetch_line] reads and
+   field writes per µop. Neither branch changes warm state or any cycle. *)
+let[@inline] fetch t ~pc ~track_line =
   let cfg = t.cfg in
   let base =
     if t.fetched_in_cycle >= cfg.Config.fetch_width then t.fetch_cycle + 1
@@ -179,11 +202,17 @@ let fetch t ~pc =
   t.c_fetch_cause <- (if t.stall_until > base then t.stall_reason else Stall.Base);
   (* A hit costs no bubble beyond the pipelined front end; a miss stalls
      fetch for the extra latency. *)
-  let line_before = Warm.fetch_line t.warm in
-  let extra = Warm.fetch t.warm ~pc in
-  let line_after = Warm.fetch_line t.warm in
-  t.c_il1_line <- (if line_after = line_before then -1 else line_after);
-  t.c_fetch_extra <- extra;
+  let extra =
+    if track_line then begin
+      let line_before = Warm.fetch_line t.warm in
+      let extra = Warm.fetch t.warm ~pc in
+      let line_after = Warm.fetch_line t.warm in
+      t.c_il1_line <- (if line_after = line_before then -1 else line_after);
+      t.c_fetch_extra <- extra;
+      extra
+    end
+    else Warm.fetch t.warm ~pc
+  in
   if extra > 0 then t.c_fetch_cause <- Stall.Icache;
   let f = f + extra in
   if f > t.fetch_cycle then begin
@@ -197,29 +226,42 @@ let fetch t ~pc =
    must have freed its ROB/IQ/LQ/SQ entry. *)
 let dispatch t ~fetch_time ~is_load ~is_store =
   let cfg = t.cfg in
+  (* The bump steps are written out (not a local helper closing over [d]):
+     a ref captured by a closure escapes and both would allocate per µop
+     without flambda. *)
   let d = ref (fetch_time + cfg.Config.frontend_depth) in
   t.c_dispatch_cause <- Stall.Base;
-  let bump v bucket =
+  if t.n_uops >= Array.length t.rob_commit then begin
+    let v = Array.unsafe_get t.rob_commit t.rob_pos + 1 in
     if v > !d then begin
       d := v;
-      t.c_dispatch_cause <- bucket
+      t.c_dispatch_cause <- Stall.Rob_full
     end
-  in
-  let rob_size = Array.length t.rob_commit in
-  if t.n_uops >= rob_size then
-    bump (t.rob_commit.(t.n_uops mod rob_size) + 1) Stall.Rob_full;
-  let iq_size = Array.length t.iq_issue in
-  if t.n_uops >= iq_size then
-    bump (t.iq_issue.(t.n_uops mod iq_size) + 1) Stall.Iq_full;
+  end;
+  if t.n_uops >= Array.length t.iq_issue then begin
+    let v = Array.unsafe_get t.iq_issue t.iq_pos + 1 in
+    if v > !d then begin
+      d := v;
+      t.c_dispatch_cause <- Stall.Iq_full
+    end
+  end;
   if is_load then begin
-    let lq_size = Array.length t.lq_free in
-    if t.n_loads >= lq_size then
-      bump (t.lq_free.(t.n_loads mod lq_size) + 1) Stall.Lq_full
+    if t.n_loads >= Array.length t.lq_free then begin
+      let v = Array.unsafe_get t.lq_free t.lq_pos + 1 in
+      if v > !d then begin
+        d := v;
+        t.c_dispatch_cause <- Stall.Lq_full
+      end
+    end
   end;
   if is_store then begin
-    let sq_size = Array.length t.sq_free in
-    if t.n_stores >= sq_size then
-      bump (t.sq_free.(t.n_stores mod sq_size) + 1) Stall.Sq_full
+    if t.n_stores >= Array.length t.sq_free then begin
+      let v = Array.unsafe_get t.sq_free t.sq_pos + 1 in
+      if v > !d then begin
+        d := v;
+        t.c_dispatch_cause <- Stall.Sq_full
+      end
+    end
   end;
   !d
 
@@ -251,21 +293,25 @@ let commit t ~complete =
   if c > t.max_commit then t.max_commit <- c;
   c
 
-let handle_control t (u : Uop.t) ~complete =
-  let cfg = t.cfg in
-  let mispredict () =
-    t.s_mispredicts <- t.s_mispredicts + 1;
-    raise_stall t (complete + cfg.Config.redirect_penalty) Stall.Redirect;
+(* Top-level control-flow helpers (not locals closing over the µop state):
+   [handle_control] runs per committed µop, and local closures would
+   allocate there without flambda. *)
+let mispredict t ~complete =
+  t.s_mispredicts <- t.s_mispredicts + 1;
+  raise_stall t (complete + t.cfg.Config.redirect_penalty) Stall.Redirect;
+  break_fetch_group t
+
+(* Correctly predicted taken control flow: a BTB hit only breaks the
+   fetch group; a miss adds a decode-redirect bubble. *)
+let transfer t = function
+  | Warm.Btb_hit -> break_fetch_group t
+  | Warm.Btb_miss ->
+    raise_stall t
+      (t.fetch_cycle + t.cfg.Config.btb_miss_bubble)
+      Stall.Redirect;
     break_fetch_group t
-  in
-  (* Correctly predicted taken control flow: a BTB hit only breaks the
-     fetch group; a miss adds a decode-redirect bubble. *)
-  let transfer = function
-    | Warm.Btb_hit -> break_fetch_group t
-    | Warm.Btb_miss ->
-      raise_stall t (t.fetch_cycle + cfg.Config.btb_miss_bubble) Stall.Redirect;
-      break_fetch_group t
-  in
+
+let handle_control t (u : Uop.t) ~complete =
   match u.Uop.ctl with
   | Uop.Ctl_none -> ()
   | Uop.Ctl_branch ->
@@ -279,35 +325,53 @@ let handle_control t (u : Uop.t) ~complete =
         Warm.cond_branch t.warm ~pc:u.Uop.pc ~taken:u.Uop.taken
           ~target:u.Uop.target
       with
-      | Warm.Cond_mispredict -> mispredict ()
-      | Warm.Cond_correct_taken_hit -> transfer Warm.Btb_hit
-      | Warm.Cond_correct_taken_miss -> transfer Warm.Btb_miss
+      | Warm.Cond_mispredict -> mispredict t ~complete
+      | Warm.Cond_correct_taken_hit -> transfer t Warm.Btb_hit
+      | Warm.Cond_correct_taken_miss -> transfer t Warm.Btb_miss
       | Warm.Cond_correct_not_taken -> ()
     end
   | Uop.Ctl_jump ->
-    transfer (Warm.taken_transfer t.warm ~pc:u.Uop.pc ~target:u.Uop.target)
+    transfer t (Warm.taken_transfer t.warm ~pc:u.Uop.pc ~target:u.Uop.target)
   | Uop.Ctl_call ->
-    transfer
+    transfer t
       (Warm.call t.warm ~pc:u.Uop.pc ~target:u.Uop.target
          ~return_to:u.Uop.return_to)
   | Uop.Ctl_ret ->
     (match Warm.ret t.warm ~target:u.Uop.target with
      | Warm.Pred_hit -> break_fetch_group t
-     | Warm.Pred_miss -> mispredict ())
+     | Warm.Pred_miss -> mispredict t ~complete)
   | Uop.Ctl_indirect ->
     (match Warm.indirect t.warm ~pc:u.Uop.pc ~target:u.Uop.target with
      | Warm.Pred_hit -> break_fetch_group t
-     | Warm.Pred_miss -> mispredict ())
+     | Warm.Pred_miss -> mispredict t ~complete)
   | Uop.Ctl_jumpback ->
     (* eosJMP: nextPC comes from the jbTable at commit; the mandatory drain
        event that follows already charges the redirect. *)
     break_fetch_group t
 
-let feed_uop t (u : Uop.t) =
+(* The µop pipeline walk shared by both staged feed variants. Everything
+   here feeds the report (cycles, stall stack, statistics), so the two
+   variants must agree exactly — the sink-invisibility determinism test
+   pins that the reports stay byte-identical. [track_line] is the only
+   probe-conditional work and is constant-folded per caller.
+   Returns the commit cycle and leaves (f, d, iss, complete, bucket,
+   delta) observables in the scratch fields the probed caller reads. *)
+type scratch = {
+  mutable sc_fetch : int;
+  mutable sc_dispatch : int;
+  mutable sc_issue : int;
+  mutable sc_complete : int;
+  mutable sc_commit : int;
+  mutable sc_delta : int;
+  mutable sc_bucket : Stall.bucket;
+  mutable sc_dcache_miss : bool;
+}
+
+let[@inline] feed_uop_core t (u : Uop.t) ~track_line (sc : scratch) =
   let cfg = t.cfg in
   let is_load = u.Uop.cls = Instr.Cls_load in
   let is_store = u.Uop.cls = Instr.Cls_store in
-  let f = fetch t ~pc:u.Uop.pc in
+  let f = fetch t ~pc:u.Uop.pc ~track_line in
   let d = dispatch t ~fetch_time:f ~is_load ~is_store in
   let ready =
     (* plain for-loop: [srcs] is a predecoded array shared across commits,
@@ -322,21 +386,22 @@ let feed_uop t (u : Uop.t) =
   in
   let iss = Ports.alloc t.issue_ports ready in
   let iss = if is_load then Ports.alloc t.load_ports iss else iss in
-  let dcache_extra = ref 0 in
+  t.c_mem_extra <- 0;
   let complete =
     if is_load then begin
       t.s_loads <- t.s_loads + 1;
       let lat =
         Warm.data t.warm ~pc:u.Uop.pc ~word_addr:u.Uop.mem_addr ~write:false
       in
-      dcache_extra := lat - Warm.lat_l1 t.warm;
+      t.c_mem_extra <- lat - Warm.lat_l1 t.warm;
       let c = iss + lat in
       (* Store-to-load forwarding: a younger load of a word written by an
          in-flight store sees the value one cycle after the store data is
          ready. *)
-      match Hashtbl.find t.store_complete u.Uop.mem_addr with
-      | sc -> max c (sc + 1)
-      | exception Not_found -> c
+      let slot = u.Uop.mem_addr land t.store_mask in
+      if Array.unsafe_get t.store_addr slot = u.Uop.mem_addr then
+        max c (Array.unsafe_get t.store_done slot + 1)
+      else c
     end
     else if is_store then begin
       t.s_stores <- t.s_stores + 1;
@@ -346,10 +411,11 @@ let feed_uop t (u : Uop.t) =
       let lat =
         Warm.data t.warm ~pc:u.Uop.pc ~word_addr:u.Uop.mem_addr ~write:true
       in
-      dcache_extra := lat - Warm.lat_l1 t.warm;
+      t.c_mem_extra <- lat - Warm.lat_l1 t.warm;
       let c = iss + 1 in
-      Hashtbl.replace t.store_complete u.Uop.mem_addr c;
-      prune_stores t;
+      let slot = u.Uop.mem_addr land t.store_mask in
+      Array.unsafe_set t.store_addr slot u.Uop.mem_addr;
+      Array.unsafe_set t.store_done slot c;
       c
     end
     else iss + fu_latency t u.Uop.cls
@@ -357,17 +423,28 @@ let feed_uop t (u : Uop.t) =
   if u.Uop.dst >= 0 then t.reg_ready.(u.Uop.dst) <- complete;
   let old_max = t.max_commit in
   let c = commit t ~complete in
-  (* Record resource release times in the capacity rings. *)
-  let rob_size = Array.length t.rob_commit in
-  t.rob_commit.(t.n_uops mod rob_size) <- c;
-  let iq_size = Array.length t.iq_issue in
-  t.iq_issue.(t.n_uops mod iq_size) <- iss;
+  (* Record resource release times in the capacity rings, advancing the
+     wrap-on-increment cursors ([pos = count mod size] without dividing). *)
+  Array.unsafe_set t.rob_commit t.rob_pos c;
+  t.rob_pos <-
+    (let p = t.rob_pos + 1 in
+     if p = Array.length t.rob_commit then 0 else p);
+  Array.unsafe_set t.iq_issue t.iq_pos iss;
+  t.iq_pos <-
+    (let p = t.iq_pos + 1 in
+     if p = Array.length t.iq_issue then 0 else p);
   if is_load then begin
-    t.lq_free.(t.n_loads mod Array.length t.lq_free) <- complete;
+    Array.unsafe_set t.lq_free t.lq_pos complete;
+    t.lq_pos <-
+      (let p = t.lq_pos + 1 in
+       if p = Array.length t.lq_free then 0 else p);
     t.n_loads <- t.n_loads + 1
   end;
   if is_store then begin
-    t.sq_free.(t.n_stores mod Array.length t.sq_free) <- c;
+    Array.unsafe_set t.sq_free t.sq_pos c;
+    t.sq_pos <-
+      (let p = t.sq_pos + 1 in
+       if p = Array.length t.sq_free then 0 else p);
     t.n_stores <- t.n_stores + 1
   end;
   t.n_uops <- t.n_uops + 1;
@@ -378,9 +455,10 @@ let feed_uop t (u : Uop.t) =
      per-bucket sums (plus the base cycle 0) equal the total cycle count
      by construction. *)
   let delta = c - old_max in
+  let dcache_miss = is_load && t.c_mem_extra > 0 in
   let bucket =
     if c > complete then Stall.Base (* retire bandwidth / in-order commit *)
-    else if is_load && !dcache_extra > 0 then Stall.Dcache
+    else if dcache_miss then Stall.Dcache
     else if iss > ready then Stall.Fu_contention
     else if ready > d + 1 then Stall.Base (* operand dataflow *)
     else if d > f + cfg.Config.frontend_depth then t.c_dispatch_cause
@@ -388,46 +466,85 @@ let feed_uop t (u : Uop.t) =
   in
   if delta > 0 then
     t.stalls.(Stall.index bucket) <- t.stalls.(Stall.index bucket) + delta;
-  let mispredicts_before = t.s_mispredicts in
-  handle_control t u ~complete;
-  match t.probe with
-  | None -> ()
-  | Some p ->
-    p.Probe.on_uop
-      {
-        Probe.uop = u;
-        fetch = f;
-        dispatch = d;
-        issue = iss;
-        complete;
-        commit = c;
-        bucket;
-        attributed = delta;
-        mispredicted = t.s_mispredicts > mispredicts_before;
-        dcache_miss = is_load && !dcache_extra > 0;
-        il1_line = t.c_il1_line;
-        fetch_extra = t.c_fetch_extra;
-        mem_extra = !dcache_extra;
-      }
+  sc.sc_fetch <- f;
+  sc.sc_dispatch <- d;
+  sc.sc_issue <- iss;
+  sc.sc_complete <- complete;
+  sc.sc_commit <- c;
+  sc.sc_delta <- delta;
+  sc.sc_bucket <- bucket;
+  sc.sc_dcache_miss <- dcache_miss;
+  handle_control t u ~complete
 
-let feed_drain t ~reason ~spm_cycles =
+let make_scratch () =
+  {
+    sc_fetch = 0;
+    sc_dispatch = 0;
+    sc_issue = 0;
+    sc_complete = 0;
+    sc_commit = 0;
+    sc_delta = 0;
+    sc_bucket = Stall.Base;
+    sc_dcache_miss = false;
+  }
+
+let feed_drain_core t ~spm_cycles =
   t.s_drains <- t.s_drains + 1;
   t.s_spm_cycles <- t.s_spm_cycles + spm_cycles;
   (* No later µop may dispatch until everything older has committed and the
      SPM transfer has finished. Front-end refill then costs the usual
      pipeline depth on the next µop. *)
-  let start = t.max_commit in
   raise_stall t (t.max_commit + 1 + spm_cycles) Stall.Drain;
-  break_fetch_group t;
-  match t.probe with
-  | None -> ()
-  | Some p ->
-    p.Probe.on_drain
-      { Probe.reason; spm_cycles; start; resume = t.stall_until }
+  break_fetch_group t
 
-let feed t = function
-  | Uop.Commit u -> feed_uop t u
-  | Uop.Drain { spm_cycles; reason } -> feed_drain t ~reason ~spm_cycles
+(* The probe-free specialization: no option branch, no probe-only
+   observable tracking, no event construction. *)
+let feed_fn_noprobe t =
+  let sc = make_scratch () in
+  fun (ev : Uop.event) ->
+    match ev with
+    | Uop.Commit u -> feed_uop_core t u ~track_line:false sc
+    | Uop.Drain { spm_cycles; reason = _ } -> feed_drain_core t ~spm_cycles
+
+(* The probed specialization additionally reports each µop and drain. The
+   probe is passive: nothing it observes feeds back into a cycle. *)
+let feed_fn_probe t (p : Probe.t) =
+  let sc = make_scratch () in
+  fun (ev : Uop.event) ->
+    match ev with
+    | Uop.Commit u ->
+      let mispredicts_before = t.s_mispredicts in
+      feed_uop_core t u ~track_line:true sc;
+      p.Probe.on_uop
+        {
+          Probe.uop = u;
+          fetch = sc.sc_fetch;
+          dispatch = sc.sc_dispatch;
+          issue = sc.sc_issue;
+          complete = sc.sc_complete;
+          commit = sc.sc_commit;
+          bucket = sc.sc_bucket;
+          attributed = sc.sc_delta;
+          mispredicted = t.s_mispredicts > mispredicts_before;
+          dcache_miss = sc.sc_dcache_miss;
+          il1_line = t.c_il1_line;
+          fetch_extra = t.c_fetch_extra;
+          mem_extra = t.c_mem_extra;
+        }
+    | Uop.Drain { spm_cycles; reason } ->
+      let start = t.max_commit in
+      feed_drain_core t ~spm_cycles;
+      p.Probe.on_drain
+        { Probe.reason; spm_cycles; start; resume = t.stall_until }
+
+let create ?config ?predictor ?warm ?store_slots ?probe () =
+  let t = make ?config ?predictor ?warm ?store_slots () in
+  (match probe with
+   | None -> t.feed_fn <- feed_fn_noprobe t
+   | Some p -> t.feed_fn <- feed_fn_probe t p);
+  t
+
+let feed t ev = t.feed_fn ev
 
 type report = {
   instructions : int;

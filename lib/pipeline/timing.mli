@@ -26,8 +26,7 @@ val create :
   ?config:Config.t
   -> ?predictor:Sempe_bpred.Predictor.t
   -> ?warm:Warm.t
-  -> ?store_window:int
-  -> ?store_table_cap:int
+  -> ?store_slots:int
   -> ?probe:Probe.t
   -> unit
   -> t
@@ -39,17 +38,18 @@ val create :
     [warm] is given, [predictor] is ignored (the warm state carries its
     own predictor).
 
-    [store_window] / [store_table_cap] bound the in-flight store table
-    used for store-to-load forwarding: once it holds more than
-    [store_table_cap] entries, stores whose completion cycle is more than
-    [store_window] cycles behind the commit frontier are dropped (they can
-    no longer affect any later load, so timing is unchanged). The defaults
-    are generous; override only in tests.
+    [store_slots] (rounded up to a power of two, default 4096) sizes the
+    direct-mapped ring of in-flight stores used for store-to-load
+    forwarding: slot [addr land (slots - 1)] remembers the youngest store
+    to a word address mapping there. A collision forgets the older store,
+    which can only cost a forwarding opportunity, never corrupt a cycle.
+    The default is generous; override only in tests.
 
     [probe] receives one {!Probe.uop_event} per committed µop and one
     {!Probe.drain_event} per drain. It is passive: attaching a probe
     cannot change any cycle assignment, and without one no event is
-    allocated. *)
+    allocated (the feed path is staged at [create] into probe-attached
+    and probe-free variants). *)
 
 val feed : t -> Uop.event -> unit
 (** Process the next event in commit order. *)
@@ -66,7 +66,8 @@ val current_cycles : t -> int
     interval. *)
 
 val store_entries : t -> int
-(** Current size of the in-flight store table (for memory-bound tests). *)
+(** Number of occupied slots in the store-forwarding ring (for
+    memory-bound tests; scans the ring, not a hot-path accessor). *)
 
 (** Aggregated results of a run. *)
 type report = {

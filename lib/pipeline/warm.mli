@@ -12,9 +12,9 @@
     after [n] committed instructions — which is what makes
     checkpoint-and-measure sampling sound.
 
-    A [Warm.t] contains no closures over anything but its own tables, so a
-    value (including the predictor) can be serialized with
-    [Marshal.Closures] and revived in another domain — the basis of
+    {!freeze}/{!thaw} convert a [Warm.t] to and from a closure-free image
+    of flat arrays and scalars that serializes with plain [Marshal] (no
+    [Closures] flag, not tied to the producing binary) — the basis of
     [Sempe_sampling.Checkpoint]. *)
 
 type t
@@ -76,6 +76,20 @@ type target_pred = Pred_hit | Pred_miss
 val call : t -> pc:int -> target:int -> return_to:int -> transfer
 val ret : t -> target:int -> target_pred
 val indirect : t -> pc:int -> target:int -> target_pred
+
+type frozen
+(** A closure-free image of the warm state: flat arrays, bytes and scalars
+    only, safe for plain [Marshal]. The image aliases the live state — it
+    must be serialized before the producing [t] is stepped further. *)
+
+val freeze : t -> frozen
+
+val thaw : ?predictor:Sempe_bpred.Predictor.t -> frozen -> t
+(** Rebuild a live [Warm.t] from a frozen image. The direction predictor
+    is reconstructed by loading the frozen private state into [predictor]
+    (default: a fresh default-configuration TAGE).
+    @raise Invalid_argument when the frozen state belongs to a different
+    predictor kind than [predictor]. *)
 
 val predictor_signature : t -> int
 (** Combined hash over direction predictor, BTB and indirect predictor

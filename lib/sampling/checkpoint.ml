@@ -5,16 +5,14 @@ module Warm = Sempe_pipeline.Warm
    component of the architectural state (the default machine has 1M words
    = 8 MB) — is swapped for a sparse (index, value) encoding of its
    nonzero words before serialization; everything else (registers,
-   jbTable, register snapshots, SPM, warm microarchitectural state
-   including the predictor closures) is serialized as-is.
-
-   [Marshal.Closures] is required for the predictor inside [Warm.t]: the
-   TAGE implementation is a record of closures over its tables. Such a
-   checkpoint is valid within the producing binary (any domain), which is
-   exactly the sampled-simulation use case. *)
+   jbTable, register snapshots, SPM) is serialized as-is, and the warm
+   microarchitectural state goes through {!Warm.freeze} into a
+   closure-free image of flat arrays and scalars. Nothing in the payload
+   holds a closure, so plain [Marshal] suffices and the bytes are not
+   tied to the producing binary. *)
 type payload = {
   arch : Exec.arch; (* with the memory image swapped for [||] *)
-  warm : Warm.t;
+  warm : Warm.frozen;
   mem_words : int;
   nz_idx : int array;
   nz_val : int array;
@@ -56,14 +54,14 @@ let save ~arch ~warm =
   let payload =
     {
       arch = Exec.arch_with_mem arch [||];
-      warm;
+      warm = Warm.freeze warm;
       mem_words = words;
       nz_idx;
       nz_val;
     }
   in
   {
-    bytes = Marshal.to_string payload [ Marshal.Closures ];
+    bytes = Marshal.to_string payload [];
     instructions = Exec.arch_instructions arch;
     halted = Exec.arch_halted arch;
   }
@@ -72,7 +70,7 @@ let restore t =
   let payload : payload = Marshal.from_string t.bytes 0 in
   let mem = Array.make payload.mem_words 0 in
   Array.iteri (fun j i -> mem.(i) <- payload.nz_val.(j)) payload.nz_idx;
-  (Exec.arch_with_mem payload.arch mem, payload.warm)
+  (Exec.arch_with_mem payload.arch mem, Warm.thaw payload.warm)
 
 let instructions t = t.instructions
 let halted t = t.halted

@@ -11,12 +11,12 @@
       and indirect-target predictor.
 
     The value is a self-contained byte string ([Marshal]-encoded, with
-    the mostly-zero memory image stored sparsely), so restoring it —
-    possibly several times, possibly in other domains — always yields an
-    independent deep copy: parallel measurement jobs never share mutable
-    state. Because the predictor contains closures, checkpoints are only
-    meaningful within the binary that produced them; they are a
-    parallelism/sampling mechanism, not an on-disk interchange format. *)
+    the mostly-zero memory image stored sparsely and the warm state
+    passed through {!Sempe_pipeline.Warm.freeze} into a closure-free
+    image of flat arrays), so restoring it — possibly several times,
+    possibly in other domains — always yields an independent deep copy:
+    parallel measurement jobs never share mutable state. Nothing in the
+    payload is tied to the producing binary. *)
 
 type t
 

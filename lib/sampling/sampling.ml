@@ -54,6 +54,36 @@ type estimate = {
 let stride_of config =
   max 1 (int_of_float (Float.round (1. /. config.coverage)))
 
+(* Parametric cost model for the sampled path, per simulated instruction
+   and relative to a full detailed run of the same program:
+
+   - the functional fast-forward touches every instruction at
+     [func_ratio] of the detailed per-instruction cost;
+   - each measured interval re-simulates [warmup + interval] instructions
+     in detail, one interval in every [stride];
+   - each measured interval also pays a checkpoint save + restore
+     (a memory-image scan, a marshal round-trip and a pool handoff),
+     charged as [checkpoint_equiv_instrs] detailed-instruction
+     equivalents.
+
+   The sum is independent of the program length, so the decision can be
+   made before the program runs. The constants are deliberately
+   conservative (the measured functional/detailed rate ratio is nearer
+   0.2) so the fallback only fires for configurations that are clearly
+   mis-sized, not ones that are merely break-even. *)
+let func_ratio = 0.35
+let checkpoint_equiv_instrs = 10_000
+let fallback_threshold = 0.95
+
+let predicted_cost_ratio config =
+  let stride = stride_of config in
+  if stride <= 1 then 1.0
+  else
+    let warmup = max 0 config.warmup in
+    func_ratio
+    +. float_of_int (warmup + config.interval + checkpoint_equiv_instrs)
+       /. float_of_int (stride * config.interval)
+
 let exec_config ~support ~(machine : Config.t) ~mem_words ~max_instrs
     ~forgiving_oob ~fault =
   {
@@ -168,7 +198,8 @@ let estimate ?(machine = Config.default) ?(support = Exec.Sempe_hw)
     ?(mem_words = Exec.default_config.Exec.mem_words)
     ?(max_instrs = Exec.default_config.Exec.max_instrs)
     ?(forgiving_oob = true) ?(fault = Exec.No_fault) ?init_mem
-    ?(config = default_config) ?workers ?plan ?plan_out prog =
+    ?(config = default_config) ?workers ?plan ?plan_out
+    ?(cost_fallback = true) prog =
   if config.interval <= 0 then
     invalid_arg "Sampling.estimate: interval must be positive";
   if not (config.coverage > 0. && config.coverage <= 1.) then
@@ -221,6 +252,13 @@ let estimate ?(machine = Config.default) ?(support = Exec.Sempe_hw)
       in
       aggregate ~machine ~exec_cfg ~interval ?init_mem prog ~samples
         ~n_total:p.p_instructions ~ckpt_bytes:p.p_bytes
+    | None when cost_fallback && predicted_cost_ratio config >= fallback_threshold ->
+      (* The model predicts the sampled machinery would cost at least
+         about as much wall clock as simulating everything in detail:
+         deliver the exact answer for the same price instead of a noisy
+         estimate plus overhead (this is what made small sampled runs
+         *slower* than their full siblings in the rate benchmark). *)
+      exact ~machine ~exec_cfg ~interval ?init_mem prog
     | None ->
       let warm = Warm.create ~machine () in
       let sess = Exec.start ~config:exec_cfg ?init_mem ~warm prog in

@@ -50,6 +50,20 @@ type config = {
 val default_config : config
 (** 20k-instruction intervals, 25% coverage, 2k detailed warmup. *)
 
+val predicted_cost_ratio : config -> float
+(** Modeled wall-clock cost of the sampled path relative to a full
+    detailed run of the same program: the functional fast-forward's
+    per-instruction share, plus the detailed re-simulation of
+    [warmup + interval] instructions and a checkpoint save/restore
+    (charged as a fixed detailed-instruction equivalent) for one interval
+    in every [stride]. Independent of program length. When the ratio
+    reaches {!fallback_threshold}, {!estimate} answers with a contiguous
+    exact run instead — same price, exact result. *)
+
+val fallback_threshold : float
+(** Ratio at which {!estimate} falls back to the exact path (0.95: the
+    sampled machinery must promise a clear win, not a break-even). *)
+
 type plan
 (** A reusable record of one fast-forward pass: the checkpoints selected
     for measurement, the exact dynamic instruction count, and the
@@ -59,9 +73,8 @@ type plan
     serving daemon's checkpoint cache stores, keyed by fingerprints of
     the program, its inputs, and the boundary configuration. A plan is
     only meaningful for the exact program/inputs/machine it was recorded
-    from (checkpoints embed closures, see {!Checkpoint}); the boundary
-    parameters are validated on revival, the rest is the caller's cache
-    key. *)
+    from; the boundary parameters are validated on revival, the rest is
+    the caller's cache key. *)
 
 val plan_points : plan -> int
 (** Number of checkpointed measurement intervals. *)
@@ -102,6 +115,7 @@ val estimate :
   -> ?workers:int
   -> ?plan:plan
   -> ?plan_out:(plan -> unit)
+  -> ?cost_fallback:bool
   -> Sempe_isa.Program.t
   -> estimate
 (** Run the sampled simulation. Simulation parameters mirror
@@ -109,7 +123,10 @@ val estimate :
     (default {!Sempe_util.Pool.default_workers}, and always capped at it:
     since the result does not depend on the worker count, oversubscribing
     the host's cores could only add GC-rendezvous latency). A program
-    that halts before the first checkpoint falls back to the exact path.
+    that halts before the first checkpoint falls back to the exact path,
+    as does any cold run whose configuration's {!predicted_cost_ratio}
+    reaches {!fallback_threshold} — sampling must promise a wall-clock
+    win before the machinery is worth its overhead.
 
     [plan] revives a previously recorded {!plan}: the fast-forward pass
     is skipped and the plan's checkpoints are measured directly. Because
@@ -121,6 +138,11 @@ val estimate :
     [plan_out] receives the recorded plan of a cold run that produced its
     estimate via the sampled path (it is not called on the exact or
     fell-back-to-exact paths, where there is nothing to reuse).
+
+    [cost_fallback] (default [true]) enables the cost-model fallback;
+    passing [false] forces the sampled path even when the model predicts
+    no wall-clock win — useful for testing the sampler on deliberately
+    tiny intervals, never for production estimates.
 
     @raise Invalid_argument on a non-positive [interval], a [coverage]
     outside (0, 1], or a [plan] recorded under different boundary

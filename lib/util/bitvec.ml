@@ -49,6 +49,13 @@ let union a b =
   done;
   r
 
+let union_into dst a b =
+  assert (a.len = b.len && dst.len = a.len);
+  for i = 0 to Bytes.length a.bits - 1 do
+    Bytes.set dst.bits i
+      (Char.chr (Char.code (Bytes.get a.bits i) lor Char.code (Bytes.get b.bits i)))
+  done
+
 let iter_set f t =
   for i = 0 to t.len - 1 do
     if get t i then f i

@@ -24,6 +24,10 @@ val popcount : t -> int
 val union : t -> t -> t
 (** [union a b] is a fresh vector with the bitwise or; lengths must match. *)
 
+val union_into : t -> t -> t -> unit
+(** [union_into dst a b] writes the bitwise or of [a] and [b] into [dst]
+    without allocating; all three lengths must match. *)
+
 val copy : t -> t
 
 val iter_set : (int -> unit) -> t -> unit

@@ -52,12 +52,13 @@ let run ?machine ?(mem_words = 1 lsl 20) ?max_instrs ?forgiving_oob ?fault
     ?observe ?sink built.prog
 
 let sample ?machine ?(mem_words = 1 lsl 20) ?max_instrs ?forgiving_oob ?fault
-    ?(globals = []) ?(arrays = []) ?config ?workers ?plan ?plan_out built =
+    ?(globals = []) ?(arrays = []) ?config ?workers ?plan ?plan_out
+    ?cost_fallback built =
   Sempe_sampling.Sampling.estimate
     ~support:(Scheme.support built.scheme)
     ?machine ~mem_words ?max_instrs ?forgiving_oob ?fault
     ~init_mem:(init_mem_of built ~globals ~arrays)
-    ?config ?workers ?plan ?plan_out built.prog
+    ?config ?workers ?plan ?plan_out ?cost_fallback built.prog
 
 let return_value (o : Run.outcome) = o.Run.exec.Exec.regs.(Sempe_isa.Reg.rv)
 

@@ -74,6 +74,7 @@ val sample :
   -> ?workers:int
   -> ?plan:Sempe_sampling.Sampling.plan
   -> ?plan_out:(Sempe_sampling.Sampling.plan -> unit)
+  -> ?cost_fallback:bool
   -> built
   -> Sempe_sampling.Sampling.estimate
 (** Sampled simulation of the same workload setup as {!run} — see

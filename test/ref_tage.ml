@@ -1,0 +1,283 @@
+(* Reference model: the original record-based TAGE, kept verbatim from
+   before the packed-array rewrite of [lib/bpred/tage.ml]. Tagged
+   components are arrays of entry records and each folded-history
+   register is its own mutable record updated by a generic
+   [folded_update] — slow, but structurally close to Seznec's paper and
+   independent of the packed layout's inlined fold arithmetic.
+   [Test_ref_equiv] drives this and the production TAGE through
+   identical branch streams and requires identical predictions and
+   state signatures at every step. Do not "optimize" this file; its
+   value is that it never changed. *)
+
+module Counters = Sempe_bpred.Counters
+
+type config = Sempe_bpred.Tage.config = {
+  num_tables : int;
+  table_bits : int;
+  tag_bits : int;
+  min_history : int;
+  max_history : int;
+  base_bits : int;
+}
+
+type entry = { mutable tag : int; mutable ctr : int; mutable u : int }
+(* ctr is a 3-bit signed counter in [-4, 3]; taken iff ctr >= 0.
+   u is a 2-bit usefulness counter. *)
+
+(* Folded history register: compresses [length] bits of global history
+   into [width] bits incrementally, one xor per shifted-in bit (Seznec's
+   circular shift register). *)
+type folded = { mutable value : int; length : int; width : int }
+
+let folded_make ~length ~width = { value = 0; length; width }
+
+let folded_update f new_bit evicted_bit =
+  let mask = (1 lsl f.width) - 1 in
+  let v = ((f.value lsl 1) lor new_bit) land mask in
+  let v = v lxor ((f.value lsr (f.width - 1)) land 1) in
+  let out_pos = f.length mod f.width in
+  let v = v lxor (evicted_bit lsl out_pos) in
+  f.value <- v land mask
+
+type table = {
+  entries : entry array;
+  history_length : int;
+  index_fold : folded;
+  tag_fold1 : folded;
+  tag_fold2 : folded;
+}
+
+type t = {
+  cfg : config;
+  base : Counters.t;
+  tables : table array;
+  history : Bytes.t; (* circular buffer of outcome bits *)
+  mutable head : int; (* next write position *)
+  mutable use_alt_on_new : int; (* 4-bit counter biasing weak entries *)
+  mutable tick : int; (* aging clock for usefulness counters *)
+  lk : lookup;
+}
+
+(* Scratch lookup refilled in place by [lookup]; -1 encodes "no matching
+   component". *)
+and lookup = {
+  mutable provider : int;
+  mutable provider_idx : int;
+  mutable alt : int;
+  mutable alt_idx : int;
+  mutable base_idx : int;
+}
+
+let history_capacity = 1024
+
+let geometric_lengths cfg =
+  (* L(i) = min * (max/min)^(i/(n-1)), rounded, strictly increasing. *)
+  let n = cfg.num_tables in
+  let ratio =
+    if n = 1 then 1.0
+    else
+      (float_of_int cfg.max_history /. float_of_int cfg.min_history)
+      ** (1.0 /. float_of_int (n - 1))
+  in
+  let lens = Array.make n 0 in
+  let prev = ref 0 in
+  for i = 0 to n - 1 do
+    let l =
+      int_of_float
+        (Float.round (float_of_int cfg.min_history *. (ratio ** float_of_int i)))
+    in
+    let l = max l (!prev + 1) in
+    lens.(i) <- l;
+    prev := l
+  done;
+  lens
+
+let create ?(config = Sempe_bpred.Tage.default_config) () =
+  let cfg = config in
+  let lens = geometric_lengths cfg in
+  let mk_table i =
+    let history_length = lens.(i) in
+    {
+      entries =
+        Array.init (1 lsl cfg.table_bits) (fun _ -> { tag = 0; ctr = 0; u = 0 });
+      history_length;
+      index_fold = folded_make ~length:history_length ~width:cfg.table_bits;
+      tag_fold1 = folded_make ~length:history_length ~width:cfg.tag_bits;
+      tag_fold2 = folded_make ~length:history_length ~width:(cfg.tag_bits - 1);
+    }
+  in
+  {
+    cfg;
+    base = Counters.create ~entries:(1 lsl cfg.base_bits) ~bits:2;
+    tables = Array.init cfg.num_tables mk_table;
+    history = Bytes.make history_capacity '\000';
+    head = 0;
+    use_alt_on_new = 8;
+    tick = 0;
+    lk = { provider = -1; provider_idx = 0; alt = -1; alt_idx = 0; base_idx = 0 };
+  }
+
+let history_bit t ago =
+  let pos = (t.head - 1 - ago + (2 * history_capacity)) mod history_capacity in
+  Char.code (Bytes.get t.history pos)
+
+let push_history t bit =
+  (* Update every folded register before shifting the raw history. *)
+  Array.iter
+    (fun tb ->
+      let evicted = history_bit t (tb.history_length - 1) in
+      folded_update tb.index_fold bit evicted;
+      folded_update tb.tag_fold1 bit evicted;
+      folded_update tb.tag_fold2 bit evicted)
+    t.tables;
+  Bytes.set t.history t.head (Char.chr bit);
+  t.head <- (t.head + 1) mod history_capacity
+
+let table_index t i pc =
+  let tb = t.tables.(i) in
+  let mask = (1 lsl t.cfg.table_bits) - 1 in
+  (pc lxor (pc lsr (t.cfg.table_bits - i)) lxor tb.index_fold.value) land mask
+
+let table_tag t i pc =
+  let tb = t.tables.(i) in
+  let mask = (1 lsl t.cfg.tag_bits) - 1 in
+  (pc lxor tb.tag_fold1.value lxor (tb.tag_fold2.value lsl 1)) land mask
+
+let lookup t lk pc =
+  lk.base_idx <- pc land ((1 lsl t.cfg.base_bits) - 1);
+  lk.provider <- -1;
+  lk.provider_idx <- 0;
+  lk.alt <- -1;
+  lk.alt_idx <- 0;
+  let rec scan i =
+    if i >= 0 then begin
+      let idx = table_index t i pc in
+      if t.tables.(i).entries.(idx).tag = table_tag t i pc then begin
+        if lk.provider < 0 then begin
+          lk.provider <- i;
+          lk.provider_idx <- idx;
+          scan (i - 1)
+        end
+        else begin
+          lk.alt <- i;
+          lk.alt_idx <- idx
+          (* provider and alternate found: stop scanning *)
+        end
+      end
+      else scan (i - 1)
+    end
+  in
+  scan (t.cfg.num_tables - 1)
+
+let alt_pred t lk =
+  if lk.alt >= 0 then t.tables.(lk.alt).entries.(lk.alt_idx).ctr >= 0
+  else Counters.taken t.base lk.base_idx
+
+let is_weak e = e.ctr = 0 || e.ctr = -1
+
+let predict t ~pc =
+  let lk = t.lk in
+  lookup t lk pc;
+  if lk.provider < 0 then Counters.taken t.base lk.base_idx
+  else begin
+    let e = t.tables.(lk.provider).entries.(lk.provider_idx) in
+    if is_weak e && e.u = 0 && t.use_alt_on_new >= 8 then alt_pred t lk
+    else e.ctr >= 0
+  end
+
+let sat_update e taken =
+  if taken then (if e.ctr < 3 then e.ctr <- e.ctr + 1)
+  else if e.ctr > -4 then e.ctr <- e.ctr - 1
+
+let allocate t lk pc taken =
+  (* Try to claim a u=0 entry in a table longer than the provider. *)
+  let start = if lk.provider >= 0 then lk.provider + 1 else 0 in
+  let rec find i =
+    if i >= t.cfg.num_tables then None
+    else
+      let idx = table_index t i pc in
+      if t.tables.(i).entries.(idx).u = 0 then Some (i, idx) else find (i + 1)
+  in
+  match find start with
+  | Some (i, idx) ->
+    let e = t.tables.(i).entries.(idx) in
+    e.tag <- table_tag t i pc;
+    e.ctr <- (if taken then 0 else -1);
+    e.u <- 0
+  | None ->
+    (* Decay usefulness along the allocation path so progress is
+       possible. *)
+    for i = start to t.cfg.num_tables - 1 do
+      let idx = table_index t i pc in
+      let e = t.tables.(i).entries.(idx) in
+      if e.u > 0 then e.u <- e.u - 1
+    done
+
+let age_usefulness t =
+  t.tick <- t.tick + 1;
+  if t.tick land 0x3ffff = 0 then
+    Array.iter
+      (fun tb ->
+        Array.iter (fun e -> if e.u > 0 then e.u <- e.u - 1) tb.entries)
+      t.tables
+
+(* [update t ~pred ~pc ~taken] trains with the resolved outcome; [pred]
+   must be the value [predict t ~pc] just returned (the production
+   predictor memoizes the same way), since the scratch lookup still
+   describes [pc]. *)
+let update t ~pred ~pc ~taken =
+  let lk = t.lk in
+  let altp = alt_pred t lk in
+  (if lk.provider < 0 then begin
+     Counters.train t.base lk.base_idx taken;
+     if pred <> taken then allocate t lk pc taken
+   end
+   else begin
+     let e = t.tables.(lk.provider).entries.(lk.provider_idx) in
+     let provider_pred = e.ctr >= 0 in
+     (* Track whether trusting weak new entries beats the alternate. *)
+     if is_weak e && e.u = 0 && provider_pred <> altp then begin
+       if altp = taken then begin
+         if t.use_alt_on_new < 15 then t.use_alt_on_new <- t.use_alt_on_new + 1
+       end
+       else if t.use_alt_on_new > 0 then t.use_alt_on_new <- t.use_alt_on_new - 1
+     end;
+     sat_update e taken;
+     if altp <> provider_pred then begin
+       if provider_pred = taken then (if e.u < 3 then e.u <- e.u + 1)
+       else if e.u > 0 then e.u <- e.u - 1
+     end;
+     if lk.alt < 0 then Counters.train t.base lk.base_idx taken;
+     if pred <> taken then allocate t lk pc taken
+   end);
+  age_usefulness t;
+  push_history t (if taken then 1 else 0)
+
+let reset t =
+  Counters.reset t.base;
+  Array.iter
+    (fun tb ->
+      Array.iter
+        (fun e ->
+          e.tag <- 0;
+          e.ctr <- 0;
+          e.u <- 0)
+        tb.entries;
+      tb.index_fold.value <- 0;
+      tb.tag_fold1.value <- 0;
+      tb.tag_fold2.value <- 0)
+    t.tables;
+  Bytes.fill t.history 0 history_capacity '\000';
+  t.head <- 0;
+  t.use_alt_on_new <- 8;
+  t.tick <- 0
+
+let signature t =
+  let acc = ref (Counters.signature t.base) in
+  Array.iter
+    (fun tb ->
+      Array.iter
+        (fun e -> acc := (!acc * 31) + (e.tag lxor (e.ctr + 4) lxor (e.u lsl 16)))
+        tb.entries)
+    t.tables;
+  !acc lxor t.head

@@ -179,8 +179,16 @@ let gate_table =
       ~args:[] ~expected_code:1;
     gate_case "gate ignores rate improvements" ~baseline:base_records
       ~current:
-        [ perf_record "fib" "full" 100.0; perf_record "fib" "sampled" 20.0 ]
+        [ perf_record "fib" "full" 100.0; perf_record "fib" "sampled" 200.0 ]
       ~args:[ "--tolerance"; "0" ] ~expected_code:0;
+    (* a sampled record slower than its full sibling fails regardless of
+       the baseline or tolerance: sampling that costs wall clock is a
+       bug, the estimator should have fallen back to the exact path *)
+    gate_case "gate fails a sampled record slower than full"
+      ~baseline:base_records
+      ~current:
+        [ perf_record "fib" "full" 100.0; perf_record "fib" "sampled" 99.0 ]
+      ~args:[ "--tolerance"; "1000" ] ~expected_code:1;
     (* measured-work floor: a current record over too few instructions
        fails the gate even when its rate looks fine *)
     gate_case "gate fails below the min-work floor" ~baseline:base_records

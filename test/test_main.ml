@@ -21,6 +21,7 @@ let () =
       ("cli", Test_cli.tests);
       ("frontend", Test_frontend.tests);
       ("passes", Test_passes.tests);
+      ("ref-equivalence", Test_ref_equiv.tests);
       ("edge-cases", Test_more.tests);
       ("differential", Test_differential.tests);
     ]

@@ -72,28 +72,37 @@ let prop_cache_occupancy_bounded =
          done;
          !ok))
 
+(* Collect the count-based candidate buffer into a list for comparison. *)
+let stride_observe p ~pc ~addr =
+  let n = Prefetch.Stride.observe p ~pc ~addr in
+  List.init n (Prefetch.Stride.candidate p)
+
+let stream_observe_miss p ~addr =
+  let n = Prefetch.Stream.observe_miss p ~addr in
+  List.init n (Prefetch.Stream.candidate p)
+
 let test_stride_prefetcher () =
   let p = Prefetch.Stride.create ~degree:1 () in
-  Alcotest.(check (list int)) "first access" [] (Prefetch.Stride.observe p ~pc:4 ~addr:1000);
-  Alcotest.(check (list int)) "stride set" [] (Prefetch.Stride.observe p ~pc:4 ~addr:1064);
-  Alcotest.(check (list int)) "confidence 1" [] (Prefetch.Stride.observe p ~pc:4 ~addr:1128);
-  Alcotest.(check (list int)) "confident" [ 1256 ] (Prefetch.Stride.observe p ~pc:4 ~addr:1192);
+  Alcotest.(check (list int)) "first access" [] (stride_observe p ~pc:4 ~addr:1000);
+  Alcotest.(check (list int)) "stride set" [] (stride_observe p ~pc:4 ~addr:1064);
+  Alcotest.(check (list int)) "confidence 1" [] (stride_observe p ~pc:4 ~addr:1128);
+  Alcotest.(check (list int)) "confident" [ 1256 ] (stride_observe p ~pc:4 ~addr:1192);
   (* a stride break resets confidence *)
-  Alcotest.(check (list int)) "break" [] (Prefetch.Stride.observe p ~pc:4 ~addr:5000)
+  Alcotest.(check (list int)) "break" [] (stride_observe p ~pc:4 ~addr:5000)
 
 let test_stride_zero_never_prefetches () =
   let p = Prefetch.Stride.create () in
   for _ = 1 to 10 do
-    Alcotest.(check (list int)) "same address" [] (Prefetch.Stride.observe p ~pc:8 ~addr:64)
+    Alcotest.(check (list int)) "same address" [] (stride_observe p ~pc:8 ~addr:64)
   done
 
 let test_stream_prefetcher () =
   let p = Prefetch.Stream.create ~degree:2 () in
-  Alcotest.(check (list int)) "first miss" [] (Prefetch.Stream.observe_miss p ~addr:0);
+  Alcotest.(check (list int)) "first miss" [] (stream_observe_miss p ~addr:0);
   Alcotest.(check (list int)) "stream detected" [ 128; 192 ]
-    (Prefetch.Stream.observe_miss p ~addr:64);
+    (stream_observe_miss p ~addr:64);
   Alcotest.(check (list int)) "stream continues" [ 192; 256 ]
-    (Prefetch.Stream.observe_miss p ~addr:128)
+    (stream_observe_miss p ~addr:128)
 
 let test_hierarchy_latencies () =
   let h = Hierarchy.create () in

@@ -21,7 +21,10 @@ module Djpeg = Sempe_workloads.Djpeg
 module Rsa = Sempe_workloads.Rsa
 module Leakage = Sempe_security.Leakage
 
-let cfg ?(interval = 5_000) ?(warmup = 500) coverage =
+(* Interval/warmup sized so the sub-full coverages stay under the
+   cost-model fallback threshold (see [test_cost_model_fallback]) and the
+   tests keep exercising the genuinely sampled path. *)
+let cfg ?(interval = 20_000) ?(warmup = 2_000) coverage =
   { Sampling.default_config with Sampling.interval; coverage; warmup }
 
 (* (name, built, globals, arrays) — the curated perf workloads. *)
@@ -205,7 +208,10 @@ let test_error_shrinks_with_coverage () =
    flow, secret regions and memory traffic. The programs are small, so
    the intervals are scaled to each program's dynamic length (programs
    too short to sample fall back to the exact path with zero error —
-   which only ever helps the monotonicity being asserted). *)
+   which only ever helps the monotonicity being asserted). Such tiny
+   intervals could never pay for the sampling machinery, so the
+   cost-model fallback is disabled to keep the sampler itself under
+   test. *)
 let test_error_shrinks_random_programs () =
   let rand = Random.State.make [| 0x5e39e |] in
   let progs =
@@ -229,7 +235,8 @@ let test_error_shrinks_random_programs () =
           let interval = max 20 (n / 25) in
           let config = cfg ~interval ~warmup:(interval / 4) coverage in
           let est =
-            Harness.sample ~globals ~arrays ~mem_words:(1 lsl 14) ~config built
+            Harness.sample ~globals ~arrays ~mem_words:(1 lsl 14) ~config
+              ~cost_fallback:false built
           in
           Alcotest.(check int)
             "sampled instruction count matches the full run" n
@@ -252,6 +259,38 @@ let test_error_shrinks_random_programs () =
       Alcotest.(check int) "random program: 100% coverage is exact" full
         est.Sampling.cycles_estimate)
     cases
+
+(* The cost model must keep the default config on the sampled path, and
+   divert configurations that cannot pay for their own machinery to the
+   exact path — same price in the model, exact answer instead of a noisy
+   estimate. *)
+let test_cost_model_fallback () =
+  Alcotest.(check bool) "default config promises a win" true
+    (Sampling.predicted_cost_ratio Sampling.default_config
+    < Sampling.fallback_threshold);
+  (* Tiny intervals under heavy warmup: every measured interval costs a
+     multiple of what it measures. *)
+  let bad = cfg ~interval:2_000 ~warmup:2_000 0.5 in
+  Alcotest.(check bool) "mis-sized config trips the threshold" true
+    (Sampling.predicted_cost_ratio bad >= Sampling.fallback_threshold);
+  let name, built, globals, arrays = List.hd (workloads ()) in
+  let full = full_cycles built ~globals ~arrays in
+  let est = Harness.sample ~globals ~arrays ~config:bad built in
+  Alcotest.(check bool) (name ^ ": fell back to exact") true est.Sampling.exact;
+  Alcotest.(check int) (name ^ ": exact cycles") full
+    est.Sampling.cycles_estimate;
+  Alcotest.(check bool) (name ^ ": report attached") true
+    (est.Sampling.report <> None);
+  (* [~cost_fallback:false] forces the same config down the sampled path:
+     the machinery engages and measures a strict subset of intervals. *)
+  let forced =
+    Harness.sample ~globals ~arrays ~config:bad ~cost_fallback:false built
+  in
+  Alcotest.(check bool) (name ^ ": forced sampling is not exact") false
+    forced.Sampling.exact;
+  Alcotest.(check bool)
+    (name ^ ": forced sampling measures a strict subset") true
+    (forced.Sampling.intervals_measured < forced.Sampling.intervals_total)
 
 let test_config_validation () =
   let built = Harness.build Scheme.Sempe Rsa.program in
@@ -316,6 +355,7 @@ let tests =
       test_error_shrinks_with_coverage;
     Alcotest.test_case "error shrinks with coverage (random programs)" `Slow
       test_error_shrinks_random_programs;
+    Alcotest.test_case "cost-model fallback" `Quick test_cost_model_fallback;
     Alcotest.test_case "config validation" `Quick test_config_validation;
     Alcotest.test_case "leakage needs two views" `Quick
       test_leakage_needs_two_views;

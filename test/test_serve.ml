@@ -111,7 +111,10 @@ let sample_req =
       scheme = Scheme.Sempe;
       workload = Api.Rsa { key = 0xACE5 };
       strict_oob = false;
-      params = { Api.interval = 2000; coverage = 0.25; warmup = 500 };
+      (* Coverage low enough that the sampler's cost model keeps this
+         request on the genuinely sampled path (and thus exports a
+         checkpoint plan) despite the small interval. *)
+      params = { Api.interval = 2000; coverage = 0.05; warmup = 500 };
     }
 
 let requests =

@@ -22,8 +22,10 @@ module Sampling = Sempe_sampling.Sampling
 module Pool = Sempe_util.Pool
 module Api = Sempe_serve.Api
 module Server = Sempe_serve.Server
+module Router = Sempe_serve.Router
 module Client = Sempe_serve.Client
 module Loadgen = Sempe_serve.Loadgen
+module Subproc = Sempe_util.Subproc
 
 let scheme_conv =
   let parse s =
@@ -1070,7 +1072,7 @@ let parse_addr s =
 
 let serve_cmd =
   let run listen workers result_entries plan_entries timeout_s max_connections
-      verbose =
+      store_dir verbose =
     let addr = parse_addr listen in
     (* Leakage requests sweep the scheme grid on the process-wide Batch
        pool; keep it sequential so concurrent requests do not
@@ -1084,6 +1086,7 @@ let serve_cmd =
         plan_entries = max 1 plan_entries;
         timeout_s;
         max_connections = max 1 max_connections;
+        store_dir;
         verbose;
       }
     in
@@ -1136,6 +1139,15 @@ let serve_cmd =
       & info [ "max-connections" ] ~docv:"N"
           ~doc:"Concurrent connections; excess clients get a busy error.")
   in
+  let store_dir =
+    Arg.(
+      value & opt (some string) None
+      & info [ "store-dir" ] ~docv:"DIR"
+          ~doc:
+            "Persistent cache store: both caches are reloaded from $(docv) \
+             on start and flushed back on graceful shutdown, so a restarted \
+             daemon serves warm from its first request.")
+  in
   let verbose =
     Arg.(
       value & flag
@@ -1146,12 +1158,12 @@ let serve_cmd =
        ~doc:
          "Run the simulation daemon: a length-prefixed JSON protocol over a \
           unix or TCP socket, with content-addressed response and \
-          checkpoint-plan caches and in-flight request coalescing. The \
-          daemon trusts its clients; see the Serving section of the \
-          README.")
+          checkpoint-plan caches (cost-aware eviction, optional on-disk \
+          persistence) and in-flight request coalescing. The daemon trusts \
+          its clients; see the Serving section of the README.")
     Term.(
       const run $ listen $ workers $ result_entries $ plan_entries $ timeout
-      $ max_connections $ verbose)
+      $ max_connections $ store_dir $ verbose)
 
 let client_cmd =
   let run connect op which width iters leaf blocks seed key scheme strict
@@ -1382,6 +1394,243 @@ let loadgen_cmd =
           request was dropped.")
     Term.(const run $ connect_arg $ clients $ requests $ mix $ rate $ json_arg)
 
+(* ---- router / fleet: the sharded serving fleet ---- *)
+
+let router_cmd =
+  let run listen shards replicas retries backoff_s health_s verbose =
+    if shards = [] then begin
+      Printf.eprintf "router: at least one --shard ADDR is required\n";
+      exit 124
+    end;
+    let addr = parse_addr listen in
+    let shard_addrs = List.map parse_addr shards in
+    let config =
+      {
+        Router.default_config with
+        Router.replicas = max 1 replicas;
+        retries = max 1 retries;
+        backoff_s = Float.max 0. backoff_s;
+        health_period_s = Float.max 0.05 health_s;
+        verbose;
+      }
+    in
+    let t = Router.start ~config ~shards:shard_addrs addr in
+    Printf.eprintf "sempe-sim router: listening on %s, %d shard(s)\n%!"
+      (Server.addr_to_string (Router.addr t))
+      (List.length shard_addrs);
+    let on_signal _ = Router.request_stop t in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+    Router.wait t;
+    Printf.eprintf "sempe-sim router: stopped\n%!"
+  in
+  let listen =
+    Arg.(
+      value & opt string "sempe-router.sock"
+      & info [ "listen"; "l" ] ~docv:"ADDR"
+          ~doc:
+            "Listen address: $(b,unix:PATH), $(b,tcp:HOST:PORT), or a bare \
+             unix socket path.")
+  in
+  let shards =
+    Arg.(
+      value & opt_all string []
+      & info [ "shard" ] ~docv:"ADDR"
+          ~doc:"A shard daemon's address; repeat once per shard.")
+  in
+  let replicas =
+    Arg.(
+      value & opt int Router.default_config.Router.replicas
+      & info [ "replicas" ] ~docv:"N"
+          ~doc:"Virtual nodes per shard on the consistent-hash ring.")
+  in
+  let retries =
+    Arg.(
+      value & opt int Router.default_config.Router.retries
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Connection attempts per shard before failing over.")
+  in
+  let backoff =
+    Arg.(
+      value & opt float Router.default_config.Router.backoff_s
+      & info [ "backoff-s" ] ~docv:"SECONDS"
+          ~doc:"Delay before the first retry; doubles per attempt.")
+  in
+  let health =
+    Arg.(
+      value & opt float Router.default_config.Router.health_period_s
+      & info [ "health-period-s" ] ~docv:"SECONDS"
+          ~doc:"How often dead shards are pinged back into rotation.")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "verbose" ] ~doc:"Log routing decisions and shard state.")
+  in
+  Cmd.v
+    (Cmd.info "router"
+       ~doc:
+         "Front a fleet of $(b,serve) shards behind one address: requests \
+          are consistent-hashed onto shards (so repeats always hit the same \
+          shard's caches) and relayed byte-for-byte, with retry, failover \
+          and health checking. The $(b,shutdown) op drains the whole fleet.")
+    Term.(
+      const run $ listen $ shards $ replicas $ retries $ backoff $ health
+      $ verbose)
+
+let fleet_cmd =
+  let status_string = function
+    | Unix.WEXITED n -> Printf.sprintf "exit %d" n
+    | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
+    | Unix.WSTOPPED s -> Printf.sprintf "stop %d" s
+  in
+  let run listen shards dir workers result_entries plan_entries store verbose =
+    let shards = max 1 shards in
+    (try Unix.mkdir dir 0o755
+     with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    let self = Sys.executable_name in
+    let shard_sock i = Filename.concat dir (Printf.sprintf "shard-%d.sock" i) in
+    let children =
+      List.init shards (fun i ->
+          let args =
+            [
+              "serve"; "--listen"; shard_sock i;
+              "--workers"; string_of_int (max 1 workers);
+              "--result-entries"; string_of_int (max 1 result_entries);
+              "--plan-entries"; string_of_int (max 1 plan_entries);
+            ]
+            @ (if store then
+                 [ "--store-dir";
+                   Filename.concat dir (Printf.sprintf "shard-%d.store" i) ]
+               else [])
+            @ if verbose then [ "--verbose" ] else []
+          in
+          Subproc.spawn
+            ~log:(Filename.concat dir (Printf.sprintf "shard-%d.log" i))
+            ~label:(Printf.sprintf "shard-%d" i)
+            self args)
+    in
+    let kill_all () =
+      List.iter (fun c -> ignore (Subproc.terminate c)) children
+    in
+    (* Every shard must bind before the router opens for business. *)
+    let deadline = Unix.gettimeofday () +. 30. in
+    List.iteri
+      (fun i child ->
+        let sock = shard_sock i in
+        let rec poll () =
+          if Sys.file_exists sock then ()
+          else if not (Subproc.alive child) then begin
+            Printf.eprintf "fleet: %s exited before binding %s (see %s)\n"
+              (Subproc.label child) sock
+              (Option.value ~default:"stderr" (Subproc.log_path child));
+            kill_all ();
+            exit 1
+          end
+          else if Unix.gettimeofday () > deadline then begin
+            Printf.eprintf "fleet: timed out waiting for %s\n" sock;
+            kill_all ();
+            exit 1
+          end
+          else begin
+            Unix.sleepf 0.05;
+            poll ()
+          end
+        in
+        poll ())
+      children;
+    let addr = parse_addr listen in
+    let config = { Router.default_config with Router.verbose } in
+    let t =
+      Router.start ~config
+        ~shards:(List.init shards (fun i -> Server.Unix_sock (shard_sock i)))
+        addr
+    in
+    Printf.eprintf "sempe-sim fleet: %d shard(s) up, router on %s\n%!" shards
+      (Server.addr_to_string (Router.addr t));
+    let on_signal _ = Router.request_stop t in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+    Router.wait t;
+    (* Belt and braces: a client [shutdown] already drained the shards;
+       a signal has not. Either way every child gets a graceful stop (the
+       TERM window is where a shard flushes its store). *)
+    Router.drain_fleet t;
+    let failed = ref false in
+    List.iter
+      (fun c ->
+        match Subproc.terminate ~grace_s:30. c with
+        | Unix.WEXITED 0 -> ()
+        | st ->
+          failed := true;
+          Printf.eprintf "fleet: %s ended with %s\n" (Subproc.label c)
+            (status_string st))
+      children;
+    Printf.eprintf "sempe-sim fleet: stopped\n%!";
+    if !failed then exit 1
+  in
+  let listen =
+    Arg.(
+      value & opt string "sempe-router.sock"
+      & info [ "listen"; "l" ] ~docv:"ADDR"
+          ~doc:"Router listen address (the fleet's single front door).")
+  in
+  let shards =
+    Arg.(
+      value & opt int 2
+      & info [ "shards" ] ~docv:"N" ~doc:"Number of shard daemons to run.")
+  in
+  let dir =
+    Arg.(
+      value & opt string "sempe-fleet"
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:
+            "Runtime directory: shard sockets, per-shard logs and (with \
+             $(b,--store)) per-shard cache stores live here.")
+  in
+  let workers =
+    Arg.(
+      value & opt int Server.default_config.Server.workers
+      & info [ "workers"; "j" ] ~docv:"N"
+          ~doc:"Simulation worker domains per shard.")
+  in
+  let result_entries =
+    Arg.(
+      value & opt int Server.default_config.Server.result_entries
+      & info [ "result-entries" ] ~docv:"N"
+          ~doc:"Response cache capacity per shard.")
+  in
+  let plan_entries =
+    Arg.(
+      value & opt int Server.default_config.Server.plan_entries
+      & info [ "plan-entries" ] ~docv:"N"
+          ~doc:"Checkpoint-plan cache capacity per shard.")
+  in
+  let store =
+    Arg.(
+      value & flag
+      & info [ "store" ]
+          ~doc:
+            "Give each shard a persistent cache store under $(b,--dir), \
+             flushed on drain and reloaded on the next start.")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "verbose" ] ~doc:"Verbose shards and router.")
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Run a self-contained serving fleet: N $(b,serve) shard processes \
+          on unix sockets under a runtime directory, fronted by an \
+          in-process $(b,router). SIGTERM (or a client $(b,shutdown)) \
+          drains every shard — in-flight work finishes and cache stores \
+          are flushed — before the fleet exits.")
+    Term.(
+      const run $ listen $ shards $ dir $ workers $ result_entries
+      $ plan_entries $ store $ verbose)
+
 let () =
   let info =
     Cmd.info "sempe-sim" ~version:"1.0"
@@ -1393,5 +1642,6 @@ let () =
           [
             config_cmd; microbench_cmd; djpeg_cmd; rsa_cmd; sample_cmd;
             leakage_cmd; report_cmd; profile_cmd; trace_cmd; disasm_cmd;
-            asm_run_cmd; fuzz_cmd; serve_cmd; client_cmd; loadgen_cmd;
+            asm_run_cmd; fuzz_cmd; serve_cmd; router_cmd; fleet_cmd;
+            client_cmd; loadgen_cmd;
           ]))

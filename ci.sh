@@ -117,4 +117,94 @@ test -S "$sock"
 "$sim" client shutdown -c "$sock" > /dev/null
 wait "$srv"
 
+echo "== fleet smoke: router + 2 shards, byte-equality, failover, drain"
+# The router relays each shard's reply bytes verbatim, so routed
+# responses must be byte-identical to the batch CLI at any shard count.
+# Placement is a pure function of the request bytes: the
+# simulate/sample/leakage requests below hash onto shard 0 and the
+# fuzz-smoke onto shard 1, so TERM-killing shard 0 mid-run forces a
+# real failover (asserted from the router's counters) while the fleet
+# keeps answering with identical bytes — losing a shard costs cache
+# warmth, never correctness.
+"$sim" serve --listen "$out/shard0.sock" --workers 2 2> "$out/shard0.log" &
+sh0=$!
+"$sim" serve --listen "$out/shard1.sock" --workers 2 2> "$out/shard1.log" &
+sh1=$!
+for s in "$out/shard0.sock" "$out/shard1.sock"; do
+  i=0
+  while [ ! -S "$s" ] && [ $i -lt 100 ]; do sleep 0.1; i=$((i + 1)); done
+  test -S "$s"
+done
+"$sim" router --listen "$out/router.sock" \
+  --shard "$out/shard0.sock" --shard "$out/shard1.sock" \
+  2> "$out/router.log" &
+rtr=$!
+i=0
+while [ ! -S "$out/router.sock" ] && [ $i -lt 100 ]; do sleep 0.1; i=$((i + 1)); done
+test -S "$out/router.sock"
+"$sim" client simulate -c "$out/router.sock" --workload fibonacci \
+  > "$out/routed-sim.json"
+cmp "$out/routed-sim.json" "$out/batch-sim.json"
+"$sim" client sample -c "$out/router.sock" --workload rsa \
+  > "$out/routed-sample.json"
+cmp "$out/routed-sample.json" "$out/batch-sample.json"
+"$sim" client leakage -c "$out/router.sock" > "$out/routed-leakage.json"
+cmp "$out/routed-leakage.json" "$out/batch-leakage.json"
+"$sim" client fuzz-smoke -c "$out/router.sock" --fuzz-seed 5 --count 25 \
+  > "$out/routed-fuzz.json"
+cmp "$out/routed-fuzz.json" "$out/batch-fuzz.json"
+kill -TERM "$sh0"
+wait "$sh0"
+"$sim" client simulate -c "$out/router.sock" --workload fibonacci \
+  > "$out/failover-sim.json"
+cmp "$out/failover-sim.json" "$out/batch-sim.json"
+"$sim" client stats -c "$out/router.sock" > "$out/fleet-stats.json"
+grep -q '"failovers":[1-9]' "$out/fleet-stats.json"
+# 8 concurrent clients against the degraded fleet: still zero drops
+"$sim" loadgen -c "$out/router.sock" --clients 8 --requests 6 \
+  --mix simulate,sample --json > "$out/fleet-loadgen.json"
+# client-driven shutdown drains the fleet: the surviving shard and the
+# router both exit and remove their sockets
+"$sim" client shutdown -c "$out/router.sock" > /dev/null
+wait "$rtr"
+wait "$sh1"
+test ! -S "$out/shard1.sock"
+test ! -S "$out/router.sock"
+
+echo "== persistence smoke: store survives a TERM restart, warm p50 beats cold"
+# Warm a shard through the loadgen, TERM it (the store flushes on the
+# way out), restart on the same --store-dir: the stats must report
+# disk-loaded entries and the same request mix must now be served from
+# the reloaded cache — its p50 strictly below the cold run's, which
+# paid for real simulation.
+store="$out/store"
+"$sim" serve --listen "$sock" --workers 2 --store-dir "$store" \
+  2> "$out/persist.log" &
+srv=$!
+i=0
+while [ ! -S "$sock" ] && [ $i -lt 100 ]; do sleep 0.1; i=$((i + 1)); done
+test -S "$sock"
+"$sim" loadgen -c "$sock" --clients 2 --requests 1 --mix simulate,sample \
+  --json > "$out/persist-cold.json"
+kill -TERM "$srv"
+wait "$srv"
+test -f "$store/responses.v1.jsonl"
+"$sim" serve --listen "$sock" --workers 2 --store-dir "$store" \
+  2>> "$out/persist.log" &
+srv=$!
+i=0
+while [ ! -S "$sock" ] && [ $i -lt 100 ]; do sleep 0.1; i=$((i + 1)); done
+test -S "$sock"
+"$sim" client stats -c "$sock" > "$out/persist-stats.json"
+grep -q '"disk_loaded_results":[1-9]' "$out/persist-stats.json"
+"$sim" loadgen -c "$sock" --clients 2 --requests 1 --mix simulate,sample \
+  --json > "$out/persist-warm.json"
+"$sim" client shutdown -c "$sock" > /dev/null
+wait "$srv"
+p50_of() { sed -n 's/.*"p50_s":\([0-9.eE+-]*\).*/\1/p' "$1"; }
+cold_p50=$(p50_of "$out/persist-cold.json")
+warm_p50=$(p50_of "$out/persist-warm.json")
+echo "   cold p50 ${cold_p50}s, warm (disk-loaded) p50 ${warm_p50}s"
+awk -v c="$cold_p50" -v w="$warm_p50" 'BEGIN { exit !(w + 0 < c + 0) }'
+
 echo "CI OK"

@@ -86,6 +86,20 @@ val plan_bytes : plan -> int
 (** Serialized checkpoint volume (telemetry, mirrors
     [estimate.checkpoint_bytes]). *)
 
+val plan_to_bytes : plan -> string
+(** Self-contained, versioned image of a plan: a magic/version header
+    followed by a closure-free serialization (checkpoints are already
+    flat byte strings, so nothing in the image is tied to the producing
+    binary). This is what the serving daemon's persistent plan store
+    writes to disk. *)
+
+val plan_of_bytes : string -> (plan, string) result
+(** Reload a {!plan_to_bytes} image. [Error] (never an exception) on a
+    wrong or outdated magic header, a truncated or corrupt payload, or
+    out-of-range boundary parameters — a stale store file from an older
+    layout is skipped, not misloaded. Images are trusted local state
+    (the daemon's own store directory), not untrusted network input. *)
+
 type estimate = {
   instructions : int;  (** total dynamic instructions (exact; from the
                            fast-forward pass) *)

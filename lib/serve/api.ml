@@ -415,6 +415,16 @@ let cache_key request =
     [ j1; j2; p1; p2 ]
   | Leakage | Fuzz_smoke _ -> [ j1; j2 ]
 
+(* Partition key: the JSON digests alone. The router needs a cheap,
+   deterministic shard assignment; folding in the program fingerprint
+   (as [cache_key] does) would force every routed request through
+   [Harness.build]. Two requests with identical canonical JSON always
+   share a shard — so coalescing and both caches still see every repeat
+   of a request on the same process. *)
+let route_key request =
+  let j1, j2 = digests (Json.to_string (request_to_json request)) in
+  [ j1; j2 ]
+
 let plan_key request =
   match request with
   | Sample { scheme; workload; strict_oob; params } ->

@@ -66,6 +66,21 @@ val request_of_json : Json.t -> (request, string) result
     offending field. Unknown {e extra} fields are ignored (forward
     compatibility). *)
 
+val digests : string -> int * int
+(** Two independent FNV digests of a string — the primitive behind
+    {!cache_key}, {!plan_key} and {!route_key}, also used by the
+    {!Router}'s hash ring for its virtual-node points. Strings that
+    collide under one digest have no reason to collide under the other. *)
+
+val route_key : request -> int list
+(** Partition key for the sharded fleet: the two digests of the
+    canonical request JSON, nothing else. Cheap to compute (no program
+    build), and identical requests always map to the same shard — so
+    coalescing and both shard-local caches still see every repeat of a
+    request on one process. Distinct from {!cache_key}, which also
+    fingerprints the compiled program image and guards the response
+    cache itself. *)
+
 val cache_key : request -> int list
 (** Content address of a request's response: two independent FNV digests
     of the canonical request JSON plus two of the compiled program image

@@ -1,10 +1,21 @@
-(* Classic hash-map + doubly-linked recency list: O(1) find/add/evict.
-   The list head is the most recently used entry, the tail the eviction
-   candidate. *)
+(* Hash-map + doubly-linked recency list, with a GreedyDual twist: every
+   entry carries the wall-clock cost of recomputing it, and eviction
+   minimizes the cost-seconds thrown away rather than pure recency.
+
+   Each entry holds a credit [l + cost] where [l] is a monotone global
+   inflation value; a hit or overwrite re-credits the entry at the
+   current [l]. Eviction removes the entry with the least credit (ties
+   broken toward the least recently used) and advances [l] to the
+   evicted credit, so entries that merely sit around decay relative to
+   re-credited ones. With uniform costs every credit ties and the
+   tie-break makes the policy degenerate to exact LRU — the list head is
+   the most recently used entry, the tail the first tie-break victim. *)
 
 type ('k, 'v) node = {
   key : 'k;
   mutable value : 'v;
+  mutable cost : float;
+  mutable credit : float;
   mutable prev : ('k, 'v) node option;
   mutable next : ('k, 'v) node option;
 }
@@ -14,9 +25,11 @@ type ('k, 'v) t = {
   table : ('k, ('k, 'v) node) Hashtbl.t;
   mutable head : ('k, 'v) node option;
   mutable tail : ('k, 'v) node option;
+  mutable l : float;  (* GreedyDual inflation value *)
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable cost_evicted : float;
 }
 
 let create ~capacity =
@@ -26,9 +39,11 @@ let create ~capacity =
     table = Hashtbl.create (2 * capacity);
     head = None;
     tail = None;
+    l = 0.;
     hits = 0;
     misses = 0;
     evictions = 0;
+    cost_evicted = 0.;
   }
 
 let unlink t n =
@@ -54,26 +69,50 @@ let find t k =
     None
   | Some n ->
     t.hits <- t.hits + 1;
+    n.credit <- t.l +. n.cost;
     unlink t n;
     push_front t n;
     Some n.value
 
-let add t k v =
+(* The victim with the least credit, walking from the recency tail so
+   that among tied credits the least recently used loses (strict [<]
+   keeps the first — i.e. coldest — minimum found). *)
+let victim t =
+  let rec go best = function
+    | None -> best
+    | Some n ->
+      let best =
+        match best with
+        | Some b when b.credit <= n.credit -> best
+        | _ -> Some n
+      in
+      go best n.prev
+  in
+  go None t.tail
+
+let add ?(cost = 0.) t k v =
+  let cost = if Float.is_nan cost || cost < 0. then 0. else cost in
   match Hashtbl.find_opt t.table k with
   | Some n ->
     n.value <- v;
+    n.cost <- cost;
+    n.credit <- t.l +. cost;
     unlink t n;
     push_front t n
   | None ->
     if Hashtbl.length t.table >= t.cap then begin
-      match t.tail with
+      match victim t with
       | None -> assert false (* cap >= 1 and the table is non-empty *)
-      | Some lru ->
-        unlink t lru;
-        Hashtbl.remove t.table lru.key;
-        t.evictions <- t.evictions + 1
+      | Some loser ->
+        unlink t loser;
+        Hashtbl.remove t.table loser.key;
+        t.evictions <- t.evictions + 1;
+        t.cost_evicted <- t.cost_evicted +. loser.cost;
+        (* Inflation: everything already resident now competes against
+           the value the cache just gave up. *)
+        if loser.credit > t.l then t.l <- loser.credit
     end;
-    let n = { key = k; value = v; prev = None; next = None } in
+    let n = { key = k; value = v; cost; credit = t.l +. cost; prev = None; next = None } in
     Hashtbl.replace t.table k n;
     push_front t n
 
@@ -89,9 +128,21 @@ let misses t = t.misses
 
 let evictions t = t.evictions
 
+let cost_evicted_s t = t.cost_evicted
+
+let total_cost_s t =
+  Hashtbl.fold (fun _ n acc -> acc +. n.cost) t.table 0.
+
 let keys_newest_first t =
   let rec go acc = function
     | None -> List.rev acc
     | Some n -> go (n.key :: acc) n.next
+  in
+  go [] t.head
+
+let to_list t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some n -> go ((n.key, n.value, n.cost) :: acc) n.next
   in
   go [] t.head

@@ -16,14 +16,25 @@ type outcome = {
   dropped : int;
   wall_s : float;
   throughput : float;
+  samples : int;
   mean_s : float;
   p50_s : float;
   p95_s : float;
-  p99_s : float;
+  p99_s : float option;
   max_s : float;
   hit_rate : float;
   server_stats : Json.t option;
 }
+
+(* Nearest-rank p99 over fewer than 100 samples is just the sample max
+   wearing a fancier name — rank ceil(0.99 n) = n for all n < 100. Below
+   the floor we refuse to report it rather than imply tail resolution
+   the run never had. *)
+let p99_floor = 100
+
+let gated_p99 latencies =
+  if Stats.Summary.count latencies < p99_floor then None
+  else Some (Stats.Summary.percentile 0.99 latencies)
 
 (* Pull an integer out of a stats document by path, 0 when absent — the
    hit-rate computation degrades gracefully if the daemon's stats shape
@@ -132,10 +143,11 @@ let run address config =
     dropped = !dropped;
     wall_s;
     throughput = (if wall_s > 0. then float_of_int !completed /. wall_s else 0.);
+    samples = Stats.Summary.count latencies;
     mean_s = Stats.Summary.mean latencies;
     p50_s = pct 0.5;
     p95_s = pct 0.95;
-    p99_s = pct 0.99;
+    p99_s = gated_p99 latencies;
     max_s = Stats.Summary.max latencies;
     hit_rate;
     server_stats;
@@ -150,10 +162,12 @@ let to_json o =
        ("dropped", Json.Int o.dropped);
        ("wall_s", Json.Float o.wall_s);
        ("throughput_rps", Json.Float o.throughput);
+       ("latency_samples", Json.Int o.samples);
        ("mean_s", Json.Float o.mean_s);
        ("p50_s", Json.Float o.p50_s);
        ("p95_s", Json.Float o.p95_s);
-       ("p99_s", Json.Float o.p99_s);
+       ( "p99_s",
+         match o.p99_s with Some p -> Json.Float p | None -> Json.Null );
        ("max_s", Json.Float o.max_s);
        ("cache_hit_rate", Json.Float o.hit_rate);
      ]
@@ -169,10 +183,13 @@ let render o =
         o.sent o.completed o.errors o.dropped;
       Printf.sprintf "wall:       %.2fs (%.1f replies/s)" o.wall_s o.throughput;
       Printf.sprintf
-        "latency:    mean %.1f ms, p50 %.1f ms, p95 %.1f ms, p99 %.1f ms, max \
-         %.1f ms"
-        (1e3 *. o.mean_s) (1e3 *. o.p50_s) (1e3 *. o.p95_s) (1e3 *. o.p99_s)
-        (1e3 *. o.max_s);
+        "latency:    mean %.1f ms, p50 %.1f ms, p95 %.1f ms, p99 %s, max \
+         %.1f ms (%d samples)"
+        (1e3 *. o.mean_s) (1e3 *. o.p50_s) (1e3 *. o.p95_s)
+        (match o.p99_s with
+         | Some p -> Printf.sprintf "%.1f ms" (1e3 *. p)
+         | None -> Printf.sprintf "n/a (n < %d)" p99_floor)
+        (1e3 *. o.max_s) o.samples;
       Printf.sprintf "cache:      %.1f%% result-cache hit rate"
         (100. *. o.hit_rate);
     ]

@@ -26,16 +26,29 @@ type outcome = {
   dropped : int;  (** no reply: connect failure, closed connection, busy *)
   wall_s : float;
   throughput : float;  (** completed replies per second *)
+  samples : int;  (** latency observations behind the percentiles *)
   mean_s : float;
   p50_s : float;
   p95_s : float;
-  p99_s : float;
+  p99_s : float option;
+      (** [None] below {!p99_floor} samples, where nearest-rank p99
+          silently equals the max *)
   max_s : float;
   hit_rate : float;
       (** daemon result-cache hits over lookups during the run window
           (coalesced joins count as lookups that missed) *)
   server_stats : Sempe_obs.Json.t option;  (** daemon stats after the run *)
 }
+
+val p99_floor : int
+(** Minimum sample count (100) for a reported p99: below it the
+    nearest-rank 99th percentile is rank [ceil(0.99 n) = n] — the
+    sample max wearing a fancier name — so it is withheld instead
+    ([p99_s = None], [null] in the JSON form). *)
+
+val gated_p99 : Sempe_util.Stats.Summary.t -> float option
+(** The p99 policy by itself: [None] below {!p99_floor} observations,
+    the nearest-rank percentile otherwise. *)
 
 val run : Server.addr -> config -> outcome
 (** @raise Invalid_argument on an empty mix or non-positive counts. *)

@@ -38,6 +38,7 @@ type config = {
   timeout_s : float;
   max_connections : int;
   max_frame : int;
+  store_dir : string option;
   verbose : bool;
 }
 
@@ -49,6 +50,7 @@ let default_config =
     timeout_s = 300.;
     max_connections = 64;
     max_frame = Frame.max_len_default;
+    store_dir = None;
     verbose = false;
   }
 
@@ -56,9 +58,10 @@ let default_config =
    creates the slot and submits the job, later identical requests just
    poll the shared promise. [promise] is [None] for the moment between
    slot creation and [Pool.submit] returning (on a size-1 pool that spans
-   the whole execution, which runs inline). *)
+   the whole execution, which runs inline). The settled value carries the
+   job's wall seconds so the cache can record the recompute cost. *)
 type inflight = {
-  mutable promise : (Json.t, string) result Pool.promise option;
+  mutable promise : (Json.t * float, string) result Pool.promise option;
 }
 
 type t = {
@@ -77,6 +80,8 @@ type t = {
   mutable timeouts : int;
   mutable coalesced : int;
   mutable executed : int;
+  mutable disk_loaded_results : int;
+  mutable disk_loaded_plans : int;
   mutable accepted : int;
   mutable rejected : int;
   mutable active : int;
@@ -109,6 +114,8 @@ let stats_json t =
           ("timeouts", Json.Int t.timeouts);
           ("executed", Json.Int t.executed);
           ("coalesced", Json.Int t.coalesced);
+          ("disk_loaded_results", Json.Int t.disk_loaded_results);
+          ("disk_loaded_plans", Json.Int t.disk_loaded_plans);
           ( "result_cache",
             Json.Obj
               [
@@ -117,6 +124,8 @@ let stats_json t =
                 ("hits", Json.Int (Cache.hits t.results));
                 ("misses", Json.Int (Cache.misses t.results));
                 ("evictions", Json.Int (Cache.evictions t.results));
+                ("cost_evicted_s", Json.Float (Cache.cost_evicted_s t.results));
+                ("total_cost_s", Json.Float (Cache.total_cost_s t.results));
               ] );
           ( "plan_cache",
             Json.Obj
@@ -126,6 +135,8 @@ let stats_json t =
                 ("hits", Json.Int (Cache.hits t.plans));
                 ("misses", Json.Int (Cache.misses t.plans));
                 ("evictions", Json.Int (Cache.evictions t.plans));
+                ("cost_evicted_s", Json.Float (Cache.cost_evicted_s t.plans));
+                ("total_cost_s", Json.Float (Cache.total_cost_s t.plans));
               ] );
           ( "connections",
             Json.Obj
@@ -160,7 +171,7 @@ let finalize t key entry r =
       | Some e when e == entry ->
         Hashtbl.remove t.inflight key;
         (match r with
-         | Ok json -> Cache.add t.results key json
+         | Ok (json, dt) -> Cache.add ~cost:dt t.results key json
          | Error _ -> ())
       | _ -> ())
 
@@ -180,7 +191,7 @@ let poll_entry t key entry ~t0 =
     | Some r ->
       finalize t key entry r;
       (match r with
-       | Ok json -> Ok_result (json, false)
+       | Ok (json, _) -> Ok_result (json, false)
        | Error msg -> Err ("failed", msg))
     | None ->
       if Pool.now_s () > deadline then begin
@@ -217,32 +228,48 @@ let serve_request t req ~t0 =
               let entry = { promise = None } in
               Hashtbl.replace t.inflight key entry;
               t.executed <- t.executed + 1;
-              let plan, plan_out =
+              let plan, record_pkey =
                 match Api.plan_key req with
                 | None -> (None, None)
                 | Some pkey -> (
                   match Cache.find t.plans pkey with
                   | Some p -> (Some p, None)
-                  | None ->
-                    ( None,
-                      Some
-                        (fun p ->
-                          locked t (fun () -> Cache.add t.plans pkey p)) ))
+                  | None -> (None, Some pkey))
               in
-              `Exec (entry, plan, plan_out)))
+              `Exec (entry, plan, record_pkey)))
     in
     match action with
     | `Hit json -> Ok_result (json, true)
     | `Join entry -> poll_entry t key entry ~t0
-    | `Exec (entry, plan, plan_out) ->
+    | `Exec (entry, plan, record_pkey) ->
       (* Inner parallelism stays at 1: concurrency comes from serving
          many requests on the pool, not from nesting domain pools per
-         request (the documents are worker-count-independent anyway). *)
+         request (the documents are worker-count-independent anyway).
+         The job times its own [Api.perform] call: that wall time is the
+         entry's recompute cost, which cost-aware eviction minimizes the
+         loss of. A recorded plan is charged the same cost — losing it
+         forfeits the same fast-forward pass. *)
       let job () =
-        try Ok (Api.perform ~workers:1 ?plan ?plan_out req)
+        let jt0 = Pool.now_s () in
+        match
+          let recorded = ref None in
+          let plan_out =
+            match record_pkey with
+            | None -> None
+            | Some _ -> Some (fun p -> recorded := Some p)
+          in
+          let json = Api.perform ~workers:1 ?plan ?plan_out req in
+          (json, !recorded)
         with
-        | Pool.Shutdown -> Error "shutting down"
-        | e -> Error (Printexc.to_string e)
+        | json, recorded ->
+          let dt = Pool.now_s () -. jt0 in
+          (match (record_pkey, recorded) with
+           | Some pkey, Some p ->
+             locked t (fun () -> Cache.add ~cost:dt t.plans pkey p)
+           | _ -> ());
+          Ok (json, dt)
+        | exception Pool.Shutdown -> Error "shutting down"
+        | exception e -> Error (Printexc.to_string e)
       in
       let p = Pool.submit t.pool job in
       locked t (fun () -> entry.promise <- Some p);
@@ -406,7 +433,7 @@ let accept_loop t =
 
 (* ---- lifecycle ---- *)
 
-let bind_listen cfg address =
+let bind_listen ~backlog address =
   let fd =
     match address with
     | Unix_sock path ->
@@ -429,14 +456,14 @@ let bind_listen cfg address =
       Unix.bind fd (Unix.ADDR_INET (inet, port));
       fd
   in
-  Unix.listen fd (max 16 cfg.max_connections);
+  Unix.listen fd backlog;
   fd
 
 let start ?(config = default_config) address =
   (* A peer hanging up mid-reply must surface as EPIPE, not kill the
      process. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
-  let listen_fd = bind_listen config address in
+  let listen_fd = bind_listen ~backlog:(max 16 config.max_connections) address in
   let t =
     {
       cfg = config;
@@ -454,6 +481,8 @@ let start ?(config = default_config) address =
       timeouts = 0;
       coalesced = 0;
       executed = 0;
+      disk_loaded_results = 0;
+      disk_loaded_plans = 0;
       accepted = 0;
       rejected = 0;
       active = 0;
@@ -467,6 +496,28 @@ let start ?(config = default_config) address =
       handler_threads = [];
     }
   in
+  (* Warm start: reload whatever the previous run flushed. Entries go in
+     oldest-first so the cache rebuilds the recorded recency order (and,
+     should capacities have shrunk, evicts the stalest first). No client
+     can connect yet, so no lock is needed. *)
+  (match config.store_dir with
+   | None -> ()
+   | Some dir ->
+     let { Persist.responses; plans; warnings } = Persist.load ~dir in
+     List.iter (Printf.eprintf "[serve] store: %s\n%!") warnings;
+     List.iter
+       (fun (key, json, cost) ->
+         Cache.add ~cost t.results key json;
+         t.disk_loaded_results <- t.disk_loaded_results + 1)
+       (List.rev responses);
+     List.iter
+       (fun (key, plan, cost) ->
+         Cache.add ~cost t.plans key plan;
+         t.disk_loaded_plans <- t.disk_loaded_plans + 1)
+       (List.rev plans);
+     if config.verbose then
+       Printf.eprintf "[serve] store: loaded %d responses, %d plans from %s\n%!"
+         t.disk_loaded_results t.disk_loaded_plans dir);
   t.accept_thread <- Some (Thread.create accept_loop t);
   t
 
@@ -499,7 +550,20 @@ let stop t =
       fds;
     let threads = locked t (fun () -> t.handler_threads) in
     List.iter Thread.join threads;
-    Pool.shutdown ~drain:true t.pool
+    Pool.shutdown ~drain:true t.pool;
+    (* Every thread is joined and the pool drained: the caches are
+       quiescent, flush them. A failed flush must not turn a graceful
+       shutdown into a crash — the store is an optimization. *)
+    match t.cfg.store_dir with
+    | None -> ()
+    | Some dir -> (
+      try
+        Persist.save ~dir
+          ~responses:(Cache.to_list t.results)
+          ~plans:(Cache.to_list t.plans)
+      with e ->
+        Printf.eprintf "[serve] store flush to %s failed: %s\n%!" dir
+          (Printexc.to_string e))
   end
 
 let wait t =

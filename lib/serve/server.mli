@@ -10,11 +10,19 @@
     either [{"ok": true, "cached": .., "result": ..}] or
     [{"ok": false, "error": {"code": .., "message": ..}}].
 
-    Two content-addressed LRU caches back the service: response bytes
-    keyed by {!Api.cache_key}, and sampling checkpoint plans keyed by
+    Two content-addressed caches back the service: response bytes keyed
+    by {!Api.cache_key}, and sampling checkpoint plans keyed by
     {!Api.plan_key} — a repeated sweep neither re-simulates nor re-runs
-    the fast-forward pass. Identical in-flight requests coalesce onto one
-    execution.
+    the fast-forward pass. Every entry records the wall seconds its
+    {!Api.perform} took, and eviction is cost-aware ({!Cache}): the cache
+    keeps the entries that are most expensive to recompute. Identical
+    in-flight requests coalesce onto one execution.
+
+    With a [store_dir], the daemon persists both caches: a graceful
+    shutdown flushes them through {!Persist} and the next start reloads
+    the store, so a restarted shard answers warm — and, because the store
+    holds the exact rendered response bytes, byte-identically — from its
+    first request.
 
     Security note: the daemon fully trusts its clients. Frames are
     length-capped and parsed with the strict reader, so a malformed or
@@ -31,6 +39,13 @@ val addr_of_string : string -> (addr, string) result
 
 val addr_to_string : addr -> string
 
+val bind_listen : backlog:int -> addr -> Unix.file_descr
+(** Bind and listen on an address: a crash-leftover unix socket file is
+    replaced, a TCP listener gets [SO_REUSEADDR]. Shared with the
+    {!Router}, which fronts the same protocol on the same address
+    forms.
+    @raise Unix.Unix_error when the address cannot be bound. *)
+
 type config = {
   workers : int;  (** simulation pool size *)
   result_entries : int;  (** response cache capacity *)
@@ -38,6 +53,9 @@ type config = {
   timeout_s : float;  (** per-request reply deadline; [0.] = none *)
   max_connections : int;  (** concurrent connections; excess get [busy] *)
   max_frame : int;  (** request frame byte cap *)
+  store_dir : string option;
+      (** persistent cache store: reloaded on start, flushed on graceful
+          shutdown; [None] (the default) serves memory-only *)
   verbose : bool;  (** per-request log lines on stderr *)
 }
 
@@ -58,7 +76,8 @@ val request_stop : t -> unit
 
 val stop : t -> unit
 (** Graceful shutdown: stop accepting, let in-flight requests finish and
-    reply, wake idle connections, join every thread and drain the pool.
+    reply, wake idle connections, join every thread, drain the pool and —
+    when configured with a [store_dir] — flush both caches to disk.
     Idempotent. *)
 
 val wait : t -> unit
@@ -67,6 +86,7 @@ val wait : t -> unit
 
 val stats_json : t -> Sempe_obs.Json.t
 (** The daemon's counters, as served by the [stats] op: request/reply
-    totals, cache hits/misses/evictions for both caches, coalesced and
-    executed requests, connection counts and request latency
-    percentiles. *)
+    totals, cache hits/misses/evictions and cost accounting for both
+    caches, entries reloaded from the persistent store
+    ([disk_loaded_results] / [disk_loaded_plans]), coalesced and executed
+    requests, connection counts and request latency percentiles. *)

@@ -1,0 +1,86 @@
+(* Child-process supervision for the fleet launcher: spawn with stderr
+   captured to a log file, poll liveness, terminate with a grace period.
+   Deliberately minimal — no restart policy, no pipes to manage. The
+   caller owns lifecycle decisions; this module owns the Unix plumbing
+   (create_process, non-blocking waitpid, the TERM-then-KILL dance). *)
+
+type t = {
+  pid : int;
+  label : string;
+  log_path : string option;
+  mutable status : Unix.process_status option;  (* reaped *)
+}
+
+let pid t = t.pid
+let label t = t.label
+let log_path t = t.log_path
+
+let spawn ?log ~label prog args =
+  let dev_null = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  let stderr_fd =
+    match log with
+    | None -> Unix.stderr
+    | Some path ->
+      Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close dev_null with _ -> ());
+      match log with
+      | Some _ -> ( try Unix.close stderr_fd with _ -> ())
+      | None -> ())
+    (fun () ->
+      let pid =
+        Unix.create_process prog
+          (Array.of_list (prog :: args))
+          dev_null stderr_fd stderr_fd
+      in
+      { pid; label; log_path = log; status = None })
+
+let poll t =
+  match t.status with
+  | Some st -> Some st
+  | None -> (
+    match Unix.waitpid [ Unix.WNOHANG ] t.pid with
+    | 0, _ -> None
+    | _, st ->
+      t.status <- Some st;
+      Some st
+    | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
+      (* Reaped elsewhere (e.g. a blanket wait); treat as exited. *)
+      let st = Unix.WEXITED 0 in
+      t.status <- Some st;
+      Some st)
+
+let alive t = poll t = None
+
+let wait ?(timeout_s = infinity) t =
+  let deadline =
+    if timeout_s = infinity then infinity else Unix.gettimeofday () +. timeout_s
+  in
+  let rec go () =
+    match poll t with
+    | Some st -> Some st
+    | None ->
+      if Unix.gettimeofday () > deadline then None
+      else begin
+        Unix.sleepf 0.02;
+        go ()
+      end
+  in
+  go ()
+
+let signal t s = if alive t then try Unix.kill t.pid s with Unix.Unix_error _ -> ()
+
+let terminate ?(grace_s = 10.) t =
+  match poll t with
+  | Some st -> st
+  | None -> (
+    signal t Sys.sigterm;
+    match wait ~timeout_s:grace_s t with
+    | Some st -> st
+    | None -> (
+      signal t Sys.sigkill;
+      match wait ~timeout_s:5. t with
+      | Some st -> st
+      | None -> Unix.WSIGNALED Sys.sigkill))

@@ -1,0 +1,43 @@
+(** Child-process supervision: spawn, poll, terminate gracefully.
+
+    The fleet launcher uses this to run its shard daemons: each child
+    gets [/dev/null] on stdin and (optionally) a log file capturing its
+    stdout and stderr — nothing is piped, so a child can never block on
+    a full pipe the supervisor forgot to drain. No restart policy lives
+    here; the caller decides what a dead child means. *)
+
+type t
+
+val spawn : ?log:string -> label:string -> string -> string list -> t
+(** [spawn prog args] starts [prog] (an executable path; no shell) with
+    [args]. With [log], the child's stdout and stderr are appended to
+    that file; without, they share the parent's stderr. [label] names
+    the child in the caller's diagnostics.
+    @raise Unix.Unix_error when the log file cannot be opened (a fork
+    failure also surfaces here). *)
+
+val pid : t -> int
+
+val label : t -> string
+
+val log_path : t -> string option
+
+val alive : t -> bool
+(** Non-blocking liveness check (reaps the child if it just exited). *)
+
+val poll : t -> Unix.process_status option
+(** Non-blocking: [Some status] once the child has exited (idempotent
+    thereafter), [None] while it runs. *)
+
+val wait : ?timeout_s:float -> t -> Unix.process_status option
+(** Block (polling) until exit or [timeout_s] (default: forever).
+    [None] on timeout — the child is still running. *)
+
+val signal : t -> int -> unit
+(** Send a signal if the child is still alive; never raises. *)
+
+val terminate : ?grace_s:float -> t -> Unix.process_status
+(** Graceful stop: SIGTERM, wait up to [grace_s] (default 10s) for a
+    clean exit — the shard daemons flush their cache stores in this
+    window — then SIGKILL. Returns the final status; idempotent on an
+    already-dead child. *)

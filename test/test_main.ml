@@ -18,6 +18,7 @@ let () =
       ("obs", Test_obs.tests);
       ("fuzz", Test_fuzz.tests);
       ("serve", Test_serve.tests);
+      ("router", Test_router.tests);
       ("cli", Test_cli.tests);
       ("frontend", Test_frontend.tests);
       ("passes", Test_passes.tests);

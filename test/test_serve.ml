@@ -11,6 +11,8 @@ module Api = Sempe_serve.Api
 module Server = Sempe_serve.Server
 module Client = Sempe_serve.Client
 module Loadgen = Sempe_serve.Loadgen
+module Sampling = Sempe_sampling.Sampling
+module Stats = Sempe_util.Stats
 module Scheme = Sempe_core.Scheme
 
 (* ---- framing ----------------------------------------------------------- *)
@@ -100,6 +102,49 @@ let test_cache_counters_and_overwrite () =
   Alcotest.check_raises "capacity < 1 rejected"
     (Invalid_argument "Cache.create: capacity must be >= 1") (fun () ->
       ignore (Cache.create ~capacity:0))
+
+let test_cache_cost_aware_eviction () =
+  let c = Cache.create ~capacity:3 in
+  Cache.add ~cost:0.01 c "cheap-old" 1;
+  Cache.add ~cost:5.0 c "costly" 2;
+  Cache.add ~cost:0.01 c "cheap-new" 3;
+  (* Pure LRU would evict "cheap-old" too — but here it loses on credit,
+     not age: the two cheap entries tie at the minimum and the tie-break
+     goes against the older one. *)
+  Cache.add ~cost:0.01 c "fresh" 4;
+  Alcotest.(check bool) "cheapest+oldest evicted" false (Cache.mem c "cheap-old");
+  Alcotest.(check bool) "costly survives" true (Cache.mem c "costly");
+  Alcotest.(check (float 1e-9)) "evicted cost accounted" 0.01
+    (Cache.cost_evicted_s c);
+  (* Now recency alone would protect "cheap-new" over the older "costly"
+     entry; cost-aware eviction sacrifices the cheap entry instead. *)
+  Cache.add ~cost:0.01 c "fresh2" 5;
+  Alcotest.(check bool) "costly still resident" true (Cache.mem c "costly");
+  Alcotest.(check bool) "newer-but-cheap evicted" false (Cache.mem c "cheap-new");
+  (* A sustained stream of cheap one-off inserts never displaces the one
+     expensive entry. *)
+  for i = 0 to 9 do
+    Cache.add ~cost:0.01 c (Printf.sprintf "stream-%d" i) i
+  done;
+  Alcotest.(check bool) "costly outlives the stream" true (Cache.mem c "costly");
+  Alcotest.(check (float 1e-9)) "resident cost tracked" 5.02
+    (Cache.total_cost_s c)
+
+let test_cache_to_list () =
+  let c = Cache.create ~capacity:3 in
+  Cache.add ~cost:1.5 c "a" 1;
+  Cache.add ~cost:0.25 c "b" 2;
+  ignore (Cache.find c "a");
+  Alcotest.(check bool) "to_list: newest first with costs" true
+    (Cache.to_list c = [ ("a", 1, 1.5); ("b", 2, 0.25) ]);
+  (* negative and NaN costs are clamped at insert *)
+  Cache.add ~cost:(-3.) c "neg" 3;
+  Cache.add ~cost:Float.nan c "nan" 4;
+  List.iter
+    (fun (k, _, cost) ->
+      if k = "neg" || k = "nan" then
+        Alcotest.(check (float 0.)) (k ^ " clamped to zero cost") 0. cost)
+    (Cache.to_list c)
 
 (* ---- request vocabulary ------------------------------------------------ *)
 
@@ -251,6 +296,58 @@ let test_plan_reuse_byte_equal () =
     let warm = Api.perform ~plan sample_req in
     Alcotest.(check string) "warm sample byte-identical to cold"
       (Json.to_string cold) (Json.to_string warm)
+
+let test_plan_image_roundtrip () =
+  let captured = ref None in
+  let cold = Api.perform ~plan_out:(fun p -> captured := Some p) sample_req in
+  match !captured with
+  | None -> Alcotest.fail "fast-forward pass exported no plan"
+  | Some plan ->
+    let image = Sampling.plan_to_bytes plan in
+    (match Sampling.plan_of_bytes image with
+     | Error e -> Alcotest.fail ("image rejected: " ^ e)
+     | Ok revived ->
+       Alcotest.(check int) "points survive" (Sampling.plan_points plan)
+         (Sampling.plan_points revived);
+       Alcotest.(check int) "instruction count survives"
+         (Sampling.plan_instructions plan)
+         (Sampling.plan_instructions revived);
+       let warm = Api.perform ~plan:revived sample_req in
+       Alcotest.(check string) "estimate from a revived image byte-identical"
+         (Json.to_string cold) (Json.to_string warm));
+    (* stale or damaged images are Error, never an exception *)
+    (match Sampling.plan_of_bytes "not-a-plan" with
+     | Error _ -> ()
+     | Ok _ -> Alcotest.fail "accepted garbage image");
+    (match Sampling.plan_of_bytes (String.sub image 0 (String.length image - 5)) with
+     | Error _ -> ()
+     | Ok _ -> Alcotest.fail "accepted truncated image");
+    match Sampling.plan_of_bytes ("sempe-plan.v0\n" ^ "rest") with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "accepted wrong version"
+
+(* ---- loadgen percentile gating ----------------------------------------- *)
+
+let test_loadgen_p99_floor () =
+  let s = Stats.Summary.create () in
+  for i = 1 to Loadgen.p99_floor - 1 do
+    Stats.Summary.observe s (float_of_int i)
+  done;
+  (* below the floor, nearest-rank p99 would just be the max *)
+  Alcotest.(check bool) "p99 withheld under the floor" true
+    (Loadgen.gated_p99 s = None);
+  Stats.Summary.observe s (float_of_int Loadgen.p99_floor);
+  (match Loadgen.gated_p99 s with
+   | None -> Alcotest.fail "p99 withheld at the floor"
+   | Some p ->
+     Alcotest.(check (float 1e-9)) "nearest-rank p99 at the floor" 99. p);
+  for i = Loadgen.p99_floor + 1 to 1000 do
+    Stats.Summary.observe s (float_of_int i)
+  done;
+  match Loadgen.gated_p99 s with
+  | None -> Alcotest.fail "p99 withheld on a large sample"
+  | Some p ->
+    Alcotest.(check bool) "p99 below max on a large sample" true (p < 1000.)
 
 (* ---- in-process daemon ------------------------------------------------- *)
 
@@ -484,6 +581,10 @@ let tests =
     Alcotest.test_case "cache LRU eviction order" `Quick test_cache_lru_eviction;
     Alcotest.test_case "cache counters and overwrite" `Quick
       test_cache_counters_and_overwrite;
+    Alcotest.test_case "cache cost-aware eviction" `Quick
+      test_cache_cost_aware_eviction;
+    Alcotest.test_case "cache dump with costs" `Quick test_cache_to_list;
+    Alcotest.test_case "loadgen p99 floor" `Quick test_loadgen_p99_floor;
     Alcotest.test_case "request json round-trip" `Quick
       test_request_json_roundtrip;
     Alcotest.test_case "request strict decode" `Quick test_request_strict_decode;
@@ -491,6 +592,8 @@ let tests =
     Alcotest.test_case "plan keys" `Quick test_plan_keys;
     Alcotest.test_case "checkpoint plan reuse byte-equal" `Quick
       test_plan_reuse_byte_equal;
+    Alcotest.test_case "checkpoint plan disk image round-trip" `Quick
+      test_plan_image_roundtrip;
     Alcotest.test_case "daemon: byte equality and caching" `Quick
       test_server_byte_equality_and_caching;
     Alcotest.test_case "daemon: plan cache across eviction" `Quick
